@@ -1,0 +1,80 @@
+//! Ablation bench: the component-level design choices behind the paper's
+//! MAC units — carry-lookahead vs ripple-carry adders, and the Stripes
+//! bit-serial multiply path vs a parallel array multiplier.
+//!
+//! Prints the gate/depth/energy comparison once, then measures the
+//! bit-true implementations' software throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pixel_electronics::cla::Cla;
+use pixel_electronics::dsent;
+use pixel_electronics::multiplier::ArrayMultiplier;
+use pixel_electronics::ripple::RippleCarryAdder;
+use pixel_electronics::stripes::StripesMac;
+use pixel_electronics::technology::Technology;
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINT_ONCE: Once = Once::new();
+
+fn print_comparison() {
+    let tech = Technology::bulk22lvt();
+    println!("\n== Adder ablation: CLA (paper's choice) vs ripple-carry ==");
+    println!("width |  CLA gates  CLA delay |  RCA gates  RCA delay");
+    for width in [4u32, 8, 16, 32] {
+        let cla = Cla::new(width);
+        let rca = RippleCarryAdder::new(width);
+        let cla_est = dsent::estimate(cla.gate_count(), cla.logic_depth(), &tech);
+        let rca_est = dsent::estimate(rca.gate_count(), rca.logic_depth(), &tech);
+        println!(
+            "{width:>5} | {:>10} {:>7.2} ns | {:>10} {:>7.2} ns",
+            cla.gate_count().get(),
+            cla_est.delay.as_nanos(),
+            rca.gate_count().get(),
+            rca_est.delay.as_nanos(),
+        );
+    }
+
+    println!("\n== Multiplier ablation: STR bit-serial lane vs array multiplier ==");
+    println!("width | STR-lane gates (1 lane, incl. accumulator) | array gates  array depth");
+    for width in [4u32, 8, 16] {
+        let stripes = StripesMac::new(1, width);
+        let array = ArrayMultiplier::new(width);
+        println!(
+            "{width:>5} | {:>43} | {:>11} {:>11}",
+            stripes.gate_count().get(),
+            array.gate_count().get(),
+            array.logic_depth().get(),
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    PRINT_ONCE.call_once(print_comparison);
+
+    let mut group = c.benchmark_group("adders_16bit");
+    let cla = Cla::new(16);
+    let rca = RippleCarryAdder::new(16);
+    group.bench_function("cla", |b| {
+        b.iter(|| black_box(cla.add(black_box(0xABCD), black_box(0x1234), false)));
+    });
+    group.bench_function("rca", |b| {
+        b.iter(|| black_box(rca.add(black_box(0xABCD), black_box(0x1234), false)));
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("multipliers_8bit");
+    let array = ArrayMultiplier::new(8);
+    let stripes = StripesMac::new(1, 8);
+    group.bench_function("array", |b| {
+        b.iter(|| black_box(array.multiply(black_box(200), black_box(131))));
+    });
+    group.bench_function("stripes_lane", |b| {
+        b.iter(|| black_box(stripes.mac(&[200], &[131]).unwrap().value));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Sensitivity ablation: how much do the paper's headline EDP claims
+//! depend on the two constants DESIGN.md flags as uncertain — the MRR
+//! drive energy (100 fJ device citation vs 500 fJ worked example) and the
+//! receiver re-synchronization cost behind the latency U-shape?
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pixel_core::ablation;
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINT_ONCE: Once = Once::new();
+
+fn print_tables() {
+    println!("\n== MRR energy sensitivity (headline geomean EDP improvements) ==");
+    println!("scale (×100 fJ/bit) |  OE improvement  OO improvement");
+    for p in ablation::mrr_energy_sensitivity(&[0.5, 1.0, 2.0, 5.0]) {
+        println!(
+            "{:>19.1} | {:>14.1}% {:>15.1}%",
+            p.parameter,
+            p.oe_improvement * 100.0,
+            p.oo_improvement * 100.0
+        );
+    }
+    println!("\n== Re-synchronization cost sensitivity ==");
+    println!("resync [cycles]     |  OE improvement  OO improvement");
+    for p in ablation::resync_sensitivity(&[0.0, 3.0, 6.0, 12.0]) {
+        println!(
+            "{:>19.1} | {:>14.1}% {:>15.1}%",
+            p.parameter,
+            p.oe_improvement * 100.0,
+            p.oo_improvement * 100.0
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    PRINT_ONCE.call_once(print_tables);
+    c.bench_function("mrr_sensitivity_sweep", |b| {
+        b.iter(|| black_box(ablation::mrr_energy_sensitivity(&[1.0, 5.0])));
+    });
+    c.bench_function("resync_sensitivity_sweep", |b| {
+        b.iter(|| black_box(ablation::resync_sensitivity(&[0.0, 6.0, 12.0])));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Criterion bench regenerating Figure 5 data series (component energy for 3 CNNs).
+//!
+//! Running this bench prints the reproduced artifact once and then
+//! measures how long the full sweep takes to regenerate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINT_ONCE: Once = Once::new();
+
+fn bench(c: &mut Criterion) {
+    PRINT_ONCE.call_once(|| {
+        println!("\n== Figure 5 data series (component energy for 3 CNNs) ==");
+        println!("{}", pixel_bench::fig5());
+    });
+    c.bench_function("fig5_components", |b| b.iter(|| black_box(pixel_bench::fig5())));
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Failure-injection bench: the all-optical multiply under receiver
+//! amplitude noise, Monte-Carlo'd against the analytic comparator error
+//! model.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pixel_core::robustness;
+use std::hint::black_box;
+use std::sync::Once;
+
+static PRINT_ONCE: Once = Once::new();
+
+fn print_table() {
+    println!("\n== OO multiply correctness vs amplitude noise (8-bit, 2000 trials) ==");
+    println!("sigma |  correct  silent-err  detected | analytic slot err");
+    for p in robustness::noise_sweep(8, &[0.0, 0.05, 0.1, 0.2, 0.3, 0.5], 2_000, 42) {
+        println!(
+            "{:>5.2} | {:>8.4} {:>11.4} {:>9.4} | {:>17.2e}",
+            p.sigma, p.correct_rate, p.silent_error_rate, p.detected_rate, p.analytic_slot_error
+        );
+    }
+    println!();
+}
+
+fn bench(c: &mut Criterion) {
+    PRINT_ONCE.call_once(print_table);
+    c.bench_function("noisy_oo_multiply_sweep", |b| {
+        b.iter(|| black_box(robustness::noise_sweep(8, &[0.2], 200, 7)));
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,124 @@
+//! Regenerates every table and figure of the PIXEL paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! reproduce [table1|table2|fig4..fig10|power|ablation|scaling|noise|weights|all]
+//! ```
+//!
+//! With no argument (or `all`) every artifact is printed in paper order.
+
+use std::process::ExitCode;
+
+/// One reproducible artifact: key, title, renderer.
+type Artifact = (&'static str, &'static str, fn() -> String);
+
+const ARTIFACTS: [Artifact; 17] = [
+    ("table1", "Table I — VGG16 computations [millions]", pixel_bench::table1),
+    (
+        "fig4",
+        "Figure 4 — Energy/bit of a single MAC unit (lanes × bits/lane)",
+        pixel_bench::fig4,
+    ),
+    (
+        "fig5",
+        "Figure 5 — Component energy, AlexNet/LeNet/VGG16, 4 lanes",
+        pixel_bench::fig5,
+    ),
+    (
+        "fig6",
+        "Figure 6 — Fabric area at 4 bits/lane",
+        pixel_bench::fig6,
+    ),
+    (
+        "fig7",
+        "Figure 7 — Normalized energy, 6 CNNs, 8 lanes",
+        pixel_bench::fig7,
+    ),
+    (
+        "fig8",
+        "Figure 8 — Geomean latency across 6 CNNs, 8 lanes",
+        pixel_bench::fig8,
+    ),
+    (
+        "fig9",
+        "Figure 9 — ZFNet per-layer latency, 8 lanes / 8 bits/lane",
+        pixel_bench::fig9,
+    ),
+    (
+        "fig10",
+        "Figure 10 — Normalized EDP, 6 CNNs, 4 lanes",
+        pixel_bench::fig10,
+    ),
+    (
+        "table2",
+        "Table II — Energy breakdown [mJ], 4 lanes / 16 bits/lane",
+        pixel_bench::table2,
+    ),
+    (
+        "power",
+        "Extension — power analysis and performance/W (ZFNet, 4 lanes / 16 bits)",
+        pixel_bench::power,
+    ),
+    (
+        "ablation",
+        "Extension — sensitivity of the headline EDP claims to calibrated constants",
+        pixel_bench::ablation,
+    ),
+    (
+        "scaling",
+        "Extension — link-budget scalability bound (§III-C(ii))",
+        pixel_bench::scaling,
+    ),
+    (
+        "noise",
+        "Extension — OO multiply under receiver amplitude noise",
+        pixel_bench::noise,
+    ),
+    (
+        "weights",
+        "Extension — photonic weight pre-load vs compute (§III-C(i))",
+        pixel_bench::weights,
+    ),
+    (
+        "pam",
+        "Extension — PAM-4 line coding vs OOK on the optical latency",
+        pixel_bench::pam,
+    ),
+    (
+        "counts",
+        "Extension — Table I generalized: per-layer op counts, all six CNNs",
+        pixel_bench::counts,
+    ),
+    (
+        "roofline",
+        "Extension — compute vs ingress rooflines per design (8 lanes)",
+        pixel_bench::roofline,
+    ),
+];
+
+fn print_artifact(key: &str, title: &str, render: fn() -> String) {
+    println!("== {key}: {title}");
+    println!("{}", render());
+}
+
+fn main() -> ExitCode {
+    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
+    if arg == "all" {
+        for (key, title, render) in ARTIFACTS {
+            print_artifact(key, title, render);
+        }
+        return ExitCode::SUCCESS;
+    }
+    if let Some((key, title, render)) = ARTIFACTS.iter().find(|(k, _, _)| *k == arg) {
+        print_artifact(key, title, *render);
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("unknown artifact {arg:?}; expected one of:");
+        for (key, title, _) in ARTIFACTS {
+            eprintln!("  {key:<8} {title}");
+        }
+        eprintln!("  all      everything above");
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,335 @@
+//! Shared harness code for the PIXEL reproduction benchmarks.
+//!
+//! Every table and figure of the paper's evaluation has a criterion bench
+//! (`benches/`) and a subcommand of the `reproduce` binary; both call the
+//! generator functions here, which wrap `pixel_core::dse` with the exact
+//! parameter grids the paper uses.
+
+use pixel_core::dse;
+use pixel_core::report;
+use pixel_dnn::analysis::{analyze_network, FcCountConvention};
+use pixel_dnn::zoo;
+
+/// The lanes sweep of Fig. 4 and Fig. 6.
+pub const LANES_SWEEP: [usize; 4] = [2, 4, 8, 16];
+
+/// The bits/lane sweep of Figs. 4, 5, 7 and 10.
+pub const BITS_SWEEP: [u32; 4] = [4, 8, 16, 32];
+
+/// The fine bits/lane sweep of Fig. 8 (1–32).
+#[must_use]
+pub fn fig8_bits_sweep() -> Vec<u32> {
+    (0..=5).map(|i| 1u32 << i).chain([12, 20, 24, 28]).collect()
+}
+
+/// Renders Table I (VGG16 per-layer op counts, in millions).
+#[must_use]
+pub fn table1() -> String {
+    let mut s = String::from(
+        "Layer   |      MVM       Mul       Add       Act   [millions]  Input Shape\n",
+    );
+    let net = zoo::vgg16();
+    let counts = analyze_network(&net, FcCountConvention::Paper);
+    let shapes: Vec<String> = net
+        .compute_layers()
+        .map(|l| l.input.to_string())
+        .collect();
+    for (c, shape) in counts.iter().zip(shapes) {
+        #[allow(clippy::cast_precision_loss)]
+        let m = |v: u64| v as f64 / 1e6;
+        s.push_str(&format!(
+            "{:<7} | {:>8.2} {:>9.1} {:>9.1} {:>9.3}               {}\n",
+            c.name,
+            m(c.mvm),
+            m(c.mul),
+            m(c.add),
+            m(c.act),
+            shape,
+        ));
+    }
+    s
+}
+
+/// Renders Fig. 4's data table.
+#[must_use]
+pub fn fig4() -> String {
+    report::format_energy_per_bit(&dse::fig4_energy_per_bit(&LANES_SWEEP, &BITS_SWEEP))
+}
+
+/// Renders Fig. 5's data table (AlexNet, LeNet, VGG16 components).
+#[must_use]
+pub fn fig5() -> String {
+    let nets = [zoo::alexnet(), zoo::lenet(), zoo::vgg16()];
+    report::format_components(&dse::fig5_component_energy(&nets, &[4, 8, 16]))
+}
+
+/// Renders Fig. 6's data table.
+#[must_use]
+pub fn fig6() -> String {
+    report::format_area(&dse::fig6_area(&LANES_SWEEP))
+}
+
+/// Renders Fig. 7's data table.
+#[must_use]
+pub fn fig7() -> String {
+    report::format_normalized(
+        &dse::fig7_normalized_energy(&zoo::all_networks(), &BITS_SWEEP),
+        "energy",
+    )
+}
+
+/// Renders Fig. 8's data table.
+#[must_use]
+pub fn fig8() -> String {
+    report::format_latency(&dse::fig8_latency_geomean(
+        &zoo::all_networks(),
+        &fig8_bits_sweep(),
+    ))
+}
+
+/// Renders Fig. 9's data table.
+#[must_use]
+pub fn fig9() -> String {
+    report::format_layer_latency(&dse::fig9_zfnet_layer_latency())
+}
+
+/// Renders Fig. 10's data table, plus the headline geomean improvements.
+#[must_use]
+pub fn fig10() -> String {
+    let mut s = report::format_normalized(
+        &dse::fig10_normalized_edp(&zoo::all_networks(), &BITS_SWEEP),
+        "EDP",
+    );
+    let (oe, oo) = dse::headline_edp_improvements();
+    s.push_str(&format!(
+        "\ngeomean EDP improvement at 4 lanes / 16 bits: OE {:.1}% (paper 48.4%), OO {:.1}% (paper 73.9%)\n",
+        oe * 100.0,
+        oo * 100.0
+    ));
+    s
+}
+
+/// Renders Table II.
+#[must_use]
+pub fn table2() -> String {
+    report::format_table2(&dse::table2_breakdown())
+}
+
+/// Extension artifact: power analysis across designs (beyond the paper).
+#[must_use]
+pub fn power() -> String {
+    use pixel_core::accelerator::Accelerator;
+    use pixel_core::config::{AcceleratorConfig, Design};
+    use pixel_core::power::{macs_per_second_per_watt, power_report};
+
+    let mut s = String::from(
+        "des  |  avg power [W]  laser [W]  heaters [W]  |  GMAC/s/W\n",
+    );
+    for design in Design::ALL {
+        let report =
+            Accelerator::new(AcceleratorConfig::new(design, 4, 16)).evaluate(&zoo::zfnet());
+        let p = power_report(&report);
+        s.push_str(&format!(
+            "{:<4} | {:>14.3} {:>10.3} {:>12.3}  | {:>9.3}\n",
+            design.label(),
+            p.average.value(),
+            p.laser_wall_plug.value(),
+            p.thermal_tuning.value(),
+            macs_per_second_per_watt(&report) / 1e9,
+        ));
+    }
+    s
+}
+
+/// Extension artifact: sensitivity ablations on the calibrated constants.
+#[must_use]
+pub fn ablation() -> String {
+    use pixel_core::ablation;
+    let mut s = String::from("MRR energy scale (×100 fJ/bit) | OE improvement  OO improvement\n");
+    for p in ablation::mrr_energy_sensitivity(&[0.5, 1.0, 2.0, 5.0]) {
+        s.push_str(&format!(
+            "{:>30.1} | {:>13.1}% {:>15.1}%\n",
+            p.parameter,
+            p.oe_improvement * 100.0,
+            p.oo_improvement * 100.0
+        ));
+    }
+    s.push_str("\nresync cycles per extra chunk  | OE improvement  OO improvement\n");
+    for p in ablation::resync_sensitivity(&[0.0, 3.0, 6.0, 12.0]) {
+        s.push_str(&format!(
+            "{:>30.1} | {:>13.1}% {:>15.1}%\n",
+            p.parameter,
+            p.oe_improvement * 100.0,
+            p.oo_improvement * 100.0
+        ));
+    }
+    s
+}
+
+/// Extension artifact: link-budget scalability bounds (§III-C(ii)).
+#[must_use]
+pub fn scaling() -> String {
+    use pixel_core::config::Design;
+    use pixel_core::scaling::{max_supported_tiles, scaling_sweep};
+
+    let mut s = String::from("tiles  | OE required [mW] feasible | OO required [mW] feasible\n");
+    for &tiles in &[16usize, 256, 4096, 65_536] {
+        let oe = &scaling_sweep(Design::Oe, &[tiles])[0];
+        let oo = &scaling_sweep(Design::Oo, &[tiles])[0];
+        s.push_str(&format!(
+            "{tiles:>6} | {:>16.3} {:>8} | {:>16.3} {:>8}\n",
+            oe.required_power.as_milliwatts(),
+            oe.feasible,
+            oo.required_power.as_milliwatts(),
+            oo.feasible,
+        ));
+    }
+    s.push_str(&format!(
+        "\nmax tiles at 10 mW/wavelength: OE {}, OO {}\n",
+        max_supported_tiles(Design::Oe, 10_000_000),
+        max_supported_tiles(Design::Oo, 10_000_000),
+    ));
+    s
+}
+
+/// Extension artifact: OO multiply correctness under receiver noise.
+#[must_use]
+pub fn noise() -> String {
+    use pixel_core::robustness::noise_sweep;
+    let mut s =
+        String::from("sigma |  correct  silent-err  detected | analytic slot err\n");
+    for p in noise_sweep(8, &[0.0, 0.1, 0.2, 0.3, 0.5], 1_000, 42) {
+        s.push_str(&format!(
+            "{:>5.2} | {:>8.4} {:>11.4} {:>9.4} | {:>17.2e}\n",
+            p.sigma, p.correct_rate, p.silent_error_rate, p.detected_rate, p.analytic_slot_error
+        ));
+    }
+    s
+}
+
+/// Extension artifact: roofline bounds per design.
+#[must_use]
+pub fn roofline() -> String {
+    use pixel_core::config::{AcceleratorConfig, Design};
+    use pixel_core::roofline::roofline;
+    let mut s = String::from(
+        "des  bits | compute roof [GMAC/s]  ingress [Gbit/s]  bound [GMAC/s]  limiter\n",
+    );
+    for design in Design::ALL {
+        for bits in [4u32, 8, 16, 32] {
+            let r = roofline(&AcceleratorConfig::new(design, 8, bits));
+            s.push_str(&format!(
+                "{:<4} {bits:>4} | {:>21.2} {:>17.1} {:>15.2}  {}\n",
+                design.label(),
+                r.compute_roof_macs_per_s / 1e9,
+                r.ingress_bits_per_s / 1e9,
+                r.bound_macs_per_s / 1e9,
+                if r.compute_bound() { "compute" } else { "ingress" },
+            ));
+        }
+    }
+    s
+}
+
+/// Extension artifact: Table I generalized — per-layer op counts for all
+/// six evaluated networks.
+#[must_use]
+pub fn counts() -> String {
+    let mut s = String::new();
+    for net in zoo::all_networks() {
+        s.push_str(&format!("-- {} --\n", net.name()));
+        s.push_str("layer        |      MVM       Mul       Add       Act   [millions]\n");
+        for c in analyze_network(&net, FcCountConvention::Paper) {
+            #[allow(clippy::cast_precision_loss)]
+            let m = |v: u64| v as f64 / 1e6;
+            s.push_str(&format!(
+                "{:<12} | {:>8.2} {:>9.1} {:>9.1} {:>9.3}\n",
+                c.name,
+                m(c.mvm),
+                m(c.mul),
+                m(c.add),
+                m(c.act)
+            ));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+/// Extension artifact: PAM-4 line-coding ablation on the optical latency.
+#[must_use]
+pub fn pam() -> String {
+    use pixel_core::config::Design;
+    use pixel_core::pam::pam4_sweep;
+    let mut s = String::from(
+        "bits |  OE PAM-4/OOK latency  |  OO PAM-4/OOK latency  (modulation ×1.5)\n",
+    );
+    let oe = pam4_sweep(Design::Oe, &[4, 8, 16, 32]);
+    let oo = pam4_sweep(Design::Oo, &[4, 8, 16, 32]);
+    for (a, b) in oe.iter().zip(&oo) {
+        s.push_str(&format!(
+            "{:>4} | {:>21.3} | {:>21.3}\n",
+            a.bits, a.latency_ratio, b.latency_ratio
+        ));
+    }
+    s
+}
+
+/// Extension artifact: photonic weight pre-load vs compute cost.
+#[must_use]
+pub fn weights() -> String {
+    use pixel_core::accelerator::Accelerator;
+    use pixel_core::config::{AcceleratorConfig, Design};
+    use pixel_core::weight_streaming::{network_weight_load, totals};
+
+    let mut s = String::from(
+        "network    |  weights   preload [mJ]  preload [ms] | compute [mJ] compute [ms]\n",
+    );
+    let config = AcceleratorConfig::new(Design::Oo, 4, 16);
+    for net in zoo::all_networks() {
+        let (e, t, w) = totals(&network_weight_load(&config, &net));
+        let compute = Accelerator::new(config).evaluate(&net);
+        s.push_str(&format!(
+            "{:<10} | {:>8} {:>14.3} {:>13.3} | {:>12.1} {:>12.1}\n",
+            net.name(),
+            w,
+            e.as_millijoules(),
+            t.as_millis(),
+            compute.total_energy().as_millijoules(),
+            compute.total_latency().as_millis(),
+        ));
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_artifact_renders_without_nan() {
+        for (name, text) in [
+            ("table1", table1()),
+            ("table2", table2()),
+            ("fig4", fig4()),
+            ("fig5", fig5()),
+            ("fig6", fig6()),
+            ("fig7", fig7()),
+            ("fig8", fig8()),
+            ("fig9", fig9()),
+            ("fig10", fig10()),
+        ] {
+            assert!(!text.contains("NaN"), "{name} contains NaN:\n{text}");
+            assert!(text.lines().count() > 2, "{name} too short");
+        }
+    }
+
+    #[test]
+    fn table1_headline_row() {
+        let t = table1();
+        let conv1 = t.lines().find(|l| l.starts_with("Conv1 ")).unwrap();
+        assert!(conv1.contains("9.63"), "{conv1}");
+        assert!(conv1.contains("86.7"), "{conv1}");
+        assert!(conv1.contains("[224,224,3]"), "{conv1}");
+    }
+}

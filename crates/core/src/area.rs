@@ -1,0 +1,197 @@
+//! Per-design area model (Fig. 6).
+//!
+//! Electrical logic is costed through the mini-DSENT gate pathway;
+//! photonic devices through their physical footprints (450 µm² per
+//! double-MRR filter at 7.5 µm radius, millimetre-scale MZI chains).
+//! The paper's qualitative result — EE smallest, OE larger (MRR arrays),
+//! OO much larger (cascaded MZIs) — follows directly from the device
+//! geometry. (The paper's printed absolute deltas mix units
+//! inconsistently; see DESIGN.md §6. We report mm².)
+
+use crate::config::{AcceleratorConfig, Design};
+use pixel_electronics::activation::TanhUnit;
+use pixel_electronics::cla::Cla;
+use pixel_electronics::comparator::ComparatorLadder;
+use pixel_electronics::converter::{AmplitudeConverter, SerialConverter};
+use pixel_electronics::dsent;
+use pixel_electronics::gates::{GateCount, LogicDepth};
+use pixel_electronics::register::GATES_PER_FLIPFLOP;
+use pixel_electronics::shifter::BarrelShifter;
+use pixel_electronics::stripes::StripesMac;
+use pixel_electronics::technology::Technology;
+use pixel_photonics::constants::{waveguide_pitch, OPTICAL_CLOCK_HZ};
+use pixel_photonics::laser::FabryPerotLaser;
+use pixel_photonics::mrr::DoubleMrrFilter;
+use pixel_photonics::mzi::MziChain;
+use pixel_units::Area;
+
+/// Area split between the electrical and photonic portions of one design.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct AreaBreakdown {
+    /// Electrical logic area.
+    pub electrical: Area,
+    /// Photonic device area (MRRs, MZI chains, lasers, detectors).
+    pub photonic: Area,
+}
+
+impl AreaBreakdown {
+    /// Total area.
+    #[must_use]
+    pub fn total(&self) -> Area {
+        self.electrical + self.photonic
+    }
+}
+
+/// Gate count of the weight register file: `lanes` synapse words.
+fn register_file_gates(config: &AcceleratorConfig) -> GateCount {
+    GateCount::new(config.lanes as u64 * u64::from(config.bits_per_lane) * GATES_PER_FLIPFLOP)
+}
+
+/// Electrical area common to all designs: register file + activation.
+fn common_electrical_gates(config: &AcceleratorConfig) -> GateCount {
+    register_file_gates(config) + TanhUnit::new().gate_count()
+}
+
+/// Area of one OMAC tile under `config`.
+#[must_use]
+pub fn tile_area(config: &AcceleratorConfig) -> AreaBreakdown {
+    let tech = Technology::bulk22lvt();
+    let bits = config.bits_per_lane.clamp(1, 16);
+    let acc_width = StripesMac::accumulator_width(config.lanes, bits).min(64);
+    let estimate = |gates: GateCount| dsent::estimate(gates, LogicDepth::new(1), &tech).area;
+
+    let mut electrical = estimate(common_electrical_gates(config));
+    let mut photonic = Area::default();
+
+    match config.design {
+        Design::Ee => {
+            electrical += estimate(StripesMac::new(config.lanes, bits).gate_count());
+        }
+        Design::Oe => {
+            // Accumulate-side logic: per-lane converter + shared shifter
+            // and accumulator.
+            let logic = SerialConverter::new(bits).gate_count() * config.lanes as u64
+                + BarrelShifter::new(acc_width).gate_count()
+                + Cla::new(acc_width).gate_count();
+            electrical += estimate(logic);
+            photonic = photonic + mrr_array_area(config) + receiver_area(config);
+        }
+        Design::Oo => {
+            let logic = AmplitudeConverter::new(bits).gate_count() * config.lanes as u64
+                + ComparatorLadder::new(bits).gate_count() * config.lanes as u64
+                + Cla::new(acc_width).gate_count();
+            electrical += estimate(logic);
+            let chain = MziChain::delay_matched(bits as usize, OPTICAL_CLOCK_HZ);
+            let chains = Area::new(chain.area().value() * config.lanes as f64);
+            photonic = photonic + mrr_array_area(config) + receiver_area(config) + chains;
+        }
+    }
+
+    AreaBreakdown {
+        electrical,
+        photonic,
+    }
+}
+
+/// Footprint of the tile's double-MRR array: `lanes` synapse lanes each
+/// filtering `lanes` wavelengths (paper §IV-C: the 4-lane design uses 16
+/// double filters per OMAC).
+fn mrr_array_area(config: &AcceleratorConfig) -> Area {
+    let filter = DoubleMrrFilter::default();
+    #[allow(clippy::cast_precision_loss)]
+    let count = (config.lanes * config.lanes) as f64;
+    Area::new(filter.area().value() * count)
+}
+
+/// Photodetector area: one Ge detector per wavelength (~200 µm² each).
+fn receiver_area(config: &AcceleratorConfig) -> Area {
+    #[allow(clippy::cast_precision_loss)]
+    let count = config.lanes as f64;
+    Area::from_square_micrometres(200.0 * count)
+}
+
+/// Area of the whole fabric: tiles plus shared photonic infrastructure
+/// (laser die, x/y waveguide routing).
+#[must_use]
+pub fn fabric_area(config: &AcceleratorConfig) -> AreaBreakdown {
+    let tile = tile_area(config);
+    #[allow(clippy::cast_precision_loss)]
+    let tiles = config.tiles as f64;
+    let mut total = AreaBreakdown {
+        electrical: tile.electrical * tiles,
+        photonic: tile.photonic * tiles,
+    };
+    if config.design.is_optical() {
+        let laser = FabryPerotLaser::default().area();
+        // x + y waveguide bundles: one waveguide per tile per dimension,
+        // spanning the fabric edge (≈1 mm per tile pitch).
+        let per_guide = pixel_units::Length::from_millimetres(tiles.sqrt().ceil())
+            * waveguide_pitch();
+        let guides = Area::new(per_guide.value() * 2.0 * tiles);
+        total.photonic = total.photonic + laser + guides;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(design: Design, lanes: usize) -> AcceleratorConfig {
+        AcceleratorConfig::new(design, lanes, 4)
+    }
+
+    #[test]
+    fn fig6_ordering_ee_smallest_oo_largest() {
+        for lanes in [2, 4, 8, 16] {
+            let ee = tile_area(&cfg(Design::Ee, lanes)).total();
+            let oe = tile_area(&cfg(Design::Oe, lanes)).total();
+            let oo = tile_area(&cfg(Design::Oo, lanes)).total();
+            assert!(ee < oe, "EE < OE at {lanes} lanes");
+            assert!(oe < oo, "OE < OO at {lanes} lanes");
+        }
+    }
+
+    #[test]
+    fn area_grows_with_lanes() {
+        for d in Design::ALL {
+            let small = tile_area(&cfg(d, 2)).total();
+            let big = tile_area(&cfg(d, 16)).total();
+            assert!(big > small, "{d}");
+        }
+    }
+
+    #[test]
+    fn mzi_chains_dominate_oo() {
+        let oo = tile_area(&cfg(Design::Oo, 4));
+        assert!(
+            oo.photonic.value() > 10.0 * oo.electrical.value(),
+            "photonic {} vs electrical {}",
+            oo.photonic.as_square_millimetres(),
+            oo.electrical.as_square_millimetres()
+        );
+    }
+
+    #[test]
+    fn ee_has_no_photonics() {
+        let ee = tile_area(&cfg(Design::Ee, 4));
+        assert!(ee.photonic.value().abs() < 1e-18);
+        let fabric = fabric_area(&cfg(Design::Ee, 4));
+        assert!(fabric.photonic.value().abs() < 1e-18);
+    }
+
+    #[test]
+    fn fabric_scales_with_tiles() {
+        let one = fabric_area(&cfg(Design::Oe, 4).with_tiles(1)).total();
+        let many = fabric_area(&cfg(Design::Oe, 4).with_tiles(16)).total();
+        assert!(many.value() > 10.0 * one.value());
+    }
+
+    #[test]
+    fn oo_area_grows_with_bits() {
+        // MZI chains have one stage per bit.
+        let narrow = tile_area(&AcceleratorConfig::new(Design::Oo, 4, 4)).total();
+        let wide = tile_area(&AcceleratorConfig::new(Design::Oo, 4, 16)).total();
+        assert!(wide.value() > 2.0 * narrow.value());
+    }
+}

@@ -1,0 +1,148 @@
+//! Calibrated model constants, with provenance.
+//!
+//! The paper gives device-level anchors (100 fJ/bit MRRs, 32.4 fJ/bit
+//! MZIs, the Bulk22LVT CLA example) but not the full coefficient set
+//! behind its absolute energy numbers. Fitting the per-operation model of
+//! [`crate::energy`] to **Table II** (ResNet-34 / GoogLeNet / ZFNet at
+//! 4 lanes, 16 bits/lane) pins every coefficient; the same constants then
+//! reproduce all three CNN rows within a few percent, because every
+//! Table II column scales exactly with the §IV-B op counts.
+//!
+//! Notable consistency check: the fitted optical multiply coefficient
+//! comes out at 99.7 fJ per ring per bit-slot — the paper's own cited
+//! device figure of ≈100 fJ/bit (§II-A1), which we adopt exactly.
+//!
+//! All values are per *operation* as counted by `pixel_dnn::analysis`
+//! (one `mul` = one full-word scalar multiply, etc.).
+
+use pixel_units::Energy;
+
+/// Energy coefficient of an EE bit-serial multiply: `E = K·b²`
+/// (b serial cycles × b gated bits per cycle). Fitted: 3634 mJ /
+/// 3.664 G multiplies at b = 16 ⇒ 0.992 nJ per multiply.
+pub const K_EE_MUL_PJ_PER_BIT2: f64 = 3.8748;
+
+/// Drive energy per microring per bit-slot \[pJ\]: the paper's cited
+/// ≈100 fJ/bit device (§II-A1). An optical multiply streams b bits for
+/// b cycles through a double (2-ring) filter: `E = 2·K·b²`.
+pub const K_MRR_PJ_PER_BIT: f64 = 0.1;
+
+/// EE CLA accumulate energy per add operation per operand bit \[pJ\].
+/// Fitted: 847 mJ / 3.668 G adds at b = 16.
+pub const K_EE_ADD_PJ_PER_BIT: f64 = 14.434;
+
+/// OE electrical accumulate overhead relative to EE (Table II: 910/847 —
+/// the receiver-side deserialization widens the accumulate path).
+pub const OE_ADD_FACTOR: f64 = 1.0744;
+
+/// Fixed part of an OO add: the per-word cost of driving the MZI
+/// accumulator chain and resolving its multi-level output \[pJ\]. Fitted:
+/// 420 mJ / 3.668 G adds at b = 16, minus the per-bit MZI term.
+pub const K_OO_ADD_FIXED_PJ: f64 = 114.0;
+
+/// MZI modulation energy per bit-slot \[pJ\] (§IV-A2: 32.4 fJ/bit).
+pub const K_MZI_PJ_PER_BIT: f64 = 0.0324;
+
+/// Activation-function energy per evaluation per bit \[pJ\]. Fitted jointly
+/// on ResNet-34 (1.09 mJ / 4.00 M) and ZFNet (34.2 mJ / 120 M) at b = 16.
+pub const K_ACT_PJ_PER_BIT: f64 = 17.4;
+
+/// Fixed per-word optical-to-electrical conversion cost \[pJ\]
+/// (photodiode + TIA settle + framing).
+pub const K_OE_CONV_FIXED_PJ: f64 = 40.0;
+
+/// Per-bit o/e conversion cost \[pJ\]. Together with the fixed part this
+/// fits Table II's 227 mJ / 3.664 G conversions at b = 16 (62 pJ/word).
+pub const K_OE_CONV_PJ_PER_BIT: f64 = 1.3727;
+
+/// Electrical link energy per bit per direction \[pJ\]. Fitted: 139 mJ of
+/// EE communication = in + out over 3.664 G words of 16 bits.
+pub const K_LINK_E_PJ_PER_BIT: f64 = 1.1857;
+
+/// Photonic link energy per bit (inbound neuron firing) \[pJ\]. Fitted so
+/// optical communication is 118/139 of electrical (Table II).
+pub const K_LINK_O_PJ_PER_BIT: f64 = 0.8270;
+
+/// Fixed per-word laser energy \[pJ\] (turn-on / bias share per firing).
+pub const K_LASER_FIXED_PJ: f64 = 10.0;
+
+/// Per-bit laser energy \[pJ\]. With the fixed part, fits Table II's
+/// 59.8 mJ over 3.664 G words of 16 bits (16.3 pJ/word) for OE.
+pub const K_LASER_PJ_PER_BIT: f64 = 0.3952;
+
+/// OO laser power premium over OE (Table II: 91.0/59.8): the MZI chain
+/// adds optical path loss the laser must overcome.
+pub const LASER_OO_FACTOR: f64 = 1.5217;
+
+/// Pipeline issue/drain cycles per firing round (electrical front end).
+pub const PIPELINE_CYCLES: f64 = 3.0;
+
+/// EE datapath throughput in cycles per operand bit: the baseline's
+/// unrolled STR datapath retires ≈3 synapse bits per electrical cycle.
+/// Fitted to Fig. 9's reported gaps (OO 31.9% faster than EE, 18.6%
+/// faster than OE on ZFNet Conv2 at 8 lanes / 8 bits per lane).
+pub const EE_CYCLES_PER_BIT: f64 = 0.35;
+
+/// Re-synchronization cost \[electrical cycles\] for every optical pulse
+/// chunk beyond the first: when more than `f_o/f_e` pulses must be
+/// "clumped" into one electrical envelope (§V-B2), the receiver drains
+/// and re-arms, costing a conversion-pipeline flush.
+pub const RESYNC_CYCLES: f64 = 6.0;
+
+/// Lane-width factor on electrical accumulates: accumulating `lanes`
+/// products needs an adder of `2b + ⌈log₂ lanes⌉` bits; the model is
+/// calibrated at the Table II configuration (4 lanes).
+#[must_use]
+pub fn lane_width_factor(lanes: usize, bits: u32) -> f64 {
+    let lane_bits = if lanes <= 1 {
+        0
+    } else {
+        usize::BITS - (lanes - 1).leading_zeros()
+    };
+    let b = f64::from(bits);
+    (2.0 * b + f64::from(lane_bits)) / (2.0 * b + 2.0)
+}
+
+/// Convenience: picojoules as [`Energy`].
+#[must_use]
+pub fn pj(value: f64) -> Energy {
+    Energy::from_picojoules(value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_factor_is_one_at_calibration_point() {
+        assert!((lane_width_factor(4, 16) - 1.0).abs() < 1e-12);
+        assert!((lane_width_factor(4, 8) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lane_factor_grows_with_lanes_and_shrinks_with_bits() {
+        assert!(lane_width_factor(16, 16) > lane_width_factor(4, 16));
+        assert!(lane_width_factor(16, 32) < lane_width_factor(16, 8));
+        assert!(lane_width_factor(1, 16) < 1.0);
+    }
+
+    #[test]
+    fn fitted_per_word_values_match_table_ii() {
+        // o/e: 40 + 16·1.3727 ≈ 62 pJ/word (227 mJ / 3.664 G).
+        let oe = K_OE_CONV_FIXED_PJ + 16.0 * K_OE_CONV_PJ_PER_BIT;
+        assert!((oe - 61.96).abs() < 0.1, "{oe}");
+        // laser: 10 + 16·0.3952 ≈ 16.3 pJ/word (59.8 mJ / 3.664 G).
+        let laser = K_LASER_FIXED_PJ + 16.0 * K_LASER_PJ_PER_BIT;
+        assert!((laser - 16.32).abs() < 0.05, "{laser}");
+    }
+
+    #[test]
+    fn optical_multiply_matches_cited_device() {
+        // 2 rings × 100 fJ × 16² slots = 51.2 pJ ⇒ 5.2% of the 0.992 nJ
+        // EE multiply — the paper's 94.9% improvement claim.
+        let opt = 2.0 * K_MRR_PJ_PER_BIT * 256.0;
+        let ee = K_EE_MUL_PJ_PER_BIT2 * 256.0;
+        let ratio = opt / ee;
+        assert!((ratio - 0.0516).abs() < 0.002, "{ratio}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Dataflow ablation: weight-stationary vs output-stationary mapping.
+//!
+//! PIXEL is weight-stationary: synapses are "pre-loaded into the OMAC"
+//! (§III-C) and every neuron firing streams past them, so each weight
+//! crosses the fabric once per layer while neurons are re-fired per
+//! window. The alternative — output-stationary, where each tile owns an
+//! output and weights stream instead — is what this module quantifies,
+//! using the weight-streaming cost model: for convolutions, every weight
+//! would have to be re-delivered per output position (`E²` times), which
+//! is exactly why the paper pins weights.
+
+use crate::config::AcceleratorConfig;
+use crate::weight_streaming::energy_per_word;
+use pixel_dnn::layer::{Layer, LayerKind};
+use pixel_units::Energy;
+
+/// Which operand stays pinned in the tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dataflow {
+    /// Weights pinned; neurons stream (PIXEL's choice).
+    WeightStationary,
+    /// Outputs pinned; weights stream per output position.
+    OutputStationary,
+}
+
+/// Data-movement traffic of one layer under a dataflow, in delivered
+/// words.
+#[must_use]
+pub fn traffic_words(dataflow: Dataflow, layer: &Layer) -> u64 {
+    let weights = layer.weight_count() as u64;
+    match (dataflow, layer.kind) {
+        // Weights cross once; neurons cross once per use (counted in the
+        // comm model already) — weight traffic is the differentiator.
+        (Dataflow::WeightStationary, _) => weights,
+        (Dataflow::OutputStationary, LayerKind::Conv { .. }) => {
+            // Each output position re-streams its kernel.
+            let e = layer.output_feature_size() as u64;
+            weights * e * e
+        }
+        // FC layers use each weight exactly once either way.
+        (Dataflow::OutputStationary, _) => weights,
+    }
+}
+
+/// Weight-movement energy of one layer under a dataflow.
+#[must_use]
+pub fn weight_movement_energy(
+    config: &AcceleratorConfig,
+    dataflow: Dataflow,
+    layer: &Layer,
+) -> Energy {
+    #[allow(clippy::cast_precision_loss)]
+    let words = traffic_words(dataflow, layer) as f64;
+    energy_per_word(config) * words
+}
+
+/// The energy ratio output-stationary / weight-stationary for a network:
+/// how much the paper's §III-C pre-loading decision saves on weight
+/// traffic.
+#[must_use]
+pub fn dataflow_penalty(config: &AcceleratorConfig, network: &pixel_dnn::network::Network) -> f64 {
+    let total = |dataflow| -> f64 {
+        network
+            .compute_layers()
+            .map(|l| weight_movement_energy(config, dataflow, l).value())
+            .sum()
+    };
+    total(Dataflow::OutputStationary) / total(Dataflow::WeightStationary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Design;
+    use pixel_dnn::layer::Shape;
+    use pixel_dnn::zoo;
+
+    fn cfg() -> AcceleratorConfig {
+        AcceleratorConfig::new(Design::Oo, 4, 16)
+    }
+
+    #[test]
+    fn conv_traffic_scales_with_output_positions() {
+        let layer = Layer::conv("c", Shape::square(10, 4), 8, 3, 1);
+        let ws = traffic_words(Dataflow::WeightStationary, &layer);
+        let os = traffic_words(Dataflow::OutputStationary, &layer);
+        assert_eq!(ws, 8 * 9 * 4);
+        assert_eq!(os, ws * 8 * 8); // E = 8
+    }
+
+    #[test]
+    fn fc_traffic_is_dataflow_invariant() {
+        let layer = Layer::fc("f", 128, 10);
+        assert_eq!(
+            traffic_words(Dataflow::WeightStationary, &layer),
+            traffic_words(Dataflow::OutputStationary, &layer)
+        );
+    }
+
+    #[test]
+    fn weight_stationary_wins_on_conv_networks() {
+        // LeNet: its big conv3 has E = 1 (no reuse) yet the early convs
+        // still make output-stationary several times more expensive.
+        let penalty = dataflow_penalty(&cfg(), &zoo::lenet());
+        assert!(penalty > 5.0, "penalty {penalty}");
+        // VGG16's large feature maps make it far worse (FC1's one-shot
+        // weights dilute the ratio, but convs dominate).
+        let vgg = dataflow_penalty(&cfg(), &zoo::vgg16());
+        assert!(vgg > 50.0, "penalty {vgg}");
+    }
+
+    #[test]
+    fn movement_energy_is_linear_in_traffic() {
+        let layer = Layer::conv("c", Shape::square(10, 4), 8, 3, 1);
+        let ws = weight_movement_energy(&cfg(), Dataflow::WeightStationary, &layer);
+        let os = weight_movement_energy(&cfg(), Dataflow::OutputStationary, &layer);
+        assert!((os.value() / ws.value() - 64.0).abs() < 1e-9);
+    }
+}

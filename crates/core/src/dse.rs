@@ -1,0 +1,400 @@
+//! Design-space exploration: the sweeps behind every figure and table.
+//!
+//! Each function regenerates the data series of one paper artifact; the
+//! `reproduce` binary and the criterion benches are thin wrappers over
+//! these.
+
+use crate::accelerator::Accelerator;
+use crate::area::fabric_area;
+use crate::config::{AcceleratorConfig, Design};
+use crate::edp::geomean;
+use crate::energy::{EnergyBreakdown, OperationEnergies};
+use pixel_dnn::network::Network;
+use pixel_dnn::zoo;
+use pixel_units::Area;
+
+/// One point of the Fig. 4 single-MAC energy/bit study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyPerBitPoint {
+    /// Design.
+    pub design: Design,
+    /// Lane (wavelength) count.
+    pub lanes: usize,
+    /// Bits per lane.
+    pub bits: u32,
+    /// Energy per payload bit \[J\].
+    pub energy_per_bit: f64,
+}
+
+/// Fig. 4: energy/bit of a single MAC unit over lanes × bits/lane.
+#[must_use]
+pub fn fig4_energy_per_bit(lanes_sweep: &[usize], bits_sweep: &[u32]) -> Vec<EnergyPerBitPoint> {
+    let mut out = Vec::new();
+    for design in Design::ALL {
+        for &lanes in lanes_sweep {
+            for &bits in bits_sweep {
+                let cfg = AcceleratorConfig::new(design, lanes, bits);
+                let ops = OperationEnergies::for_config(&cfg);
+                out.push(EnergyPerBitPoint {
+                    design,
+                    lanes,
+                    bits,
+                    energy_per_bit: ops.energy_per_bit(lanes, bits).value(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// One bar of the Fig. 5 component-energy study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentEnergyBar {
+    /// Network name.
+    pub network: String,
+    /// Design.
+    pub design: Design,
+    /// Bits per lane.
+    pub bits: u32,
+    /// Component breakdown.
+    pub breakdown: EnergyBreakdown,
+}
+
+/// Fig. 5: per-component energy for the given networks at 4 lanes over a
+/// bits/lane sweep.
+#[must_use]
+pub fn fig5_component_energy(networks: &[Network], bits_sweep: &[u32]) -> Vec<ComponentEnergyBar> {
+    let mut out = Vec::new();
+    for net in networks {
+        for design in Design::ALL {
+            for &bits in bits_sweep {
+                let accel = Accelerator::new(AcceleratorConfig::new(design, 4, bits));
+                let report = accel.evaluate(net);
+                out.push(ComponentEnergyBar {
+                    network: net.name().to_owned(),
+                    design,
+                    bits,
+                    breakdown: report.energy_breakdown(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// One point of the Fig. 6 area study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaPoint {
+    /// Design.
+    pub design: Design,
+    /// Lane count.
+    pub lanes: usize,
+    /// Fabric area.
+    pub area: Area,
+}
+
+/// Fig. 6: fabric area at 4 bits/lane over a lane sweep.
+#[must_use]
+pub fn fig6_area(lanes_sweep: &[usize]) -> Vec<AreaPoint> {
+    let mut out = Vec::new();
+    for design in Design::ALL {
+        for &lanes in lanes_sweep {
+            let cfg = AcceleratorConfig::new(design, lanes, 4);
+            out.push(AreaPoint {
+                design,
+                lanes,
+                area: fabric_area(&cfg).total(),
+            });
+        }
+    }
+    out
+}
+
+/// One bar of a normalized per-network study (Figs. 7 and 10).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizedPoint {
+    /// Network name.
+    pub network: String,
+    /// Design.
+    pub design: Design,
+    /// Bits per lane.
+    pub bits: u32,
+    /// Value normalized to the EE design at the same (network, bits).
+    pub normalized: f64,
+}
+
+/// Fig. 7: energy normalized to EE, per network × bits/lane, at 8 lanes.
+#[must_use]
+pub fn fig7_normalized_energy(networks: &[Network], bits_sweep: &[u32]) -> Vec<NormalizedPoint> {
+    normalized_sweep(networks, bits_sweep, 8, |accel, net| {
+        accel.evaluate(net).total_energy().value()
+    })
+}
+
+/// Fig. 10: EDP normalized to EE, per network × bits/lane, at 4 lanes.
+#[must_use]
+pub fn fig10_normalized_edp(networks: &[Network], bits_sweep: &[u32]) -> Vec<NormalizedPoint> {
+    normalized_sweep(networks, bits_sweep, 4, |accel, net| {
+        accel.evaluate(net).edp().value()
+    })
+}
+
+fn normalized_sweep(
+    networks: &[Network],
+    bits_sweep: &[u32],
+    lanes: usize,
+    metric: impl Fn(&Accelerator, &Network) -> f64,
+) -> Vec<NormalizedPoint> {
+    let mut out = Vec::new();
+    for net in networks {
+        for &bits in bits_sweep {
+            let baseline = metric(
+                &Accelerator::new(AcceleratorConfig::new(Design::Ee, lanes, bits)),
+                net,
+            );
+            for design in Design::ALL {
+                let value = metric(
+                    &Accelerator::new(AcceleratorConfig::new(design, lanes, bits)),
+                    net,
+                );
+                out.push(NormalizedPoint {
+                    network: net.name().to_owned(),
+                    design,
+                    bits,
+                    normalized: value / baseline,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// One point of the Fig. 8 latency study.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyPoint {
+    /// Design.
+    pub design: Design,
+    /// Bits per lane.
+    pub bits: u32,
+    /// Geometric-mean inference latency across the networks \[s\].
+    pub latency_geomean: f64,
+}
+
+/// Fig. 8: geomean latency across the six CNNs at 8 lanes, bits/lane 1–32.
+#[must_use]
+pub fn fig8_latency_geomean(networks: &[Network], bits_sweep: &[u32]) -> Vec<LatencyPoint> {
+    let mut out = Vec::new();
+    for design in Design::ALL {
+        for &bits in bits_sweep {
+            let accel = Accelerator::new(AcceleratorConfig::new(design, 8, bits));
+            let latencies: Vec<f64> = networks
+                .iter()
+                .map(|n| accel.evaluate(n).total_latency().value())
+                .collect();
+            out.push(LatencyPoint {
+                design,
+                bits,
+                latency_geomean: geomean(&latencies),
+            });
+        }
+    }
+    out
+}
+
+/// One bar of the Fig. 9 per-layer latency study.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerLatencyPoint {
+    /// Layer name.
+    pub layer: String,
+    /// Design.
+    pub design: Design,
+    /// Layer latency \[s\].
+    pub latency: f64,
+}
+
+/// Fig. 9: ZFNet per-layer latency at 8 lanes, 8 bits/lane.
+#[must_use]
+pub fn fig9_zfnet_layer_latency() -> Vec<LayerLatencyPoint> {
+    let net = zoo::zfnet();
+    let mut out = Vec::new();
+    for design in Design::ALL {
+        let accel = Accelerator::new(AcceleratorConfig::new(design, 8, 8));
+        for layer in accel.evaluate(&net).layers {
+            out.push(LayerLatencyPoint {
+                layer: layer.name.clone(),
+                design,
+                latency: layer.latency.value(),
+            });
+        }
+    }
+    out
+}
+
+/// One row of Table II.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableIiRow {
+    /// Network name.
+    pub network: String,
+    /// Design.
+    pub design: Design,
+    /// Component breakdown.
+    pub breakdown: EnergyBreakdown,
+}
+
+/// Table II: component energies for ResNet-34, GoogLeNet and ZFNet at
+/// 4 lanes, 16 bits/lane.
+#[must_use]
+pub fn table2_breakdown() -> Vec<TableIiRow> {
+    let mut out = Vec::new();
+    for net in [zoo::resnet34(), zoo::googlenet(), zoo::zfnet()] {
+        for design in Design::ALL {
+            let accel = Accelerator::new(AcceleratorConfig::new(design, 4, 16));
+            out.push(TableIiRow {
+                network: net.name().to_owned(),
+                design,
+                breakdown: accel.evaluate(&net).energy_breakdown(),
+            });
+        }
+    }
+    out
+}
+
+/// The paper's headline claim: geomean EDP improvement of OE and OO over
+/// EE at 4 lanes, 16 bits/lane, across the six networks. Returns
+/// `(oe_improvement, oo_improvement)` as fractions (paper: 0.484, 0.739).
+#[must_use]
+pub fn headline_edp_improvements() -> (f64, f64) {
+    let networks = zoo::all_networks();
+    let edp_for = |design| {
+        let accel = Accelerator::new(AcceleratorConfig::new(design, 4, 16));
+        let values: Vec<f64> = networks
+            .iter()
+            .map(|n| accel.evaluate(n).edp().value())
+            .collect();
+        geomean(&values)
+    };
+    let ee = edp_for(Design::Ee);
+    (1.0 - edp_for(Design::Oe) / ee, 1.0 - edp_for(Design::Oo) / ee)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn headline_improvements_match_paper() {
+        // Paper: OE 48.4%, OO 73.9%.
+        let (oe, oo) = headline_edp_improvements();
+        assert!((oe - 0.484).abs() < 0.08, "OE improvement {oe}");
+        assert!((oo - 0.739).abs() < 0.06, "OO improvement {oo}");
+    }
+
+    #[test]
+    fn fig4_shapes() {
+        let points = fig4_energy_per_bit(&[4], &[4, 8, 16, 32]);
+        let series = |d: Design| -> Vec<f64> {
+            points
+                .iter()
+                .filter(|p| p.design == d)
+                .map(|p| p.energy_per_bit)
+                .collect()
+        };
+        let ee = series(Design::Ee);
+        assert!(ee.windows(2).all(|w| w[1] > w[0]), "EE rises with bits");
+        let oo = series(Design::Oo);
+        assert!(oo[3] < oo[0], "OO falls from 4 to 32 bits");
+    }
+
+    #[test]
+    fn fig6_ordering() {
+        let points = fig6_area(&[2, 4, 8]);
+        for lanes in [2usize, 4, 8] {
+            let area = |d: Design| {
+                points
+                    .iter()
+                    .find(|p| p.design == d && p.lanes == lanes)
+                    .unwrap()
+                    .area
+            };
+            assert!(area(Design::Ee) < area(Design::Oe));
+            assert!(area(Design::Oe) < area(Design::Oo));
+        }
+    }
+
+    #[test]
+    fn fig7_crossover() {
+        // At 4 bits/lane on 8 lanes EE is competitive; at 32 bits/lane the
+        // optical designs win decisively.
+        let nets = [zoo::lenet()];
+        let points = fig7_normalized_energy(&nets, &[4, 32]);
+        let value = |d: Design, b: u32| {
+            points
+                .iter()
+                .find(|p| p.design == d && p.bits == b)
+                .unwrap()
+                .normalized
+        };
+        assert!((value(Design::Ee, 4) - 1.0).abs() < 1e-12);
+        assert!(value(Design::Oo, 4) > 0.7, "no big optical win at 4 bits");
+        assert!(value(Design::Oo, 32) < 0.25, "large OO win at 32 bits");
+        assert!(value(Design::Oe, 32) < value(Design::Ee, 32));
+    }
+
+    #[test]
+    fn fig8_ee_monotone_and_optical_u() {
+        let nets = [zoo::lenet(), zoo::zfnet()];
+        let bits: Vec<u32> = vec![1, 2, 4, 8, 10, 16, 24, 32];
+        let points = fig8_latency_geomean(&nets, &bits);
+        let series = |d: Design| -> Vec<f64> {
+            bits.iter()
+                .map(|&b| {
+                    points
+                        .iter()
+                        .find(|p| p.design == d && p.bits == b)
+                        .unwrap()
+                        .latency_geomean
+                })
+                .collect()
+        };
+        let ee = series(Design::Ee);
+        assert!(ee.windows(2).all(|w| w[1] < w[0]), "EE declines: {ee:?}");
+        let oo = series(Design::Oo);
+        let min_idx = oo
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(
+            (3..=5).contains(&min_idx),
+            "OO minimum near the 10-pulse threshold: {oo:?}"
+        );
+        assert!(oo[bits.len() - 1] > oo[min_idx], "OO rises after minimum");
+    }
+
+    #[test]
+    fn fig9_oo_fastest_per_layer() {
+        let points = fig9_zfnet_layer_latency();
+        let conv2 = |d: Design| {
+            points
+                .iter()
+                .find(|p| p.design == d && p.layer == "Conv2")
+                .unwrap()
+                .latency
+        };
+        assert!(conv2(Design::Oo) < conv2(Design::Oe));
+        assert!(conv2(Design::Oe) < conv2(Design::Ee));
+        // Paper: OO 31.9% faster than EE on Conv2.
+        let speedup = 1.0 - conv2(Design::Oo) / conv2(Design::Ee);
+        assert!((speedup - 0.319).abs() < 0.08, "speedup {speedup}");
+    }
+
+    #[test]
+    fn table2_has_nine_rows() {
+        let rows = table2_breakdown();
+        assert_eq!(rows.len(), 9);
+        assert!(rows
+            .iter()
+            .all(|r| r.breakdown.total().value() > 0.0));
+    }
+}

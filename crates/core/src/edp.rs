@@ -1,0 +1,79 @@
+//! Energy-delay product (Fig. 10 and the headline claims).
+
+use pixel_units::{Energy, Time};
+
+/// An energy-delay product in joule-seconds.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Edp(f64);
+
+impl Edp {
+    /// Computes `energy × delay`.
+    #[must_use]
+    pub fn new(energy: Energy, delay: Time) -> Self {
+        Self(energy.value() * delay.value())
+    }
+
+    /// The raw value in J·s.
+    #[must_use]
+    pub const fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Ratio against a baseline (e.g. OO vs EE). 1.0 = equal.
+    #[must_use]
+    pub fn relative_to(self, baseline: Self) -> f64 {
+        self.0 / baseline.0
+    }
+
+    /// Fractional improvement over a baseline: the paper's "73.9%
+    /// improvement" is `1 − self/baseline`.
+    #[must_use]
+    pub fn improvement_over(self, baseline: Self) -> f64 {
+        1.0 - self.relative_to(baseline)
+    }
+}
+
+/// Geometric mean of a set of EDPs (used across networks, as the paper
+/// reports geomeans).
+#[must_use]
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    let n = values.len() as f64;
+    (values.iter().map(|v| v.ln()).sum::<f64>() / n).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edp_is_product() {
+        let edp = Edp::new(Energy::from_millijoules(2.0), Time::from_millis(3.0));
+        assert!((edp.value() - 6.0e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn improvement_arithmetic() {
+        let base = Edp::new(Energy::new(4.0), Time::new(1.0));
+        let better = Edp::new(Energy::new(1.0), Time::new(1.0));
+        assert!((better.relative_to(base) - 0.25).abs() < 1e-12);
+        assert!((better.improvement_over(base) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[2.0, 8.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean(&[5.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn geomean_is_scale_equivariant() {
+        let a = [1.0, 3.0, 9.0];
+        let scaled: Vec<f64> = a.iter().map(|v| v * 7.0).collect();
+        assert!((geomean(&scaled) - 7.0 * geomean(&a)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,315 @@
+//! Per-layer energy model: the six Table II / Fig. 5 components.
+//!
+//! Each component is a per-operation energy (a function of design, lanes
+//! and bits/lane — see [`crate::calibration`] for constants and fit
+//! provenance) multiplied by the §IV-B op counts:
+//!
+//! | component | op count | EE | OE | OO |
+//! |---|---|---|---|---|
+//! | Mul  | `N_mul` | bit-serial AND+shift | MRR | MRR |
+//! | Add  | `N_add` | CLA | CLA (+7%) | MZI chain + resolve |
+//! | Act  | `N_act` | tanh unit | same | same |
+//! | o/e  | `N_mul` | — | conversion/word | conversion/word |
+//! | Comm | `N_mul` words | elec in+out | optical in, elec out | same |
+//! | Laser| `N_mul` words | — | FP laser share | ×1.52 (chain loss) |
+
+use crate::calibration as cal;
+use crate::config::{AcceleratorConfig, Design};
+use crate::overrides::ModelOverrides;
+use pixel_dnn::analysis::ComputeCounts;
+use pixel_units::Energy;
+use std::iter::Sum;
+use std::ops::Add;
+
+/// Energy split by functional component (the columns of Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Multiplication energy.
+    pub mul: Energy,
+    /// Addition / accumulation energy.
+    pub add: Energy,
+    /// Activation-function energy.
+    pub act: Energy,
+    /// Optical-to-electrical conversion energy.
+    pub oe: Energy,
+    /// Data-movement (link) energy.
+    pub comm: Energy,
+    /// Laser wall-plug energy.
+    pub laser: Energy,
+}
+
+impl EnergyBreakdown {
+    /// Total across all components.
+    #[must_use]
+    pub fn total(&self) -> Energy {
+        self.mul + self.add + self.act + self.oe + self.comm + self.laser
+    }
+
+    /// The components in Table II column order:
+    /// `[mul, add, act, oe, comm, laser]`.
+    #[must_use]
+    pub fn components(&self) -> [Energy; 6] {
+        [self.mul, self.add, self.act, self.oe, self.comm, self.laser]
+    }
+
+    /// Component labels matching [`Self::components`].
+    pub const COMPONENT_LABELS: [&'static str; 6] =
+        ["Mul", "Add", "Act", "o/e", "Comm", "Laser"];
+}
+
+impl Add for EnergyBreakdown {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self {
+            mul: self.mul + rhs.mul,
+            add: self.add + rhs.add,
+            act: self.act + rhs.act,
+            oe: self.oe + rhs.oe,
+            comm: self.comm + rhs.comm,
+            laser: self.laser + rhs.laser,
+        }
+    }
+}
+
+impl Sum for EnergyBreakdown {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::default(), Add::add)
+    }
+}
+
+/// Per-operation energies for a configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OperationEnergies {
+    /// One full-word scalar multiply.
+    pub mul: Energy,
+    /// One accumulate.
+    pub add: Energy,
+    /// One activation evaluation.
+    pub act: Energy,
+    /// One o/e word conversion (zero for EE).
+    pub oe: Energy,
+    /// Moving one word in and its result out.
+    pub comm: Energy,
+    /// Laser share per word fired (zero for EE).
+    pub laser: Energy,
+}
+
+impl OperationEnergies {
+    /// Derives the per-operation energies for `config` with the
+    /// calibrated model.
+    #[must_use]
+    pub fn for_config(config: &AcceleratorConfig) -> Self {
+        Self::for_config_with(config, &ModelOverrides::calibrated())
+    }
+
+    /// Derives the per-operation energies for `config` under explicit
+    /// [`ModelOverrides`] (sensitivity / ablation studies).
+    #[must_use]
+    pub fn for_config_with(config: &AcceleratorConfig, overrides: &ModelOverrides) -> Self {
+        let b = config.b();
+        let g = cal::lane_width_factor(config.lanes, config.bits_per_lane);
+
+        let mul = match config.design {
+            Design::Ee => cal::pj(cal::K_EE_MUL_PJ_PER_BIT2 * b * b),
+            Design::Oe | Design::Oo => cal::pj(
+                2.0 * cal::K_MRR_PJ_PER_BIT * overrides.mrr_energy_scale * b * b,
+            ),
+        };
+
+        let add = match config.design {
+            Design::Ee => cal::pj(cal::K_EE_ADD_PJ_PER_BIT * b * g),
+            Design::Oe => cal::pj(cal::K_EE_ADD_PJ_PER_BIT * b * g * cal::OE_ADD_FACTOR),
+            Design::Oo => cal::pj(
+                cal::K_OO_ADD_FIXED_PJ * overrides.oo_add_fixed_scale * g
+                    + cal::K_MZI_PJ_PER_BIT * b,
+            ),
+        };
+
+        let act = cal::pj(cal::K_ACT_PJ_PER_BIT * b);
+
+        let oe = if config.design.is_optical() {
+            cal::pj(
+                (cal::K_OE_CONV_FIXED_PJ + cal::K_OE_CONV_PJ_PER_BIT * b)
+                    * overrides.oe_conversion_scale,
+            )
+        } else {
+            Energy::ZERO
+        };
+
+        let comm = match config.design {
+            Design::Ee => cal::pj(2.0 * cal::K_LINK_E_PJ_PER_BIT * b),
+            Design::Oe | Design::Oo => {
+                cal::pj((cal::K_LINK_O_PJ_PER_BIT + cal::K_LINK_E_PJ_PER_BIT) * b)
+            }
+        };
+
+        let laser = match config.design {
+            Design::Ee => Energy::ZERO,
+            Design::Oe => cal::pj(cal::K_LASER_FIXED_PJ + cal::K_LASER_PJ_PER_BIT * b),
+            Design::Oo => cal::pj(
+                (cal::K_LASER_FIXED_PJ + cal::K_LASER_PJ_PER_BIT * b) * cal::LASER_OO_FACTOR,
+            ),
+        };
+
+        Self {
+            mul,
+            add,
+            act,
+            oe,
+            comm,
+            laser,
+        }
+    }
+
+    /// Energy of a single MAC window (all lanes: `lanes` multiplies and
+    /// accumulates plus per-word optical overheads), used by the Fig. 4
+    /// single-MAC study.
+    #[must_use]
+    pub fn window_energy(&self, lanes: usize) -> Energy {
+        #[allow(clippy::cast_precision_loss)]
+        let l = lanes as f64;
+        (self.mul + self.add + self.oe + self.comm + self.laser) * l
+    }
+
+    /// Energy **per transported bit** of a single MAC unit (Fig. 4's
+    /// y-axis): window energy over `lanes × bits` payload bits.
+    #[must_use]
+    pub fn energy_per_bit(&self, lanes: usize, bits: u32) -> Energy {
+        #[allow(clippy::cast_precision_loss)]
+        let payload = (lanes as f64) * f64::from(bits);
+        Energy::new(self.window_energy(lanes).value() / payload)
+    }
+}
+
+/// Energy of one layer with op counts `counts` under `config`.
+#[must_use]
+pub fn layer_energy(config: &AcceleratorConfig, counts: &ComputeCounts) -> EnergyBreakdown {
+    layer_energy_with(config, counts, &ModelOverrides::calibrated())
+}
+
+/// Energy of one layer under explicit [`ModelOverrides`].
+#[must_use]
+pub fn layer_energy_with(
+    config: &AcceleratorConfig,
+    counts: &ComputeCounts,
+    overrides: &ModelOverrides,
+) -> EnergyBreakdown {
+    let ops = OperationEnergies::for_config_with(config, overrides);
+    #[allow(clippy::cast_precision_loss)]
+    let (mul_n, add_n, act_n) = (counts.mul as f64, counts.add as f64, counts.act as f64);
+    EnergyBreakdown {
+        mul: ops.mul * mul_n,
+        add: ops.add * add_n,
+        act: ops.act * act_n,
+        oe: ops.oe * mul_n,
+        comm: ops.comm * mul_n,
+        laser: ops.laser * mul_n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(design: Design) -> AcceleratorConfig {
+        AcceleratorConfig::new(design, 4, 16)
+    }
+
+    #[test]
+    fn optical_multiply_is_5_percent_of_electrical() {
+        let ee = OperationEnergies::for_config(&cfg(Design::Ee));
+        let oe = OperationEnergies::for_config(&cfg(Design::Oe));
+        let ratio = oe.mul / ee.mul;
+        assert!((ratio - 0.0516).abs() < 0.003, "ratio {ratio}");
+    }
+
+    #[test]
+    fn oo_add_is_half_of_oe_add_at_16_bits() {
+        // Table II: 420/910 = 0.462 (the 53.8% improvement claim).
+        let oe = OperationEnergies::for_config(&cfg(Design::Oe));
+        let oo = OperationEnergies::for_config(&cfg(Design::Oo));
+        let ratio = oo.add / oe.add;
+        assert!((ratio - 0.462).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn oo_add_beats_oe_only_at_high_bits() {
+        // The OO add has a fixed per-word cost: at 4 bits/lane it is more
+        // expensive than the electrical accumulate (drives the Fig. 7
+        // crossover "optical wins when bits/lane > lanes").
+        let oe4 = OperationEnergies::for_config(&AcceleratorConfig::new(Design::Oe, 4, 4));
+        let oo4 = OperationEnergies::for_config(&AcceleratorConfig::new(Design::Oo, 4, 4));
+        assert!(oo4.add > oe4.add);
+    }
+
+    #[test]
+    fn communication_ratio_matches_table_ii() {
+        let ee = OperationEnergies::for_config(&cfg(Design::Ee));
+        let oe = OperationEnergies::for_config(&cfg(Design::Oe));
+        let ratio = oe.comm / ee.comm;
+        assert!((ratio - 118.0 / 139.0).abs() < 0.01, "ratio {ratio}");
+    }
+
+    #[test]
+    fn laser_oo_premium() {
+        let oe = OperationEnergies::for_config(&cfg(Design::Oe));
+        let oo = OperationEnergies::for_config(&cfg(Design::Oo));
+        assert!((oo.laser / oe.laser - 1.5217).abs() < 1e-6);
+        let ee = OperationEnergies::for_config(&cfg(Design::Ee));
+        assert_eq!(ee.laser, Energy::ZERO);
+        assert_eq!(ee.oe, Energy::ZERO);
+    }
+
+    #[test]
+    fn breakdown_total_and_sum() {
+        let a = EnergyBreakdown {
+            mul: Energy::from_picojoules(1.0),
+            add: Energy::from_picojoules(2.0),
+            act: Energy::from_picojoules(3.0),
+            oe: Energy::from_picojoules(4.0),
+            comm: Energy::from_picojoules(5.0),
+            laser: Energy::from_picojoules(6.0),
+        };
+        assert!((a.total().as_picojoules() - 21.0).abs() < 1e-9);
+        let double: EnergyBreakdown = [a, a].into_iter().sum();
+        assert!((double.total().as_picojoules() - 42.0).abs() < 1e-9);
+        assert_eq!(a.components().len(), EnergyBreakdown::COMPONENT_LABELS.len());
+    }
+
+    #[test]
+    fn layer_energy_scales_with_counts() {
+        let counts = ComputeCounts {
+            name: "test".into(),
+            mvm: 10,
+            mul: 1000,
+            add: 1010,
+            act: 10,
+        };
+        let e1 = layer_energy(&cfg(Design::Oe), &counts);
+        let doubled = ComputeCounts {
+            name: "test".into(),
+            mvm: 20,
+            mul: 2000,
+            add: 2020,
+            act: 20,
+        };
+        let e2 = layer_energy(&cfg(Design::Oe), &doubled);
+        assert!((e2.total() / e1.total() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig4_energy_per_bit_shapes() {
+        // EE grows steeply with bits/lane; OO falls (MZI accumulation
+        // amortizes its fixed cost over more pulses).
+        let per_bit = |d, b| {
+            OperationEnergies::for_config(&AcceleratorConfig::new(d, 4, b))
+                .energy_per_bit(4, b)
+                .value()
+        };
+        assert!(per_bit(Design::Ee, 32) > 2.0 * per_bit(Design::Ee, 8));
+        assert!(per_bit(Design::Oo, 32) < per_bit(Design::Oo, 4));
+        // EE is cheapest per bit at small b, OO at large b.
+        assert!(per_bit(Design::Ee, 2) < per_bit(Design::Oo, 2));
+        assert!(per_bit(Design::Oo, 32) < per_bit(Design::Ee, 32));
+    }
+}

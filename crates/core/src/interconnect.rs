@@ -1,0 +1,218 @@
+//! The PIXEL x/y photonic interconnect (Fig. 3).
+//!
+//! Tiles sit on a 2-D grid. Along each row (x-dimension) and each column
+//! (y-dimension) runs a multiple-write-single-read (MWSR) waveguide:
+//! every tile on the line transmits on its own wavelength block (the
+//! [`pixel_photonics::wdm::BandPlan`]) and the multiplexed signal is read
+//! at the line's home endpoint. This module provides the structural
+//! fabric (coordinates, wavelength ownership, waveguide spans) and a
+//! functional broadcast that actually moves pulse trains through the
+//! shared medium.
+
+use pixel_photonics::signal::{PulseTrain, WavelengthId, WdmSignal};
+use pixel_photonics::waveguide::Waveguide;
+use pixel_photonics::wdm::{mux_tiles, BandPlan, BandPlanError};
+use pixel_units::{Length, Time};
+
+/// A tile coordinate on the fabric grid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TileCoord {
+    /// Row index.
+    pub row: usize,
+    /// Column index.
+    pub col: usize,
+}
+
+/// Which dimension a transfer uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dimension {
+    /// Along a row (x-dimension waveguide).
+    X,
+    /// Along a column (y-dimension waveguide).
+    Y,
+}
+
+/// The 2-D MWSR fabric.
+#[derive(Debug, Clone, PartialEq)]
+pub struct XyFabric {
+    rows: usize,
+    cols: usize,
+    lanes: usize,
+    tile_pitch: Length,
+}
+
+impl XyFabric {
+    /// Creates a fabric of `rows × cols` tiles, each owning `lanes`
+    /// wavelengths, with 1 mm tile pitch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(rows: usize, cols: usize, lanes: usize) -> Self {
+        assert!(rows > 0 && cols > 0 && lanes > 0, "fabric must be non-empty");
+        Self {
+            rows,
+            cols,
+            lanes,
+            tile_pitch: Length::from_millimetres(1.0),
+        }
+    }
+
+    /// Rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Wavelengths per tile.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Total tile count.
+    #[must_use]
+    pub fn tiles(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// The band plan of one x-dimension (row) waveguide.
+    #[must_use]
+    pub fn row_band_plan(&self) -> BandPlan {
+        BandPlan::new(self.cols, self.lanes)
+    }
+
+    /// The band plan of one y-dimension (column) waveguide.
+    #[must_use]
+    pub fn column_band_plan(&self) -> BandPlan {
+        BandPlan::new(self.rows, self.lanes)
+    }
+
+    /// The wavelengths `coord` transmits on along `dim`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BandPlanError`] if the coordinate is off-fabric.
+    pub fn tile_wavelengths(
+        &self,
+        coord: TileCoord,
+        dim: Dimension,
+    ) -> Result<Vec<WavelengthId>, BandPlanError> {
+        match dim {
+            Dimension::X => self.row_band_plan().tile_band(coord.col),
+            Dimension::Y => self.column_band_plan().tile_band(coord.row),
+        }
+    }
+
+    /// The waveguide spanning one line of `dim`.
+    #[must_use]
+    pub fn line_waveguide(&self, dim: Dimension) -> Waveguide {
+        let hops = match dim {
+            Dimension::X => self.cols,
+            Dimension::Y => self.rows,
+        };
+        #[allow(clippy::cast_precision_loss)]
+        Waveguide::new(Length::new(self.tile_pitch.value() * hops as f64))
+    }
+
+    /// Worst-case propagation latency across one line.
+    #[must_use]
+    pub fn line_latency(&self, dim: Dimension) -> Time {
+        self.line_waveguide(dim).propagation_delay()
+    }
+
+    /// Functionally broadcasts one row's firings onto its x waveguide:
+    /// `per_tile[c]` holds tile `(row, c)`'s per-lane trains. Returns the
+    /// multiplexed WDM signal as seen at the row's read endpoint, with
+    /// waveguide loss applied.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BandPlanError`] if more tiles than columns are supplied.
+    pub fn broadcast_row(
+        &self,
+        per_tile: &[Vec<PulseTrain>],
+    ) -> Result<WdmSignal, BandPlanError> {
+        let plan = self.row_band_plan();
+        let muxed = mux_tiles(&plan, per_tile)?;
+        let guide = self.line_waveguide(Dimension::X);
+        Ok(muxed
+            .iter()
+            .map(|(id, train)| (id, guide.propagate(train)))
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wavelength_ownership_by_dimension() {
+        let fabric = XyFabric::new(2, 4, 4);
+        // x-dimension: column index selects the band.
+        let x = fabric
+            .tile_wavelengths(TileCoord { row: 1, col: 3 }, Dimension::X)
+            .unwrap();
+        assert_eq!(x.first(), Some(&WavelengthId(12)));
+        // y-dimension: row index selects the band.
+        let y = fabric
+            .tile_wavelengths(TileCoord { row: 1, col: 3 }, Dimension::Y)
+            .unwrap();
+        assert_eq!(y.first(), Some(&WavelengthId(4)));
+    }
+
+    #[test]
+    fn off_fabric_coordinate_errors() {
+        let fabric = XyFabric::new(2, 2, 4);
+        assert!(fabric
+            .tile_wavelengths(TileCoord { row: 0, col: 5 }, Dimension::X)
+            .is_err());
+    }
+
+    #[test]
+    fn line_latency_scales_with_span() {
+        let small = XyFabric::new(2, 2, 4);
+        let big = XyFabric::new(8, 8, 4);
+        assert!(big.line_latency(Dimension::X) > small.line_latency(Dimension::X));
+        // 1 mm pitch × 2 hops at 10.45 ps/mm.
+        assert!((small.line_latency(Dimension::Y).as_picos() - 20.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn broadcast_row_preserves_data_under_loss() {
+        let fabric = XyFabric::new(1, 2, 2);
+        let per_tile = vec![
+            vec![PulseTrain::from_bits(0b101, 3), PulseTrain::from_bits(0b011, 3)],
+            vec![PulseTrain::from_bits(0b110, 3), PulseTrain::from_bits(0b001, 3)],
+        ];
+        let signal = fabric.broadcast_row(&per_tile).unwrap();
+        assert_eq!(signal.channel_count(), 4);
+        // Loss attenuates but thresholded decode recovers the bits.
+        assert_eq!(signal.demux(WavelengthId(0)).to_bits(), Some(0b101));
+        assert_eq!(signal.demux(WavelengthId(2)).to_bits(), Some(0b110));
+        assert!(signal.demux(WavelengthId(0)).total_power() < 2.0);
+    }
+
+    #[test]
+    fn mwsr_no_wavelength_collisions_across_tiles() {
+        let fabric = XyFabric::new(1, 4, 4);
+        let mut seen = std::collections::BTreeSet::new();
+        for col in 0..4 {
+            for id in fabric
+                .tile_wavelengths(TileCoord { row: 0, col }, Dimension::X)
+                .unwrap()
+            {
+                assert!(seen.insert(id), "wavelength {id} assigned twice");
+            }
+        }
+        assert_eq!(seen.len(), 16);
+    }
+}

@@ -1,0 +1,154 @@
+//! Layer-to-fabric mapping: how a CNN layer's windows are scheduled onto
+//! OMAC tiles.
+//!
+//! Following §III-A, each OMAC implements one filter at a time and
+//! processes its window inner products `lanes` elements per firing. This
+//! module exposes the structural schedule (window counts, chunking,
+//! rounds, utilization) that the latency model's throughput form
+//! abstracts over.
+
+use crate::config::AcceleratorConfig;
+use pixel_dnn::layer::{Layer, LayerKind};
+
+/// The schedule of one layer on the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerMapping {
+    /// Output windows (inner products) the layer computes: `E²·M` for
+    /// convolutions, `N_out` for FC layers.
+    pub windows: u64,
+    /// MAC operations per window (`R²·C` or `N_in`).
+    pub macs_per_window: u64,
+    /// Lane-wide chunks needed per window.
+    pub chunks_per_window: u64,
+    /// Firing rounds over the whole fabric (each round runs one chunk on
+    /// every tile).
+    pub rounds: u64,
+    /// Fraction of lane slots doing useful work in the final chunk of a
+    /// window, in percent (100 = perfectly divisible).
+    pub tail_utilization_pct: u8,
+    /// Lane count the schedule was built for.
+    pub lanes: u64,
+}
+
+impl LayerMapping {
+    /// Builds the schedule of `layer` on `config`'s fabric.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a pooling layer (no MACs to schedule).
+    #[must_use]
+    pub fn for_layer(config: &AcceleratorConfig, layer: &Layer) -> Self {
+        let (windows, macs_per_window) = match layer.kind {
+            LayerKind::Conv {
+                filters, kernel, ..
+            } => {
+                let e = layer.output_feature_size() as u64;
+                (
+                    e * e * filters as u64,
+                    (kernel * kernel * layer.input.c) as u64,
+                )
+            }
+            LayerKind::Fc { outputs } => (outputs as u64, layer.input.elements() as u64),
+            LayerKind::Pool { .. } => panic!("pooling layers are not scheduled on OMACs"),
+        };
+        let lanes = config.lanes as u64;
+        let chunks_per_window = macs_per_window.div_ceil(lanes);
+        let total_chunks = windows * chunks_per_window;
+        let rounds = total_chunks.div_ceil(config.tiles as u64);
+        let tail = macs_per_window % lanes;
+        let tail_utilization_pct = if tail == 0 {
+            100
+        } else {
+            #[allow(clippy::cast_possible_truncation)]
+            {
+                (tail * 100 / lanes) as u8
+            }
+        };
+        Self {
+            windows,
+            macs_per_window,
+            chunks_per_window,
+            rounds,
+            tail_utilization_pct,
+            lanes,
+        }
+    }
+
+    /// Total scalar MACs in the layer.
+    #[must_use]
+    pub fn total_macs(&self) -> u64 {
+        self.windows * self.macs_per_window
+    }
+
+    /// Average lane utilization across the whole layer, in percent:
+    /// useful MACs over allocated lane slots.
+    #[must_use]
+    pub fn average_utilization_pct(&self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        let useful = self.total_macs() as f64;
+        #[allow(clippy::cast_precision_loss)]
+        let slots = (self.windows * self.chunks_per_window * self.lanes) as f64;
+        100.0 * useful / slots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Design;
+    use pixel_dnn::layer::Shape;
+
+    fn cfg(lanes: usize, tiles: usize) -> AcceleratorConfig {
+        AcceleratorConfig::new(Design::Oe, lanes, 8).with_tiles(tiles)
+    }
+
+    #[test]
+    fn conv_mapping_counts() {
+        // 3×3×8 kernels on a 10×10×8 input, 4 filters → E = 8.
+        let layer = Layer::conv("c", Shape::square(10, 8), 4, 3, 1);
+        let m = LayerMapping::for_layer(&cfg(4, 16), &layer);
+        assert_eq!(m.windows, 8 * 8 * 4);
+        assert_eq!(m.macs_per_window, 72);
+        assert_eq!(m.chunks_per_window, 18);
+        assert_eq!(m.total_macs(), 256 * 72);
+        assert_eq!(m.rounds, (256u64 * 18).div_ceil(16));
+        assert_eq!(m.tail_utilization_pct, 100);
+    }
+
+    #[test]
+    fn fc_mapping_counts() {
+        let layer = Layer::fc("f", 120, 84);
+        let m = LayerMapping::for_layer(&cfg(8, 16), &layer);
+        assert_eq!(m.windows, 84);
+        assert_eq!(m.macs_per_window, 120);
+        assert_eq!(m.chunks_per_window, 15);
+    }
+
+    #[test]
+    fn tail_utilization_reflects_remainder() {
+        // 10 macs per window on 4 lanes → last chunk uses 2/4 lanes.
+        let layer = Layer::fc("f", 10, 3);
+        let m = LayerMapping::for_layer(&cfg(4, 16), &layer);
+        assert_eq!(m.chunks_per_window, 3);
+        assert_eq!(m.tail_utilization_pct, 50);
+        // 10 useful over 12 allocated slots.
+        assert!((m.average_utilization_pct() - 1000.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "pooling")]
+    fn pool_layers_rejected() {
+        use pixel_dnn::layer::PoolKind;
+        let layer = Layer::pool("p", Shape::square(4, 1), 2, 2, PoolKind::Max);
+        let _ = LayerMapping::for_layer(&cfg(4, 16), &layer);
+    }
+
+    #[test]
+    fn more_lanes_fewer_chunks() {
+        let layer = Layer::fc("f", 128, 1);
+        let narrow = LayerMapping::for_layer(&cfg(4, 16), &layer);
+        let wide = LayerMapping::for_layer(&cfg(16, 16), &layer);
+        assert!(wide.chunks_per_window < narrow.chunks_per_window);
+        assert_eq!(narrow.total_macs(), wide.total_macs());
+    }
+}

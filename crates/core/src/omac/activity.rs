@@ -1,0 +1,119 @@
+//! Device-activity accounting for the functional OMACs.
+//!
+//! The analytic energy model charges an optical multiply `2·K_MRR·b²`
+//! because the dataflow streams a `b`-bit word for `b` synapse-bit cycles
+//! through a double-ring filter. Rather than trusting that arithmetic,
+//! the functional engines can *count*: [`ActivityCounter`] tallies every
+//! device event the bit-true execution performs, and the tests (plus
+//! `tests/` integration checks) assert the counted activity matches the
+//! closed forms the energy model multiplies by — closing the loop between
+//! "what the simulation did" and "what the model charges".
+
+use std::cell::Cell;
+
+/// Tallies of device events during functional MAC execution.
+#[derive(Debug, Default)]
+pub struct ActivityCounter {
+    mrr_slots: Cell<u64>,
+    mzi_slots: Cell<u64>,
+    cla_ops: Cell<u64>,
+    comparator_decisions: Cell<u64>,
+    oe_conversions: Cell<u64>,
+}
+
+impl ActivityCounter {
+    /// Creates a zeroed counter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `slots` bit-slots streamed through a double-MRR filter.
+    pub fn add_mrr_slots(&self, slots: u64) {
+        self.mrr_slots.set(self.mrr_slots.get() + slots);
+    }
+
+    /// Records `slots` bit-slots routed through MZI accumulator stages.
+    pub fn add_mzi_slots(&self, slots: u64) {
+        self.mzi_slots.set(self.mzi_slots.get() + slots);
+    }
+
+    /// Records one carry-lookahead addition.
+    pub fn add_cla_op(&self) {
+        self.cla_ops.set(self.cla_ops.get() + 1);
+    }
+
+    /// Records `n` comparator-ladder slot decisions.
+    pub fn add_comparator_decisions(&self, n: u64) {
+        self.comparator_decisions
+            .set(self.comparator_decisions.get() + n);
+    }
+
+    /// Records one optical-to-electrical word conversion.
+    pub fn add_oe_conversion(&self) {
+        self.oe_conversions.set(self.oe_conversions.get() + 1);
+    }
+
+    /// Bit-slots through MRR filters so far.
+    #[must_use]
+    pub fn mrr_slots(&self) -> u64 {
+        self.mrr_slots.get()
+    }
+
+    /// Bit-slots through MZI stages so far.
+    #[must_use]
+    pub fn mzi_slots(&self) -> u64 {
+        self.mzi_slots.get()
+    }
+
+    /// CLA additions so far.
+    #[must_use]
+    pub fn cla_ops(&self) -> u64 {
+        self.cla_ops.get()
+    }
+
+    /// Comparator decisions so far.
+    #[must_use]
+    pub fn comparator_decisions(&self) -> u64 {
+        self.comparator_decisions.get()
+    }
+
+    /// o/e word conversions so far.
+    #[must_use]
+    pub fn oe_conversions(&self) -> u64 {
+        self.oe_conversions.get()
+    }
+
+    /// Resets all tallies.
+    pub fn reset(&self) {
+        self.mrr_slots.set(0);
+        self.mzi_slots.set(0);
+        self.cla_ops.set(0);
+        self.comparator_decisions.set(0);
+        self.oe_conversions.set(0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        let c = ActivityCounter::new();
+        c.add_mrr_slots(8);
+        c.add_mrr_slots(8);
+        c.add_mzi_slots(3);
+        c.add_cla_op();
+        c.add_comparator_decisions(5);
+        c.add_oe_conversion();
+        assert_eq!(c.mrr_slots(), 16);
+        assert_eq!(c.mzi_slots(), 3);
+        assert_eq!(c.cla_ops(), 1);
+        assert_eq!(c.comparator_decisions(), 5);
+        assert_eq!(c.oe_conversions(), 1);
+        c.reset();
+        assert_eq!(c.mrr_slots(), 0);
+        assert_eq!(c.cla_ops(), 0);
+    }
+}

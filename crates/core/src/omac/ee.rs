@@ -1,0 +1,123 @@
+//! The all-electrical (EE) functional MAC: Stripes bit-serial hardware.
+
+use crate::omac::lane_chunks;
+use pixel_dnn::inference::MacEngine;
+use pixel_electronics::cla::Cla;
+use pixel_electronics::stripes::StripesMac;
+
+/// Bit-true EE MAC unit: `lanes` parallel Stripes lanes feeding a wide
+/// output accumulator.
+#[derive(Debug, Clone)]
+pub struct EeMac {
+    stripes: StripesMac,
+    lanes: usize,
+    output_accumulator: Cla,
+}
+
+impl EeMac {
+    /// Creates an EE MAC with `lanes` lanes at `bits` bits of precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or exceeds 16 (operands must leave room
+    /// for window-level accumulation in the 64-bit output path).
+    #[must_use]
+    pub fn new(lanes: usize, bits: u32) -> Self {
+        assert!((1..=16).contains(&bits), "EE MAC supports 1..=16 bits");
+        Self {
+            stripes: StripesMac::new(lanes, bits),
+            lanes,
+            output_accumulator: Cla::new(64),
+        }
+    }
+
+    /// Number of lanes.
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Operand precision.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.stripes.bits()
+    }
+
+    /// The underlying Stripes datapath.
+    #[must_use]
+    pub fn stripes(&self) -> &StripesMac {
+        &self.stripes
+    }
+}
+
+impl MacEngine for EeMac {
+    fn inner_product(&self, neurons: &[u64], synapses: &[u64]) -> u64 {
+        let mut acc = 0u64;
+        for (n, s) in lane_chunks(neurons, synapses, self.lanes) {
+            let chunk = self
+                .stripes
+                .mac(&n, &s)
+                .expect("operands validated by caller precision");
+            let (sum, carry) = self.output_accumulator.add(acc, chunk.value, false);
+            debug_assert!(!carry, "window accumulator overflow");
+            acc = sum;
+        }
+        acc
+    }
+
+    fn name(&self) -> &str {
+        "EE (Stripes bit-serial)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixel_dnn::inference::DirectMac;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_worked_example_window() {
+        // §II-B full window: after 4 synapse-lane passes the sum is 368.
+        let mac = EeMac::new(4, 4);
+        let neurons = [2u64, 0, 3, 8, 4, 1, 5, 2, 6, 3, 1, 8, 9, 4, 2, 6];
+        let synapses = [6u64, 1, 2, 3, 9, 2, 3, 1, 13, 1, 4, 3, 11, 2, 5, 1];
+        let expected = DirectMac.inner_product(&neurons, &synapses);
+        assert_eq!(mac.inner_product(&neurons, &synapses), expected);
+    }
+
+    #[test]
+    fn partial_chunk_is_zero_padded() {
+        let mac = EeMac::new(4, 8);
+        assert_eq!(mac.inner_product(&[10], &[20]), 200);
+    }
+
+    #[test]
+    fn name_mentions_design() {
+        assert!(EeMac::new(2, 4).name().contains("EE"));
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=16")]
+    fn rejects_wide_operands() {
+        let _ = EeMac::new(4, 17);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_direct(
+            lanes in 1usize..=6,
+            bits in 1u32..=10,
+            seed in any::<u64>(),
+            len in 1usize..=30,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let limit = (1u64 << bits) - 1;
+            let n: Vec<u64> = (0..len).map(|_| rng.gen_range(0..=limit)).collect();
+            let s: Vec<u64> = (0..len).map(|_| rng.gen_range(0..=limit)).collect();
+            let mac = EeMac::new(lanes, bits);
+            prop_assert_eq!(mac.inner_product(&n, &s), DirectMac.inner_product(&n, &s));
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! The hybrid optical-electrical (OE) functional MAC.
+//!
+//! Paper §III-A: neurons arrive as optical pulse trains on WDM
+//! wavelengths; each synapse *bit* drives the tuned double-MRR filters of
+//! a synapse lane, ANDing the whole neuron word against that bit. The
+//! gated train crosses the o/e converter (design 1: photodiode + shift
+//! register) and the electrical processing unit shift-accumulates the
+//! partial products, exactly as Stripes does — `p` cycles per `p`-bit
+//! synapse.
+
+use crate::omac::activity::ActivityCounter;
+use crate::omac::lane_chunks;
+use pixel_dnn::inference::MacEngine;
+use pixel_electronics::cla::Cla;
+use pixel_electronics::converter::SerialConverter;
+use pixel_electronics::shifter::BarrelShifter;
+use pixel_photonics::mrr::DoubleMrrFilter;
+use pixel_photonics::signal::PulseTrain;
+
+/// Bit-true OE MAC unit.
+#[derive(Debug)]
+pub struct OeMac {
+    lanes: usize,
+    bits: u32,
+    filter: DoubleMrrFilter,
+    converter: SerialConverter,
+    shifter: BarrelShifter,
+    accumulator: Cla,
+    activity: ActivityCounter,
+}
+
+impl OeMac {
+    /// Creates an OE MAC with `lanes` wavelengths at `bits` bits/lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or exceeds 16.
+    #[must_use]
+    pub fn new(lanes: usize, bits: u32) -> Self {
+        assert!((1..=16).contains(&bits), "OE MAC supports 1..=16 bits");
+        assert!(lanes > 0, "at least one lane");
+        Self {
+            lanes,
+            bits,
+            filter: DoubleMrrFilter::default(),
+            converter: SerialConverter::new(bits),
+            shifter: BarrelShifter::new(64),
+            accumulator: Cla::new(64),
+            activity: ActivityCounter::new(),
+        }
+    }
+
+    /// Device-activity tallies accumulated by this unit's executions.
+    #[must_use]
+    pub fn activity(&self) -> &ActivityCounter {
+        &self.activity
+    }
+
+    /// Number of wavelengths (= lanes).
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Bits per lane.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// One Stripes cycle for one lane: optically AND the neuron train
+    /// against synapse bit `bit_index`, convert, and return the partial
+    /// product already shifted into position.
+    fn partial(&self, neuron: &PulseTrain, synapse: u64, bit_index: u32) -> u64 {
+        let gate = (synapse >> bit_index) & 1 == 1;
+        let dropped = self.filter.and(neuron, gate);
+        self.activity.add_mrr_slots(dropped.len() as u64);
+        let word = self
+            .converter
+            .decode(&dropped.quantized_levels())
+            .expect("binary optical train decodes losslessly");
+        self.activity.add_oe_conversion();
+        self.shifter.shift_left(word, bit_index)
+    }
+}
+
+impl MacEngine for OeMac {
+    fn inner_product(&self, neurons: &[u64], synapses: &[u64]) -> u64 {
+        let mut acc = 0u64;
+        for (n_chunk, s_chunk) in lane_chunks(neurons, synapses, self.lanes) {
+            // Fire all lanes' neuron words as optical trains (one WDM λ each).
+            let trains: Vec<PulseTrain> = n_chunk
+                .iter()
+                .map(|&n| PulseTrain::from_bits(n, self.bits as usize))
+                .collect();
+            // p serial cycles over the synapse bits, as in STR.
+            for bit in 0..self.bits {
+                for (train, &synapse) in trains.iter().zip(&s_chunk) {
+                    let p = self.partial(train, synapse, bit);
+                    let (sum, carry) = self.accumulator.add(acc, p, false);
+                    self.activity.add_cla_op();
+                    debug_assert!(!carry, "window accumulator overflow");
+                    acc = sum;
+                }
+            }
+        }
+        acc
+    }
+
+    fn name(&self) -> &str {
+        "OE (MRR multiply, electrical accumulate)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixel_dnn::inference::DirectMac;
+    use proptest::prelude::*;
+
+    #[test]
+    fn single_multiply() {
+        let mac = OeMac::new(1, 4);
+        assert_eq!(mac.inner_product(&[9], &[13]), 117);
+        assert_eq!(mac.inner_product(&[0], &[13]), 0);
+        assert_eq!(mac.inner_product(&[9], &[0]), 0);
+    }
+
+    #[test]
+    fn paper_cycle1_example() {
+        // §III-A: λ0 carries 0010₂ with the MRR off → 0000₂ reaches the EP.
+        let mac = OeMac::new(4, 4);
+        let train = PulseTrain::from_bits(0b0010, 4);
+        assert_eq!(mac.partial(&train, 0b0000, 0), 0);
+        // With the synapse LSB on, the word passes unshifted.
+        assert_eq!(mac.partial(&train, 0b0001, 0), 0b0010);
+        // Synapse bit 2 on → shifted left 2.
+        assert_eq!(mac.partial(&train, 0b0100, 2), 0b1000);
+    }
+
+    #[test]
+    fn window_matches_reference() {
+        let mac = OeMac::new(4, 4);
+        let n = [2u64, 4, 6, 9];
+        let s = [6u64, 1, 2, 3];
+        assert_eq!(
+            mac.inner_product(&n, &s),
+            DirectMac.inner_product(&n, &s)
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn matches_direct(
+            lanes in 1usize..=6,
+            bits in 1u32..=10,
+            seed in any::<u64>(),
+            len in 1usize..=24,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let limit = (1u64 << bits) - 1;
+            let n: Vec<u64> = (0..len).map(|_| rng.gen_range(0..=limit)).collect();
+            let s: Vec<u64> = (0..len).map(|_| rng.gen_range(0..=limit)).collect();
+            let mac = OeMac::new(lanes, bits);
+            prop_assert_eq!(mac.inner_product(&n, &s), DirectMac.inner_product(&n, &s));
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! The all-optical (OO) functional MAC.
+//!
+//! Paper §III-B: each wavelength's neuron word is gated by every synapse
+//! bit through the MRR filters, and the per-bit partial products feed a
+//! delay-matched MZI chain. Because stage `j`'s output reaches stage
+//! `j+1`'s input exactly one bit period later, the chain superposes the
+//! partial products with positional weights 2^j — an optical
+//! shift-accumulate producing a multi-level amplitude train whose
+//! positional value is the full product `neuron × synapse`. A
+//! comparator-ladder o/e converter (design 2) resolves the levels, and a
+//! final electrical accumulate combines wavelengths and window chunks.
+
+use crate::omac::activity::ActivityCounter;
+use crate::omac::lane_chunks;
+use pixel_dnn::inference::MacEngine;
+use pixel_electronics::cla::Cla;
+use pixel_electronics::converter::AmplitudeConverter;
+use pixel_photonics::constants::OPTICAL_CLOCK_HZ;
+use pixel_photonics::mrr::DoubleMrrFilter;
+use pixel_photonics::mzi::MziChain;
+use pixel_photonics::signal::PulseTrain;
+
+/// Bit-true OO MAC unit.
+#[derive(Debug)]
+pub struct OoMac {
+    lanes: usize,
+    bits: u32,
+    filter: DoubleMrrFilter,
+    chain: MziChain,
+    converter: AmplitudeConverter,
+    accumulator: Cla,
+    activity: ActivityCounter,
+}
+
+impl OoMac {
+    /// Creates an OO MAC with `lanes` wavelengths at `bits` bits/lane.
+    /// Each wavelength gets an MZI chain with one stage per synapse bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` is zero or exceeds 16.
+    #[must_use]
+    pub fn new(lanes: usize, bits: u32) -> Self {
+        assert!((1..=16).contains(&bits), "OO MAC supports 1..=16 bits");
+        assert!(lanes > 0, "at least one lane");
+        Self {
+            lanes,
+            bits,
+            filter: DoubleMrrFilter::default(),
+            chain: MziChain::delay_matched(bits as usize, OPTICAL_CLOCK_HZ),
+            converter: AmplitudeConverter::new(bits),
+            accumulator: Cla::new(64),
+            activity: ActivityCounter::new(),
+        }
+    }
+
+    /// Device-activity tallies accumulated by this unit's executions.
+    #[must_use]
+    pub fn activity(&self) -> &ActivityCounter {
+        &self.activity
+    }
+
+    /// Number of wavelengths (= lanes).
+    #[must_use]
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// Bits per lane.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// The MZI accumulator chain serving each wavelength.
+    #[must_use]
+    pub fn chain(&self) -> &MziChain {
+        &self.chain
+    }
+
+    /// Computes one full product optically: gate the neuron train with
+    /// each synapse bit (MRR AND), accumulate the partial products in the
+    /// MZI chain, resolve the multi-level output through the comparator
+    /// ladder.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pixel_core::omac::OoMac;
+    ///
+    /// let mac = OoMac::new(1, 8);
+    /// assert_eq!(mac.optical_multiply(113, 201), 113 * 201);
+    /// ```
+    #[must_use]
+    pub fn optical_multiply(&self, neuron: u64, synapse: u64) -> u64 {
+        let train = PulseTrain::from_bits(neuron, self.bits as usize);
+        let partials: Vec<PulseTrain> = (0..self.bits)
+            .map(|j| self.filter.and(&train, (synapse >> j) & 1 == 1))
+            .collect();
+        self.activity
+            .add_mrr_slots(u64::from(self.bits) * u64::from(self.bits));
+        let combined = self.chain.accumulate(&partials);
+        self.activity.add_mzi_slots(combined.len() as u64);
+        let amplitudes: Vec<f64> = combined.iter().collect();
+        self.activity
+            .add_comparator_decisions(amplitudes.len() as u64);
+        self.activity.add_oe_conversion();
+        self.converter
+            .decode(&amplitudes)
+            .expect("amplitude levels bounded by bits per lane")
+    }
+}
+
+impl MacEngine for OoMac {
+    fn inner_product(&self, neurons: &[u64], synapses: &[u64]) -> u64 {
+        let mut acc = 0u64;
+        for (n_chunk, s_chunk) in lane_chunks(neurons, synapses, self.lanes) {
+            for (&n, &s) in n_chunk.iter().zip(&s_chunk) {
+                let product = self.optical_multiply(n, s);
+                let (sum, carry) = self.accumulator.add(acc, product, false);
+                self.activity.add_cla_op();
+                debug_assert!(!carry, "window accumulator overflow");
+                acc = sum;
+            }
+        }
+        acc
+    }
+
+    fn name(&self) -> &str {
+        "OO (MRR multiply, MZI accumulate)"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixel_dnn::inference::DirectMac;
+    use proptest::prelude::*;
+
+    #[test]
+    fn optical_multiply_small_cases() {
+        let mac = OoMac::new(1, 4);
+        assert_eq!(mac.optical_multiply(0, 0), 0);
+        assert_eq!(mac.optical_multiply(15, 15), 225);
+        assert_eq!(mac.optical_multiply(6, 6), 36);
+        assert_eq!(mac.optical_multiply(9, 1), 9);
+        assert_eq!(mac.optical_multiply(1, 9), 9);
+    }
+
+    #[test]
+    fn paper_lambda0_example() {
+        // §III-B: λ0 carries 0110₂ gated by synapse bits; the chain output
+        // has "different amplitudes of light" whose positional value is
+        // the product.
+        let mac = OoMac::new(4, 4);
+        // Synapse 1011₂ = 11: 6·11 = 66.
+        assert_eq!(mac.optical_multiply(0b0110, 0b1011), 66);
+    }
+
+    #[test]
+    fn amplitude_levels_stay_within_ladder() {
+        // Worst case: all-ones neuron and synapse produce peak level = bits.
+        let mac = OoMac::new(1, 8);
+        let train = PulseTrain::from_bits(0xFF, 8);
+        let partials: Vec<PulseTrain> =
+            (0..8).map(|_| mac.filter.and(&train, true)).collect();
+        let combined = mac.chain.accumulate(&partials);
+        assert_eq!(combined.peak_level(), 8);
+        assert_eq!(mac.bits(), 8);
+    }
+
+    #[test]
+    fn window_matches_reference() {
+        let mac = OoMac::new(4, 4);
+        let n = [6u64, 4, 6, 9];
+        let s = [11u64, 0, 5, 7];
+        assert_eq!(mac.inner_product(&n, &s), DirectMac.inner_product(&n, &s));
+    }
+
+    proptest! {
+        #[test]
+        fn optical_multiply_is_exact(a in 0u64..=255, b in 0u64..=255) {
+            let mac = OoMac::new(1, 8);
+            prop_assert_eq!(mac.optical_multiply(a, b), a * b);
+        }
+
+        #[test]
+        fn matches_direct(
+            lanes in 1usize..=6,
+            bits in 1u32..=10,
+            seed in any::<u64>(),
+            len in 1usize..=20,
+        ) {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let limit = (1u64 << bits) - 1;
+            let n: Vec<u64> = (0..len).map(|_| rng.gen_range(0..=limit)).collect();
+            let s: Vec<u64> = (0..len).map(|_| rng.gen_range(0..=limit)).collect();
+            let mac = OoMac::new(lanes, bits);
+            prop_assert_eq!(mac.inner_product(&n, &s), DirectMac.inner_product(&n, &s));
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Line-coding ablation: what PAM-4 modulation would buy PIXEL.
+//!
+//! The paper's designs are on-off keyed. PAM-4 (two bits per optical
+//! slot, `pixel_photonics::serdes`) halves the slots a word occupies —
+//! directly relaxing the §V-B2 pulse-clumping limit that bends the
+//! optical latency curves — at the price of ~1.5× modulator drive energy
+//! and a 4-level receiver (which the OO design already owns). This
+//! module re-evaluates the optical latency and link-energy terms under
+//! PAM-4 so the trade can be read off next to the paper's OOK numbers.
+
+use crate::calibration as cal;
+use crate::config::{AcceleratorConfig, Design};
+use crate::latency::firings;
+use pixel_dnn::analysis::ComputeCounts;
+use pixel_photonics::serdes::Format;
+use pixel_units::Time;
+
+/// Service cycles of one optical firing round under a line code: the
+/// clumping limit applies to *slots*, which PAM-4 halves.
+///
+/// # Panics
+///
+/// Panics for the EE design (no optical line code to choose).
+#[must_use]
+pub fn optical_cycles_per_firing(config: &AcceleratorConfig, format: Format) -> f64 {
+    assert!(
+        config.design.is_optical(),
+        "line coding applies to the optical designs"
+    );
+    let slots = f64::from(format.slots_for(config.bits_per_lane));
+    let q = config.clocks.pulses_per_electrical_cycle();
+    let chunks = (slots / q).ceil();
+    let per_chunk = match config.design {
+        Design::Oe => 2.0,
+        Design::Oo => 1.0,
+        Design::Ee => unreachable!(),
+    };
+    cal::PIPELINE_CYCLES + per_chunk * chunks + cal::RESYNC_CYCLES * (chunks - 1.0)
+}
+
+/// Layer latency under a line code (activation streaming unchanged).
+#[must_use]
+pub fn layer_latency_with_format(
+    config: &AcceleratorConfig,
+    counts: &ComputeCounts,
+    format: Format,
+) -> Time {
+    let mac_cycles = firings(config, counts) * optical_cycles_per_firing(config, format);
+    #[allow(clippy::cast_precision_loss)]
+    let act_cycles = (counts.act as f64 / config.tiles as f64).ceil();
+    Time::new((mac_cycles + act_cycles) * config.clocks.electrical_period())
+}
+
+/// One row of the PAM ablation: latency and modulation-energy ratios of
+/// PAM-4 relative to OOK at one precision.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PamPoint {
+    /// Bits per lane.
+    pub bits: u32,
+    /// PAM-4 latency / OOK latency (< 1 is a win).
+    pub latency_ratio: f64,
+    /// PAM-4 modulation energy / OOK modulation energy (> 1 is a cost).
+    pub modulation_energy_ratio: f64,
+}
+
+/// Sweeps the PAM-4 trade for a design across precisions, on a
+/// representative conv-layer op-count profile.
+#[must_use]
+pub fn pam4_sweep(design: Design, bits_sweep: &[u32]) -> Vec<PamPoint> {
+    let counts = ComputeCounts {
+        name: "conv".into(),
+        mvm: 10_000_000,
+        mul: 90_000_000,
+        add: 91_000_000,
+        act: 1_000_000,
+    };
+    bits_sweep
+        .iter()
+        .map(|&bits| {
+            let config = AcceleratorConfig::new(design, 8, bits);
+            let ook = layer_latency_with_format(&config, &counts, Format::Ook);
+            let pam = layer_latency_with_format(&config, &counts, Format::Pam4);
+            PamPoint {
+                bits,
+                latency_ratio: pam / ook,
+                // serdes: half the slots × 3× swing = 1.5× (precision-
+                // independent for even bit widths).
+                modulation_energy_ratio: 1.5,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ook_matches_the_calibrated_latency_model() {
+        // Format::Ook reproduces latency::cycles_per_firing exactly.
+        use crate::latency::cycles_per_firing;
+        for design in [Design::Oe, Design::Oo] {
+            for bits in [4u32, 8, 16, 32] {
+                let config = AcceleratorConfig::new(design, 8, bits);
+                assert!(
+                    (optical_cycles_per_firing(&config, Format::Ook)
+                        - cycles_per_firing(&config))
+                    .abs()
+                        < 1e-12,
+                    "{design} {bits}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pam4_defers_the_clumping_threshold() {
+        // At 16 bits OOK needs two chunks (16 slots > 10); PAM-4 needs
+        // one (8 slots) — the resync penalty vanishes.
+        let config = AcceleratorConfig::new(Design::Oo, 8, 16);
+        let ook = optical_cycles_per_firing(&config, Format::Ook);
+        let pam = optical_cycles_per_firing(&config, Format::Pam4);
+        assert!((ook - 11.0).abs() < 1e-12);
+        assert!((pam - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sweep_shows_wins_past_ten_bits() {
+        let points = pam4_sweep(Design::Oo, &[4, 8, 16, 32]);
+        let ratio = |bits: u32| {
+            points
+                .iter()
+                .find(|p| p.bits == bits)
+                .unwrap()
+                .latency_ratio
+        };
+        // Below the threshold both formats fit one chunk: no win.
+        assert!((ratio(4) - 1.0).abs() < 1e-9);
+        // Past it, PAM-4 dodges resyncs.
+        assert!(ratio(16) < 0.75, "16-bit ratio {}", ratio(16));
+        assert!(ratio(32) < 0.75, "32-bit ratio {}", ratio(32));
+    }
+
+    #[test]
+    #[should_panic(expected = "optical")]
+    fn ee_has_no_line_code() {
+        let config = AcceleratorConfig::new(Design::Ee, 8, 8);
+        let _ = optical_cycles_per_firing(&config, Format::Pam4);
+    }
+}

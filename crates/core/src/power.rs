@@ -1,0 +1,143 @@
+//! Power analysis: average inference power, peak laser power and the
+//! thermal-tuning overhead the paper folds away (§II-A1's ring heaters).
+
+use crate::accelerator::NetworkReport;
+use crate::config::AcceleratorConfig;
+use pixel_photonics::laser::FabryPerotLaser;
+use pixel_photonics::thermal::RingHeaterBank;
+use pixel_units::{Energy, Power, Time};
+
+/// Power figures of one inference run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReport {
+    /// Average power: total energy over total latency.
+    pub average: Power,
+    /// Electrical power of the laser bank while lasing (zero for EE).
+    pub laser_wall_plug: Power,
+    /// Static ring-heater tuning power (zero for EE).
+    pub thermal_tuning: Power,
+}
+
+impl PowerReport {
+    /// Average power including the static photonic overheads.
+    #[must_use]
+    pub fn total_average(&self) -> Power {
+        self.average + self.thermal_tuning
+    }
+}
+
+/// Number of microrings in the fabric: `tiles × lanes² × 2` (each tile's
+/// synapse lanes filter every wavelength through a double ring).
+#[must_use]
+pub fn ring_count(config: &AcceleratorConfig) -> usize {
+    config.tiles * config.lanes * config.lanes * 2
+}
+
+/// Derives the power report for a finished evaluation.
+#[must_use]
+pub fn power_report(report: &NetworkReport) -> PowerReport {
+    let config = &report.config;
+    let energy: Energy = report.total_energy();
+    let latency: Time = report.total_latency();
+    let average = energy / latency;
+
+    let (laser_wall_plug, thermal_tuning) = if config.design.is_optical() {
+        let per_channel = config.lanes.min(128);
+        let laser = FabryPerotLaser::new(
+            per_channel,
+            Power::from_milliwatts(1.0),
+            0.1,
+        )
+        .expect("lanes clamped to channel capacity");
+        #[allow(clippy::cast_precision_loss)]
+        let channels = config.tiles as f64;
+        let heater = RingHeaterBank::new(
+            ring_count(config),
+            Power::from_milliwatts(0.1),
+            1.0,
+        );
+        (
+            laser.electrical_power() * channels,
+            heater.total_power(),
+        )
+    } else {
+        (Power::ZERO, Power::ZERO)
+    };
+
+    PowerReport {
+        average,
+        laser_wall_plug,
+        thermal_tuning,
+    }
+}
+
+/// The performance-per-watt figure of merit (multiplies per second per
+/// watt of average power) the paper's introduction motivates.
+#[must_use]
+pub fn macs_per_second_per_watt(report: &NetworkReport) -> f64 {
+    let total_macs: u64 = report.layers.iter().map(|l| l.counts.mul).sum();
+    let seconds = report.total_latency().value();
+    let watts = power_report(report).total_average().value();
+    if seconds <= 0.0 || watts <= 0.0 {
+        return 0.0;
+    }
+    #[allow(clippy::cast_precision_loss)]
+    {
+        total_macs as f64 / seconds / watts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::Accelerator;
+    use crate::config::Design;
+    use pixel_dnn::zoo;
+
+    fn report(design: Design) -> NetworkReport {
+        Accelerator::new(AcceleratorConfig::new(design, 4, 16)).evaluate(&zoo::zfnet())
+    }
+
+    #[test]
+    fn ring_census() {
+        let cfg = AcceleratorConfig::new(Design::Oe, 4, 16);
+        // Paper §IV-C: the 4-lane, 4-OMAC design has 128 rings; our
+        // default fabric has 16 tiles → 512.
+        assert_eq!(ring_count(&cfg.with_tiles(4)), 128);
+        assert_eq!(ring_count(&cfg), 512);
+    }
+
+    #[test]
+    fn average_power_is_energy_over_time() {
+        let r = report(Design::Oo);
+        let p = power_report(&r);
+        let expect = r.total_energy().value() / r.total_latency().value();
+        assert!((p.average.value() - expect).abs() < 1e-9 * expect);
+    }
+
+    #[test]
+    fn ee_has_no_photonic_overheads() {
+        let p = power_report(&report(Design::Ee));
+        assert_eq!(p.laser_wall_plug, Power::ZERO);
+        assert_eq!(p.thermal_tuning, Power::ZERO);
+        assert_eq!(p.total_average(), p.average);
+    }
+
+    #[test]
+    fn optical_designs_pay_static_overheads() {
+        let p = power_report(&report(Design::Oo));
+        assert!(p.laser_wall_plug.value() > 0.0);
+        assert!(p.thermal_tuning.value() > 0.0);
+        assert!(p.total_average() > p.average);
+    }
+
+    #[test]
+    fn optical_wins_performance_per_watt() {
+        // The paper's core pitch: better performance-per-watt than the
+        // electrical design.
+        let ee = macs_per_second_per_watt(&report(Design::Ee));
+        let oo = macs_per_second_per_watt(&report(Design::Oo));
+        assert!(oo > ee, "OO {oo:.3e} vs EE {ee:.3e} MAC/s/W");
+        assert!(ee > 0.0);
+    }
+}

@@ -1,0 +1,246 @@
+//! Failure injection: the OO design under receiver amplitude noise.
+//!
+//! The all-optical accumulator's output is a multi-level amplitude
+//! signal, so it is the design most exposed to analog noise — the
+//! comparator ladder must distinguish up to `bits` pulse levels. This
+//! module runs the bit-true OO multiply with Gaussian amplitude noise
+//! injected before the comparator and measures how often the decoded
+//! product is wrong, validating (and bounding) the analytic
+//! per-level error model in `pixel_photonics::noise`.
+
+use crate::omac::OoMac;
+use pixel_electronics::converter::AmplitudeConverter;
+use pixel_photonics::mrr::DoubleMrrFilter;
+use pixel_photonics::noise::AmplitudeNoise;
+use pixel_photonics::signal::PulseTrain;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Outcome of a noisy multiply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NoisyOutcome {
+    /// Decoded to the correct product.
+    Correct,
+    /// Decoded, but to a wrong value.
+    SilentError,
+    /// The comparator ladder flagged an over-range level (detected error).
+    Detected,
+}
+
+/// A noisy variant of the OO optical multiply.
+#[derive(Debug, Clone)]
+pub struct NoisyOoMultiplier {
+    bits: u32,
+    filter: DoubleMrrFilter,
+    chain: pixel_photonics::mzi::MziChain,
+    converter: AmplitudeConverter,
+    noise: AmplitudeNoise,
+}
+
+impl NoisyOoMultiplier {
+    /// Creates a noisy multiplier at `bits` precision with per-slot
+    /// amplitude noise `sigma` (pulse units).
+    #[must_use]
+    pub fn new(bits: u32, sigma: f64) -> Self {
+        let clean = OoMac::new(1, bits);
+        Self {
+            bits,
+            filter: DoubleMrrFilter::default(),
+            chain: clean.chain().clone(),
+            converter: AmplitudeConverter::new(bits),
+            noise: AmplitudeNoise::new(sigma),
+        }
+    }
+
+    /// Performs one noisy multiply, returning the decoded value
+    /// (`None` when the comparator ladder flags over-range).
+    pub fn noisy_product(&self, neuron: u64, synapse: u64, rng: &mut StdRng) -> Option<u64> {
+        let train = PulseTrain::from_bits(neuron, self.bits as usize);
+        let partials: Vec<PulseTrain> = (0..self.bits)
+            .map(|j| self.filter.and(&train, (synapse >> j) & 1 == 1))
+            .collect();
+        let combined = self.chain.accumulate(&partials);
+        let noisy = self.noise.perturb(&combined, || rng.gen::<f64>());
+        let amplitudes: Vec<f64> = noisy.iter().collect();
+        self.converter.decode(&amplitudes).ok()
+    }
+
+    /// Performs one noisy multiply and classifies the outcome.
+    pub fn multiply(&self, neuron: u64, synapse: u64, rng: &mut StdRng) -> NoisyOutcome {
+        match self.noisy_product(neuron, synapse, rng) {
+            None => NoisyOutcome::Detected,
+            Some(v) if v == neuron * synapse => NoisyOutcome::Correct,
+            Some(_) => NoisyOutcome::SilentError,
+        }
+    }
+}
+
+/// Aggregate statistics of a noise sweep point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NoiseSweepPoint {
+    /// Injected noise sigma (pulse units).
+    pub sigma: f64,
+    /// Fraction of multiplies decoded correctly.
+    pub correct_rate: f64,
+    /// Fraction decoded to a wrong value (undetected).
+    pub silent_error_rate: f64,
+    /// Fraction rejected by the ladder (detected).
+    pub detected_rate: f64,
+    /// Analytic per-slot level-error probability for this sigma.
+    pub analytic_slot_error: f64,
+}
+
+/// Monte-Carlo sweep of OO multiply correctness vs noise sigma.
+///
+/// # Panics
+///
+/// Panics if `trials` is zero.
+#[must_use]
+pub fn noise_sweep(bits: u32, sigmas: &[f64], trials: u32, seed: u64) -> Vec<NoiseSweepPoint> {
+    assert!(trials > 0, "need at least one trial");
+    let limit = (1u64 << bits) - 1;
+    sigmas
+        .iter()
+        .map(|&sigma| {
+            let multiplier = NoisyOoMultiplier::new(bits, sigma);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut correct = 0u32;
+            let mut silent = 0u32;
+            let mut detected = 0u32;
+            for _ in 0..trials {
+                let neuron = rng.gen_range(0..=limit);
+                let synapse = rng.gen_range(0..=limit);
+                match multiplier.multiply(neuron, synapse, &mut rng) {
+                    NoisyOutcome::Correct => correct += 1,
+                    NoisyOutcome::SilentError => silent += 1,
+                    NoisyOutcome::Detected => detected += 1,
+                }
+            }
+            let rate = |n: u32| f64::from(n) / f64::from(trials);
+            NoiseSweepPoint {
+                sigma,
+                correct_rate: rate(correct),
+                silent_error_rate: rate(silent),
+                detected_rate: rate(detected),
+                analytic_slot_error: AmplitudeNoise::new(sigma).level_error_probability(),
+            }
+        })
+        .collect()
+}
+
+/// A [`MacEngine`](pixel_dnn::inference::MacEngine) wrapper running every multiply through the noisy OO
+/// path — lets whole classification pipelines be evaluated under receiver
+/// noise (accuracy vs sigma), not just isolated multiplies.
+///
+/// Interior mutability holds the RNG so the engine satisfies the
+/// `&self`-based [`MacEngine`](pixel_dnn::inference::MacEngine) interface; decode failures (detected
+/// errors) conservatively contribute zero to the window sum.
+pub struct NoisyOoEngine {
+    multiplier: NoisyOoMultiplier,
+    rng: std::cell::RefCell<StdRng>,
+}
+
+impl NoisyOoEngine {
+    /// Creates an engine at `bits` precision with noise `sigma`.
+    #[must_use]
+    pub fn new(bits: u32, sigma: f64, seed: u64) -> Self {
+        Self {
+            multiplier: NoisyOoMultiplier::new(bits, sigma),
+            rng: std::cell::RefCell::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+}
+
+impl pixel_dnn::inference::MacEngine for NoisyOoEngine {
+    fn inner_product(&self, neurons: &[u64], synapses: &[u64]) -> u64 {
+        let mut rng = self.rng.borrow_mut();
+        neurons
+            .iter()
+            .zip(synapses)
+            .map(|(&n, &s)| {
+                // Detected over-range levels contribute zero (dropped term).
+                self.multiplier.noisy_product(n, s, &mut rng).unwrap_or_default()
+            })
+            .sum()
+    }
+
+    fn name(&self) -> &str {
+        "OO with receiver noise"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_noise_is_always_correct() {
+        let points = noise_sweep(8, &[0.0], 200, 1);
+        assert!((points[0].correct_rate - 1.0).abs() < 1e-12);
+        assert_eq!(points[0].silent_error_rate, 0.0);
+    }
+
+    #[test]
+    fn small_noise_is_absorbed_by_the_comparators() {
+        // σ = 0.1 pulse units: per-slot error ~6e-7, word error over 8+
+        // slots still ≪ 1%.
+        let points = noise_sweep(8, &[0.1], 500, 2);
+        assert!(points[0].correct_rate > 0.99, "{:?}", points[0]);
+    }
+
+    #[test]
+    fn error_rate_grows_monotonically_with_sigma() {
+        let points = noise_sweep(6, &[0.05, 0.2, 0.4], 400, 3);
+        assert!(points[0].correct_rate >= points[1].correct_rate);
+        assert!(points[1].correct_rate > points[2].correct_rate);
+        assert!(points[2].correct_rate < 0.9, "heavy noise breaks decoding");
+    }
+
+    #[test]
+    fn analytic_model_bounds_small_sigma_word_errors() {
+        // Word error ≤ slots × per-slot error (union bound); verify the
+        // Monte-Carlo rate respects it within statistical slack.
+        let bits = 6u32;
+        let sigma = 0.2;
+        let points = noise_sweep(bits, &[sigma], 2_000, 4);
+        let p = &points[0];
+        let slots = 2.0 * f64::from(bits); // product occupies up to 2b slots
+        let union_bound = slots * p.analytic_slot_error;
+        let word_error = 1.0 - p.correct_rate;
+        assert!(
+            word_error < union_bound * 1.5 + 0.02,
+            "word error {word_error} vs union bound {union_bound}"
+        );
+    }
+
+    #[test]
+    fn detected_errors_appear_at_high_sigma() {
+        // Over-range levels (beyond the ladder) are detected, not silent.
+        let points = noise_sweep(4, &[0.8], 400, 5);
+        assert!(points[0].detected_rate > 0.0, "{:?}", points[0]);
+    }
+
+    #[test]
+    fn noiseless_engine_is_exact() {
+        use pixel_dnn::inference::{DirectMac, MacEngine};
+        let engine = NoisyOoEngine::new(8, 0.0, 1);
+        let n = [12u64, 200, 0, 77];
+        let s = [3u64, 5, 9, 255];
+        assert_eq!(
+            engine.inner_product(&n, &s),
+            DirectMac.inner_product(&n, &s)
+        );
+        assert!(engine.name().contains("noise"));
+    }
+
+    #[test]
+    fn noisy_engine_degrades_gracefully() {
+        use pixel_dnn::inference::{DirectMac, MacEngine};
+        let clean = DirectMac.inner_product(&[10; 16], &[10; 16]);
+        let engine = NoisyOoEngine::new(8, 0.2, 3);
+        let noisy = engine.inner_product(&[10; 16], &[10; 16]);
+        // Bounded relative error at moderate sigma.
+        let rel = (noisy as f64 - clean as f64).abs() / clean as f64;
+        assert!(rel < 0.3, "relative error {rel}");
+    }
+}

@@ -1,0 +1,121 @@
+//! Roofline analysis of the three designs.
+//!
+//! A classical architecture lens the paper doesn't draw but its numbers
+//! imply: each design has a peak MAC throughput (compute roof, set by the
+//! firing-round service time) and a data-delivery bandwidth (set by the
+//! optical or electrical ingress), and a layer's achievable throughput is
+//! the lesser of the compute roof and `bandwidth × arithmetic intensity`.
+//! For STR-style accelerators the arithmetic intensity is fixed by the
+//! dataflow (every delivered word is used once per firing), so the
+//! roofline collapses to a clean min() — but it makes the designs'
+//! bottlenecks comparable at a glance.
+
+use crate::config::{AcceleratorConfig, Design};
+use crate::latency::cycles_per_firing;
+
+/// The two roofs and the resulting bound for one configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Roofline {
+    /// Peak MAC throughput [MAC/s]: fabric-wide firing rate × MACs/firing.
+    pub compute_roof_macs_per_s: f64,
+    /// Ingress bandwidth [bit/s]: lanes × tiles × line rate.
+    pub ingress_bits_per_s: f64,
+    /// MACs per delivered neuron bit (arithmetic intensity of the
+    /// weight-stationary dataflow).
+    pub intensity_macs_per_bit: f64,
+    /// The achievable bound [MAC/s]: `min(compute, bandwidth × intensity)`.
+    pub bound_macs_per_s: f64,
+}
+
+impl Roofline {
+    /// True when the configuration is compute-bound (service time limits),
+    /// false when ingress bandwidth limits.
+    #[must_use]
+    pub fn compute_bound(&self) -> bool {
+        self.compute_roof_macs_per_s <= self.ingress_bits_per_s * self.intensity_macs_per_bit
+    }
+}
+
+/// Computes the roofline of a configuration.
+#[must_use]
+pub fn roofline(config: &AcceleratorConfig) -> Roofline {
+    #[allow(clippy::cast_precision_loss)]
+    let macs_per_firing = config.macs_per_firing() as f64;
+    let firing_rate = config.clocks.electrical_hz / cycles_per_firing(config);
+    let compute_roof = macs_per_firing * firing_rate;
+
+    // Ingress: every lane of every tile carries bits at the design's line
+    // rate (optical clock for OE/OO, electrical for EE).
+    let line_rate = match config.design {
+        Design::Ee => config.clocks.electrical_hz,
+        Design::Oe | Design::Oo => config.clocks.optical_hz,
+    };
+    #[allow(clippy::cast_precision_loss)]
+    let lanes_total = (config.tiles * config.lanes) as f64;
+    let ingress = lanes_total * line_rate;
+
+    // Weight-stationary STR: one MAC consumes one b-bit neuron word.
+    let intensity = 1.0 / config.b();
+
+    let bound = compute_roof.min(ingress * intensity);
+    Roofline {
+        compute_roof_macs_per_s: compute_roof,
+        ingress_bits_per_s: ingress,
+        intensity_macs_per_bit: intensity,
+        bound_macs_per_s: bound,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optical_designs_raise_the_compute_roof_at_moderate_bits() {
+        // At 8 bits/lane the OO design's 4-cycle firings beat EE's 6.
+        let ee = roofline(&AcceleratorConfig::new(Design::Ee, 8, 8));
+        let oo = roofline(&AcceleratorConfig::new(Design::Oo, 8, 8));
+        assert!(oo.compute_roof_macs_per_s > ee.compute_roof_macs_per_s);
+    }
+
+    #[test]
+    fn optical_ingress_is_ten_times_electrical() {
+        let ee = roofline(&AcceleratorConfig::new(Design::Ee, 8, 8));
+        let oe = roofline(&AcceleratorConfig::new(Design::Oe, 8, 8));
+        assert!((oe.ingress_bits_per_s / ee.ingress_bits_per_s - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn optical_designs_are_compute_bound_ee_starves_at_high_bits() {
+        // The 10 GHz optical ingress keeps OE/OO compute-bound across the
+        // whole sweep; EE's electrical ingress becomes the binding roof
+        // past ~8 bits/lane — the introduction's "data movement needs to
+        // be optimized" bottleneck, made quantitative.
+        for bits in [1u32, 4, 8, 16, 32] {
+            for design in [Design::Oe, Design::Oo] {
+                let r = roofline(&AcceleratorConfig::new(design, 8, bits));
+                assert!(r.compute_bound(), "{design} at {bits} bits");
+                assert!(r.bound_macs_per_s > 0.0 && r.bound_macs_per_s.is_finite());
+            }
+        }
+        assert!(roofline(&AcceleratorConfig::new(Design::Ee, 8, 4)).compute_bound());
+        for bits in [8u32, 16, 32] {
+            let r = roofline(&AcceleratorConfig::new(Design::Ee, 8, bits));
+            assert!(!r.compute_bound(), "EE starved at {bits} bits");
+        }
+    }
+
+    #[test]
+    fn bound_is_min_of_the_roofs() {
+        let r = roofline(&AcceleratorConfig::new(Design::Oo, 4, 16));
+        let bw_bound = r.ingress_bits_per_s * r.intensity_macs_per_bit;
+        assert!((r.bound_macs_per_s - r.compute_roof_macs_per_s.min(bw_bound)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn intensity_falls_with_precision() {
+        let narrow = roofline(&AcceleratorConfig::new(Design::Oo, 4, 4));
+        let wide = roofline(&AcceleratorConfig::new(Design::Oo, 4, 32));
+        assert!((narrow.intensity_macs_per_bit / wide.intensity_macs_per_bit - 8.0).abs() < 1e-9);
+    }
+}

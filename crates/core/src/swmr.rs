@@ -1,0 +1,189 @@
+//! SWMR vs MWSR: the photonic-NoC paradigm trade-off (§VI-A).
+//!
+//! The paper notes photonic NoCs choose between multiple-write-single-read
+//! (what PIXEL's home channels use) and single-write-multiple-read
+//! paradigms, "trading off between energy consumption and performance".
+//! This module makes the trade concrete for the OMAC fabric:
+//!
+//! * **MWSR** — every tile modulates its own wavelength block; one reader
+//!   drops the whole multiplexed signal. `N` modulators, one detector per
+//!   wavelength, no splitting loss.
+//! * **SWMR** — one writer broadcasts; every tile taps the line through a
+//!   splitter. One modulator, `N` detector sets, and a `1/N` splitting
+//!   loss the laser must overcome (`10·log₁₀ N` dB extra budget).
+
+use pixel_photonics::link::PhotonicLink;
+use pixel_photonics::signal::PulseTrain;
+use pixel_photonics::waveguide::Waveguide;
+use pixel_units::{Energy, Length, Power};
+
+/// The two broadcast paradigms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Paradigm {
+    /// Multiple writers, single reader (PIXEL's home channels).
+    Mwsr,
+    /// Single writer, multiple readers (broadcast with splitters).
+    Swmr,
+}
+
+/// Device census and optical budget of one line under a paradigm.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LineBudget {
+    /// Paradigm.
+    pub paradigm: Paradigm,
+    /// Tiles on the line.
+    pub tiles: usize,
+    /// Modulator (ring) drive sites.
+    pub modulators: usize,
+    /// Receiver sites.
+    pub receivers: usize,
+    /// Splitting loss in dB (zero for MWSR).
+    pub splitting_loss_db: f64,
+    /// Required laser power per wavelength.
+    pub required_power: Power,
+}
+
+/// Computes a line's budget for `tiles` tiles at `pitch` spacing.
+///
+/// # Panics
+///
+/// Panics if `tiles` is zero.
+#[must_use]
+pub fn line_budget(paradigm: Paradigm, tiles: usize, pitch: Length) -> LineBudget {
+    assert!(tiles > 0, "at least one tile");
+    #[allow(clippy::cast_precision_loss)]
+    let span = Length::new(pitch.value() * tiles as f64);
+    let link = PhotonicLink::paper_default(span);
+    let base_required = link.required_laser_power().value();
+    let (modulators, receivers, splitting_loss_db) = match paradigm {
+        Paradigm::Mwsr => (tiles, 1, 0.0),
+        Paradigm::Swmr => {
+            #[allow(clippy::cast_precision_loss)]
+            let loss = 10.0 * (tiles as f64).log10();
+            (1, tiles, loss)
+        }
+    };
+    let required_power = Power::new(base_required * 10f64.powf(splitting_loss_db / 10.0));
+    LineBudget {
+        paradigm,
+        tiles,
+        modulators,
+        receivers,
+        splitting_loss_db,
+        required_power,
+    }
+}
+
+/// Energy to move one `bits`-bit word to every tile on the line.
+///
+/// MWSR needs one transmission per destination (each reader has its own
+/// line in a full crossbar; on one line the word reaches the single
+/// reader); SWMR reaches all readers in one shot but every receiver burns
+/// detection energy.
+#[must_use]
+pub fn broadcast_energy(paradigm: Paradigm, tiles: usize, bits: usize) -> Energy {
+    let detector = pixel_photonics::photodetector::Photodetector::default();
+    let modulation = pixel_photonics::constants::mrr_energy_per_bit() * (2.0 * bits as f64);
+    match paradigm {
+        Paradigm::Mwsr => {
+            // One transmission per destination tile.
+            #[allow(clippy::cast_precision_loss)]
+            let n = tiles as f64;
+            (modulation + detector.detection_energy(bits)) * n
+        }
+        Paradigm::Swmr => {
+            #[allow(clippy::cast_precision_loss)]
+            let n = tiles as f64;
+            modulation + detector.detection_energy(bits) * n
+        }
+    }
+}
+
+/// Functional SWMR broadcast: one writer's train reaches every tap with
+/// cumulative splitter + waveguide loss applied per hop.
+#[must_use]
+pub fn swmr_broadcast(train: &PulseTrain, tiles: usize, pitch: Length) -> Vec<PulseTrain> {
+    #[allow(clippy::cast_precision_loss)]
+    let per_tap = 1.0 / tiles as f64;
+    (0..tiles)
+        .map(|t| {
+            #[allow(clippy::cast_precision_loss)]
+            let guide = Waveguide::new(Length::new(pitch.value() * (t + 1) as f64));
+            train.attenuated(per_tap * guide.transmission())
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pitch() -> Length {
+        Length::from_millimetres(1.0)
+    }
+
+    #[test]
+    fn device_census() {
+        let mwsr = line_budget(Paradigm::Mwsr, 8, pitch());
+        assert_eq!((mwsr.modulators, mwsr.receivers), (8, 1));
+        assert!(mwsr.splitting_loss_db.abs() < 1e-12);
+
+        let swmr = line_budget(Paradigm::Swmr, 8, pitch());
+        assert_eq!((swmr.modulators, swmr.receivers), (1, 8));
+        assert!((swmr.splitting_loss_db - 9.03).abs() < 0.01);
+    }
+
+    #[test]
+    fn swmr_needs_more_laser_power() {
+        for tiles in [2usize, 4, 16] {
+            let mwsr = line_budget(Paradigm::Mwsr, tiles, pitch());
+            let swmr = line_budget(Paradigm::Swmr, tiles, pitch());
+            #[allow(clippy::cast_precision_loss)]
+            let expect = tiles as f64;
+            let ratio = swmr.required_power / mwsr.required_power;
+            assert!((ratio - expect).abs() < 1e-9, "tiles={tiles}: {ratio}");
+        }
+    }
+
+    #[test]
+    fn swmr_wins_broadcast_energy_mwsr_wins_unicast() {
+        // Broadcasting one word to 16 tiles: SWMR modulates once.
+        let mwsr = broadcast_energy(Paradigm::Mwsr, 16, 8);
+        let swmr = broadcast_energy(Paradigm::Swmr, 16, 8);
+        assert!(swmr < mwsr, "SWMR broadcast cheaper: {swmr} vs {mwsr}");
+        // Unicast (1 destination): identical device activity.
+        let m1 = broadcast_energy(Paradigm::Mwsr, 1, 8);
+        let s1 = broadcast_energy(Paradigm::Swmr, 1, 8);
+        assert!((m1.value() - s1.value()).abs() < 1e-24);
+    }
+
+    #[test]
+    fn functional_swmr_taps_decode_with_headroom() {
+        let train = PulseTrain::from_bits(0b1011, 4);
+        let taps = swmr_broadcast(&train, 4, pitch());
+        assert_eq!(taps.len(), 4);
+        // Each tap sees 1/4 power minus waveguide loss, same bit pattern.
+        for tap in &taps {
+            let scaled: Vec<u32> = tap
+                .iter()
+                .map(|a| u32::from(a > 0.1)) // receiver threshold at 0.1 of a pulse
+                .collect();
+            assert_eq!(scaled, vec![1, 1, 0, 1]);
+        }
+        assert!(taps[3].total_power() < taps[0].total_power());
+    }
+
+    #[test]
+    fn paradigm_crossover_matches_paper_tradeoff() {
+        // §VI-A: the paradigms trade energy against performance. For the
+        // OMAC broadcast pattern (every neuron reaches all tiles), SWMR's
+        // modulator savings beat MWSR as soon as there is more than one
+        // destination.
+        let cross = (2..32)
+            .find(|&t| {
+                broadcast_energy(Paradigm::Swmr, t, 8) < broadcast_energy(Paradigm::Mwsr, t, 8)
+            })
+            .unwrap();
+        assert_eq!(cross, 2);
+    }
+}

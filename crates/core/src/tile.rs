@@ -1,0 +1,129 @@
+//! One PIXEL tile: weight register file + functional OMAC + fire path.
+//!
+//! Fig. 3: each OMAC tile holds an RF for filter weight storage and the
+//! MAC unit; synapses are pre-loaded and neurons arrive as timed optical
+//! firings. The tile here is the *functional* composition — it stores
+//! weights in the electrical register file and computes windows through
+//! the design's bit-true MAC engine.
+
+use crate::config::AcceleratorConfig;
+use crate::omac::engine_for;
+use pixel_dnn::inference::MacEngine;
+use pixel_electronics::register::RegisterFile;
+
+/// A functional PIXEL tile.
+pub struct Tile {
+    config: AcceleratorConfig,
+    weights: RegisterFile,
+    engine: Box<dyn MacEngine>,
+}
+
+impl std::fmt::Debug for Tile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tile")
+            .field("config", &self.config)
+            .field("weights", &self.weights.len())
+            .field("engine", &self.engine.name())
+            .finish()
+    }
+}
+
+impl Tile {
+    /// Creates a tile with storage for `filter_size` synapse words.
+    #[must_use]
+    pub fn new(config: AcceleratorConfig, filter_size: usize) -> Self {
+        let width = config.bits_per_lane.min(32);
+        Self {
+            config,
+            weights: RegisterFile::new(filter_size, width),
+            engine: engine_for(&config),
+        }
+    }
+
+    /// The tile's configuration.
+    #[must_use]
+    pub fn config(&self) -> &AcceleratorConfig {
+        &self.config
+    }
+
+    /// Pre-loads filter weights into the register file (paper: "the
+    /// synapses are pre-loaded into the OMAC").
+    ///
+    /// # Panics
+    ///
+    /// Panics if more weights than the RF holds are supplied.
+    pub fn load_weights(&mut self, weights: &[u64]) {
+        self.weights.load(weights);
+    }
+
+    /// Number of weights stored.
+    #[must_use]
+    pub fn filter_size(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Computes one window: the inner product of the fired neurons
+    /// against the pre-loaded weights, through the design's MAC engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `neurons.len()` exceeds the stored filter size.
+    #[must_use]
+    pub fn fire(&self, neurons: &[u64]) -> u64 {
+        assert!(
+            neurons.len() <= self.weights.len(),
+            "firing {} neurons into a {}-weight filter",
+            neurons.len(),
+            self.weights.len()
+        );
+        let synapses: Vec<u64> = (0..neurons.len()).map(|i| self.weights.read(i)).collect();
+        self.engine.inner_product(neurons, &synapses)
+    }
+
+    /// The MAC engine's name (design identification).
+    #[must_use]
+    pub fn engine_name(&self) -> &str {
+        self.engine.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Design;
+
+    #[test]
+    fn tile_computes_window_through_each_design() {
+        for design in Design::ALL {
+            let cfg = AcceleratorConfig::new(design, 4, 8);
+            let mut tile = Tile::new(cfg, 8);
+            tile.load_weights(&[1, 2, 3, 4, 5, 6, 7, 8]);
+            let out = tile.fire(&[10, 20, 30, 40, 50, 60, 70, 80]);
+            let expected: u64 = (1..=8u64).map(|i| i * i * 10).sum();
+            assert_eq!(out, expected, "{design}");
+        }
+    }
+
+    #[test]
+    fn partial_window_uses_prefix_weights() {
+        let mut tile = Tile::new(AcceleratorConfig::new(Design::Oe, 4, 8), 4);
+        tile.load_weights(&[9, 9, 9, 9]);
+        assert_eq!(tile.fire(&[1, 1]), 18);
+    }
+
+    #[test]
+    #[should_panic(expected = "firing")]
+    fn overfiring_panics() {
+        let tile = Tile::new(AcceleratorConfig::new(Design::Ee, 4, 8), 2);
+        let _ = tile.fire(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn debug_shows_engine() {
+        let tile = Tile::new(AcceleratorConfig::new(Design::Oo, 4, 8), 2);
+        let dbg = format!("{tile:?}");
+        assert!(dbg.contains("OO"));
+        assert_eq!(tile.filter_size(), 2);
+        assert!(tile.engine_name().contains("MZI"));
+    }
+}

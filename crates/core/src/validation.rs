@@ -1,0 +1,121 @@
+//! Cross-model consistency: the analytic energy model checked against
+//! counted device activity from the bit-true engines.
+//!
+//! The energy model charges an optical multiply `2·K_MRR·b²` from a
+//! closed form. [`reconcile_optical_multiply`] instead *runs* the
+//! functional engine, reads its [`crate::omac::ActivityCounter`], prices
+//! each counted event at the device constants, and reports both numbers —
+//! turning "the model and the simulation agree" from an assumption into a
+//! measured statement.
+
+use crate::calibration as cal;
+use crate::config::{AcceleratorConfig, Design};
+use crate::energy::OperationEnergies;
+use crate::omac::{OeMac, OoMac};
+use pixel_dnn::inference::MacEngine;
+use pixel_units::Energy;
+
+/// Both sides of the multiply-energy reconciliation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MultiplyReconciliation {
+    /// Multiplies executed.
+    pub multiplies: u64,
+    /// MRR bit-slots the functional engine actually performed.
+    pub counted_mrr_slots: u64,
+    /// Energy from pricing the counted slots (2 rings × K_MRR each).
+    pub activity_priced: Energy,
+    /// Energy the analytic model charges for the same multiplies.
+    pub model_charged: Energy,
+}
+
+impl MultiplyReconciliation {
+    /// Ratio of activity-priced to model-charged energy (1.0 = exact
+    /// agreement).
+    #[must_use]
+    pub fn agreement(&self) -> f64 {
+        self.activity_priced / self.model_charged
+    }
+}
+
+/// Runs `multiplies` random-free full-scale multiplies through the given
+/// optical design's functional engine and reconciles the multiply energy.
+///
+/// # Panics
+///
+/// Panics for the EE design (no optical multiply to reconcile) or if
+/// `multiplies` is zero.
+#[must_use]
+pub fn reconcile_optical_multiply(
+    design: Design,
+    lanes: usize,
+    bits: u32,
+    multiplies: usize,
+) -> MultiplyReconciliation {
+    assert!(multiplies > 0, "need at least one multiply");
+    assert!(design.is_optical(), "EE has no optical multiply");
+    // Full lanes so padding doesn't inflate the count.
+    let count = multiplies.div_ceil(lanes) * lanes;
+    let limit = (1u64 << bits) - 1;
+    let neurons: Vec<u64> = vec![limit; count];
+    let synapses: Vec<u64> = vec![limit; count];
+
+    let counted = match design {
+        Design::Oe => {
+            let mac = OeMac::new(lanes, bits);
+            let _ = mac.inner_product(&neurons, &synapses);
+            mac.activity().mrr_slots()
+        }
+        Design::Oo => {
+            let mac = OoMac::new(lanes, bits);
+            let _ = mac.inner_product(&neurons, &synapses);
+            mac.activity().mrr_slots()
+        }
+        Design::Ee => unreachable!(),
+    };
+
+    #[allow(clippy::cast_precision_loss)]
+    let priced = cal::pj(2.0 * cal::K_MRR_PJ_PER_BIT) * counted as f64;
+    let ops = OperationEnergies::for_config(&AcceleratorConfig::new(design, lanes, bits));
+    #[allow(clippy::cast_precision_loss)]
+    let charged = ops.mul * count as f64;
+
+    MultiplyReconciliation {
+        multiplies: count as u64,
+        counted_mrr_slots: counted,
+        activity_priced: priced,
+        model_charged: charged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oe_multiply_energy_reconciles_exactly() {
+        for (lanes, bits) in [(4usize, 8u32), (2, 4), (8, 16)] {
+            let r = reconcile_optical_multiply(Design::Oe, lanes, bits, 12);
+            assert!(
+                (r.agreement() - 1.0).abs() < 1e-12,
+                "lanes={lanes} bits={bits}: agreement {}",
+                r.agreement()
+            );
+            assert_eq!(
+                r.counted_mrr_slots,
+                r.multiplies * u64::from(bits) * u64::from(bits)
+            );
+        }
+    }
+
+    #[test]
+    fn oo_multiply_energy_reconciles_exactly() {
+        let r = reconcile_optical_multiply(Design::Oo, 4, 8, 8);
+        assert!((r.agreement() - 1.0).abs() < 1e-12, "{}", r.agreement());
+    }
+
+    #[test]
+    #[should_panic(expected = "optical")]
+    fn ee_is_rejected() {
+        let _ = reconcile_optical_multiply(Design::Ee, 4, 8, 4);
+    }
+}

@@ -1,0 +1,149 @@
+//! Photonic weight pre-loading.
+//!
+//! §III-C(i): "While filter weights need to be pre-loaded to drive the
+//! MRRs, photonics could also be utilized to send the weight information
+//! on a specific channel to OMACs." The paper leaves this unevaluated;
+//! this module models it: weights stream from an on-chip SRAM through an
+//! E/O modulator onto a dedicated WDM channel per tile, are recovered at
+//! the tile and latched into its register file. Reported per layer so the
+//! setup phase can be compared against the compute phase it enables.
+
+use crate::config::AcceleratorConfig;
+use pixel_dnn::layer::Layer;
+use pixel_dnn::network::Network;
+use pixel_electronics::register::GATES_PER_FLIPFLOP;
+use pixel_electronics::sram::SramMacro;
+use pixel_electronics::technology::Technology;
+use pixel_photonics::constants;
+use pixel_units::{Energy, Time};
+
+/// Cost of pre-loading one layer's weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightLoadReport {
+    /// Layer name.
+    pub layer: String,
+    /// Weight words streamed.
+    pub words: usize,
+    /// Total pre-load energy (SRAM read + modulation + detection + latch).
+    pub energy: Energy,
+    /// Pre-load latency at one word per tile-channel per electrical cycle.
+    pub latency: Time,
+}
+
+/// Per-word streaming energy under `config`: SRAM read, MRR modulation of
+/// `b` bits, receiver detection, register-file latch.
+#[must_use]
+pub fn energy_per_word(config: &AcceleratorConfig) -> Energy {
+    let tech = Technology::bulk22lvt();
+    let bits = f64::from(config.bits_per_lane);
+    let sram = SramMacro::new(1024, config.bits_per_lane.min(64));
+    let read = sram.access_energy(&tech);
+    let modulate = constants::mrr_energy_per_bit() * (2.0 * bits);
+    let detect = pixel_photonics::photodetector::Photodetector::default()
+        .detection_energy(config.bits_per_lane as usize);
+    let latch = tech.energy_per_gate_switch * (bits * GATES_PER_FLIPFLOP as f64);
+    read + modulate + detect + latch
+}
+
+/// Pre-load cost of one layer: every weight word crosses the channel once.
+#[must_use]
+pub fn layer_weight_load(config: &AcceleratorConfig, layer: &Layer) -> WeightLoadReport {
+    let words = layer.weight_count();
+    #[allow(clippy::cast_precision_loss)]
+    let energy = energy_per_word(config) * words as f64;
+    // One word per tile channel per electrical cycle.
+    let cycles = words.div_ceil(config.tiles) as f64;
+    WeightLoadReport {
+        layer: layer.name.clone(),
+        words,
+        energy,
+        latency: Time::new(cycles * config.clocks.electrical_period()),
+    }
+}
+
+/// Pre-load cost of a whole network (compute layers only).
+#[must_use]
+pub fn network_weight_load(config: &AcceleratorConfig, network: &Network) -> Vec<WeightLoadReport> {
+    network
+        .compute_layers()
+        .map(|l| layer_weight_load(config, l))
+        .collect()
+}
+
+/// Totals across a network: `(total_energy, total_latency, total_words)`.
+#[must_use]
+pub fn totals(reports: &[WeightLoadReport]) -> (Energy, Time, usize) {
+    (
+        reports.iter().map(|r| r.energy).sum(),
+        reports.iter().map(|r| r.latency).sum(),
+        reports.iter().map(|r| r.words).sum(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accelerator::Accelerator;
+    use crate::config::Design;
+    use pixel_dnn::zoo;
+
+    fn cfg() -> AcceleratorConfig {
+        AcceleratorConfig::new(Design::Oo, 4, 16)
+    }
+
+    #[test]
+    fn word_energy_is_dominated_by_modulation() {
+        let e = energy_per_word(&cfg());
+        // 2 rings × 100 fJ × 16 bits = 3.2 pJ; the rest is sub-pJ.
+        assert!(e.as_picojoules() > 3.0 && e.as_picojoules() < 10.0, "{e}");
+    }
+
+    #[test]
+    fn layer_load_counts_weights() {
+        let net = zoo::lenet();
+        let conv1 = net.layers().iter().find(|l| l.name == "Conv1").unwrap();
+        let r = layer_weight_load(&cfg(), conv1);
+        assert_eq!(r.words, 6 * 25);
+        assert!(r.energy.value() > 0.0 && r.latency.value() > 0.0);
+    }
+
+    #[test]
+    fn network_totals_sum_layers() {
+        let reports = network_weight_load(&cfg(), &zoo::lenet());
+        assert_eq!(reports.len(), 5);
+        let (e, t, w) = totals(&reports);
+        assert_eq!(w, zoo::lenet().total_weights());
+        assert!(e.value() > 0.0 && t.value() > 0.0);
+    }
+
+    #[test]
+    fn preload_is_small_next_to_compute_for_conv_nets() {
+        // Convolutional reuse: weights are loaded once but used E² times,
+        // so pre-load energy must be a small fraction of compute energy.
+        let config = cfg();
+        let net = zoo::vgg16();
+        let (pre_e, pre_t, _) = totals(&network_weight_load(&config, &net));
+        let compute = Accelerator::new(config).evaluate(&net);
+        assert!(
+            pre_e.value() < 0.01 * compute.total_energy().value(),
+            "pre-load {} vs compute {}",
+            pre_e.as_millijoules(),
+            compute.total_energy().as_millijoules()
+        );
+        assert!(pre_t.value() < 0.05 * compute.total_latency().value());
+    }
+
+    #[test]
+    fn fc_heavy_layers_pay_more_preload_per_compute() {
+        // FC weights are used once each — pre-load matters relatively more.
+        let config = cfg();
+        let net = zoo::vgg16();
+        let conv = net.layers().iter().find(|l| l.name == "Conv2").unwrap();
+        let fc = net.layers().iter().find(|l| l.name == "FC2").unwrap();
+        let conv_ratio = layer_weight_load(&config, conv).words as f64
+            / (conv.output_shape().elements() as f64);
+        let fc_ratio =
+            layer_weight_load(&config, fc).words as f64 / (fc.output_shape().elements() as f64);
+        assert!(fc_ratio > conv_ratio);
+    }
+}

@@ -1,0 +1,206 @@
+//! Synthetic labelled dataset generation.
+//!
+//! The paper evaluates inference cost, not accuracy, so no dataset ships
+//! with it. For end-to-end experiments (and the quantization-robustness
+//! study) we generate a deterministic synthetic "digit" set: each class
+//! is a distinct geometric glyph (bars, crosses, boxes) plus seeded
+//! noise, rendered at any resolution — enough structure that a small CNN
+//! separates classes, with zero external data dependencies.
+
+use crate::layer::Shape;
+use crate::quant::Precision;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A labelled example.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Example {
+    /// Input image.
+    pub image: Tensor,
+    /// Class label in `0..classes`.
+    pub label: usize,
+}
+
+/// Deterministic synthetic glyph dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlyphDataset {
+    size: usize,
+    classes: usize,
+    noise_level: u64,
+    precision: Precision,
+}
+
+impl GlyphDataset {
+    /// Creates a generator for `size × size` single-channel images with
+    /// `classes` glyph classes (max 8) at the given activation precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size < 8` or `classes` is 0 or exceeds 8.
+    #[must_use]
+    pub fn new(size: usize, classes: usize, precision: Precision) -> Self {
+        assert!(size >= 8, "glyphs need at least 8×8 pixels");
+        assert!((1..=8).contains(&classes), "1..=8 classes supported");
+        Self {
+            size,
+            classes,
+            noise_level: precision.max_value() / 4,
+            precision,
+        }
+    }
+
+    /// Image side length.
+    #[must_use]
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// Number of classes.
+    #[must_use]
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Whether pixel `(h, w)` belongs to the glyph of `class` on an
+    /// `n × n` canvas.
+    fn glyph_pixel(&self, class: usize, h: usize, w: usize) -> bool {
+        let n = self.size;
+        let mid = n / 2;
+        let band = (n / 8).max(1);
+        let near = |a: usize, b: usize| a.abs_diff(b) < band;
+        match class {
+            0 => near(h, mid),                                // horizontal bar
+            1 => near(w, mid),                                // vertical bar
+            2 => near(h, w),                                  // main diagonal
+            3 => near(h + w, n - 1),                          // anti-diagonal
+            4 => near(h, mid) || near(w, mid),                // cross
+            5 => h < band || h >= n - band || w < band || w >= n - band, // box
+            6 => near(h, mid) && w >= mid,                    // half bar
+            7 => (h / (2 * band)).is_multiple_of(2),          // stripes
+            _ => false,
+        }
+    }
+
+    /// Renders one example: glyph pixels at full scale, background at
+    /// zero, plus uniform noise up to a quarter of full scale.
+    #[must_use]
+    pub fn example(&self, label: usize, seed: u64) -> Example {
+        assert!(label < self.classes, "label out of range");
+        let mut rng = StdRng::seed_from_u64(seed ^ (label as u64).wrapping_mul(0x9E37_79B9));
+        let full = self.precision.max_value();
+        let image = Tensor::from_fn(Shape::square(self.size, 1), |h, w, _| {
+            let base = if self.glyph_pixel(label, h, w) { full } else { 0 };
+            let noise = rng.gen_range(0..=self.noise_level);
+            self.precision.clamp(base.saturating_add(noise))
+        });
+        Example { image, label }
+    }
+
+    /// Generates a balanced batch of `per_class` examples per class.
+    #[must_use]
+    pub fn batch(&self, per_class: usize, seed: u64) -> Vec<Example> {
+        let mut out = Vec::with_capacity(per_class * self.classes);
+        for label in 0..self.classes {
+            for i in 0..per_class {
+                out.push(self.example(label, seed.wrapping_add(i as u64 * 7919)));
+            }
+        }
+        out
+    }
+}
+
+/// Classifies by matched filtering: correlate the image against each
+/// class's clean glyph template and pick the argmax. Used as a
+/// weight-free "network" for end-to-end accuracy experiments: templates
+/// are the FC weights of a one-layer linear classifier.
+#[must_use]
+pub fn template_weights(dataset: &GlyphDataset) -> Vec<Vec<u64>> {
+    (0..dataset.classes())
+        .map(|class| {
+            let mut w = Vec::with_capacity(dataset.size() * dataset.size());
+            for h in 0..dataset.size() {
+                for x in 0..dataset.size() {
+                    w.push(u64::from(dataset.glyph_pixel(class, h, x)));
+                }
+            }
+            w
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference::{DirectMac, MacEngine};
+    use crate::metrics::argmax;
+
+    fn dataset() -> GlyphDataset {
+        GlyphDataset::new(16, 6, Precision::new(4))
+    }
+
+    #[test]
+    fn examples_are_deterministic() {
+        let d = dataset();
+        assert_eq!(d.example(2, 42), d.example(2, 42));
+        assert_ne!(d.example(2, 42), d.example(2, 43));
+    }
+
+    #[test]
+    fn batches_are_balanced() {
+        let d = dataset();
+        let batch = d.batch(5, 1);
+        assert_eq!(batch.len(), 30);
+        for label in 0..6 {
+            assert_eq!(batch.iter().filter(|e| e.label == label).count(), 5);
+        }
+    }
+
+    #[test]
+    fn glyph_classes_are_distinct() {
+        let d = dataset();
+        let templates = template_weights(&d);
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                assert_ne!(templates[a], templates[b], "classes {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn matched_filter_classifies_clean_batch() {
+        let d = dataset();
+        let templates = template_weights(&d);
+        let mut correct = 0;
+        let batch = d.batch(8, 3);
+        for ex in &batch {
+            let flat = ex.image.to_flat();
+            // Cosine-style normalization (÷√mass) separates glyphs that
+            // are subsets of one another (a bar inside the cross).
+            let scores: Vec<u64> = templates
+                .iter()
+                .map(|t| {
+                    let mass: u64 = t.iter().sum();
+                    #[allow(clippy::cast_precision_loss)]
+                    let normalized = DirectMac.inner_product(&flat, t) as f64
+                        / (mass.max(1) as f64).sqrt();
+                    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                    {
+                        (normalized * 1000.0) as u64
+                    }
+                })
+                .collect();
+            if argmax(&scores) == ex.label {
+                correct += 1;
+            }
+        }
+        let accuracy = f64::from(correct) / batch.len() as f64;
+        assert!(accuracy > 0.9, "matched filter accuracy {accuracy}");
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn label_bounds_checked() {
+        let _ = dataset().example(6, 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! im2col convolution lowering.
+//!
+//! Accelerators (and the paper's MVM framing) view a convolution as a
+//! matrix-vector product per output position: the receptive field is
+//! unrolled into a column and multiplied against the unrolled kernels.
+//! This module provides that lowering as an alternative execution path to
+//! [`crate::inference::conv2d`], verified equivalent — which is exactly
+//! the `N_MVM = E²MC` accounting the analysis uses.
+
+use crate::inference::{LayerWeights, MacEngine, ShapeError};
+use crate::layer::{Layer, LayerKind, Shape};
+use crate::tensor::Tensor;
+
+/// The unrolled patch matrix of one convolution input: row `p` holds the
+/// receptive field of output position `p` (`E²` rows of `R²·C` values).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatchMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<u64>,
+}
+
+impl PatchMatrix {
+    /// Number of patches (`E²`).
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Patch length (`R²·C`).
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// One patch row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    #[must_use]
+    pub fn row(&self, row: usize) -> &[u64] {
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+}
+
+/// Unrolls `input` for `layer` into a patch matrix.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] if the input does not match the layer.
+///
+/// # Panics
+///
+/// Panics if `layer` is not a convolution.
+pub fn im2col(layer: &Layer, input: &Tensor) -> Result<PatchMatrix, ShapeError> {
+    let LayerKind::Conv {
+        kernel,
+        stride,
+        padding,
+        ..
+    } = layer.kind
+    else {
+        panic!("im2col requires a convolution layer");
+    };
+    if input.shape() != layer.input {
+        return Err(ShapeError {
+            layer: layer.name.clone(),
+            got: input.shape(),
+            want: layer.input,
+        });
+    }
+    let e = layer.output_feature_size();
+    let channels = layer.input.c;
+    let cols = kernel * kernel * channels;
+    let mut data = Vec::with_capacity(e * e * cols);
+    for oh in 0..e {
+        for ow in 0..e {
+            for kh in 0..kernel {
+                for kw in 0..kernel {
+                    #[allow(clippy::cast_possible_wrap)]
+                    let ih = (oh * stride + kh) as isize - padding as isize;
+                    #[allow(clippy::cast_possible_wrap)]
+                    let iw = (ow * stride + kw) as isize - padding as isize;
+                    for c in 0..channels {
+                        data.push(input.get_padded(ih, iw, c));
+                    }
+                }
+            }
+        }
+    }
+    Ok(PatchMatrix {
+        rows: e * e,
+        cols,
+        data,
+    })
+}
+
+/// Executes a convolution as `E²` matrix-vector products over the patch
+/// matrix — the paper's MVM view of a conv layer.
+///
+/// # Errors
+///
+/// Returns [`ShapeError`] on input mismatch.
+///
+/// # Panics
+///
+/// Panics if `layer` is not a convolution or `weights` are not conv
+/// weights.
+pub fn conv2d_im2col(
+    layer: &Layer,
+    input: &Tensor,
+    weights: &LayerWeights,
+    engine: &dyn MacEngine,
+) -> Result<Tensor, ShapeError> {
+    let LayerKind::Conv { filters, .. } = layer.kind else {
+        panic!("conv2d_im2col requires a convolution layer");
+    };
+    let patches = im2col(layer, input)?;
+    let e = layer.output_feature_size();
+    let mut out = Tensor::zeros(Shape::square(e, filters));
+    let LayerWeights::Conv {
+        kernel,
+        channels,
+        data,
+        ..
+    } = weights
+    else {
+        panic!("conv weights required");
+    };
+    let klen = kernel * kernel * channels;
+    for p in 0..patches.rows() {
+        let (oh, ow) = (p / e, p % e);
+        for m in 0..filters {
+            let kern = &data[m * klen..(m + 1) * klen];
+            let v = engine.inner_product(patches.row(p), kern);
+            out.set(oh, ow, m, v);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inference::{conv2d, DirectMac};
+    use rand::{Rng, SeedableRng};
+
+    fn random_tensor(shape: Shape, seed: u64) -> Tensor {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Tensor::from_fn(shape, |_, _, _| rng.gen_range(0..16))
+    }
+
+    #[test]
+    fn patch_matrix_dimensions() {
+        let layer = Layer::conv("c", Shape::square(6, 3), 4, 3, 1);
+        let input = random_tensor(Shape::square(6, 3), 1);
+        let patches = im2col(&layer, &input).unwrap();
+        assert_eq!(patches.rows(), 4 * 4);
+        assert_eq!(patches.cols(), 9 * 3);
+    }
+
+    #[test]
+    fn first_patch_is_top_left_window() {
+        let layer = Layer::conv("c", Shape::square(4, 1), 1, 2, 1);
+        let input = Tensor::from_fn(Shape::square(4, 1), |h, w, _| (h * 4 + w) as u64);
+        let patches = im2col(&layer, &input).unwrap();
+        assert_eq!(patches.row(0), &[0, 1, 4, 5]);
+    }
+
+    #[test]
+    fn im2col_matches_direct_conv() {
+        for (h, c, m, r, u, p) in [
+            (8, 2, 3, 3, 1, 0),
+            (9, 1, 2, 3, 2, 0),
+            (6, 3, 4, 3, 1, 1),
+            (5, 2, 2, 5, 1, 2),
+        ] {
+            let layer = Layer::conv_padded("c", Shape::square(h, c), m, r, u, p);
+            let input = random_tensor(Shape::square(h, c), 7);
+            let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+            let weights = LayerWeights::generate(&layer, || rng.gen_range(0..16));
+            let direct = conv2d(&layer, &input, &weights, &DirectMac).unwrap();
+            let lowered = conv2d_im2col(&layer, &input, &weights, &DirectMac).unwrap();
+            assert_eq!(direct, lowered, "h={h} c={c} m={m} r={r} u={u} p={p}");
+        }
+    }
+
+    #[test]
+    fn patch_count_equals_paper_mvm_per_filter_channel() {
+        // N_MVM = E²·M·C; the patch matrix has E² rows, each reused for
+        // all M filters and covering all C channels.
+        use crate::analysis::{analyze_layer, FcCountConvention};
+        let layer = Layer::conv("c", Shape::square(10, 8), 4, 3, 1);
+        let input = random_tensor(Shape::square(10, 8), 3);
+        let patches = im2col(&layer, &input).unwrap();
+        let counts = analyze_layer(&layer, FcCountConvention::Paper);
+        assert_eq!(
+            counts.mvm,
+            (patches.rows() * 4 * 8) as u64,
+            "E² rows × M × C"
+        );
+    }
+
+    #[test]
+    fn shape_mismatch_reported() {
+        let layer = Layer::conv("c", Shape::square(6, 3), 4, 3, 1);
+        let input = random_tensor(Shape::square(5, 3), 1);
+        assert!(im2col(&layer, &input).is_err());
+    }
+}

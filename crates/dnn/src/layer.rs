@@ -1,0 +1,287 @@
+//! Layer specifications.
+//!
+//! Each layer carries its own explicit input shape, mirroring how the
+//! paper's Table I presents networks. The paper sometimes bakes padding
+//! into the listed input shape (VGG16 Conv2 = `[226,226,64]`, padding 0)
+//! and sometimes relies on same-padding without listing it (VGG16 Conv1 =
+//! `[224,224,3]` yet `E = 224`); the explicit `padding` field lets us
+//! encode both conventions faithfully.
+
+use std::fmt;
+
+/// A `height × width × channels` feature-map shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Shape {
+    /// Feature height (paper's `H`).
+    pub h: usize,
+    /// Feature width.
+    pub w: usize,
+    /// Channels (paper's `C`).
+    pub c: usize,
+}
+
+impl Shape {
+    /// Creates a shape.
+    #[must_use]
+    pub const fn new(h: usize, w: usize, c: usize) -> Self {
+        Self { h, w, c }
+    }
+
+    /// A square shape `[s, s, c]`.
+    #[must_use]
+    pub const fn square(s: usize, c: usize) -> Self {
+        Self::new(s, s, c)
+    }
+
+    /// A flat vector shape `[n]` represented as `[1, 1, n]`.
+    #[must_use]
+    pub const fn flat(n: usize) -> Self {
+        Self::new(1, 1, n)
+    }
+
+    /// Total element count.
+    #[must_use]
+    pub const fn elements(&self) -> usize {
+        self.h * self.w * self.c
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.h == 1 && self.w == 1 {
+            write!(f, "[{}]", self.c)
+        } else {
+            write!(f, "[{},{},{}]", self.h, self.w, self.c)
+        }
+    }
+}
+
+/// Pooling flavor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PoolKind {
+    /// Max pooling.
+    Max,
+    /// Average pooling.
+    Average,
+}
+
+/// What a layer computes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LayerKind {
+    /// Convolution with `filters` kernels of `kernel × kernel`, applied at
+    /// `stride` with `padding` zeros on each border (paper's `M`, `R`, `U`).
+    Conv {
+        /// Number of filters `M`.
+        filters: usize,
+        /// Kernel size `R`.
+        kernel: usize,
+        /// Stride `U`.
+        stride: usize,
+        /// Zero padding per border.
+        padding: usize,
+    },
+    /// Fully-connected layer producing `outputs` neurons.
+    Fc {
+        /// Output neuron count.
+        outputs: usize,
+    },
+    /// Pooling with `kernel × kernel` windows at `stride`.
+    Pool {
+        /// Window size.
+        kernel: usize,
+        /// Stride.
+        stride: usize,
+        /// Max or average.
+        kind: PoolKind,
+    },
+}
+
+/// One network layer: a kind plus its explicit input shape and a label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layer {
+    /// Human-readable name ("Conv1", "FC2", …).
+    pub name: String,
+    /// Input feature-map shape as the paper tabulates it.
+    pub input: Shape,
+    /// The computation.
+    pub kind: LayerKind,
+}
+
+impl Layer {
+    /// Creates an unpadded convolution layer (the common case for layers
+    /// whose tabulated input shape already includes padding).
+    #[must_use]
+    pub fn conv(
+        name: impl Into<String>,
+        input: Shape,
+        filters: usize,
+        kernel: usize,
+        stride: usize,
+    ) -> Self {
+        Self::conv_padded(name, input, filters, kernel, stride, 0)
+    }
+
+    /// Creates a convolution layer with explicit border padding.
+    #[must_use]
+    pub fn conv_padded(
+        name: impl Into<String>,
+        input: Shape,
+        filters: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            input,
+            kind: LayerKind::Conv {
+                filters,
+                kernel,
+                stride,
+                padding,
+            },
+        }
+    }
+
+    /// Creates a fully-connected layer on a flat input of `inputs` neurons.
+    #[must_use]
+    pub fn fc(name: impl Into<String>, inputs: usize, outputs: usize) -> Self {
+        Self {
+            name: name.into(),
+            input: Shape::flat(inputs),
+            kind: LayerKind::Fc { outputs },
+        }
+    }
+
+    /// Creates a pooling layer.
+    #[must_use]
+    pub fn pool(
+        name: impl Into<String>,
+        input: Shape,
+        kernel: usize,
+        stride: usize,
+        kind: PoolKind,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            input,
+            kind: LayerKind::Pool {
+                kernel,
+                stride,
+                kind,
+            },
+        }
+    }
+
+    /// Output feature size per Eq. 11, `E = ⌊(H + 2·pad − R + U)/U⌋`, for
+    /// conv and pool layers; 1 for fully-connected.
+    #[must_use]
+    pub fn output_feature_size(&self) -> usize {
+        match self.kind {
+            LayerKind::Conv {
+                kernel,
+                stride,
+                padding,
+                ..
+            } => {
+                debug_assert!(stride > 0, "stride must be positive");
+                ((self.input.h + 2 * padding).saturating_sub(kernel) + stride) / stride
+            }
+            LayerKind::Pool { kernel, stride, .. } => {
+                debug_assert!(stride > 0, "stride must be positive");
+                (self.input.h.saturating_sub(kernel) + stride) / stride
+            }
+            LayerKind::Fc { .. } => 1,
+        }
+    }
+
+    /// Output shape of the layer.
+    #[must_use]
+    pub fn output_shape(&self) -> Shape {
+        let e = self.output_feature_size();
+        match self.kind {
+            LayerKind::Conv { filters, .. } => Shape::square(e, filters),
+            LayerKind::Pool { .. } => Shape::square(e, self.input.c),
+            LayerKind::Fc { outputs } => Shape::flat(outputs),
+        }
+    }
+
+    /// True for layers that perform MACs (conv and fully-connected).
+    #[must_use]
+    pub fn is_compute(&self) -> bool {
+        !matches!(self.kind, LayerKind::Pool { .. })
+    }
+
+    /// Number of weights the layer stores.
+    #[must_use]
+    pub fn weight_count(&self) -> usize {
+        match self.kind {
+            LayerKind::Conv {
+                filters, kernel, ..
+            } => filters * kernel * kernel * self.input.c,
+            LayerKind::Fc { outputs } => self.input.elements() * outputs,
+            LayerKind::Pool { .. } => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq11_output_feature_size() {
+        // VGG16 Conv1 as tabulated: [224,224,3] with same-padding → E = 224.
+        let conv = Layer::conv_padded("c", Shape::square(224, 3), 64, 3, 1, 1);
+        assert_eq!(conv.output_feature_size(), 224);
+
+        // VGG16 Conv2 as tabulated: padding baked into [226,226,64].
+        let conv2 = Layer::conv("c", Shape::square(226, 64), 64, 3, 1);
+        assert_eq!(conv2.output_feature_size(), 224);
+
+        // ZFNet Conv1: [224,224,3] pad 1, 7×7 stride 2 → ⌊(226−7+2)/2⌋ = 110.
+        let zf = Layer::conv_padded("c", Shape::square(224, 3), 96, 7, 2, 1);
+        assert_eq!(zf.output_feature_size(), 110);
+    }
+
+    #[test]
+    fn output_shapes() {
+        let conv = Layer::conv("c", Shape::square(114, 64), 128, 3, 1);
+        assert_eq!(conv.output_shape(), Shape::square(112, 128));
+
+        let pool = Layer::pool("p", Shape::square(112, 128), 2, 2, PoolKind::Max);
+        assert_eq!(pool.output_shape(), Shape::square(56, 128));
+
+        let fc = Layer::fc("f", 25088, 4096);
+        assert_eq!(fc.output_shape(), Shape::flat(4096));
+        assert_eq!(fc.input.elements(), 25088);
+    }
+
+    #[test]
+    fn weight_counts() {
+        let conv = Layer::conv("c", Shape::square(226, 3), 64, 3, 1);
+        assert_eq!(conv.weight_count(), 64 * 9 * 3);
+        let fc = Layer::fc("f", 120, 84);
+        assert_eq!(fc.weight_count(), 120 * 84);
+        let pool = Layer::pool("p", Shape::square(4, 4), 2, 2, PoolKind::Average);
+        assert_eq!(pool.weight_count(), 0);
+        assert!(!pool.is_compute());
+        assert!(conv.is_compute());
+    }
+
+    #[test]
+    fn degenerate_kernel_larger_than_input() {
+        // LeNet Conv3-style 5×5 on a 5×5 input collapses to E = 1.
+        let conv = Layer::conv("c", Shape::square(5, 16), 120, 5, 1);
+        assert_eq!(conv.output_feature_size(), 1);
+        // Kernel bigger than input saturates rather than underflowing.
+        let tiny = Layer::conv("c", Shape::square(2, 1), 1, 5, 1);
+        assert_eq!(tiny.output_feature_size(), 1);
+    }
+
+    #[test]
+    fn shape_display() {
+        assert_eq!(Shape::square(224, 3).to_string(), "[224,224,3]");
+        assert_eq!(Shape::flat(4096).to_string(), "[4096]");
+    }
+}

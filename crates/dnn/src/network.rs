@@ -1,0 +1,192 @@
+//! Validated networks: ordered layer lists with shape-consistency checks.
+
+use crate::layer::{Layer, LayerKind, Shape};
+use std::fmt;
+
+/// Error describing a shape mismatch between consecutive layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeMismatchError {
+    /// Name of the producing layer.
+    pub from: String,
+    /// Name of the consuming layer.
+    pub to: String,
+    /// Shape produced.
+    pub produced: Shape,
+    /// Shape expected by the consumer.
+    pub expected: Shape,
+}
+
+impl fmt::Display for ShapeMismatchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "layer {} produces {} but layer {} expects {}",
+            self.from, self.produced, self.to, self.expected
+        )
+    }
+}
+
+impl std::error::Error for ShapeMismatchError {}
+
+/// A named CNN as an ordered list of layers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Network {
+    name: String,
+    layers: Vec<Layer>,
+}
+
+impl Network {
+    /// Creates a network from its layers.
+    #[must_use]
+    pub fn new(name: impl Into<String>, layers: Vec<Layer>) -> Self {
+        Self {
+            name: name.into(),
+            layers,
+        }
+    }
+
+    /// Network name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The layers in order.
+    #[must_use]
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Only the compute (conv + fc) layers.
+    pub fn compute_layers(&self) -> impl Iterator<Item = &Layer> {
+        self.layers.iter().filter(|l| l.is_compute())
+    }
+
+    /// Number of layers.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True if the network has no layers.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total stored weights across all layers.
+    #[must_use]
+    pub fn total_weights(&self) -> usize {
+        self.layers.iter().map(Layer::weight_count).sum()
+    }
+
+    /// Checks that each sequential layer's declared input is consistent
+    /// with its predecessor's output.
+    ///
+    /// Two relaxations reflect the paper's tabulation conventions:
+    /// channel counts must always match, but spatial sizes may differ by
+    /// up to 2 pixels per side (baked-in padding), and a flat FC input may
+    /// follow any shape with the same element count. Branching networks
+    /// (ResNet shortcuts, GoogLeNet inception) are stored flattened, so
+    /// layers marked as branch members (same input as a sibling) are
+    /// exempt; this method only validates networks declared sequential.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ShapeMismatchError`] found.
+    pub fn validate_sequential(&self) -> Result<(), ShapeMismatchError> {
+        for pair in self.layers.windows(2) {
+            let (prev, next) = (&pair[0], &pair[1]);
+            let produced = prev.output_shape();
+            let expected = next.input;
+            let ok = if matches!(next.kind, LayerKind::Fc { .. }) && produced.h > 1 {
+                produced.elements() == expected.elements()
+            } else {
+                produced.c == expected.c
+                    && expected.h >= produced.h
+                    && expected.h - produced.h <= 4
+            };
+            if !ok {
+                return Err(ShapeMismatchError {
+                    from: prev.name.clone(),
+                    to: next.name.clone(),
+                    produced,
+                    expected,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::PoolKind;
+
+    fn tiny_net() -> Network {
+        Network::new(
+            "tiny",
+            vec![
+                Layer::conv_padded("Conv1", Shape::square(8, 1), 4, 3, 1, 1),
+                Layer::pool("Pool1", Shape::square(8, 4), 2, 2, PoolKind::Max),
+                Layer::fc("FC1", 4 * 4 * 4, 10),
+            ],
+        )
+    }
+
+    #[test]
+    fn accessors() {
+        let net = tiny_net();
+        assert_eq!(net.name(), "tiny");
+        assert_eq!(net.len(), 3);
+        assert_eq!(net.compute_layers().count(), 2);
+        assert_eq!(net.total_weights(), 4 * 9 + 64 * 10);
+        assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn sequential_validation_passes() {
+        tiny_net().validate_sequential().unwrap();
+    }
+
+    #[test]
+    fn sequential_validation_catches_channel_mismatch() {
+        let net = Network::new(
+            "bad",
+            vec![
+                Layer::conv("Conv1", Shape::square(8, 1), 4, 3, 1),
+                Layer::conv("Conv2", Shape::square(6, 8), 4, 3, 1), // 8 ≠ 4 channels
+            ],
+        );
+        let err = net.validate_sequential().unwrap_err();
+        assert_eq!(err.from, "Conv1");
+        assert_eq!(err.to, "Conv2");
+        assert!(err.to_string().contains("Conv2"));
+    }
+
+    #[test]
+    fn fc_after_conv_matches_by_element_count() {
+        let net = Network::new(
+            "flatten",
+            vec![
+                Layer::conv("Conv1", Shape::square(6, 1), 4, 3, 1),
+                Layer::fc("FC1", 4 * 4 * 4, 10),
+            ],
+        );
+        net.validate_sequential().unwrap();
+    }
+
+    #[test]
+    fn padded_next_input_is_tolerated() {
+        let net = Network::new(
+            "padded",
+            vec![
+                Layer::conv("Conv1", Shape::square(8, 1), 4, 3, 1),
+                // Produces 6×6×4; next layer tabulated with +2 padding.
+                Layer::conv("Conv2", Shape::square(8, 4), 4, 3, 1),
+            ],
+        );
+        net.validate_sequential().unwrap();
+    }
+}

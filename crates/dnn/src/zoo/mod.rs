@@ -1,0 +1,116 @@
+//! The six CNN architectures the paper evaluates (§IV-B).
+//!
+//! Layer tables follow the paper's conventions: input shapes are tabulated
+//! with padding baked in where Table I does so (the `[226,226,64]` style),
+//! fully-connected layers are described by their input width, and branching
+//! topologies (ResNet-34 shortcuts, GoogLeNet inception modules) are stored
+//! flattened — every branch conv appears as its own layer with its true
+//! input shape, which is all the op-count analysis needs.
+
+mod alexnet;
+mod googlenet;
+mod lenet;
+mod resnet34;
+mod vgg16;
+mod zfnet;
+
+pub use alexnet::alexnet;
+pub use googlenet::googlenet;
+pub use lenet::lenet;
+pub use resnet34::resnet34;
+pub use vgg16::vgg16;
+pub use zfnet::zfnet;
+
+use crate::analysis::{network_totals, FcCountConvention};
+use crate::network::Network;
+
+/// One row of the zoo summary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetworkSummary {
+    /// Network name.
+    pub name: String,
+    /// Compute (conv + FC) layer count.
+    pub compute_layers: usize,
+    /// Stored weights.
+    pub weights: usize,
+    /// Total multiplies under the paper convention.
+    pub total_mul: u64,
+}
+
+/// Summarizes every network in the zoo.
+#[must_use]
+pub fn summary() -> Vec<NetworkSummary> {
+    all_networks()
+        .into_iter()
+        .map(|net| NetworkSummary {
+            name: net.name().to_owned(),
+            compute_layers: net.compute_layers().count(),
+            weights: net.total_weights(),
+            total_mul: network_totals(&net, FcCountConvention::Paper).mul,
+        })
+        .collect()
+}
+
+/// All six evaluated networks, in the order the paper's figures list them.
+#[must_use]
+pub fn all_networks() -> Vec<Network> {
+    vec![
+        vgg16(),
+        alexnet(),
+        zfnet(),
+        resnet34(),
+        lenet(),
+        googlenet(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_networks_in_paper_order() {
+        let nets = all_networks();
+        let names: Vec<_> = nets.iter().map(|n| n.name().to_owned()).collect();
+        assert_eq!(
+            names,
+            ["VGG16", "AlexNet", "ZFNet", "ResNet-34", "LeNet", "GoogLeNet"]
+        );
+    }
+
+    #[test]
+    fn summary_covers_all_networks() {
+        let rows = summary();
+        assert_eq!(rows.len(), 6);
+        let vgg = rows.iter().find(|r| r.name == "VGG16").unwrap();
+        assert_eq!(vgg.compute_layers, 13);
+        // VGG16's FC1 dominates the weight count (25088×4096 ≈ 103 M).
+        assert!(vgg.weights > 100_000_000, "weights {}", vgg.weights);
+        let lenet = rows.iter().find(|r| r.name == "LeNet").unwrap();
+        assert!(lenet.weights < 100_000);
+        assert!(rows.iter().all(|r| r.total_mul > 0));
+    }
+
+    #[test]
+    fn network_scale_ordering_matches_paper() {
+        // Table II energy ordering implies total-mul ordering:
+        // ResNet-34 > GoogLeNet > ZFNet; VGG16 is the largest of all;
+        // LeNet is tiny.
+        let mul_of = |net: &crate::network::Network| {
+            network_totals(net, FcCountConvention::Paper).mul
+        };
+        let nets = all_networks();
+        let vgg = mul_of(&nets[0]);
+        let alex = mul_of(&nets[1]);
+        let zf = mul_of(&nets[2]);
+        let resnet = mul_of(&nets[3]);
+        let lenet = mul_of(&nets[4]);
+        let goog = mul_of(&nets[5]);
+
+        assert!(vgg > resnet, "VGG16 {vgg} should exceed ResNet-34 {resnet}");
+        assert!(resnet > goog, "ResNet-34 {resnet} > GoogLeNet {goog}");
+        assert!(goog > zf, "GoogLeNet {goog} > ZFNet {zf}");
+        assert!(zf > lenet, "ZFNet {zf} > LeNet {lenet}");
+        assert!(alex > lenet);
+    }
+}

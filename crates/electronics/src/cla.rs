@@ -1,0 +1,159 @@
+//! Carry-lookahead adder: the paper's gate model (Eq. 5/6) plus a bit-true
+//! implementation.
+//!
+//! Paper §IV-A1 (after Ridha 2013):
+//!
+//! ```text
+//! GC(n) = (n³ + 6n² + 47n) / 6
+//! LD(n) = 4 + 2·⌈log₂(n − 1)⌉
+//! ```
+//!
+//! e.g. `GC(8) = 212`, `LD(8) = 10`, and the 4-bit CLA has 58 gates as the
+//! paper's worked example states.
+
+use crate::gates::{GateCount, LogicDepth};
+
+/// A carry-lookahead adder of a given bit width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cla {
+    width: u32,
+}
+
+impl Cla {
+    /// Creates an `width`-bit CLA.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds 64.
+    #[must_use]
+    pub fn new(width: u32) -> Self {
+        assert!((1..=64).contains(&width), "CLA width must be 1..=64 bits");
+        Self { width }
+    }
+
+    /// Adder bit width.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Gate count per Eq. 5: `(n³ + 6n² + 47n)/6`.
+    #[must_use]
+    pub fn gate_count(&self) -> GateCount {
+        let n = u64::from(self.width);
+        GateCount::new((n * n * n + 6 * n * n + 47 * n) / 6)
+    }
+
+    /// Logic depth per Eq. 6: `4 + 2·⌈log₂(n−1)⌉` (defined as 4 for n ≤ 2,
+    /// where the lookahead tree degenerates).
+    #[must_use]
+    pub fn logic_depth(&self) -> LogicDepth {
+        if self.width <= 2 {
+            return LogicDepth::new(4);
+        }
+        let ceil_log2 = 32 - (self.width - 2).leading_zeros();
+        LogicDepth::new(4 + 2 * ceil_log2)
+    }
+
+    /// Bit-true addition: returns `(sum, carry_out)` with the sum wrapped
+    /// to the adder width, computed structurally through generate/propagate
+    /// lookahead rather than native addition.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pixel_electronics::cla::Cla;
+    ///
+    /// let cla = Cla::new(4);
+    /// assert_eq!(cla.add(7, 8, false), (15, false));
+    /// assert_eq!(cla.add(15, 1, false), (0, true)); // wraps with carry
+    /// ```
+    #[must_use]
+    pub fn add(&self, a: u64, b: u64, carry_in: bool) -> (u64, bool) {
+        let mask = self.mask();
+        let a = a & mask;
+        let b = b & mask;
+        let mut sum = 0u64;
+        let mut carry = carry_in;
+        for i in 0..self.width {
+            let ai = (a >> i) & 1 == 1;
+            let bi = (b >> i) & 1 == 1;
+            let generate = ai && bi;
+            let propagate = ai ^ bi;
+            let s = propagate ^ carry;
+            if s {
+                sum |= 1 << i;
+            }
+            carry = generate || (propagate && carry);
+        }
+        (sum, carry)
+    }
+
+    /// Bit mask covering the adder width.
+    #[must_use]
+    pub fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn paper_gate_counts() {
+        assert_eq!(Cla::new(8).gate_count().get(), 212);
+        assert_eq!(Cla::new(4).gate_count().get(), 58);
+    }
+
+    #[test]
+    fn paper_logic_depths() {
+        assert_eq!(Cla::new(8).logic_depth().get(), 10);
+        // n = 4: 4 + 2·⌈log₂3⌉ = 8.
+        assert_eq!(Cla::new(4).logic_depth().get(), 8);
+        assert_eq!(Cla::new(2).logic_depth().get(), 4);
+    }
+
+    #[test]
+    fn gate_count_monotone_in_width() {
+        let mut prev = 0;
+        for n in 1..=32 {
+            let gc = Cla::new(n).gate_count().get();
+            assert!(gc > prev, "GC({n}) = {gc} not > {prev}");
+            prev = gc;
+        }
+    }
+
+    #[test]
+    fn add_small_examples() {
+        let cla = Cla::new(4);
+        assert_eq!(cla.add(2, 3, false), (5, false));
+        assert_eq!(cla.add(15, 1, false), (0, true));
+        assert_eq!(cla.add(15, 0, true), (0, true));
+        assert_eq!(cla.add(7, 8, false), (15, false));
+    }
+
+    #[test]
+    #[should_panic(expected = "width")]
+    fn zero_width_rejected() {
+        let _ = Cla::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn add_matches_native_wrapping(a in any::<u64>(), b in any::<u64>(), cin in any::<bool>(), width in 1u32..=64) {
+            let cla = Cla::new(width);
+            let (sum, cout) = cla.add(a, b, cin);
+            let full = u128::from(a & cla.mask())
+                + u128::from(b & cla.mask())
+                + u128::from(u8::from(cin));
+            prop_assert_eq!(sum, (full as u64) & cla.mask());
+            prop_assert_eq!(cout, full >> width != 0);
+        }
+    }
+}

@@ -1,0 +1,109 @@
+//! Current-comparator ladder for multi-level amplitude resolution.
+//!
+//! The all-optical design's o/e converter (paper §II-A3, converter
+//! design 2) sends the photocurrent through an array of current
+//! comparators: comparator `k` fires when the current exceeds `k + ½`
+//! unit-pulse levels, so the count of firing comparators is the pulse
+//! count — a thermometer code that back-end logic turns into binary.
+
+use crate::gates::{GateCount, LogicDepth};
+
+/// Gates per analog current comparator (comparator + latch, NAND-equiv).
+pub const GATES_PER_COMPARATOR: u64 = 12;
+
+/// A ladder of `levels` current comparators resolving amplitudes 0..=levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ComparatorLadder {
+    levels: u32,
+}
+
+impl ComparatorLadder {
+    /// Creates a ladder able to resolve amplitudes up to `levels` pulses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is zero.
+    #[must_use]
+    pub fn new(levels: u32) -> Self {
+        assert!(levels > 0, "ladder needs at least one comparator");
+        Self { levels }
+    }
+
+    /// Maximum resolvable level.
+    #[must_use]
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Thermometer code for a measured amplitude: `Some(k)` where `k` is
+    /// the number of comparators that fire, or `None` on over-range.
+    #[must_use]
+    pub fn resolve(&self, amplitude: f64) -> Option<u32> {
+        // Sub-half-pulse negative noise rounds to level 0; anything more
+        // negative is a measurement fault.
+        if amplitude < -0.5 {
+            return None;
+        }
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let level = amplitude.round().max(0.0) as u32;
+        (level <= self.levels).then_some(level)
+    }
+
+    /// Thermometer→binary width needed for the resolved level.
+    #[must_use]
+    pub fn binary_width(&self) -> u32 {
+        32 - self.levels.leading_zeros()
+    }
+
+    /// Gate count: comparators plus the thermometer-to-binary encoder
+    /// (~4 gates per output bit per level group).
+    #[must_use]
+    pub fn gate_count(&self) -> GateCount {
+        let comparators = u64::from(self.levels) * GATES_PER_COMPARATOR;
+        let encoder = u64::from(self.levels) * u64::from(self.binary_width());
+        GateCount::new(comparators + encoder)
+    }
+
+    /// Logic depth: 2 levels of comparison + encoder tree depth.
+    #[must_use]
+    pub fn logic_depth(&self) -> LogicDepth {
+        LogicDepth::new(2 + self.binary_width())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resolves_exact_levels() {
+        let l = ComparatorLadder::new(4);
+        assert_eq!(l.resolve(0.0), Some(0));
+        assert_eq!(l.resolve(1.02), Some(1));
+        assert_eq!(l.resolve(3.96), Some(4));
+        assert_eq!(l.resolve(4.6), None);
+        assert_eq!(l.resolve(-0.4), Some(0));
+        assert_eq!(l.resolve(-2.0), None);
+    }
+
+    #[test]
+    fn binary_width_covers_levels() {
+        assert_eq!(ComparatorLadder::new(1).binary_width(), 1);
+        assert_eq!(ComparatorLadder::new(4).binary_width(), 3);
+        assert_eq!(ComparatorLadder::new(7).binary_width(), 3);
+        assert_eq!(ComparatorLadder::new(8).binary_width(), 4);
+    }
+
+    #[test]
+    fn gate_count_grows_with_levels() {
+        let small = ComparatorLadder::new(2).gate_count().get();
+        let big = ComparatorLadder::new(8).gate_count().get();
+        assert!(big > small);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_levels_rejected() {
+        let _ = ComparatorLadder::new(0);
+    }
+}

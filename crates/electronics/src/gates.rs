@@ -1,0 +1,138 @@
+//! Gate-count and logic-depth newtypes.
+//!
+//! Every electrical component in the paper is characterized first by how
+//! many logic gates it needs and how many gate levels its critical path
+//! crosses; these newtypes keep the two from being confused.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// Number of logic gates in a component (paper's "GC").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct GateCount(u64);
+
+impl GateCount {
+    /// Creates a gate count.
+    #[must_use]
+    pub const fn new(gates: u64) -> Self {
+        Self(gates)
+    }
+
+    /// Returns the raw count.
+    #[must_use]
+    pub const fn get(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the count as `f64` for estimator arithmetic.
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub const fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl Add for GateCount {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for GateCount {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Mul<u64> for GateCount {
+    type Output = Self;
+    fn mul(self, rhs: u64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl Sum for GateCount {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        iter.fold(Self::new(0), Add::add)
+    }
+}
+
+impl fmt::Display for GateCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} gates", self.0)
+    }
+}
+
+/// Critical-path depth in gate levels (paper's "LD").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LogicDepth(u32);
+
+impl LogicDepth {
+    /// Creates a logic depth.
+    #[must_use]
+    pub const fn new(levels: u32) -> Self {
+        Self(levels)
+    }
+
+    /// Returns the raw level count.
+    #[must_use]
+    pub const fn get(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the depth as `f64`.
+    #[must_use]
+    pub const fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+
+    /// Serial composition: depths add along a pipeline.
+    #[must_use]
+    pub fn then(self, next: Self) -> Self {
+        Self(self.0 + next.0)
+    }
+
+    /// Parallel composition: critical path is the deeper branch.
+    #[must_use]
+    pub fn alongside(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+}
+
+impl fmt::Display for LogicDepth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} levels", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gate_count_arithmetic() {
+        let a = GateCount::new(58);
+        let b = GateCount::new(212);
+        assert_eq!((a + b).get(), 270);
+        assert_eq!((a * 4).get(), 232);
+        let total: GateCount = [a, b, a].into_iter().sum();
+        assert_eq!(total.get(), 328);
+    }
+
+    #[test]
+    fn depth_composition() {
+        let a = LogicDepth::new(4);
+        let b = LogicDepth::new(10);
+        assert_eq!(a.then(b).get(), 14);
+        assert_eq!(a.alongside(b).get(), 10);
+        assert_eq!(b.alongside(a).get(), 10);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(GateCount::new(212).to_string(), "212 gates");
+        assert_eq!(LogicDepth::new(10).to_string(), "10 levels");
+    }
+}

@@ -1,0 +1,140 @@
+//! Pipelining: fitting multi-nanosecond logic into a 1 GHz clock.
+//!
+//! The paper's own example exposes the tension: the 8-bit CLA's critical
+//! path is 2.95 ns, yet the electrical domain clocks at 1 GHz. The
+//! resolution (standard, and implied by the paper's throughput-style
+//! accounting) is pipelining: registers split the logic into stages of at
+//! most one clock period. This module computes the required stage count,
+//! the register overhead, and the resulting initiation latency for any
+//! gate-level component.
+
+use crate::dsent::DeviceEstimate;
+use crate::gates::{GateCount, LogicDepth};
+use crate::register::GATES_PER_FLIPFLOP;
+use crate::technology::Technology;
+use pixel_units::Time;
+
+/// A pipelined wrapping of a combinational component.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PipelinedComponent {
+    /// Pipeline stages (1 = no registers needed).
+    pub stages: u32,
+    /// Logic levels per stage (balanced split).
+    pub levels_per_stage: u32,
+    /// Flip-flop overhead gates (stage registers).
+    pub register_gates: GateCount,
+    /// Latency from input to output: `stages` clock periods.
+    pub latency: Time,
+}
+
+impl PipelinedComponent {
+    /// Throughput in operations per second (one per cycle once full).
+    #[must_use]
+    pub fn throughput_hz(&self, clock_hz: f64) -> f64 {
+        clock_hz
+    }
+}
+
+/// Plans the pipeline for a component of `depth` logic levels and
+/// `width` bits of cut state, at `clock_hz` under `tech`.
+///
+/// # Panics
+///
+/// Panics if the clock period is shorter than a single gate delay (the
+/// component cannot be pipelined at gate granularity).
+#[must_use]
+pub fn pipeline(
+    depth: LogicDepth,
+    width: u32,
+    clock_hz: f64,
+    tech: &Technology,
+) -> PipelinedComponent {
+    let period = 1.0 / clock_hz;
+    let per_level = tech.delay_per_level.value();
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let levels_per_stage = (period / per_level).floor() as u32;
+    assert!(
+        levels_per_stage >= 1,
+        "clock period shorter than one gate delay"
+    );
+    let stages = depth.get().div_ceil(levels_per_stage).max(1);
+    // One register bank per internal cut.
+    let register_gates =
+        GateCount::new(u64::from(stages - 1) * u64::from(width) * GATES_PER_FLIPFLOP);
+    PipelinedComponent {
+        stages,
+        levels_per_stage,
+        register_gates,
+        latency: Time::new(f64::from(stages) * period),
+    }
+}
+
+/// Convenience: pipelines a [`DeviceEstimate`]'s critical path, returning
+/// the plan plus the estimate with register area/energy folded in.
+#[must_use]
+pub fn pipeline_estimate(
+    estimate: &DeviceEstimate,
+    depth: LogicDepth,
+    width: u32,
+    clock_hz: f64,
+    tech: &Technology,
+) -> (PipelinedComponent, DeviceEstimate) {
+    let plan = pipeline(depth, width, clock_hz, tech);
+    let regs = crate::dsent::estimate(plan.register_gates, LogicDepth::new(1), tech);
+    let mut combined = estimate.alongside(regs);
+    combined.delay = plan.latency;
+    (plan, combined)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cla::Cla;
+
+    fn tech() -> Technology {
+        Technology::bulk22lvt()
+    }
+
+    #[test]
+    fn paper_cla_needs_three_stages_at_1ghz() {
+        // LD(8) = 10 levels × 0.295 ns = 2.95 ns → 3 stages at 1 GHz
+        // (⌊1 ns / 0.295 ns⌋ = 3 levels per stage).
+        let cla = Cla::new(8);
+        let plan = pipeline(cla.logic_depth(), 9, 1.0e9, &tech());
+        assert_eq!(plan.levels_per_stage, 3);
+        assert_eq!(plan.stages, 4); // ⌈10/3⌉
+        assert!((plan.latency.as_nanos() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fast_clock_means_more_stages() {
+        let cla = Cla::new(16);
+        let slow = pipeline(cla.logic_depth(), 17, 0.5e9, &tech());
+        let fast = pipeline(cla.logic_depth(), 17, 2.0e9, &tech());
+        assert!(fast.stages > slow.stages);
+        assert!(fast.register_gates > slow.register_gates);
+    }
+
+    #[test]
+    fn shallow_logic_needs_no_registers() {
+        let plan = pipeline(LogicDepth::new(2), 8, 1.0e9, &tech());
+        assert_eq!(plan.stages, 1);
+        assert_eq!(plan.register_gates.get(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "gate delay")]
+    fn impossible_clock_rejected() {
+        let _ = pipeline(LogicDepth::new(4), 8, 10.0e9, &tech());
+    }
+
+    #[test]
+    fn pipelined_estimate_folds_register_overhead() {
+        let cla = Cla::new(8);
+        let base = crate::dsent::estimate(cla.gate_count(), cla.logic_depth(), &tech());
+        let (plan, combined) = pipeline_estimate(&base, cla.logic_depth(), 9, 1.0e9, &tech());
+        assert!(combined.area > base.area, "registers add area");
+        assert_eq!(combined.delay, plan.latency);
+        assert!((plan.throughput_hz(1.0e9) - 1.0e9).abs() < 1.0);
+    }
+}

@@ -1,0 +1,182 @@
+//! Register / flip-flop bank gate model with functional state.
+//!
+//! Accumulator registers and the weight register file (RF) of each OMAC
+//! tile are banks of D flip-flops; a DFF is ≈6 NAND-equivalent gates.
+
+use crate::gates::{GateCount, LogicDepth};
+
+/// Gates per D flip-flop (NAND-equivalent).
+pub const GATES_PER_FLIPFLOP: u64 = 6;
+
+/// A clocked register of up to 64 bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Register {
+    width: u32,
+    state: u64,
+}
+
+impl Register {
+    /// Creates a zeroed register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds 64.
+    #[must_use]
+    pub fn new(width: u32) -> Self {
+        assert!((1..=64).contains(&width), "register width must be 1..=64");
+        Self { width, state: 0 }
+    }
+
+    /// Bit width.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Bit mask for the register width.
+    #[must_use]
+    pub fn mask(&self) -> u64 {
+        if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        }
+    }
+
+    /// Current stored value.
+    #[must_use]
+    pub fn read(&self) -> u64 {
+        self.state
+    }
+
+    /// Clocks in a new value (truncated to width); returns the old value.
+    pub fn write(&mut self, value: u64) -> u64 {
+        let old = self.state;
+        self.state = value & self.mask();
+        old
+    }
+
+    /// Clears the register to zero.
+    pub fn reset(&mut self) {
+        self.state = 0;
+    }
+
+    /// Gate count of the flip-flop bank.
+    #[must_use]
+    pub fn gate_count(&self) -> GateCount {
+        GateCount::new(u64::from(self.width) * GATES_PER_FLIPFLOP)
+    }
+
+    /// Clock-to-Q depth (one level).
+    #[must_use]
+    pub fn logic_depth(&self) -> LogicDepth {
+        LogicDepth::new(1)
+    }
+}
+
+/// A register file of `entries` words, as used for filter weight storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterFile {
+    entries: Vec<Register>,
+}
+
+impl RegisterFile {
+    /// Creates a zeroed register file.
+    #[must_use]
+    pub fn new(entries: usize, width: u32) -> Self {
+        Self {
+            entries: vec![Register::new(width); entries],
+        }
+    }
+
+    /// Number of entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the file has no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Reads entry `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    #[must_use]
+    pub fn read(&self, index: usize) -> u64 {
+        self.entries[index].read()
+    }
+
+    /// Writes entry `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn write(&mut self, index: usize, value: u64) {
+        self.entries[index].write(value);
+    }
+
+    /// Loads consecutive entries from a slice starting at entry 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len()` exceeds the file size.
+    pub fn load(&mut self, values: &[u64]) {
+        assert!(values.len() <= self.entries.len(), "register file overflow");
+        for (i, &v) in values.iter().enumerate() {
+            self.entries[i].write(v);
+        }
+    }
+
+    /// Total gate count (flip-flops only; decoder omitted as the paper
+    /// folds it into interconnect overhead).
+    #[must_use]
+    pub fn gate_count(&self) -> GateCount {
+        self.entries.iter().map(Register::gate_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_truncates_to_width() {
+        let mut r = Register::new(4);
+        r.write(0x1F);
+        assert_eq!(r.read(), 0xF);
+        assert_eq!(r.write(0x3), 0xF);
+        assert_eq!(r.read(), 0x3);
+        r.reset();
+        assert_eq!(r.read(), 0);
+    }
+
+    #[test]
+    fn register_gate_count() {
+        assert_eq!(Register::new(16).gate_count().get(), 96);
+    }
+
+    #[test]
+    fn register_file_round_trip() {
+        let mut rf = RegisterFile::new(4, 8);
+        rf.load(&[1, 2, 3]);
+        assert_eq!(rf.read(0), 1);
+        assert_eq!(rf.read(2), 3);
+        assert_eq!(rf.read(3), 0);
+        rf.write(3, 300);
+        assert_eq!(rf.read(3), 300 & 0xFF);
+        assert_eq!(rf.len(), 4);
+        assert_eq!(rf.gate_count().get(), 4 * 8 * 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn register_file_load_overflow() {
+        let mut rf = RegisterFile::new(2, 8);
+        rf.load(&[1, 2, 3]);
+    }
+}

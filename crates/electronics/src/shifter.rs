@@ -1,0 +1,120 @@
+//! Barrel left-shifter: gate model plus bit-true implementation.
+//!
+//! The STR accumulate path shifts each partial product left by the synapse
+//! bit position before adding. A barrel shifter of width `n` uses
+//! `⌈log₂ n⌉` mux stages; each stage is `n` 2:1 muxes at ~3 gates each.
+
+use crate::gates::{GateCount, LogicDepth};
+
+/// A logarithmic barrel left-shifter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BarrelShifter {
+    width: u32,
+}
+
+impl BarrelShifter {
+    /// Gates per 2:1 multiplexer.
+    pub const GATES_PER_MUX: u64 = 3;
+
+    /// Creates a shifter of the given bit width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds 64.
+    #[must_use]
+    pub fn new(width: u32) -> Self {
+        assert!((1..=64).contains(&width), "shifter width must be 1..=64");
+        Self { width }
+    }
+
+    /// Bit width.
+    #[must_use]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Number of mux stages: `⌈log₂ n⌉`.
+    #[must_use]
+    pub fn stages(&self) -> u32 {
+        if self.width <= 1 {
+            0
+        } else {
+            32 - (self.width - 1).leading_zeros()
+        }
+    }
+
+    /// Gate count: `stages × width × 3`.
+    #[must_use]
+    pub fn gate_count(&self) -> GateCount {
+        GateCount::new(u64::from(self.stages()) * u64::from(self.width) * Self::GATES_PER_MUX)
+    }
+
+    /// Logic depth: one mux (2 gate levels) per stage.
+    #[must_use]
+    pub fn logic_depth(&self) -> LogicDepth {
+        LogicDepth::new(self.stages() * 2)
+    }
+
+    /// Bit-true left shift within the width, realized stage-by-stage as the
+    /// hardware would (shift by powers of two selected by `amount` bits).
+    #[must_use]
+    pub fn shift_left(&self, value: u64, amount: u32) -> u64 {
+        let mask = if self.width == 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.width) - 1
+        };
+        let mut v = value & mask;
+        for stage in 0..self.stages() {
+            if (amount >> stage) & 1 == 1 {
+                v = (v << (1u32 << stage)) & mask;
+            }
+        }
+        // Shift amounts ≥ width flush to zero, as the cascaded muxes do.
+        if amount >= self.width {
+            0
+        } else {
+            v
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn stage_counts() {
+        assert_eq!(BarrelShifter::new(1).stages(), 0);
+        assert_eq!(BarrelShifter::new(8).stages(), 3);
+        assert_eq!(BarrelShifter::new(9).stages(), 4);
+        assert_eq!(BarrelShifter::new(64).stages(), 6);
+    }
+
+    #[test]
+    fn gate_count_example() {
+        // 8-bit: 3 stages × 8 bits × 3 gates = 72.
+        assert_eq!(BarrelShifter::new(8).gate_count().get(), 72);
+        assert_eq!(BarrelShifter::new(8).logic_depth().get(), 6);
+    }
+
+    #[test]
+    fn shifts_within_width() {
+        let s = BarrelShifter::new(8);
+        assert_eq!(s.shift_left(0b1, 3), 0b1000);
+        assert_eq!(s.shift_left(0xFF, 4), 0xF0);
+        assert_eq!(s.shift_left(0b1, 8), 0);
+        assert_eq!(s.shift_left(0b1, 9), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_native_shift(value in any::<u64>(), amount in 0u32..70, width in 1u32..=64) {
+            let s = BarrelShifter::new(width);
+            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
+            let expected = if amount >= width { 0 } else { ((value & mask) << amount) & mask };
+            prop_assert_eq!(s.shift_left(value, amount), expected);
+        }
+    }
+}

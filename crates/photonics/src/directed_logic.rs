@@ -1,0 +1,199 @@
+//! Optical directed logic with microring switches.
+//!
+//! The paper's related work (§VI-B, refs. \[42\]–\[45\]) builds on
+//! MRR-based directed logic: electrical operands set ring switches into
+//! bar/cross states, and a continuous-wave probe routed through the
+//! switch network emerges at an output port only for the input
+//! combinations that satisfy the gate. This module implements the classic
+//! constructions — AND, NAND, OR, NOR, XOR, XNOR — on pulse trains,
+//! bit-parallel over operand words, each documented by the routing that
+//! realizes it.
+
+use crate::mrr::{DoubleMrrFilter, MrrState};
+use crate::signal::PulseTrain;
+
+/// A two-input directed-logic gate realized with MRR switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gate {
+    /// Probe must couple through both rings: series cross-cross.
+    And,
+    /// Complement port of [`Gate::And`].
+    Nand,
+    /// Two parallel paths, either coupling delivers the probe.
+    Or,
+    /// Complement port of [`Gate::Or`].
+    Nor,
+    /// Ref. \[45\]'s construction: the probe reaches the output when
+    /// exactly one ring is driven (bar→cross or cross→bar asymmetry).
+    Xor,
+    /// Complement port of [`Gate::Xor`].
+    Xnor,
+}
+
+impl Gate {
+    /// All six gates.
+    pub const ALL: [Self; 6] = [
+        Self::And,
+        Self::Nand,
+        Self::Or,
+        Self::Nor,
+        Self::Xor,
+        Self::Xnor,
+    ];
+
+    /// Evaluates the gate on single bits through the switch routing.
+    #[must_use]
+    pub fn eval_bit(self, a: bool, b: bool) -> bool {
+        // Each operand drives one double-MRR switch.
+        let ring_a = MrrState::from_bit(a);
+        let ring_b = MrrState::from_bit(b);
+        match self {
+            Self::And => {
+                // Series: the probe must take the drop path of both.
+                ring_a == MrrState::Cross && ring_b == MrrState::Cross
+            }
+            Self::Nand => !Self::And.eval_bit(a, b),
+            Self::Or => {
+                // Parallel paths: either drop path lights the output.
+                ring_a == MrrState::Cross || ring_b == MrrState::Cross
+            }
+            Self::Nor => !Self::Or.eval_bit(a, b),
+            Self::Xor => {
+                // The probe crosses between two rails only when the two
+                // switches disagree.
+                ring_a != ring_b
+            }
+            Self::Xnor => !Self::Xor.eval_bit(a, b),
+        }
+    }
+
+    /// Rings needed per bit of this gate (2 per double switch; complement
+    /// gates read the other port of the same structure).
+    #[must_use]
+    pub fn rings_per_bit(self) -> usize {
+        4
+    }
+}
+
+/// Evaluates a gate bit-parallel over two operand words of `bits` bits,
+/// physically: per bit, a probe pulse is routed through the operand-driven
+/// switches and detected at the gate's output port.
+///
+/// # Panics
+///
+/// Panics if `bits` is zero or exceeds 64.
+#[must_use]
+pub fn eval_word(gate: Gate, a: u64, b: u64, bits: u32) -> u64 {
+    assert!((1..=64).contains(&bits), "word width 1..=64");
+    let mut out = 0u64;
+    for i in 0..bits {
+        let bit_a = (a >> i) & 1 == 1;
+        let bit_b = (b >> i) & 1 == 1;
+        if gate.eval_bit(bit_a, bit_b) {
+            out |= 1 << i;
+        }
+    }
+    out
+}
+
+/// Evaluates a gate over pulse-train operands (the trains must be binary).
+/// Returns the output train, or `None` if an operand is not binary.
+#[must_use]
+pub fn eval_trains(gate: Gate, a: &PulseTrain, b: &PulseTrain) -> Option<PulseTrain> {
+    let wa = a.to_bits()?;
+    let wb = b.to_bits()?;
+    let bits = a.len().max(b.len()).clamp(1, 64);
+    #[allow(clippy::cast_possible_truncation)]
+    let word = eval_word(gate, wa, wb, bits as u32);
+    Some(PulseTrain::from_bits(word, bits))
+}
+
+/// The switch fabric for the paper's own primitive: the multiply path is
+/// exactly `AND(neuron bit, synapse bit)` realized with the same bar/cross
+/// routing — this helper ties the directed-logic view to the OMAC view.
+#[must_use]
+pub fn and_with_filter(filter: &DoubleMrrFilter, neuron: &PulseTrain, synapse_bit: bool) -> PulseTrain {
+    filter.and(neuron, synapse_bit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn truth_tables() {
+        let cases = [
+            (Gate::And, [false, false, false, true]),
+            (Gate::Nand, [true, true, true, false]),
+            (Gate::Or, [false, true, true, true]),
+            (Gate::Nor, [true, false, false, false]),
+            (Gate::Xor, [false, true, true, false]),
+            (Gate::Xnor, [true, false, false, true]),
+        ];
+        for (gate, expected) in cases {
+            for (idx, &want) in expected.iter().enumerate() {
+                let a = idx & 0b10 != 0;
+                let b = idx & 0b01 != 0;
+                assert_eq!(gate.eval_bit(a, b), want, "{gate:?}({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn complement_pairs_use_the_same_structure() {
+        for (g, gc) in [
+            (Gate::And, Gate::Nand),
+            (Gate::Or, Gate::Nor),
+            (Gate::Xor, Gate::Xnor),
+        ] {
+            assert_eq!(g.rings_per_bit(), gc.rings_per_bit());
+            for a in [false, true] {
+                for b in [false, true] {
+                    assert_ne!(g.eval_bit(a, b), gc.eval_bit(a, b));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn train_evaluation_round_trips() {
+        let a = PulseTrain::from_bits(0b1100, 4);
+        let b = PulseTrain::from_bits(0b1010, 4);
+        let out = eval_trains(Gate::Xor, &a, &b).unwrap();
+        assert_eq!(out.to_bits(), Some(0b0110));
+        let nand = eval_trains(Gate::Nand, &a, &b).unwrap();
+        assert_eq!(nand.to_bits(), Some(0b0111));
+    }
+
+    #[test]
+    fn multilevel_operands_rejected() {
+        let multi = PulseTrain::from_amplitudes(vec![2.0]);
+        let ok = PulseTrain::from_bits(1, 1);
+        assert!(eval_trains(Gate::And, &multi, &ok).is_none());
+    }
+
+    #[test]
+    fn and_matches_the_omac_multiply_path() {
+        let filter = DoubleMrrFilter::default();
+        let neuron = PulseTrain::from_bits(0b0110, 4);
+        // Synapse bit 1: the directed-logic AND of the word with all-ones.
+        let via_filter = and_with_filter(&filter, &neuron, true);
+        let via_gate = eval_trains(Gate::And, &neuron, &PulseTrain::from_bits(0xF, 4)).unwrap();
+        assert_eq!(via_filter.to_bits(), via_gate.to_bits());
+    }
+
+    proptest! {
+        #[test]
+        fn word_gates_match_boolean_ops(a in any::<u64>(), b in any::<u64>(), bits in 1u32..=64) {
+            let mask = if bits == 64 { u64::MAX } else { (1 << bits) - 1 };
+            let (am, bm) = (a & mask, b & mask);
+            prop_assert_eq!(eval_word(Gate::And, a, b, bits), am & bm);
+            prop_assert_eq!(eval_word(Gate::Or, a, b, bits), am | bm);
+            prop_assert_eq!(eval_word(Gate::Xor, a, b, bits), am ^ bm);
+            prop_assert_eq!(eval_word(Gate::Nand, a, b, bits), !(am & bm) & mask);
+            prop_assert_eq!(eval_word(Gate::Nor, a, b, bits), !(am | bm) & mask);
+            prop_assert_eq!(eval_word(Gate::Xnor, a, b, bits), !(am ^ bm) & mask);
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Germanium-doped photodetector and back-end receiver model.
+//!
+//! Paper §II-A3: Ge photodiodes with transimpedance amplifiers recover
+//! transmitted bits; for the all-optical design the photocurrent is fed to
+//! an array of current comparators that resolve multi-pulse amplitude
+//! levels (o/e converter design 2).
+
+use crate::signal::PulseTrain;
+use crate::units::{Energy, Power};
+
+/// A germanium photodiode with receiver back end.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Photodetector {
+    responsivity_a_per_w: f64,
+    sensitivity: Power,
+    energy_per_bit: Energy,
+}
+
+impl Photodetector {
+    /// Creates a detector with the given responsivity \[A/W\], sensitivity
+    /// (minimum detectable power per pulse) and receiver energy per bit.
+    #[must_use]
+    pub fn new(responsivity_a_per_w: f64, sensitivity: Power, energy_per_bit: Energy) -> Self {
+        Self {
+            responsivity_a_per_w,
+            sensitivity,
+            energy_per_bit,
+        }
+    }
+
+    /// Responsivity in A/W.
+    #[must_use]
+    pub fn responsivity(&self) -> f64 {
+        self.responsivity_a_per_w
+    }
+
+    /// Minimum detectable optical power for one pulse level.
+    #[must_use]
+    pub fn sensitivity(&self) -> Power {
+        self.sensitivity
+    }
+
+    /// Receiver energy per detected bit slot (TIA + amplifier + CDR).
+    #[must_use]
+    pub fn energy_per_bit(&self) -> Energy {
+        self.energy_per_bit
+    }
+
+    /// Photocurrent \[A\] produced by `optical` input power.
+    #[must_use]
+    pub fn photocurrent(&self, optical: Power) -> f64 {
+        self.responsivity_a_per_w * optical.value()
+    }
+
+    /// Detects a binary train: each slot above half the unit-pulse power
+    /// (with `unit_pulse` being the power of one launched pulse at the
+    /// detector) is a 1. Returns the decoded word, LSB in slot 0, or `None`
+    /// if a slot holds more than one pulse (binary receivers saturate).
+    #[must_use]
+    pub fn detect_binary(&self, train: &PulseTrain, unit_pulse: Power) -> Option<u64> {
+        if unit_pulse < self.sensitivity {
+            return None;
+        }
+        let mut word = 0u64;
+        for (i, amp) in train.iter().enumerate() {
+            let level = amp; // amplitudes are in unit-pulse counts
+            if level > 1.5 {
+                return None;
+            }
+            if level > 0.5 {
+                if i >= 64 {
+                    return None;
+                }
+                word |= 1 << i;
+            }
+        }
+        Some(word)
+    }
+
+    /// Resolves a multi-level train with a ladder of `comparators` current
+    /// comparators: each slot is quantized to an integer pulse count up to
+    /// `comparators`. Returns `None` if any slot exceeds the ladder range
+    /// or the unit pulse is below sensitivity.
+    #[must_use]
+    pub fn detect_levels(
+        &self,
+        train: &PulseTrain,
+        unit_pulse: Power,
+        comparators: u32,
+    ) -> Option<Vec<u32>> {
+        if unit_pulse < self.sensitivity {
+            return None;
+        }
+        let levels = train.quantized_levels();
+        if levels.iter().any(|&l| l > comparators) {
+            return None;
+        }
+        Some(levels)
+    }
+
+    /// Receiver energy to process a train of `slots` bit slots.
+    #[must_use]
+    pub fn detection_energy(&self, slots: usize) -> Energy {
+        #[allow(clippy::cast_precision_loss)]
+        let n = slots as f64;
+        self.energy_per_bit * n
+    }
+}
+
+impl Default for Photodetector {
+    /// 1.0 A/W responsivity, −20 dBm (10 µW) sensitivity, 50 fJ/bit
+    /// receiver — representative Ge detector values.
+    fn default() -> Self {
+        Self::new(
+            1.0,
+            Power::from_microwatts(10.0),
+            Energy::from_femtojoules(50.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn photocurrent_is_linear() {
+        let pd = Photodetector::default();
+        let i = pd.photocurrent(Power::from_milliwatts(1.0));
+        assert!((i - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_detection_round_trip() {
+        let pd = Photodetector::default();
+        let train = PulseTrain::from_bits(0b1011, 4);
+        let word = pd.detect_binary(&train, Power::from_microwatts(100.0));
+        assert_eq!(word, Some(0b1011));
+    }
+
+    #[test]
+    fn binary_detection_rejects_multilevel() {
+        let pd = Photodetector::default();
+        let t = PulseTrain::from_bits(0b1, 1).superpose(&PulseTrain::from_bits(0b1, 1));
+        assert_eq!(pd.detect_binary(&t, Power::from_microwatts(100.0)), None);
+    }
+
+    #[test]
+    fn detection_fails_below_sensitivity() {
+        let pd = Photodetector::default();
+        let t = PulseTrain::from_bits(0b1, 1);
+        assert_eq!(pd.detect_binary(&t, Power::from_microwatts(1.0)), None);
+        assert_eq!(pd.detect_levels(&t, Power::from_microwatts(1.0), 4), None);
+    }
+
+    #[test]
+    fn level_detection_resolves_amplitudes() {
+        let pd = Photodetector::default();
+        let t = PulseTrain::from_amplitudes(vec![3.0, 0.0, 2.0, 1.0]);
+        let levels = pd
+            .detect_levels(&t, Power::from_microwatts(100.0), 4)
+            .unwrap();
+        assert_eq!(levels, vec![3, 0, 2, 1]);
+    }
+
+    #[test]
+    fn level_detection_limited_by_ladder() {
+        let pd = Photodetector::default();
+        let t = PulseTrain::from_amplitudes(vec![5.0]);
+        assert_eq!(pd.detect_levels(&t, Power::from_microwatts(100.0), 4), None);
+        assert!(pd
+            .detect_levels(&t, Power::from_microwatts(100.0), 5)
+            .is_some());
+    }
+
+    #[test]
+    fn detection_energy_scales_with_slots() {
+        let pd = Photodetector::default();
+        assert!((pd.detection_energy(10).as_femtojoules() - 500.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,352 @@
+//! Optical signal representation for bit-true simulation.
+//!
+//! A [`PulseTrain`] is a time-slotted sequence of optical pulse amplitudes on
+//! a single wavelength: slot `t` holds the number of unit pulses (in power
+//! units, so superposition is additive) present in optical clock cycle `t`.
+//! Binary data is launched LSB-first, matching the paper's description of
+//! the MZI accumulator that starts "with the LSB (bit position 0)".
+//!
+//! A [`WdmSignal`] carries one pulse train per wavelength, modelling the
+//! wavelength-division-multiplexed home channels of the OMAC design.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Identifies a WDM wavelength channel (λ₀, λ₁, …).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct WavelengthId(pub u16);
+
+impl WavelengthId {
+    /// Returns the channel index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        usize::from(self.0)
+    }
+}
+
+impl fmt::Display for WavelengthId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "λ{}", self.0)
+    }
+}
+
+/// A time-slotted train of optical pulse amplitudes on one wavelength.
+///
+/// Amplitudes are in linear power units where one launched bit pulse has
+/// amplitude 1.0; combining signals in an MZI coupler adds amplitudes.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PulseTrain {
+    slots: Vec<f64>,
+}
+
+impl PulseTrain {
+    /// Creates an empty pulse train.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a train of `len` dark (zero-amplitude) slots.
+    #[must_use]
+    pub fn dark(len: usize) -> Self {
+        Self {
+            slots: vec![0.0; len],
+        }
+    }
+
+    /// Creates a train from raw amplitude slots.
+    #[must_use]
+    pub fn from_amplitudes(slots: Vec<f64>) -> Self {
+        Self { slots }
+    }
+
+    /// Launches the low `bits` bits of `value` LSB-first: slot 0 carries bit
+    /// 0, slot 1 carries bit 1, and so on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 64`.
+    #[must_use]
+    pub fn from_bits(value: u64, bits: usize) -> Self {
+        assert!(bits <= 64, "at most 64 bits per word");
+        let slots = (0..bits)
+            .map(|i| if (value >> i) & 1 == 1 { 1.0 } else { 0.0 })
+            .collect();
+        Self { slots }
+    }
+
+    /// Number of time slots in the train.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` if the train has no slots.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Amplitude in slot `t` (0.0 beyond the end — the fibre is dark).
+    #[must_use]
+    pub fn amplitude(&self, t: usize) -> f64 {
+        self.slots.get(t).copied().unwrap_or(0.0)
+    }
+
+    /// Iterates over slot amplitudes.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.slots.iter().copied()
+    }
+
+    /// Total optical energy in the train (sum of slot amplitudes, in units
+    /// of one pulse-slot).
+    #[must_use]
+    pub fn total_power(&self) -> f64 {
+        self.slots.iter().sum()
+    }
+
+    /// Gates the train with an on/off modulator: `on = false` extinguishes
+    /// every slot. This is the MRR AND against a single synapse bit.
+    #[must_use]
+    pub fn gated(&self, on: bool) -> Self {
+        if on {
+            self.clone()
+        } else {
+            Self::dark(self.len())
+        }
+    }
+
+    /// Attenuates every slot by a linear factor (waveguide loss).
+    #[must_use]
+    pub fn attenuated(&self, linear_factor: f64) -> Self {
+        Self {
+            slots: self.slots.iter().map(|a| a * linear_factor).collect(),
+        }
+    }
+
+    /// Delays the train by `slots` whole time slots (dark fill at the front).
+    /// This models a delay-matched path between cascaded MZIs.
+    #[must_use]
+    pub fn delayed(&self, slots: usize) -> Self {
+        let mut out = vec![0.0; slots];
+        out.extend_from_slice(&self.slots);
+        Self { slots: out }
+    }
+
+    /// Superposes two trains slot-by-slot (additive coupling in an MZI).
+    #[must_use]
+    pub fn superpose(&self, other: &Self) -> Self {
+        let len = self.len().max(other.len());
+        let slots = (0..len)
+            .map(|t| self.amplitude(t) + other.amplitude(t))
+            .collect();
+        Self { slots }
+    }
+
+    /// Rounds each slot amplitude to the nearest integer pulse count, as a
+    /// comparator-ladder o/e converter would resolve it.
+    #[must_use]
+    pub fn quantized_levels(&self) -> Vec<u32> {
+        self.slots
+            .iter()
+            .map(|a| {
+                debug_assert!(*a >= -1e-9, "negative optical power");
+                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+                {
+                    a.round().max(0.0) as u32
+                }
+            })
+            .collect()
+    }
+
+    /// Interprets the train as a binary word (each slot must round to 0/1),
+    /// LSB in slot 0. Returns `None` if any slot holds a multi-pulse level.
+    #[must_use]
+    pub fn to_bits(&self) -> Option<u64> {
+        let mut v: u64 = 0;
+        for (i, level) in self.quantized_levels().into_iter().enumerate() {
+            match level {
+                0 => {}
+                1 => {
+                    if i >= 64 {
+                        return None;
+                    }
+                    v |= 1 << i;
+                }
+                _ => return None,
+            }
+        }
+        Some(v)
+    }
+
+    /// Weighted positional sum Σ level(t)·2^t — the value a shift-accumulate
+    /// backend recovers from a multi-level train.
+    #[must_use]
+    pub fn positional_value(&self) -> u64 {
+        self.quantized_levels()
+            .into_iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, level)| {
+                acc + (u64::from(level) << i.min(63))
+            })
+    }
+
+    /// The highest integer pulse level present in any slot.
+    #[must_use]
+    pub fn peak_level(&self) -> u32 {
+        self.quantized_levels().into_iter().max().unwrap_or(0)
+    }
+}
+
+impl FromIterator<f64> for PulseTrain {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Self {
+            slots: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A wavelength-division-multiplexed bundle of pulse trains.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WdmSignal {
+    channels: BTreeMap<WavelengthId, PulseTrain>,
+}
+
+impl WdmSignal {
+    /// Creates an empty WDM signal.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Multiplexes `train` onto channel `id`, superposing with any signal
+    /// already on that wavelength.
+    pub fn mux(&mut self, id: WavelengthId, train: PulseTrain) {
+        self.channels
+            .entry(id)
+            .and_modify(|existing| *existing = existing.superpose(&train))
+            .or_insert(train);
+    }
+
+    /// Drops (demultiplexes) channel `id`, returning a dark train if absent.
+    #[must_use]
+    pub fn demux(&self, id: WavelengthId) -> PulseTrain {
+        self.channels.get(&id).cloned().unwrap_or_default()
+    }
+
+    /// Number of active wavelength channels.
+    #[must_use]
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Iterates over `(wavelength, train)` pairs in channel order.
+    pub fn iter(&self) -> impl Iterator<Item = (WavelengthId, &PulseTrain)> {
+        self.channels.iter().map(|(id, t)| (*id, t))
+    }
+
+    /// Aggregate optical power across all channels.
+    #[must_use]
+    pub fn total_power(&self) -> f64 {
+        self.channels.values().map(PulseTrain::total_power).sum()
+    }
+}
+
+impl FromIterator<(WavelengthId, PulseTrain)> for WdmSignal {
+    fn from_iter<I: IntoIterator<Item = (WavelengthId, PulseTrain)>>(iter: I) -> Self {
+        let mut s = Self::new();
+        for (id, t) in iter {
+            s.mux(id, t);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bits_round_trip_lsb_first() {
+        // 0110₂ = 6: slot0=0, slot1=1, slot2=1, slot3=0.
+        let t = PulseTrain::from_bits(0b0110, 4);
+        assert_eq!(t.len(), 4);
+        assert!((t.amplitude(1) - 1.0).abs() < 1e-12);
+        assert!((t.amplitude(0)).abs() < 1e-12);
+        assert_eq!(t.to_bits(), Some(6));
+    }
+
+    #[test]
+    fn gating_models_mrr_and() {
+        let t = PulseTrain::from_bits(0b1011, 4);
+        assert_eq!(t.gated(true).to_bits(), Some(0b1011));
+        assert_eq!(t.gated(false).to_bits(), Some(0));
+        assert_eq!(t.gated(false).len(), 4);
+    }
+
+    #[test]
+    fn delay_shifts_positional_value() {
+        let t = PulseTrain::from_bits(0b1, 1);
+        let d = t.delayed(3);
+        assert_eq!(d.positional_value(), 8); // 1 << 3
+        assert!((d.amplitude(3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn superposition_is_additive() {
+        let a = PulseTrain::from_bits(0b11, 2);
+        let b = PulseTrain::from_bits(0b01, 2);
+        let s = a.superpose(&b);
+        assert_eq!(s.quantized_levels(), vec![2, 1]);
+        assert_eq!(s.positional_value(), 2 + 2); // 2·2⁰ + 1·2¹
+        assert!(s.to_bits().is_none(), "multi-level is not binary");
+    }
+
+    #[test]
+    fn superpose_with_mismatched_lengths() {
+        let a = PulseTrain::from_bits(0b1, 1);
+        let b = PulseTrain::from_bits(0b100, 3);
+        let s = a.superpose(&b);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.positional_value(), 1 + 4);
+    }
+
+    #[test]
+    fn attenuation_scales_power() {
+        let t = PulseTrain::from_bits(0b11, 2);
+        let att = t.attenuated(0.5);
+        assert!((att.total_power() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantization_rounds_to_nearest() {
+        let t = PulseTrain::from_amplitudes(vec![0.96, 2.04, 0.02]);
+        assert_eq!(t.quantized_levels(), vec![1, 2, 0]);
+        assert_eq!(t.peak_level(), 2);
+    }
+
+    #[test]
+    fn wdm_mux_demux() {
+        let mut s = WdmSignal::new();
+        s.mux(WavelengthId(0), PulseTrain::from_bits(0b10, 2));
+        s.mux(WavelengthId(3), PulseTrain::from_bits(0b01, 2));
+        assert_eq!(s.channel_count(), 2);
+        assert_eq!(s.demux(WavelengthId(0)).to_bits(), Some(2));
+        assert_eq!(s.demux(WavelengthId(3)).to_bits(), Some(1));
+        assert!(s.demux(WavelengthId(9)).is_empty());
+    }
+
+    #[test]
+    fn wdm_mux_same_channel_superposes() {
+        let mut s = WdmSignal::new();
+        s.mux(WavelengthId(0), PulseTrain::from_bits(0b1, 2));
+        s.mux(WavelengthId(0), PulseTrain::from_bits(0b1, 2));
+        assert_eq!(s.demux(WavelengthId(0)).quantized_levels(), vec![2, 0]);
+        assert!((s.total_power() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wavelength_display() {
+        assert_eq!(format!("{}", WavelengthId(5)), "λ5");
+    }
+}

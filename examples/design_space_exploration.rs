@@ -1,0 +1,61 @@
+//! Design-space exploration: find the lanes × bits/lane sweet spot.
+//!
+//! ```text
+//! cargo run --example design_space_exploration [network]
+//! ```
+//!
+//! Sweeps lanes ∈ {2,4,8,16} × bits/lane ∈ {4,8,16,32} for every design
+//! and reports the minimum-EDP configuration per design, reproducing the
+//! paper's §V design-space methodology on any of the six networks
+//! (default: GoogLeNet).
+
+use pixel::core::accelerator::Accelerator;
+use pixel::core::config::{AcceleratorConfig, Design};
+use pixel::dnn::network::Network;
+use pixel::dnn::zoo;
+
+fn pick_network(name: &str) -> Option<Network> {
+    zoo::all_networks()
+        .into_iter()
+        .find(|n| n.name().eq_ignore_ascii_case(name))
+}
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "GoogLeNet".into());
+    let Some(network) = pick_network(&name) else {
+        eprintln!("unknown network {name:?}; try one of:");
+        for n in zoo::all_networks() {
+            eprintln!("  {}", n.name());
+        }
+        std::process::exit(1);
+    };
+
+    println!("Design-space exploration on {}\n", network.name());
+    println!(
+        "{:<4} {:>6} {:>6} {:>14} {:>14} {:>16}",
+        "des", "lanes", "bits", "energy [mJ]", "latency [ms]", "EDP [mJ·ms]"
+    );
+
+    for design in Design::ALL {
+        let mut best: Option<(usize, u32, f64, f64, f64)> = None;
+        for lanes in [2usize, 4, 8, 16] {
+            for bits in [4u32, 8, 16, 32] {
+                let report = Accelerator::new(AcceleratorConfig::new(design, lanes, bits))
+                    .evaluate(&network);
+                let energy = report.total_energy().as_millijoules();
+                let latency = report.total_latency().as_millis();
+                let edp = report.edp().value() * 1e6;
+                if best.is_none_or(|(_, _, _, _, e)| edp < e) {
+                    best = Some((lanes, bits, energy, latency, edp));
+                }
+            }
+        }
+        let (lanes, bits, energy, latency, edp) = best.expect("non-empty sweep");
+        println!(
+            "{:<4} {lanes:>6} {bits:>6} {energy:>14.1} {latency:>14.2} {edp:>16.2}",
+            design.label(),
+        );
+    }
+
+    println!("\n(Each row is the minimum-EDP point of that design's 16-point sweep.)");
+}

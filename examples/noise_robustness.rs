@@ -1,0 +1,37 @@
+//! Failure injection: how much receiver noise can the all-optical design
+//! absorb?
+//!
+//! ```text
+//! cargo run --release --example noise_robustness
+//! ```
+//!
+//! The OO accumulator produces multi-level amplitude signals, so its
+//! comparator-ladder o/e converter is the analog weak point. This example
+//! Monte-Carlos the bit-true OO multiply with Gaussian amplitude noise and
+//! compares against the analytic comparator error model.
+
+use pixel::core::robustness::noise_sweep;
+
+fn main() {
+    let bits = 8;
+    let trials = 5_000;
+    println!(
+        "OO optical multiply under amplitude noise ({bits}-bit operands, {trials} trials/point)\n"
+    );
+    println!(
+        "{:>6} {:>10} {:>12} {:>10} {:>20}",
+        "sigma", "correct", "silent err", "detected", "analytic slot err"
+    );
+    for p in noise_sweep(bits, &[0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5], trials, 2020) {
+        println!(
+            "{:>6.2} {:>10.4} {:>12.4} {:>10.4} {:>20.3e}",
+            p.sigma, p.correct_rate, p.silent_error_rate, p.detected_rate, p.analytic_slot_error
+        );
+    }
+    println!(
+        "\nReading: below σ ≈ 0.15 pulse units the comparator ladder absorbs\n\
+         essentially all noise; past σ ≈ 0.3 silent errors dominate, which is\n\
+         why the OO design's laser budget (Table II's 1.52× premium) buys\n\
+         amplitude margin rather than speed."
+    );
+}

@@ -1,0 +1,50 @@
+//! Quickstart: evaluate a CNN on all three PIXEL designs.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds an accelerator per design at the paper's headline configuration
+//! (4 lanes, 16 bits/lane), runs AlexNet inference through the analytic
+//! models, and prints energy, latency and EDP side by side.
+
+use pixel::core::accelerator::Accelerator;
+use pixel::core::config::{AcceleratorConfig, Design};
+use pixel::dnn::zoo;
+
+fn main() {
+    let network = zoo::alexnet();
+    println!("PIXEL quickstart — {} inference, 4 lanes, 16 bits/lane\n", network.name());
+    println!(
+        "{:<4} {:>14} {:>14} {:>16}",
+        "des", "energy [mJ]", "latency [ms]", "EDP [mJ·ms]"
+    );
+
+    let baseline = Accelerator::new(AcceleratorConfig::new(Design::Ee, 4, 16))
+        .evaluate(&network)
+        .edp();
+
+    for design in Design::ALL {
+        let config = AcceleratorConfig::new(design, 4, 16);
+        let report = Accelerator::new(config).evaluate(&network);
+        let edp = report.edp();
+        println!(
+            "{:<4} {:>14.1} {:>14.2} {:>16.2}   ({:+.1}% EDP vs EE)",
+            design.label(),
+            report.total_energy().as_millijoules(),
+            report.total_latency().as_millis(),
+            edp.value() * 1e6, // J·s → mJ·ms
+            -edp.improvement_over(baseline) * 100.0,
+        );
+    }
+
+    println!("\nPer-component energy of the OO design:");
+    let report = Accelerator::new(AcceleratorConfig::new(Design::Oo, 4, 16)).evaluate(&network);
+    let breakdown = report.energy_breakdown();
+    for (label, value) in pixel::core::EnergyBreakdown::COMPONENT_LABELS
+        .iter()
+        .zip(breakdown.components())
+    {
+        println!("  {label:<6} {:>10.1} mJ", value.as_millijoules());
+    }
+}

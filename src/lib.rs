@@ -1,0 +1,34 @@
+//! # PIXEL — Photonic Neural Network Accelerator (reproduction)
+//!
+//! This meta-crate re-exports the four crates that make up the
+//! reproduction of *PIXEL: Photonic Neural Network Accelerator*
+//! (Shiflett, Wright, Karanth, Louri — HPCA 2020):
+//!
+//! * [`photonics`] — silicon-photonic device substrate (MRRs, MZIs,
+//!   waveguides, lasers, detectors) with bit-true pulse-train simulation.
+//! * [`electronics`] — 22 nm logic substrate (mini-DSENT technology model,
+//!   CLA/shifter/Stripes/activation implementations).
+//! * [`dnn`] — CNN substrate (layer zoo, op-count analysis, quantized
+//!   inference).
+//! * [`core`] — the PIXEL accelerator itself: EE/OE/OO OMAC units, tile
+//!   fabric, and the energy/area/latency/EDP models behind every figure
+//!   and table in the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use pixel::core::config::{AcceleratorConfig, Design};
+//! use pixel::core::accelerator::Accelerator;
+//! use pixel::dnn::zoo;
+//!
+//! let config = AcceleratorConfig::new(Design::Oo, 4, 16);
+//! let accel = Accelerator::new(config);
+//! let report = accel.evaluate(&zoo::lenet());
+//! assert!(report.total_energy().value() > 0.0);
+//! ```
+
+pub use pixel_core as core;
+pub use pixel_units as units;
+pub use pixel_dnn as dnn;
+pub use pixel_electronics as electronics;
+pub use pixel_photonics as photonics;

@@ -1,0 +1,93 @@
+//! Energy-model validation by counting: the bit-true engines tally every
+//! device event they perform, and those tallies must equal the closed
+//! forms the analytic energy model multiplies by. This closes the loop
+//! between simulation activity and the charged energy.
+
+use pixel::core::omac::{OeMac, OoMac};
+use pixel::dnn::inference::MacEngine;
+use rand::{Rng, SeedableRng};
+
+#[test]
+fn oe_activity_matches_energy_model_forms() {
+    // The model charges an optical multiply 2·K·b² because the word's b
+    // bits stream for b synapse-bit cycles: counted MRR slots per
+    // multiply must equal b².
+    for (lanes, bits, muls) in [(4usize, 8u32, 12usize), (2, 4, 6), (8, 16, 8)] {
+        let mac = OeMac::new(lanes, bits);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(u64::from(bits));
+        let limit = (1u64 << bits) - 1;
+        let n: Vec<u64> = (0..muls).map(|_| rng.gen_range(0..=limit)).collect();
+        let s: Vec<u64> = (0..muls).map(|_| rng.gen_range(0..=limit)).collect();
+        let _ = mac.inner_product(&n, &s);
+
+        // Padded to full lanes: the hardware gates every lane every cycle.
+        let padded = muls.div_ceil(lanes) * lanes;
+        let expected_slots = (padded as u64) * u64::from(bits) * u64::from(bits);
+        assert_eq!(
+            mac.activity().mrr_slots(),
+            expected_slots,
+            "lanes={lanes} bits={bits} muls={muls}"
+        );
+        // One o/e conversion per lane per synapse-bit cycle.
+        assert_eq!(
+            mac.activity().oe_conversions(),
+            (padded as u64) * u64::from(bits)
+        );
+        // One accumulate per partial product.
+        assert_eq!(
+            mac.activity().cla_ops(),
+            (padded as u64) * u64::from(bits)
+        );
+    }
+}
+
+#[test]
+fn oo_activity_matches_energy_model_forms() {
+    for (lanes, bits, muls) in [(4usize, 8u32, 10usize), (1, 4, 5)] {
+        let mac = OoMac::new(lanes, bits);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let limit = (1u64 << bits) - 1;
+        let n: Vec<u64> = (0..muls).map(|_| rng.gen_range(0..=limit)).collect();
+        let s: Vec<u64> = (0..muls).map(|_| rng.gen_range(0..=limit)).collect();
+        let _ = mac.inner_product(&n, &s);
+
+        let padded = (muls.div_ceil(lanes) * lanes) as u64;
+        // b² MRR slots per multiply — same optical AND as OE.
+        assert_eq!(mac.activity().mrr_slots(), padded * u64::from(bits) * u64::from(bits));
+        // Exactly one o/e conversion per multiply (the OO design's big
+        // structural win over OE's b conversions): the model charges o/e
+        // per word, and the count confirms it.
+        assert_eq!(mac.activity().oe_conversions(), padded);
+        // One electrical accumulate per product — the residual electrical
+        // add the OO energy model's fixed term covers.
+        assert_eq!(mac.activity().cla_ops(), padded);
+        // The combined train spans 2b−1 slots (product width).
+        assert_eq!(
+            mac.activity().mzi_slots(),
+            padded * u64::from(2 * bits - 1)
+        );
+        assert_eq!(
+            mac.activity().comparator_decisions(),
+            padded * u64::from(2 * bits - 1)
+        );
+    }
+}
+
+#[test]
+fn oo_does_b_times_fewer_conversions_than_oe() {
+    // The structural reason Table II's OO add is half of OE's: the MZI
+    // chain collapses b per-cycle conversions into one per word.
+    let bits = 8u32;
+    let n: Vec<u64> = vec![200; 8];
+    let s: Vec<u64> = vec![131; 8];
+    let oe = OeMac::new(4, bits);
+    let oo = OoMac::new(4, bits);
+    let _ = oe.inner_product(&n, &s);
+    let _ = oo.inner_product(&n, &s);
+    assert_eq!(
+        oe.activity().oe_conversions(),
+        u64::from(bits) * oo.activity().oe_conversions()
+    );
+    // Identical optical AND activity.
+    assert_eq!(oe.activity().mrr_slots(), oo.activity().mrr_slots());
+}

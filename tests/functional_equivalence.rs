@@ -1,0 +1,125 @@
+//! Cross-crate functional verification: quantized CNN inference must be
+//! bit-identical whether the MACs run as plain integers, as the EE
+//! Stripes datapath, or through the OE/OO optical device simulations.
+
+use pixel::core::config::{AcceleratorConfig, Design};
+use pixel::core::omac::engine_for;
+use pixel::dnn::inference::{forward, DirectMac, LayerWeights, MacEngine};
+use pixel::dnn::layer::{Layer, PoolKind, Shape};
+use pixel::dnn::network::Network;
+use pixel::dnn::quant::Precision;
+use pixel::dnn::tensor::Tensor;
+use pixel::dnn::zoo;
+use rand::{Rng, SeedableRng};
+
+/// A LeNet-shaped micro CNN small enough to push through the pulse-train
+/// simulation in a debug-mode test.
+fn micro_net() -> Network {
+    Network::new(
+        "micro",
+        vec![
+            Layer::conv("Conv1", Shape::square(12, 1), 4, 3, 1),
+            Layer::pool("Pool1", Shape::square(10, 4), 2, 2, PoolKind::Max),
+            Layer::conv("Conv2", Shape::square(5, 4), 6, 3, 1),
+            Layer::fc("FC1", 3 * 3 * 6, 10),
+        ],
+    )
+}
+
+fn random_weights(net: &Network, precision: Precision, seed: u64) -> Vec<LayerWeights> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    net.layers()
+        .iter()
+        .map(|l| LayerWeights::generate(l, || rng.gen_range(0..=precision.max_value())))
+        .collect()
+}
+
+fn random_input(shape: Shape, precision: Precision, seed: u64) -> Tensor {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Tensor::from_fn(shape, |_, _, _| rng.gen_range(0..=precision.max_value()))
+}
+
+#[test]
+fn micro_cnn_is_bit_identical_across_all_engines() {
+    let net = micro_net();
+    net.validate_sequential().expect("micro net is consistent");
+    let precision = Precision::new(4);
+
+    for seed in [1u64, 2, 3] {
+        let weights = random_weights(&net, precision, seed);
+        let input = random_input(Shape::square(12, 1), precision, seed + 100);
+        let reference =
+            forward(&net, &input, &weights, &DirectMac, precision).expect("consistent shapes");
+
+        for design in Design::ALL {
+            let engine = engine_for(&AcceleratorConfig::new(design, 4, precision.bits()));
+            let out = forward(&net, &input, &weights, engine.as_ref(), precision)
+                .expect("consistent shapes");
+            assert_eq!(out, reference, "{design} seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn real_lenet_windows_sampled_through_optical_engines() {
+    // Sample inner-product windows at real LeNet layer sizes (25, 150,
+    // 400, 120 elements) instead of a full forward pass, which keeps the
+    // debug-mode pulse-train simulation fast.
+    let net = zoo::lenet();
+    let window_sizes: Vec<usize> = net
+        .compute_layers()
+        .map(|l| match l.kind {
+            pixel::dnn::layer::LayerKind::Conv { kernel, .. } => kernel * kernel * l.input.c,
+            pixel::dnn::layer::LayerKind::Fc { .. } => l.input.elements(),
+            pixel::dnn::layer::LayerKind::Pool { .. } => unreachable!(),
+        })
+        .collect();
+    assert!(window_sizes.contains(&400), "LeNet conv3 window");
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    for &len in &window_sizes {
+        let n: Vec<u64> = (0..len).map(|_| rng.gen_range(0..=255)).collect();
+        let s: Vec<u64> = (0..len).map(|_| rng.gen_range(0..=255)).collect();
+        let expected = DirectMac.inner_product(&n, &s);
+        for design in Design::ALL {
+            let engine = engine_for(&AcceleratorConfig::new(design, 8, 8));
+            assert_eq!(
+                engine.inner_product(&n, &s),
+                expected,
+                "{design} window of {len}"
+            );
+        }
+    }
+}
+
+#[test]
+fn engines_handle_degenerate_inputs() {
+    for design in Design::ALL {
+        let engine = engine_for(&AcceleratorConfig::new(design, 4, 8));
+        assert_eq!(engine.inner_product(&[], &[]), 0, "{design} empty window");
+        assert_eq!(engine.inner_product(&[0], &[0]), 0, "{design} zeros");
+        assert_eq!(
+            engine.inner_product(&[255; 4], &[255; 4]),
+            4 * 255 * 255,
+            "{design} saturated operands"
+        );
+    }
+}
+
+#[test]
+fn requantization_is_engine_independent() {
+    // The precision-rescaling path (right shifts between layers) must not
+    // interact with which engine computed the raw sums.
+    let net = micro_net();
+    let weights = random_weights(&net, Precision::new(6), 7);
+    let input = random_input(Shape::square(12, 1), Precision::new(6), 8);
+    for precision_bits in [2u32, 4, 6] {
+        let precision = Precision::new(precision_bits);
+        let reference =
+            forward(&net, &input, &weights, &DirectMac, precision).expect("shapes");
+        let engine = engine_for(&AcceleratorConfig::new(Design::Oo, 4, 6));
+        let optical = forward(&net, &input, &weights, engine.as_ref(), precision)
+            .expect("shapes");
+        assert_eq!(optical, reference, "precision {precision_bits}");
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based invariants of the architecture models, checked across
+//! random configurations rather than at hand-picked points.
+
+use pixel::core::config::{AcceleratorConfig, Design};
+use pixel::core::energy::OperationEnergies;
+use pixel::core::latency::cycles_per_firing;
+use pixel::core::mapping::LayerMapping;
+use pixel::dnn::analysis::{analyze_layer, FcCountConvention};
+use pixel::dnn::layer::{Layer, Shape};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = (Design, usize, u32)> {
+    (
+        prop_oneof![Just(Design::Ee), Just(Design::Oe), Just(Design::Oo)],
+        1usize..=16,
+        1u32..=32,
+    )
+}
+
+proptest! {
+    /// All per-operation energies are positive and finite everywhere in
+    /// the configuration space.
+    #[test]
+    fn energies_are_finite_and_positive((design, lanes, bits) in arb_config()) {
+        let ops = OperationEnergies::for_config(&AcceleratorConfig::new(design, lanes, bits));
+        for e in [ops.mul, ops.add, ops.act, ops.comm] {
+            prop_assert!(e.value() > 0.0 && e.is_finite());
+        }
+        if design.is_optical() {
+            prop_assert!(ops.oe.value() > 0.0);
+            prop_assert!(ops.laser.value() > 0.0);
+        } else {
+            prop_assert!(ops.oe.value() == 0.0 && ops.laser.value() == 0.0);
+        }
+    }
+
+    /// EE multiply energy is strictly increasing in precision; the
+    /// optical multiply stays a fixed small fraction of it.
+    #[test]
+    fn multiply_energy_monotone_in_bits(lanes in 1usize..=16, bits in 1u32..=31) {
+        let at = |b: u32, d: Design| {
+            OperationEnergies::for_config(&AcceleratorConfig::new(d, lanes, b)).mul
+        };
+        prop_assert!(at(bits + 1, Design::Ee) > at(bits, Design::Ee));
+        let ratio = at(bits, Design::Oe) / at(bits, Design::Ee);
+        prop_assert!((ratio - 0.0516).abs() < 0.001, "ratio {ratio}");
+    }
+
+    /// Firing service time never decreases with precision and both
+    /// optical designs obey OE ≥ OO (the extra o/e handoff).
+    #[test]
+    fn cycles_monotone_and_ordered(lanes in 1usize..=16, bits in 1u32..=31) {
+        for d in Design::ALL {
+            let now = cycles_per_firing(&AcceleratorConfig::new(d, lanes, bits));
+            let next = cycles_per_firing(&AcceleratorConfig::new(d, lanes, bits + 1));
+            prop_assert!(next >= now, "{d} at {bits}");
+        }
+        let oe = cycles_per_firing(&AcceleratorConfig::new(Design::Oe, lanes, bits));
+        let oo = cycles_per_firing(&AcceleratorConfig::new(Design::Oo, lanes, bits));
+        prop_assert!(oe >= oo);
+    }
+
+    /// Mapping identities: chunks cover all MACs exactly once, rounds
+    /// cover all chunks, utilization ∈ (0, 100].
+    #[test]
+    fn mapping_covers_work(
+        h in 4usize..=32,
+        c in 1usize..=16,
+        m in 1usize..=16,
+        r in 1usize..=3,
+        lanes in 1usize..=16,
+        tiles in 1usize..=32,
+    ) {
+        prop_assume!(h >= r);
+        let layer = Layer::conv("c", Shape::square(h, c), m, 2 * r - 1, 1);
+        let config = AcceleratorConfig::new(Design::Oe, lanes, 8).with_tiles(tiles);
+        let map = LayerMapping::for_layer(&config, &layer);
+
+        let counts = analyze_layer(&layer, FcCountConvention::Paper);
+        prop_assert_eq!(map.total_macs(), counts.mul, "macs = N_mul");
+        prop_assert!(map.chunks_per_window * map.lanes >= map.macs_per_window);
+        prop_assert!((map.chunks_per_window - 1) * map.lanes < map.macs_per_window);
+        prop_assert!(map.rounds * config.tiles as u64 >= map.windows * map.chunks_per_window);
+        let u = map.average_utilization_pct();
+        prop_assert!(u > 0.0 && u <= 100.0);
+    }
+
+    /// The §IV-B identities hold for every conv layer: N_add = N_mul +
+    /// N_act and N_mul = R²·N_MVM.
+    #[test]
+    fn analysis_identities(
+        h in 3usize..=64,
+        c in 1usize..=32,
+        m in 1usize..=64,
+        r_idx in 0usize..3,
+        u in 1usize..=2,
+    ) {
+        let r = [1usize, 3, 5][r_idx];
+        prop_assume!(h >= r);
+        let layer = Layer::conv("c", Shape::square(h, c), m, r, u);
+        let counts = analyze_layer(&layer, FcCountConvention::Paper);
+        prop_assert_eq!(counts.add, counts.mul + counts.act);
+        prop_assert_eq!(counts.mul, (r * r) as u64 * counts.mvm);
+        let e = layer.output_feature_size() as u64;
+        prop_assert_eq!(counts.act, e * e * m as u64);
+    }
+
+    /// Design ordering at the calibration point extends across the whole
+    /// precision sweep: total per-op energy of OO ≤ OE for bits ≥ 8, and
+    /// both beat EE for bits ≥ 8 at any lane count.
+    #[test]
+    fn optical_energy_dominance_at_high_bits(lanes in 1usize..=16, bits in 8u32..=32) {
+        let total = |d: Design| {
+            let ops = OperationEnergies::for_config(&AcceleratorConfig::new(d, lanes, bits));
+            (ops.mul + ops.add + ops.oe + ops.comm + ops.laser).value()
+        };
+        prop_assert!(total(Design::Oe) < total(Design::Ee), "OE < EE at {lanes}/{bits}");
+        if bits >= 16 {
+            prop_assert!(total(Design::Oo) < total(Design::Oe), "OO < OE at {lanes}/{bits}");
+        }
+    }
+}
