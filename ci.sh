@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Offline CI: build, test, lint, and a smoke run of the reproduce binary.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== build"
+cargo build --release --workspace
+
+echo "== test"
+cargo test -q --workspace
+
+echo "== clippy"
+cargo clippy --all-targets --workspace -- -D warnings
+
+echo "== reproduce smoke"
+out=$(./target/release/reproduce table1 --profile)
+echo "$out" | grep -q "== profile" || { echo "profile table missing" >&2; exit 1; }
+echo "$out" | grep -q "dnn/analysis/layers" || { echo "expected counter missing" >&2; exit 1; }
+./target/release/reproduce --list > /dev/null
+if ./target/release/reproduce no-such-artifact 2> /dev/null; then
+  echo "unknown artifact should fail" >&2
+  exit 1
+fi
+
+echo "== ok"

@@ -5,7 +5,7 @@
 //! Prints the gate/depth/energy comparison once, then measures the
 //! bit-true implementations' software throughput.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pixel_bench::timing::bench;
 use pixel_electronics::cla::Cla;
 use pixel_electronics::dsent;
 use pixel_electronics::multiplier::ArrayMultiplier;
@@ -13,9 +13,6 @@ use pixel_electronics::ripple::RippleCarryAdder;
 use pixel_electronics::stripes::StripesMac;
 use pixel_electronics::technology::Technology;
 use std::hint::black_box;
-use std::sync::Once;
-
-static PRINT_ONCE: Once = Once::new();
 
 fn print_comparison() {
     let tech = Technology::bulk22lvt();
@@ -50,31 +47,24 @@ fn print_comparison() {
     println!();
 }
 
-fn bench(c: &mut Criterion) {
-    PRINT_ONCE.call_once(print_comparison);
+fn main() {
+    print_comparison();
 
-    let mut group = c.benchmark_group("adders_16bit");
     let cla = Cla::new(16);
     let rca = RippleCarryAdder::new(16);
-    group.bench_function("cla", |b| {
-        b.iter(|| black_box(cla.add(black_box(0xABCD), black_box(0x1234), false)));
+    bench("adders_16bit/cla", || {
+        cla.add(black_box(0xABCD), black_box(0x1234), false)
     });
-    group.bench_function("rca", |b| {
-        b.iter(|| black_box(rca.add(black_box(0xABCD), black_box(0x1234), false)));
+    bench("adders_16bit/rca", || {
+        rca.add(black_box(0xABCD), black_box(0x1234), false)
     });
-    group.finish();
 
-    let mut group = c.benchmark_group("multipliers_8bit");
     let array = ArrayMultiplier::new(8);
     let stripes = StripesMac::new(1, 8);
-    group.bench_function("array", |b| {
-        b.iter(|| black_box(array.multiply(black_box(200), black_box(131))));
+    bench("multipliers_8bit/array", || {
+        array.multiply(black_box(200), black_box(131))
     });
-    group.bench_function("stripes_lane", |b| {
-        b.iter(|| black_box(stripes.mac(&[200], &[131]).unwrap().value));
+    bench("multipliers_8bit/stripes_lane", || {
+        stripes.mac(&[200], &[131]).unwrap().value
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -3,12 +3,8 @@
 //! drive energy (100 fJ device citation vs 500 fJ worked example) and the
 //! receiver re-synchronization cost behind the latency U-shape?
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pixel_bench::timing::bench;
 use pixel_core::ablation;
-use std::hint::black_box;
-use std::sync::Once;
-
-static PRINT_ONCE: Once = Once::new();
 
 fn print_tables() {
     println!("\n== MRR energy sensitivity (headline geomean EDP improvements) ==");
@@ -34,15 +30,12 @@ fn print_tables() {
     println!();
 }
 
-fn bench(c: &mut Criterion) {
-    PRINT_ONCE.call_once(print_tables);
-    c.bench_function("mrr_sensitivity_sweep", |b| {
-        b.iter(|| black_box(ablation::mrr_energy_sensitivity(&[1.0, 5.0])));
+fn main() {
+    print_tables();
+    bench("mrr_sensitivity_sweep", || {
+        ablation::mrr_energy_sensitivity(&[1.0, 5.0])
     });
-    c.bench_function("resync_sensitivity_sweep", |b| {
-        b.iter(|| black_box(ablation::resync_sensitivity(&[0.0, 6.0, 12.0])));
+    bench("resync_sensitivity_sweep", || {
+        ablation::resync_sensitivity(&[0.0, 6.0, 12.0])
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,21 +1,12 @@
-//! Criterion bench regenerating Figure 4 data series (single-MAC energy/bit sweep).
+//! Bench regenerating Figure 4 data series (single-MAC energy/bit sweep).
 //!
-//! Running this bench prints the reproduced artifact once and then
-//! measures how long the full sweep takes to regenerate.
+//! Prints the reproduced artifact once and then measures how long the
+//! full sweep takes to regenerate (std-only timing harness).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use std::sync::Once;
+use pixel_bench::timing::bench;
 
-static PRINT_ONCE: Once = Once::new();
-
-fn bench(c: &mut Criterion) {
-    PRINT_ONCE.call_once(|| {
-        println!("\n== Figure 4 data series (single-MAC energy/bit sweep) ==");
-        println!("{}", pixel_bench::fig4());
-    });
-    c.bench_function("fig4_energy_per_bit", |b| b.iter(|| black_box(pixel_bench::fig4())));
+fn main() {
+    println!("\n== Figure 4 data series (single-MAC energy/bit sweep) ==");
+    println!("{}", pixel_bench::fig4());
+    bench("fig4_energy_per_bit", pixel_bench::fig4);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,21 +1,12 @@
-//! Criterion bench regenerating Figure 5 data series (component energy for 3 CNNs).
+//! Bench regenerating Figure 5 data series (component energy for 3 CNNs).
 //!
-//! Running this bench prints the reproduced artifact once and then
-//! measures how long the full sweep takes to regenerate.
+//! Prints the reproduced artifact once and then measures how long the
+//! full sweep takes to regenerate (std-only timing harness).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use std::sync::Once;
+use pixel_bench::timing::bench;
 
-static PRINT_ONCE: Once = Once::new();
-
-fn bench(c: &mut Criterion) {
-    PRINT_ONCE.call_once(|| {
-        println!("\n== Figure 5 data series (component energy for 3 CNNs) ==");
-        println!("{}", pixel_bench::fig5());
-    });
-    c.bench_function("fig5_components", |b| b.iter(|| black_box(pixel_bench::fig5())));
+fn main() {
+    println!("\n== Figure 5 data series (component energy for 3 CNNs) ==");
+    println!("{}", pixel_bench::fig5());
+    bench("fig5_components", pixel_bench::fig5);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

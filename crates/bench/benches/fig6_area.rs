@@ -1,21 +1,12 @@
-//! Criterion bench regenerating Figure 6 data series (fabric area vs lanes).
+//! Bench regenerating Figure 6 data series (fabric area vs lanes).
 //!
-//! Running this bench prints the reproduced artifact once and then
-//! measures how long the full sweep takes to regenerate.
+//! Prints the reproduced artifact once and then measures how long the
+//! full sweep takes to regenerate (std-only timing harness).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use std::sync::Once;
+use pixel_bench::timing::bench;
 
-static PRINT_ONCE: Once = Once::new();
-
-fn bench(c: &mut Criterion) {
-    PRINT_ONCE.call_once(|| {
-        println!("\n== Figure 6 data series (fabric area vs lanes) ==");
-        println!("{}", pixel_bench::fig6());
-    });
-    c.bench_function("fig6_area", |b| b.iter(|| black_box(pixel_bench::fig6())));
+fn main() {
+    println!("\n== Figure 6 data series (fabric area vs lanes) ==");
+    println!("{}", pixel_bench::fig6());
+    bench("fig6_area", pixel_bench::fig6);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,21 +1,12 @@
-//! Criterion bench regenerating Figure 7 data series (normalized energy, 6 CNNs).
+//! Bench regenerating Figure 7 data series (normalized energy, 6 CNNs).
 //!
-//! Running this bench prints the reproduced artifact once and then
-//! measures how long the full sweep takes to regenerate.
+//! Prints the reproduced artifact once and then measures how long the
+//! full sweep takes to regenerate (std-only timing harness).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use std::sync::Once;
+use pixel_bench::timing::bench;
 
-static PRINT_ONCE: Once = Once::new();
-
-fn bench(c: &mut Criterion) {
-    PRINT_ONCE.call_once(|| {
-        println!("\n== Figure 7 data series (normalized energy, 6 CNNs) ==");
-        println!("{}", pixel_bench::fig7());
-    });
-    c.bench_function("fig7_normalized_energy", |b| b.iter(|| black_box(pixel_bench::fig7())));
+fn main() {
+    println!("\n== Figure 7 data series (normalized energy, 6 CNNs) ==");
+    println!("{}", pixel_bench::fig7());
+    bench("fig7_normalized_energy", pixel_bench::fig7);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,21 +1,12 @@
-//! Criterion bench regenerating Figure 8 data series (geomean latency sweep).
+//! Bench regenerating Figure 8 data series (geomean latency sweep).
 //!
-//! Running this bench prints the reproduced artifact once and then
-//! measures how long the full sweep takes to regenerate.
+//! Prints the reproduced artifact once and then measures how long the
+//! full sweep takes to regenerate (std-only timing harness).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use std::sync::Once;
+use pixel_bench::timing::bench;
 
-static PRINT_ONCE: Once = Once::new();
-
-fn bench(c: &mut Criterion) {
-    PRINT_ONCE.call_once(|| {
-        println!("\n== Figure 8 data series (geomean latency sweep) ==");
-        println!("{}", pixel_bench::fig8());
-    });
-    c.bench_function("fig8_latency", |b| b.iter(|| black_box(pixel_bench::fig8())));
+fn main() {
+    println!("\n== Figure 8 data series (geomean latency sweep) ==");
+    println!("{}", pixel_bench::fig8());
+    bench("fig8_latency", pixel_bench::fig8);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

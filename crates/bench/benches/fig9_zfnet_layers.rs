@@ -1,21 +1,12 @@
-//! Criterion bench regenerating Figure 9 data series (ZFNet per-layer latency).
+//! Bench regenerating Figure 9 data series (ZFNet per-layer latency).
 //!
-//! Running this bench prints the reproduced artifact once and then
-//! measures how long the full sweep takes to regenerate.
+//! Prints the reproduced artifact once and then measures how long the
+//! full sweep takes to regenerate (std-only timing harness).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use std::sync::Once;
+use pixel_bench::timing::bench;
 
-static PRINT_ONCE: Once = Once::new();
-
-fn bench(c: &mut Criterion) {
-    PRINT_ONCE.call_once(|| {
-        println!("\n== Figure 9 data series (ZFNet per-layer latency) ==");
-        println!("{}", pixel_bench::fig9());
-    });
-    c.bench_function("fig9_zfnet_layers", |b| b.iter(|| black_box(pixel_bench::fig9())));
+fn main() {
+    println!("\n== Figure 9 data series (ZFNet per-layer latency) ==");
+    println!("{}", pixel_bench::fig9());
+    bench("fig9_zfnet_layers", pixel_bench::fig9);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

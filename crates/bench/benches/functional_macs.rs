@@ -1,42 +1,35 @@
-//! Criterion bench comparing the throughput of the three bit-true OMAC
+//! Bench comparing the throughput of the three bit-true OMAC
 //! implementations (EE Stripes, OE MRR+electrical, OO MRR+MZI) against
 //! plain integer MACs — an ablation of the functional-simulation layer's
 //! cost, not a claim about hardware speed.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pixel_bench::timing::bench;
 use pixel_core::config::{AcceleratorConfig, Design};
 use pixel_core::omac::engine_for;
 use pixel_dnn::inference::{DirectMac, MacEngine};
-use rand::{Rng, SeedableRng};
-use std::hint::black_box;
+use pixel_units::rng::SplitMix64;
 
 fn window(len: usize, bits: u32, seed: u64) -> (Vec<u64>, Vec<u64>) {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     let limit = (1u64 << bits) - 1;
     (
-        (0..len).map(|_| rng.gen_range(0..=limit)).collect(),
-        (0..len).map(|_| rng.gen_range(0..=limit)).collect(),
+        (0..len).map(|_| rng.range_u64(0, limit)).collect(),
+        (0..len).map(|_| rng.range_u64(0, limit)).collect(),
     )
 }
 
-fn bench(c: &mut Criterion) {
+fn main() {
     let (neurons, synapses) = window(72, 8, 7);
-    let mut group = c.benchmark_group("functional_mac_window_72x8bit");
+    println!("\n== Functional MAC throughput (72-element window, 8-bit) ==");
 
-    group.bench_function("direct", |b| {
-        b.iter(|| black_box(DirectMac.inner_product(&neurons, &synapses)));
+    bench("functional_mac_72x8bit/direct", || {
+        DirectMac.inner_product(&neurons, &synapses)
     });
 
     for design in Design::ALL {
         let engine = engine_for(&AcceleratorConfig::new(design, 8, 8));
-        group.bench_with_input(
-            BenchmarkId::new("omac", design.label()),
-            &engine,
-            |b, engine| b.iter(|| black_box(engine.inner_product(&neurons, &synapses))),
-        );
+        bench(&format!("functional_mac_72x8bit/omac_{}", design.label()), || {
+            engine.inner_product(&neurons, &synapses)
+        });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,12 +2,8 @@
 //! amplitude noise, Monte-Carlo'd against the analytic comparator error
 //! model.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use pixel_bench::timing::bench;
 use pixel_core::robustness;
-use std::hint::black_box;
-use std::sync::Once;
-
-static PRINT_ONCE: Once = Once::new();
 
 fn print_table() {
     println!("\n== OO multiply correctness vs amplitude noise (8-bit, 2000 trials) ==");
@@ -21,12 +17,9 @@ fn print_table() {
     println!();
 }
 
-fn bench(c: &mut Criterion) {
-    PRINT_ONCE.call_once(print_table);
-    c.bench_function("noisy_oo_multiply_sweep", |b| {
-        b.iter(|| black_box(robustness::noise_sweep(8, &[0.2], 200, 7)));
+fn main() {
+    print_table();
+    bench("noisy_oo_multiply_sweep", || {
+        robustness::noise_sweep(8, &[0.2], 200, 7)
     });
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,21 +1,12 @@
-//! Criterion bench regenerating Table I (VGG16 per-layer op counts).
+//! Bench regenerating Table I (VGG16 per-layer op counts).
 //!
-//! Running this bench prints the reproduced artifact once and then
-//! measures how long the full sweep takes to regenerate.
+//! Prints the reproduced artifact once and then measures how long the
+//! full sweep takes to regenerate (std-only timing harness).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use std::sync::Once;
+use pixel_bench::timing::bench;
 
-static PRINT_ONCE: Once = Once::new();
-
-fn bench(c: &mut Criterion) {
-    PRINT_ONCE.call_once(|| {
-        println!("\n== Table I (VGG16 per-layer op counts) ==");
-        println!("{}", pixel_bench::table1());
-    });
-    c.bench_function("table1_vgg16", |b| b.iter(|| black_box(pixel_bench::table1())));
+fn main() {
+    println!("\n== Table I (VGG16 per-layer op counts) ==");
+    println!("{}", pixel_bench::table1());
+    bench("table1_vgg16", pixel_bench::table1);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

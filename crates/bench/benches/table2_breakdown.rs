@@ -1,21 +1,12 @@
-//! Criterion bench regenerating Table II (energy breakdown rows).
+//! Bench regenerating Table II (energy breakdown rows).
 //!
-//! Running this bench prints the reproduced artifact once and then
-//! measures how long the full sweep takes to regenerate.
+//! Prints the reproduced artifact once and then measures how long the
+//! full sweep takes to regenerate (std-only timing harness).
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-use std::sync::Once;
+use pixel_bench::timing::bench;
 
-static PRINT_ONCE: Once = Once::new();
-
-fn bench(c: &mut Criterion) {
-    PRINT_ONCE.call_once(|| {
-        println!("\n== Table II (energy breakdown rows) ==");
-        println!("{}", pixel_bench::table2());
-    });
-    c.bench_function("table2_breakdown", |b| b.iter(|| black_box(pixel_bench::table2())));
+fn main() {
+    println!("\n== Table II (energy breakdown rows) ==");
+    println!("{}", pixel_bench::table2());
+    bench("table2_breakdown", pixel_bench::table2);
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

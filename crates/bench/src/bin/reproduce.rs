@@ -3,17 +3,22 @@
 //! Usage:
 //!
 //! ```text
-//! reproduce [table1|table2|fig4..fig10|power|ablation|scaling|noise|weights|all]
+//! reproduce [FLAGS] [ARTIFACT...]
+//!
+//! ARTIFACT   table1|table2|fig4..fig10|power|ablation|...|all (default: all)
+//! --list     print the artifact keys and exit
+//! --profile  record spans/counters and print a profile table at the end
+//! --trace F  stream span/counter events to F as JSON lines
 //! ```
 //!
-//! With no argument (or `all`) every artifact is printed in paper order.
+//! With no artifact (or `all`) every artifact is printed in paper order.
 
 use std::process::ExitCode;
 
 /// One reproducible artifact: key, title, renderer.
 type Artifact = (&'static str, &'static str, fn() -> String);
 
-const ARTIFACTS: [Artifact; 17] = [
+const ARTIFACTS: [Artifact; 18] = [
     ("table1", "Table I — VGG16 computations [millions]", pixel_bench::table1),
     (
         "fig4",
@@ -95,6 +100,11 @@ const ARTIFACTS: [Artifact; 17] = [
         "Extension — compute vs ingress rooflines per design (8 lanes)",
         pixel_bench::roofline,
     ),
+    (
+        "audit",
+        "Extension — counted vs analytic device activity (lit/toggle rates)",
+        pixel_bench::audit,
+    ),
 ];
 
 fn print_artifact(key: &str, title: &str, render: fn() -> String) {
@@ -102,23 +112,88 @@ fn print_artifact(key: &str, title: &str, render: fn() -> String) {
     println!("{}", render());
 }
 
+fn print_keys(to_stderr: bool) {
+    let emit = |line: String| {
+        if to_stderr {
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
+    };
+    for (key, title, _) in ARTIFACTS {
+        emit(format!("  {key:<8} {title}"));
+    }
+    emit("  all      everything above".to_owned());
+}
+
 fn main() -> ExitCode {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "all".to_owned());
-    if arg == "all" {
-        for (key, title, render) in ARTIFACTS {
-            print_artifact(key, title, render);
+    let mut profile = false;
+    let mut trace_path: Option<String> = None;
+    let mut keys: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--list" => {
+                print_keys(false);
+                return ExitCode::SUCCESS;
+            }
+            "--profile" => profile = true,
+            "--trace" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--trace requires a file path");
+                    return ExitCode::FAILURE;
+                };
+                trace_path = Some(path);
+            }
+            flag if flag.starts_with("--") => {
+                eprintln!("unknown flag {flag:?}; valid flags: --list --profile --trace <file>");
+                return ExitCode::FAILURE;
+            }
+            key => keys.push(key.to_owned()),
         }
-        return ExitCode::SUCCESS;
     }
-    if let Some((key, title, render)) = ARTIFACTS.iter().find(|(k, _, _)| *k == arg) {
-        print_artifact(key, title, *render);
-        ExitCode::SUCCESS
-    } else {
-        eprintln!("unknown artifact {arg:?}; expected one of:");
-        for (key, title, _) in ARTIFACTS {
-            eprintln!("  {key:<8} {title}");
+    if keys.is_empty() {
+        keys.push("all".to_owned());
+    }
+
+    // Validate every requested key before doing any work.
+    let mut selected: Vec<&Artifact> = Vec::new();
+    for key in &keys {
+        if key == "all" {
+            selected.extend(ARTIFACTS.iter());
+        } else if let Some(artifact) = ARTIFACTS.iter().find(|(k, _, _)| k == key) {
+            selected.push(artifact);
+        } else {
+            eprintln!("unknown artifact {key:?}; expected one of:");
+            print_keys(true);
+            return ExitCode::FAILURE;
         }
-        eprintln!("  all      everything above");
-        ExitCode::FAILURE
     }
+
+    if profile || trace_path.is_some() {
+        pixel_obs::enable();
+    }
+    if let Some(path) = &trace_path {
+        match std::fs::File::create(path) {
+            Ok(file) => pixel_obs::install_trace(Box::new(std::io::BufWriter::new(file))),
+            Err(err) => {
+                eprintln!("cannot open trace file {path:?}: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    {
+        let _run = pixel_obs::span("reproduce");
+        for (key, title, render) in &selected {
+            print_artifact(key, title, *render);
+        }
+    }
+
+    pixel_obs::finish_trace();
+    if profile {
+        println!("== profile");
+        print!("{}", pixel_obs::profile_table());
+    }
+    ExitCode::SUCCESS
 }

@@ -5,6 +5,8 @@
 //! generator functions here, which wrap `pixel_core::dse` with the exact
 //! parameter grids the paper uses.
 
+pub mod timing;
+
 use pixel_core::dse;
 use pixel_core::report;
 use pixel_dnn::analysis::{analyze_network, FcCountConvention};
@@ -25,6 +27,7 @@ pub fn fig8_bits_sweep() -> Vec<u32> {
 /// Renders Table I (VGG16 per-layer op counts, in millions).
 #[must_use]
 pub fn table1() -> String {
+    let _span = pixel_obs::span("table1");
     let mut s = String::from(
         "Layer   |      MVM       Mul       Add       Act   [millions]  Input Shape\n",
     );
@@ -53,12 +56,14 @@ pub fn table1() -> String {
 /// Renders Fig. 4's data table.
 #[must_use]
 pub fn fig4() -> String {
+    let _span = pixel_obs::span("fig4");
     report::format_energy_per_bit(&dse::fig4_energy_per_bit(&LANES_SWEEP, &BITS_SWEEP))
 }
 
 /// Renders Fig. 5's data table (AlexNet, LeNet, VGG16 components).
 #[must_use]
 pub fn fig5() -> String {
+    let _span = pixel_obs::span("fig5");
     let nets = [zoo::alexnet(), zoo::lenet(), zoo::vgg16()];
     report::format_components(&dse::fig5_component_energy(&nets, &[4, 8, 16]))
 }
@@ -66,12 +71,14 @@ pub fn fig5() -> String {
 /// Renders Fig. 6's data table.
 #[must_use]
 pub fn fig6() -> String {
+    let _span = pixel_obs::span("fig6");
     report::format_area(&dse::fig6_area(&LANES_SWEEP))
 }
 
 /// Renders Fig. 7's data table.
 #[must_use]
 pub fn fig7() -> String {
+    let _span = pixel_obs::span("fig7");
     report::format_normalized(
         &dse::fig7_normalized_energy(&zoo::all_networks(), &BITS_SWEEP),
         "energy",
@@ -81,6 +88,7 @@ pub fn fig7() -> String {
 /// Renders Fig. 8's data table.
 #[must_use]
 pub fn fig8() -> String {
+    let _span = pixel_obs::span("fig8");
     report::format_latency(&dse::fig8_latency_geomean(
         &zoo::all_networks(),
         &fig8_bits_sweep(),
@@ -90,12 +98,14 @@ pub fn fig8() -> String {
 /// Renders Fig. 9's data table.
 #[must_use]
 pub fn fig9() -> String {
+    let _span = pixel_obs::span("fig9");
     report::format_layer_latency(&dse::fig9_zfnet_layer_latency())
 }
 
 /// Renders Fig. 10's data table, plus the headline geomean improvements.
 #[must_use]
 pub fn fig10() -> String {
+    let _span = pixel_obs::span("fig10");
     let mut s = report::format_normalized(
         &dse::fig10_normalized_edp(&zoo::all_networks(), &BITS_SWEEP),
         "EDP",
@@ -112,12 +122,14 @@ pub fn fig10() -> String {
 /// Renders Table II.
 #[must_use]
 pub fn table2() -> String {
+    let _span = pixel_obs::span("table2");
     report::format_table2(&dse::table2_breakdown())
 }
 
 /// Extension artifact: power analysis across designs (beyond the paper).
 #[must_use]
 pub fn power() -> String {
+    let _span = pixel_obs::span("power");
     use pixel_core::accelerator::Accelerator;
     use pixel_core::config::{AcceleratorConfig, Design};
     use pixel_core::power::{macs_per_second_per_watt, power_report};
@@ -144,6 +156,7 @@ pub fn power() -> String {
 /// Extension artifact: sensitivity ablations on the calibrated constants.
 #[must_use]
 pub fn ablation() -> String {
+    let _span = pixel_obs::span("ablation");
     use pixel_core::ablation;
     let mut s = String::from("MRR energy scale (×100 fJ/bit) | OE improvement  OO improvement\n");
     for p in ablation::mrr_energy_sensitivity(&[0.5, 1.0, 2.0, 5.0]) {
@@ -169,6 +182,7 @@ pub fn ablation() -> String {
 /// Extension artifact: link-budget scalability bounds (§III-C(ii)).
 #[must_use]
 pub fn scaling() -> String {
+    let _span = pixel_obs::span("scaling");
     use pixel_core::config::Design;
     use pixel_core::scaling::{max_supported_tiles, scaling_sweep};
 
@@ -195,6 +209,7 @@ pub fn scaling() -> String {
 /// Extension artifact: OO multiply correctness under receiver noise.
 #[must_use]
 pub fn noise() -> String {
+    let _span = pixel_obs::span("noise");
     use pixel_core::robustness::noise_sweep;
     let mut s =
         String::from("sigma |  correct  silent-err  detected | analytic slot err\n");
@@ -210,6 +225,7 @@ pub fn noise() -> String {
 /// Extension artifact: roofline bounds per design.
 #[must_use]
 pub fn roofline() -> String {
+    let _span = pixel_obs::span("roofline");
     use pixel_core::config::{AcceleratorConfig, Design};
     use pixel_core::roofline::roofline;
     let mut s = String::from(
@@ -235,6 +251,7 @@ pub fn roofline() -> String {
 /// six evaluated networks.
 #[must_use]
 pub fn counts() -> String {
+    let _span = pixel_obs::span("counts");
     let mut s = String::new();
     for net in zoo::all_networks() {
         s.push_str(&format!("-- {} --\n", net.name()));
@@ -256,9 +273,22 @@ pub fn counts() -> String {
     s
 }
 
+/// Extension artifact: activity audit — counted lit/toggle rates from the
+/// bit-true functional MACs vs the analytic activity factors the energy
+/// model assumes, per design.
+#[must_use]
+pub fn audit() -> String {
+    let _span = pixel_obs::span("audit");
+    let rows = pixel_core::audit::activity_audit(4, 8, 200, 16, 2020);
+    let mut s = pixel_core::report::format_audit(&rows);
+    s.push_str("\n(200 windows x 16 uniform 8-bit operand pairs per design)\n");
+    s
+}
+
 /// Extension artifact: PAM-4 line-coding ablation on the optical latency.
 #[must_use]
 pub fn pam() -> String {
+    let _span = pixel_obs::span("pam");
     use pixel_core::config::Design;
     use pixel_core::pam::pam4_sweep;
     let mut s = String::from(
@@ -278,6 +308,7 @@ pub fn pam() -> String {
 /// Extension artifact: photonic weight pre-load vs compute cost.
 #[must_use]
 pub fn weights() -> String {
+    let _span = pixel_obs::span("weights");
     use pixel_core::accelerator::Accelerator;
     use pixel_core::config::{AcceleratorConfig, Design};
     use pixel_core::weight_streaming::{network_weight_load, totals};
@@ -318,6 +349,7 @@ mod tests {
             ("fig8", fig8()),
             ("fig9", fig9()),
             ("fig10", fig10()),
+            ("audit", audit()),
         ] {
             assert!(!text.contains("NaN"), "{name} contains NaN:\n{text}");
             assert!(text.lines().count() > 2, "{name} too short");

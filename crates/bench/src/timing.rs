@@ -1,0 +1,100 @@
+//! Minimal std-only timing harness for the `benches/` binaries.
+//!
+//! The bench binaries (`cargo bench`) print a reproduced artifact once
+//! and then measure how long regenerating it takes. This module provides
+//! the measurement loop: a short warm-up, then timed batches until a
+//! wall-clock budget is spent, reporting the mean per-iteration time.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Result of one measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Measurement {
+    /// Iterations executed during the timed phase.
+    pub iterations: u64,
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+}
+
+impl Measurement {
+    /// Mean time in nanoseconds.
+    #[must_use]
+    pub fn mean_nanos(&self) -> f64 {
+        self.mean.as_secs_f64() * 1e9
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_secs_f64() * 1e9;
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Times `f` for roughly `budget`, after a tenth of it as warm-up.
+/// Returns the mean per-iteration time over the timed phase.
+pub fn measure<T>(budget: Duration, mut f: impl FnMut() -> T) -> Measurement {
+    let warmup_deadline = Instant::now() + budget / 10;
+    while Instant::now() < warmup_deadline {
+        black_box(f());
+    }
+    let start = Instant::now();
+    let deadline = start + budget;
+    let mut iterations = 0u64;
+    while Instant::now() < deadline {
+        black_box(f());
+        iterations += 1;
+    }
+    let elapsed = start.elapsed();
+    Measurement {
+        iterations,
+        mean: elapsed / u32::try_from(iterations.max(1)).unwrap_or(u32::MAX),
+    }
+}
+
+/// Times `f` with the default 200 ms budget and prints one
+/// `name ... mean (N iters)` report line.
+pub fn bench<T>(name: &str, f: impl FnMut() -> T) -> Measurement {
+    let m = measure(Duration::from_millis(200), f);
+    println!(
+        "bench {name:<40} {:>12}/iter  ({} iters)",
+        format_duration(m.mean),
+        m.iterations
+    );
+    m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_at_least_one_iteration() {
+        let m = measure(Duration::from_millis(5), || 2 + 2);
+        assert!(m.iterations >= 1);
+        assert!(m.mean.as_nanos() > 0 || m.iterations > 1_000);
+    }
+
+    #[test]
+    fn mean_tracks_sleep_scale() {
+        let m = measure(Duration::from_millis(30), || {
+            std::thread::sleep(Duration::from_millis(2));
+        });
+        assert!(m.mean >= Duration::from_millis(1), "mean {:?}", m.mean);
+    }
+
+    #[test]
+    fn duration_formatting_picks_sane_units() {
+        assert!(format_duration(Duration::from_nanos(500)).ends_with("ns"));
+        assert!(format_duration(Duration::from_micros(50)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(50)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

@@ -91,6 +91,7 @@ impl Accelerator {
         network: &Network,
         convention: FcCountConvention,
     ) -> NetworkReport {
+        pixel_obs::add("dse/model_evals", 1);
         let layers = analyze_network(network, convention)
             .into_iter()
             .map(|counts| LayerReport {

@@ -217,12 +217,12 @@ impl CoherentEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use pixel_units::rng::SplitMix64;
 
     fn random_matrix(n: usize, seed: u64) -> Vec<Vec<f64>> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         (0..n)
-            .map(|_| (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect())
+            .map(|_| (0..n).map(|_| rng.range_f64(-2.0, 2.0)).collect())
             .collect()
     }
 
@@ -264,8 +264,8 @@ mod tests {
         for seed in 0..4 {
             let w = random_matrix(4, seed);
             let engine = CoherentEngine::synthesize(&w);
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed + 100);
-            let x: Vec<f64> = (0..4).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            let mut rng = SplitMix64::seed_from_u64(seed + 100);
+            let x: Vec<f64> = (0..4).map(|_| rng.range_f64(-1.0, 1.0)).collect();
             let optical = engine.apply(&x);
             let reference = matvec(&w, &x);
             for (a, b) in optical.iter().zip(&reference) {

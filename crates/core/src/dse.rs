@@ -31,8 +31,10 @@ pub struct EnergyPerBitPoint {
 pub fn fig4_energy_per_bit(lanes_sweep: &[usize], bits_sweep: &[u32]) -> Vec<EnergyPerBitPoint> {
     let mut out = Vec::new();
     for design in Design::ALL {
+        let _design_span = pixel_obs::span(design.label());
         for &lanes in lanes_sweep {
             for &bits in bits_sweep {
+                pixel_obs::add("dse/design_points", 1);
                 let cfg = AcceleratorConfig::new(design, lanes, bits);
                 let ops = OperationEnergies::for_config(&cfg);
                 out.push(EnergyPerBitPoint {
@@ -67,7 +69,9 @@ pub fn fig5_component_energy(networks: &[Network], bits_sweep: &[u32]) -> Vec<Co
     let mut out = Vec::new();
     for net in networks {
         for design in Design::ALL {
+            let _design_span = pixel_obs::span(design.label());
             for &bits in bits_sweep {
+                pixel_obs::add("dse/design_points", 1);
                 let accel = Accelerator::new(AcceleratorConfig::new(design, 4, bits));
                 let report = accel.evaluate(net);
                 out.push(ComponentEnergyBar {
@@ -98,7 +102,9 @@ pub struct AreaPoint {
 pub fn fig6_area(lanes_sweep: &[usize]) -> Vec<AreaPoint> {
     let mut out = Vec::new();
     for design in Design::ALL {
+        let _design_span = pixel_obs::span(design.label());
         for &lanes in lanes_sweep {
+            pixel_obs::add("dse/design_points", 1);
             let cfg = AcceleratorConfig::new(design, lanes, 4);
             out.push(AreaPoint {
                 design,
@@ -153,6 +159,8 @@ fn normalized_sweep(
                 net,
             );
             for design in Design::ALL {
+                let _design_span = pixel_obs::span(design.label());
+                pixel_obs::add("dse/design_points", 1);
                 let value = metric(
                     &Accelerator::new(AcceleratorConfig::new(design, lanes, bits)),
                     net,
@@ -185,7 +193,9 @@ pub struct LatencyPoint {
 pub fn fig8_latency_geomean(networks: &[Network], bits_sweep: &[u32]) -> Vec<LatencyPoint> {
     let mut out = Vec::new();
     for design in Design::ALL {
+        let _design_span = pixel_obs::span(design.label());
         for &bits in bits_sweep {
+            pixel_obs::add("dse/design_points", 1);
             let accel = Accelerator::new(AcceleratorConfig::new(design, 8, bits));
             let latencies: Vec<f64> = networks
                 .iter()
@@ -218,6 +228,8 @@ pub fn fig9_zfnet_layer_latency() -> Vec<LayerLatencyPoint> {
     let net = zoo::zfnet();
     let mut out = Vec::new();
     for design in Design::ALL {
+        let _design_span = pixel_obs::span(design.label());
+        pixel_obs::add("dse/design_points", 1);
         let accel = Accelerator::new(AcceleratorConfig::new(design, 8, 8));
         for layer in accel.evaluate(&net).layers {
             out.push(LayerLatencyPoint {
@@ -248,6 +260,8 @@ pub fn table2_breakdown() -> Vec<TableIiRow> {
     let mut out = Vec::new();
     for net in [zoo::resnet34(), zoo::googlenet(), zoo::zfnet()] {
         for design in Design::ALL {
+            let _design_span = pixel_obs::span(design.label());
+            pixel_obs::add("dse/design_points", 1);
             let accel = Accelerator::new(AcceleratorConfig::new(design, 4, 16));
             out.push(TableIiRow {
                 network: net.name().to_owned(),
@@ -265,7 +279,9 @@ pub fn table2_breakdown() -> Vec<TableIiRow> {
 #[must_use]
 pub fn headline_edp_improvements() -> (f64, f64) {
     let networks = zoo::all_networks();
-    let edp_for = |design| {
+    let edp_for = |design: Design| {
+        let _design_span = pixel_obs::span(design.label());
+        pixel_obs::add("dse/design_points", 1);
         let accel = Accelerator::new(AcceleratorConfig::new(design, 4, 16));
         let values: Vec<f64> = networks
             .iter()

@@ -77,6 +77,7 @@ impl FunctionalFabric {
             });
         }
 
+        let _span = pixel_obs::span("fabric_conv2d");
         let bits = self.config.bits_per_lane as usize;
         let e = layer.output_feature_size();
         let channels = layer.input.c;
@@ -122,6 +123,10 @@ impl FunctionalFabric {
                 }
             }
         }
+        if pixel_obs::enabled() {
+            pixel_obs::add("fabric/windows", (e * e) as u64);
+            pixel_obs::add("fabric/mac_ops", (e * e * filters) as u64);
+        }
         Ok(out)
     }
 
@@ -129,6 +134,7 @@ impl FunctionalFabric {
     /// it at the compute tile: serialize → mux on each firing tile's band
     /// → demux → detect.
     fn transport(&self, plan: &BandPlan, neurons: &[u64], bits: usize) -> Vec<u64> {
+        pixel_obs::add("fabric/transport_words", neurons.len() as u64);
         let lanes = self.config.lanes;
         let per_tile: Vec<Vec<PulseTrain>> = neurons
             .chunks(lanes)
@@ -203,13 +209,13 @@ mod tests {
     use super::*;
     use crate::config::Design;
     use pixel_dnn::inference::{conv2d, DirectMac};
-    use rand::{Rng, SeedableRng};
+    use pixel_units::rng::SplitMix64;
 
     fn random_case(seed: u64) -> (Layer, Tensor, LayerWeights) {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let layer = Layer::conv_padded("Conv", Shape::square(6, 2), 3, 3, 1, 1);
-        let input = Tensor::from_fn(Shape::square(6, 2), |_, _, _| rng.gen_range(0..16));
-        let weights = LayerWeights::generate(&layer, || rng.gen_range(0..16));
+        let input = Tensor::from_fn(Shape::square(6, 2), |_, _, _| rng.range_u64(0, 15));
+        let weights = LayerWeights::generate(&layer, || rng.range_u64(0, 15));
         (layer, input, weights)
     }
 
@@ -226,10 +232,10 @@ mod tests {
 
     #[test]
     fn more_filters_than_tiles_time_multiplexes() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         let layer = Layer::conv("Conv", Shape::square(5, 1), 6, 3, 1);
-        let input = Tensor::from_fn(Shape::square(5, 1), |_, _, _| rng.gen_range(0..8));
-        let weights = LayerWeights::generate(&layer, || rng.gen_range(0..8));
+        let input = Tensor::from_fn(Shape::square(5, 1), |_, _, _| rng.range_u64(0, 7));
+        let weights = LayerWeights::generate(&layer, || rng.range_u64(0, 7));
         // Only 2 physical tiles for 6 filters.
         let config = AcceleratorConfig::new(Design::Oo, 4, 4).with_tiles(2);
         let fabric = FunctionalFabric::new(config);

@@ -40,6 +40,7 @@
 pub mod ablation;
 pub mod accelerator;
 pub mod area;
+pub mod audit;
 pub mod calibration;
 pub mod coherent;
 pub mod config;

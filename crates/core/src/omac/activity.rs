@@ -11,6 +11,42 @@
 
 use std::cell::Cell;
 
+/// Lit-slot and toggle tallies of one binary slot stream.
+///
+/// A "stream" is whatever a design serializes per operand: the gated
+/// pulse train of an optical partial product (OE/OO) or the bit-serial
+/// synapse word Stripes walks through (EE). `lit` counts slots carrying
+/// a one, `toggles` counts transitions between adjacent slots, and
+/// `pairs` the adjacent-slot opportunities (`slots − 1`), so rates can
+/// be formed without re-deriving the stream structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StreamActivity {
+    /// Slots in the stream.
+    pub slots: u64,
+    /// Slots carrying a logical one (light on / bit set).
+    pub lit: u64,
+    /// Transitions between adjacent slots.
+    pub toggles: u64,
+    /// Adjacent-slot pairs (`slots − 1`, saturating).
+    pub pairs: u64,
+}
+
+/// Measures one stream of binary slots.
+pub fn bit_stream_activity(stream: impl Iterator<Item = bool>) -> StreamActivity {
+    let mut out = StreamActivity::default();
+    let mut prev: Option<bool> = None;
+    for bit in stream {
+        out.slots += 1;
+        out.lit += u64::from(bit);
+        if let Some(p) = prev {
+            out.pairs += 1;
+            out.toggles += u64::from(p != bit);
+        }
+        prev = Some(bit);
+    }
+    out
+}
+
 /// Tallies of device events during functional MAC execution.
 #[derive(Debug, Default)]
 pub struct ActivityCounter {
@@ -19,6 +55,10 @@ pub struct ActivityCounter {
     cla_ops: Cell<u64>,
     comparator_decisions: Cell<u64>,
     oe_conversions: Cell<u64>,
+    gated_slots: Cell<u64>,
+    lit_slots: Cell<u64>,
+    bit_toggles: Cell<u64>,
+    toggle_pairs: Cell<u64>,
 }
 
 impl ActivityCounter {
@@ -54,6 +94,14 @@ impl ActivityCounter {
         self.oe_conversions.set(self.oe_conversions.get() + 1);
     }
 
+    /// Folds one measured slot stream into the lit/toggle tallies.
+    pub fn add_stream(&self, s: &StreamActivity) {
+        self.gated_slots.set(self.gated_slots.get() + s.slots);
+        self.lit_slots.set(self.lit_slots.get() + s.lit);
+        self.bit_toggles.set(self.bit_toggles.get() + s.toggles);
+        self.toggle_pairs.set(self.toggle_pairs.get() + s.pairs);
+    }
+
     /// Bit-slots through MRR filters so far.
     #[must_use]
     pub fn mrr_slots(&self) -> u64 {
@@ -84,6 +132,42 @@ impl ActivityCounter {
         self.oe_conversions.get()
     }
 
+    /// Slots measured by [`Self::add_stream`] so far.
+    #[must_use]
+    pub fn gated_slots(&self) -> u64 {
+        self.gated_slots.get()
+    }
+
+    /// Lit (one-carrying) slots so far.
+    #[must_use]
+    pub fn lit_slots(&self) -> u64 {
+        self.lit_slots.get()
+    }
+
+    /// Adjacent-slot toggles so far.
+    #[must_use]
+    pub fn bit_toggles(&self) -> u64 {
+        self.bit_toggles.get()
+    }
+
+    /// Adjacent-slot toggle opportunities so far.
+    #[must_use]
+    pub fn toggle_pairs(&self) -> u64 {
+        self.toggle_pairs.get()
+    }
+
+    /// Fraction of measured slots that were lit (0 when none measured).
+    #[must_use]
+    pub fn lit_rate(&self) -> f64 {
+        ratio(self.lit_slots.get(), self.gated_slots.get())
+    }
+
+    /// Fraction of adjacent-slot pairs that toggled (0 when none).
+    #[must_use]
+    pub fn toggle_rate(&self) -> f64 {
+        ratio(self.bit_toggles.get(), self.toggle_pairs.get())
+    }
+
     /// Resets all tallies.
     pub fn reset(&self) {
         self.mrr_slots.set(0);
@@ -91,6 +175,19 @@ impl ActivityCounter {
         self.cla_ops.set(0);
         self.comparator_decisions.set(0);
         self.oe_conversions.set(0);
+        self.gated_slots.set(0);
+        self.lit_slots.set(0);
+        self.bit_toggles.set(0);
+        self.toggle_pairs.set(0);
+    }
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
     }
 }
 
@@ -115,5 +212,35 @@ mod tests {
         c.reset();
         assert_eq!(c.mrr_slots(), 0);
         assert_eq!(c.cla_ops(), 0);
+    }
+
+    #[test]
+    fn stream_activity_counts_lit_and_toggles() {
+        // Stream 1,0,0,1,1: 3 lit slots, toggles at 1→0, 0→1: 2 of 4 pairs.
+        let s = bit_stream_activity([true, false, false, true, true].into_iter());
+        assert_eq!(s.slots, 5);
+        assert_eq!(s.lit, 3);
+        assert_eq!(s.toggles, 2);
+        assert_eq!(s.pairs, 4);
+    }
+
+    #[test]
+    fn stream_edge_cases() {
+        assert_eq!(bit_stream_activity(std::iter::empty()), StreamActivity::default());
+        let single = bit_stream_activity([true].into_iter());
+        assert_eq!((single.slots, single.lit, single.pairs), (1, 1, 0));
+    }
+
+    #[test]
+    fn counter_folds_streams_into_rates() {
+        let c = ActivityCounter::new();
+        c.add_stream(&bit_stream_activity([true, false, true, false].into_iter()));
+        c.add_stream(&bit_stream_activity([false, false].into_iter()));
+        assert_eq!(c.gated_slots(), 6);
+        assert_eq!(c.lit_slots(), 2);
+        assert_eq!(c.bit_toggles(), 3);
+        assert_eq!(c.toggle_pairs(), 4);
+        assert!((c.lit_rate() - 2.0 / 6.0).abs() < 1e-12);
+        assert!((c.toggle_rate() - 0.75).abs() < 1e-12);
     }
 }

@@ -1,5 +1,6 @@
 //! The all-electrical (EE) functional MAC: Stripes bit-serial hardware.
 
+use crate::omac::activity::{bit_stream_activity, ActivityCounter};
 use crate::omac::lane_chunks;
 use pixel_dnn::inference::MacEngine;
 use pixel_electronics::cla::Cla;
@@ -7,11 +8,12 @@ use pixel_electronics::stripes::StripesMac;
 
 /// Bit-true EE MAC unit: `lanes` parallel Stripes lanes feeding a wide
 /// output accumulator.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct EeMac {
     stripes: StripesMac,
     lanes: usize,
     output_accumulator: Cla,
+    activity: ActivityCounter,
 }
 
 impl EeMac {
@@ -28,7 +30,14 @@ impl EeMac {
             stripes: StripesMac::new(lanes, bits),
             lanes,
             output_accumulator: Cla::new(64),
+            activity: ActivityCounter::new(),
         }
+    }
+
+    /// Device-activity tallies accumulated by this unit's executions.
+    #[must_use]
+    pub fn activity(&self) -> &ActivityCounter {
+        &self.activity
     }
 
     /// Number of lanes.
@@ -52,15 +61,33 @@ impl EeMac {
 
 impl MacEngine for EeMac {
     fn inner_product(&self, neurons: &[u64], synapses: &[u64]) -> u64 {
+        let bits = self.stripes.bits();
+        let before_slots = self.activity.gated_slots();
+        let before_toggles = self.activity.bit_toggles();
+        let before_cla = self.activity.cla_ops();
         let mut acc = 0u64;
         for (n, s) in lane_chunks(neurons, synapses, self.lanes) {
+            // Stripes walks each synapse word bit-serially: the gating
+            // stream whose activity the energy model charges for.
+            for &synapse in &s {
+                self.activity.add_stream(&bit_stream_activity(
+                    (0..bits).map(|j| (synapse >> j) & 1 == 1),
+                ));
+            }
             let chunk = self
                 .stripes
                 .mac(&n, &s)
                 .expect("operands validated by caller precision");
             let (sum, carry) = self.output_accumulator.add(acc, chunk.value, false);
+            self.activity.add_cla_op();
             debug_assert!(!carry, "window accumulator overflow");
             acc = sum;
+        }
+        if pixel_obs::enabled() {
+            pixel_obs::add("omac/ee/mac_ops", neurons.len() as u64);
+            pixel_obs::add("omac/ee/serial_slots", self.activity.gated_slots() - before_slots);
+            pixel_obs::add("omac/ee/bit_toggles", self.activity.bit_toggles() - before_toggles);
+            pixel_obs::add("omac/ee/cla_ops", self.activity.cla_ops() - before_cla);
         }
         acc
     }
@@ -74,7 +101,7 @@ impl MacEngine for EeMac {
 mod tests {
     use super::*;
     use pixel_dnn::inference::DirectMac;
-    use proptest::prelude::*;
+    use pixel_units::rng::SplitMix64;
 
     #[test]
     fn paper_worked_example_window() {
@@ -98,26 +125,41 @@ mod tests {
     }
 
     #[test]
+    fn activity_counts_the_serial_synapse_stream() {
+        let mac = EeMac::new(4, 4);
+        // One chunk of four lanes: 4 synapses × 4 serial slots each.
+        // 0b1010 serializes LSB-first as 0,1,0,1 → 2 lit slots, 3 toggles.
+        let _ = mac.inner_product(&[1, 1, 1, 1], &[0b1010, 0, 0, 0]);
+        let a = mac.activity();
+        assert_eq!(a.gated_slots(), 16);
+        assert_eq!(a.lit_slots(), 2);
+        assert_eq!(a.bit_toggles(), 3);
+        assert_eq!(a.toggle_pairs(), 12);
+        assert_eq!(a.cla_ops(), 1);
+    }
+
+    #[test]
     #[should_panic(expected = "1..=16")]
     fn rejects_wide_operands() {
         let _ = EeMac::new(4, 17);
     }
 
-    proptest! {
-        #[test]
-        fn matches_direct(
-            lanes in 1usize..=6,
-            bits in 1u32..=10,
-            seed in any::<u64>(),
-            len in 1usize..=30,
-        ) {
-            use rand::{Rng, SeedableRng};
-            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    #[test]
+    fn matches_direct() {
+        let mut rng = SplitMix64::seed_from_u64(0xEE_AC);
+        for _ in 0..128 {
+            let lanes = rng.range_usize(1, 6);
+            let bits = rng.range_u32(1, 10);
+            let len = rng.range_usize(1, 30);
             let limit = (1u64 << bits) - 1;
-            let n: Vec<u64> = (0..len).map(|_| rng.gen_range(0..=limit)).collect();
-            let s: Vec<u64> = (0..len).map(|_| rng.gen_range(0..=limit)).collect();
+            let n: Vec<u64> = (0..len).map(|_| rng.range_u64(0, limit)).collect();
+            let s: Vec<u64> = (0..len).map(|_| rng.range_u64(0, limit)).collect();
             let mac = EeMac::new(lanes, bits);
-            prop_assert_eq!(mac.inner_product(&n, &s), DirectMac.inner_product(&n, &s));
+            assert_eq!(
+                mac.inner_product(&n, &s),
+                DirectMac.inner_product(&n, &s),
+                "lanes={lanes} bits={bits} len={len}"
+            );
         }
     }
 }

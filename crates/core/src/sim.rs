@@ -121,6 +121,20 @@ pub fn simulate_layer(config: &AcceleratorConfig, sim: &SimConfig, layer: &Layer
     #[allow(clippy::cast_precision_loss)]
     let utilization = busy_tile_cycles as f64 / (tiles * cycles) as f64;
 
+    if pixel_obs::enabled() {
+        pixel_obs::add("sim/layers", 1);
+        pixel_obs::add("sim/chunks_issued", chunks);
+        pixel_obs::add(
+            "sim/reload_stall_cycles",
+            switches_per_tile * sim.window_switch_stall,
+        );
+        pixel_obs::add(
+            "sim/issue_bound_layers",
+            u64::from(issue_bound_cycles > service_bound),
+        );
+        pixel_obs::gauge("sim/last_utilization", utilization.min(1.0));
+    }
+
     SimResult {
         chunks,
         cycles,
@@ -137,6 +151,7 @@ pub fn simulate_network(
     sim: &SimConfig,
     network: &pixel_dnn::network::Network,
 ) -> (Vec<SimResult>, Time) {
+    let _span = pixel_obs::span("simulate_network");
     let results: Vec<SimResult> = network
         .compute_layers()
         .map(|l| simulate_layer(config, sim, l))

@@ -125,10 +125,20 @@ pub fn analyze_layer(layer: &Layer, convention: FcCountConvention) -> ComputeCou
 /// Analyzes every compute layer of a network, in order.
 #[must_use]
 pub fn analyze_network(network: &Network, convention: FcCountConvention) -> Vec<ComputeCounts> {
-    network
+    let _span = pixel_obs::span("analyze");
+    let counts: Vec<ComputeCounts> = network
         .compute_layers()
         .map(|l| analyze_layer(l, convention))
-        .collect()
+        .collect();
+    if pixel_obs::enabled() {
+        pixel_obs::add("dnn/analysis/networks", 1);
+        pixel_obs::add("dnn/analysis/layers", counts.len() as u64);
+        pixel_obs::add("dnn/analysis/mvm_ops", counts.iter().map(|c| c.mvm).sum());
+        pixel_obs::add("dnn/analysis/mul_ops", counts.iter().map(|c| c.mul).sum());
+        pixel_obs::add("dnn/analysis/add_ops", counts.iter().map(|c| c.add).sum());
+        pixel_obs::add("dnn/analysis/act_ops", counts.iter().map(|c| c.act).sum());
+    }
+    counts
 }
 
 /// Sums a network's per-layer counts.

@@ -10,8 +10,7 @@
 use crate::layer::Shape;
 use crate::quant::Precision;
 use crate::tensor::Tensor;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use pixel_units::rng::SplitMix64;
 
 /// A labelled example.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -87,11 +86,11 @@ impl GlyphDataset {
     #[must_use]
     pub fn example(&self, label: usize, seed: u64) -> Example {
         assert!(label < self.classes, "label out of range");
-        let mut rng = StdRng::seed_from_u64(seed ^ (label as u64).wrapping_mul(0x9E37_79B9));
+        let mut rng = SplitMix64::seed_from_u64(seed ^ (label as u64).wrapping_mul(0x9E37_79B9));
         let full = self.precision.max_value();
         let image = Tensor::from_fn(Shape::square(self.size, 1), |h, w, _| {
             let base = if self.glyph_pixel(label, h, w) { full } else { 0 };
-            let noise = rng.gen_range(0..=self.noise_level);
+            let noise = rng.range_u64(0, self.noise_level);
             self.precision.clamp(base.saturating_add(noise))
         });
         Example { image, label }

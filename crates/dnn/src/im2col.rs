@@ -144,11 +144,11 @@ pub fn conv2d_im2col(
 mod tests {
     use super::*;
     use crate::inference::{conv2d, DirectMac};
-    use rand::{Rng, SeedableRng};
+    use pixel_units::rng::SplitMix64;
 
     fn random_tensor(shape: Shape, seed: u64) -> Tensor {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        Tensor::from_fn(shape, |_, _, _| rng.gen_range(0..16))
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        Tensor::from_fn(shape, |_, _, _| rng.range_u64(0, 15))
     }
 
     #[test]
@@ -178,8 +178,8 @@ mod tests {
         ] {
             let layer = Layer::conv_padded("c", Shape::square(h, c), m, r, u, p);
             let input = random_tensor(Shape::square(h, c), 7);
-            let mut rng = rand::rngs::StdRng::seed_from_u64(13);
-            let weights = LayerWeights::generate(&layer, || rng.gen_range(0..16));
+            let mut rng = SplitMix64::seed_from_u64(13);
+            let weights = LayerWeights::generate(&layer, || rng.range_u64(0, 15));
             let direct = conv2d(&layer, &input, &weights, &DirectMac).unwrap();
             let lowered = conv2d_im2col(&layer, &input, &weights, &DirectMac).unwrap();
             assert_eq!(direct, lowered, "h={h} c={c} m={m} r={r} u={u} p={p}");

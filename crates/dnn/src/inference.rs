@@ -304,8 +304,11 @@ pub fn forward(
         network.len(),
         "one weight set per layer (use LayerWeights::None for pools)"
     );
+    let _forward_span = pixel_obs::span("forward");
     let mut current = input.clone();
     for (layer, w) in network.layers().iter().zip(weights) {
+        let _layer_span = pixel_obs::span(&layer.name);
+        pixel_obs::add("dnn/forward/layers", 1);
         current = match layer.kind {
             LayerKind::Conv { .. } => {
                 let mut t = conv2d(layer, &current, w, engine)?;
@@ -331,7 +334,7 @@ mod tests {
     use super::*;
     use crate::layer::PoolKind;
     use crate::zoo;
-    use rand::{Rng, SeedableRng};
+    use pixel_units::rng::SplitMix64;
 
     #[test]
     fn conv_identity_kernel() {
@@ -403,15 +406,15 @@ mod tests {
     fn lenet_forward_pass_runs() {
         let net = zoo::lenet();
         let precision = Precision::new(4);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::seed_from_u64(7);
         let weights: Vec<_> = net
             .layers()
             .iter()
-            .map(|l| LayerWeights::generate(l, || rng.gen_range(0..=precision.max_value())))
+            .map(|l| LayerWeights::generate(l, || rng.range_u64(0, precision.max_value())))
             .collect();
-        let mut rng2 = rand::rngs::StdRng::seed_from_u64(8);
+        let mut rng2 = SplitMix64::seed_from_u64(8);
         let input = Tensor::from_fn(Shape::square(32, 1), |_, _, _| {
-            rng2.gen_range(0..=precision.max_value())
+            rng2.range_u64(0, precision.max_value())
         });
         let out = forward(&net, &input, &weights, &DirectMac, precision).unwrap();
         assert_eq!(out.shape(), Shape::flat(10));

@@ -158,7 +158,7 @@ pub fn requantize_signed(values: &[i64], shift: u32, quant: &SignedQuant) -> Vec
 mod tests {
     use super::*;
     use crate::inference::DirectMac;
-    use proptest::prelude::*;
+    use pixel_units::rng::SplitMix64;
 
     #[test]
     fn encode_decode_round_trip() {
@@ -234,29 +234,35 @@ mod tests {
         let _ = signed_fully_connected(&DirectMac, &[1, 2], &q, &[1, 2, 3], &q);
     }
 
-    proptest! {
-        #[test]
-        fn matches_signed_reference(
-            values in proptest::collection::vec((-8i64..=7, -8i64..=7), 1..40),
-            za in 0u64..=15,
-            zb in 0u64..=15,
-        ) {
+    #[test]
+    fn matches_signed_reference() {
+        let mut rng = SplitMix64::seed_from_u64(0x51_63ED);
+        for _ in 0..128 {
+            let len = rng.range_usize(1, 39);
+            let values: Vec<(i64, i64)> = (0..len)
+                .map(|_| (rng.range_i64(-8, 7), rng.range_i64(-8, 7)))
+                .collect();
+            let za = rng.range_u64(0, 15);
+            let zb = rng.range_u64(0, 15);
             let qa = SignedQuant::new(Precision::new(4), za);
             let qb = SignedQuant::new(Precision::new(4), zb);
             // Clamp inputs into each scheme's representable range first.
             let signed: Vec<(i64, i64)> = values
                 .iter()
-                .map(|&(x, y)| (
-                    x.clamp(qa.min_signed(), qa.max_signed()),
-                    y.clamp(qb.min_signed(), qb.max_signed()),
-                ))
+                .map(|&(x, y)| {
+                    (
+                        x.clamp(qa.min_signed(), qa.max_signed()),
+                        y.clamp(qb.min_signed(), qb.max_signed()),
+                    )
+                })
                 .collect();
             let expected: i64 = signed.iter().map(|&(x, y)| x * y).sum();
             let a: Vec<u64> = signed.iter().map(|&(x, _)| qa.encode(x)).collect();
             let b: Vec<u64> = signed.iter().map(|&(_, y)| qb.encode(y)).collect();
-            prop_assert_eq!(
+            assert_eq!(
                 signed_inner_product(&DirectMac, &a, &qa, &b, &qb),
-                expected
+                expected,
+                "za={za} zb={zb}"
             );
         }
     }

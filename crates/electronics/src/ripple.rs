@@ -81,7 +81,7 @@ impl RippleCarryAdder {
 mod tests {
     use super::*;
     use crate::cla::Cla;
-    use proptest::prelude::*;
+    use pixel_units::rng::SplitMix64;
 
     #[test]
     fn gate_and_depth_scaling() {
@@ -114,12 +114,17 @@ mod tests {
         assert_eq!(rca.add(0, 0, true), (1, false));
     }
 
-    proptest! {
-        #[test]
-        fn rca_equals_cla(a in any::<u64>(), b in any::<u64>(), cin in any::<bool>(), width in 1u32..=64) {
+    #[test]
+    fn rca_equals_cla() {
+        let mut rng = SplitMix64::seed_from_u64(0xADD3);
+        for _ in 0..256 {
+            let a = rng.next_u64();
+            let b = rng.next_u64();
+            let cin = rng.next_bool();
+            let width = rng.range_u32(1, 64);
             let rca = RippleCarryAdder::new(width);
             let cla = Cla::new(width);
-            prop_assert_eq!(rca.add(a, b, cin), cla.add(a, b, cin));
+            assert_eq!(rca.add(a, b, cin), cla.add(a, b, cin), "width={width}");
         }
     }
 }

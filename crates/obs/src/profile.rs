@@ -1,0 +1,132 @@
+//! Plain-text profile tables rendered from a [`Snapshot`].
+//!
+//! The format mirrors the repo's other report tables (`pixel-core`'s
+//! `report` module): fixed-width columns, one header row, deterministic
+//! row order. The exact layout is pinned by a snapshot test.
+
+use crate::registry::Snapshot;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            format!("{:.2} us", ns as f64 / 1_000.0)
+        }
+    } else if ns < 1_000_000_000 {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            format!("{:.2} ms", ns as f64 / 1_000_000.0)
+        }
+    } else {
+        format!("{:.3} s", d.as_secs_f64())
+    }
+}
+
+/// Renders the snapshot as a profile table: spans first (call-tree
+/// order by path), then counters, gauges, and histograms. Sections with
+/// no data are omitted; an entirely empty snapshot renders a stub line.
+#[must_use]
+pub fn profile_table(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    if !snapshot.spans.is_empty() {
+        let _ = writeln!(
+            out,
+            "{:<40} | {:>8} {:>12} {:>12} {:>12}",
+            "span", "count", "total", "mean", "max"
+        );
+        for (path, s) in &snapshot.spans {
+            let _ = writeln!(
+                out,
+                "{path:<40} | {:>8} {:>12} {:>12} {:>12}",
+                s.count,
+                format_duration(s.total),
+                format_duration(s.mean()),
+                format_duration(s.max),
+            );
+        }
+    }
+    if !snapshot.counters.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let _ = writeln!(out, "{:<40} | {:>16}", "counter", "value");
+        for (name, value) in &snapshot.counters {
+            let _ = writeln!(out, "{name:<40} | {value:>16}");
+        }
+    }
+    if !snapshot.gauges.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let _ = writeln!(out, "{:<40} | {:>16}", "gauge", "value");
+        for (name, value) in &snapshot.gauges {
+            let _ = writeln!(out, "{name:<40} | {value:>16.4}");
+        }
+    }
+    if !snapshot.histograms.is_empty() {
+        if !out.is_empty() {
+            out.push('\n');
+        }
+        let _ = writeln!(
+            out,
+            "{:<40} | {:>8} {:>12} {:>12} {:>12}",
+            "histogram", "count", "mean", "min", "max"
+        );
+        for (name, h) in &snapshot.histograms {
+            let _ = writeln!(
+                out,
+                "{name:<40} | {:>8} {:>12.3} {:>12.3} {:>12.3}",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no observability data recorded)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn empty_snapshot_renders_stub() {
+        let r = Registry::new();
+        assert_eq!(profile_table(&r.snapshot()), "(no observability data recorded)\n");
+    }
+
+    #[test]
+    fn sections_render_in_fixed_order() {
+        let r = Registry::new();
+        r.enable();
+        r.record_span("a/b", Duration::from_micros(1500));
+        r.add("ops", 42);
+        r.gauge("util", 0.5);
+        r.observe("lat", 2.0);
+        let table = profile_table(&r.snapshot());
+        let span_at = table.find("span").unwrap();
+        let counter_at = table.find("counter").unwrap();
+        let gauge_at = table.find("gauge").unwrap();
+        let hist_at = table.find("histogram").unwrap();
+        assert!(span_at < counter_at && counter_at < gauge_at && gauge_at < hist_at);
+        assert!(table.contains("1.50 ms"));
+    }
+
+    #[test]
+    fn duration_units_scale() {
+        assert_eq!(format_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(format_duration(Duration::from_micros(12)), "12.00 us");
+        assert_eq!(format_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(format_duration(Duration::from_secs(2)), "2.000 s");
+    }
+}

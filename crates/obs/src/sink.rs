@@ -1,0 +1,125 @@
+//! Trace output: a line-buffered JSONL event writer.
+//!
+//! Each event is one JSON object per line — `span_begin`, `span_end`,
+//! and, at [`Registry::finish_trace`](crate::Registry::finish_trace),
+//! one `counter`/`gauge` line per metric. The format is flat enough to
+//! parse with any JSON library (or a grep) and needs no external crate
+//! to produce.
+
+use std::io::Write;
+
+/// Escapes a string for embedding inside a JSON string literal.
+#[must_use]
+pub fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A JSONL event writer over any `Write + Send` destination.
+pub(crate) struct TraceSink {
+    writer: Box<dyn Write + Send>,
+}
+
+impl TraceSink {
+    pub(crate) fn new(writer: Box<dyn Write + Send>) -> Self {
+        Self { writer }
+    }
+
+    /// Writes one event line. I/O errors are swallowed: tracing must
+    /// never panic the instrumented computation.
+    pub(crate) fn write_line(&mut self, line: &str) {
+        let _ = writeln!(self.writer, "{line}");
+    }
+
+    pub(crate) fn flush(&mut self) {
+        let _ = self.writer.flush();
+    }
+}
+
+/// A minimal JSONL parser for round-trip tests and audit tooling: splits
+/// a line into its top-level `"key":value` pairs (values as raw text).
+/// Returns `None` when the line is not a flat JSON object.
+#[must_use]
+pub fn parse_flat_object(line: &str) -> Option<Vec<(String, String)>> {
+    let inner = line.trim().strip_prefix('{')?.strip_suffix('}')?;
+    let mut pairs = Vec::new();
+    let mut rest = inner;
+    while !rest.is_empty() {
+        rest = rest.trim_start_matches(',');
+        if rest.is_empty() {
+            break;
+        }
+        let key_start = rest.find('"')? + 1;
+        let key_end = key_start + rest[key_start..].find('"')?;
+        let key = &rest[key_start..key_end];
+        let after = rest[key_end + 1..].strip_prefix(':')?;
+        let (value, remainder) = if let Some(v) = after.strip_prefix('"') {
+            // String value: scan to the next unescaped quote.
+            let mut end = None;
+            let mut escaped = false;
+            for (i, c) in v.char_indices() {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    end = Some(i);
+                    break;
+                }
+            }
+            let end = end?;
+            (v[..end].to_owned(), &v[end + 1..])
+        } else {
+            let end = after.find(',').unwrap_or(after.len());
+            (after[..end].trim().to_owned(), &after[end..])
+        };
+        pairs.push((key.to_owned(), value));
+        rest = remainder;
+    }
+    Some(pairs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping_covers_quotes_and_control_characters() {
+        assert_eq!(escape_json("plain/path"), "plain/path");
+        assert_eq!(escape_json("a\"b"), "a\\\"b");
+        assert_eq!(escape_json("a\\b"), "a\\\\b");
+        assert_eq!(escape_json("a\nb"), "a\\nb");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn parser_reads_back_escaped_strings() {
+        let line = "{\"event\":\"span_end\",\"path\":\"dse/fig4\",\"dur_us\":42}";
+        let pairs = parse_flat_object(line).unwrap();
+        assert_eq!(
+            pairs,
+            vec![
+                ("event".to_owned(), "span_end".to_owned()),
+                ("path".to_owned(), "dse/fig4".to_owned()),
+                ("dur_us".to_owned(), "42".to_owned()),
+            ]
+        );
+    }
+
+    #[test]
+    fn parser_rejects_non_objects() {
+        assert!(parse_flat_object("not json").is_none());
+        assert!(parse_flat_object("[1,2]").is_none());
+    }
+}

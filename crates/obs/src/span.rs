@@ -1,0 +1,143 @@
+//! RAII span timers with hierarchical paths.
+//!
+//! A [`SpanGuard`] measures the wall-clock time between its creation and
+//! drop and folds it into the registry's span statistics. Nested guards
+//! build slash-separated paths from a thread-local scope stack: a span
+//! `"fig4"` opened while `"dse"` is active records under `"dse/fig4"`,
+//! so profile tables read as a call tree.
+
+use crate::registry::Registry;
+use std::cell::RefCell;
+use std::time::Instant;
+
+thread_local! {
+    static SCOPE_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// RAII timer for one span. Created by [`Registry`]-aware helpers such as
+/// [`crate::span`]; records on drop.
+#[must_use = "a span guard measures until it is dropped"]
+pub struct SpanGuard<'r> {
+    registry: Option<&'r Registry>,
+    path: String,
+    start: Instant,
+}
+
+impl<'r> SpanGuard<'r> {
+    /// Opens a span named `name` on `registry`. When the registry is
+    /// disabled the guard is inert (no allocation beyond the empty path,
+    /// no stack push, nothing recorded on drop).
+    pub fn enter(registry: &'r Registry, name: &str) -> Self {
+        if !registry.is_enabled() {
+            return Self {
+                registry: None,
+                path: String::new(),
+                start: Instant::now(),
+            };
+        }
+        let path = SCOPE_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_owned(),
+            };
+            stack.push(path.clone());
+            path
+        });
+        registry.trace_span_begin(&path);
+        Self {
+            registry: Some(registry),
+            path,
+            start: Instant::now(),
+        }
+    }
+
+    /// The full hierarchical path (empty for an inert guard).
+    #[must_use]
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let Some(registry) = self.registry else {
+            return;
+        };
+        let duration = self.start.elapsed();
+        SCOPE_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Pop our own frame; tolerate a foreign frame on top if guards
+            // were dropped out of order.
+            if let Some(pos) = stack.iter().rposition(|p| p == &self.path) {
+                stack.remove(pos);
+            }
+        });
+        registry.record_span(&self.path, duration);
+        registry.trace_span_end(&self.path, duration);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn nested_guards_build_hierarchical_paths() {
+        let r = Registry::new();
+        r.enable();
+        {
+            let outer = SpanGuard::enter(&r, "dse");
+            assert_eq!(outer.path(), "dse");
+            {
+                let inner = SpanGuard::enter(&r, "fig4");
+                assert_eq!(inner.path(), "dse/fig4");
+            }
+            let sibling = SpanGuard::enter(&r, "fig5");
+            assert_eq!(sibling.path(), "dse/fig5");
+        }
+        let snap = r.snapshot();
+        let paths: Vec<&str> = snap.spans.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, vec!["dse", "dse/fig4", "dse/fig5"]);
+    }
+
+    #[test]
+    fn nested_span_is_contained_in_parent_duration() {
+        let r = Registry::new();
+        r.enable();
+        {
+            let _outer = SpanGuard::enter(&r, "outer");
+            let _inner = SpanGuard::enter(&r, "outer_inner");
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        let snap = r.snapshot();
+        let outer = snap.span("outer").unwrap();
+        let inner = snap.span("outer/outer_inner").unwrap();
+        assert!(outer.total >= inner.total, "{outer:?} vs {inner:?}");
+        assert!(inner.total >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn disabled_registry_produces_inert_guards() {
+        let r = Registry::new();
+        let g = SpanGuard::enter(&r, "nope");
+        assert_eq!(g.path(), "");
+        drop(g);
+        assert!(r.snapshot().spans.is_empty());
+        // And the stack stays clean for later enabled spans.
+        r.enable();
+        let g = SpanGuard::enter(&r, "top");
+        assert_eq!(g.path(), "top");
+    }
+
+    #[test]
+    fn repeated_spans_accumulate_counts() {
+        let r = Registry::new();
+        r.enable();
+        for _ in 0..3 {
+            let _g = SpanGuard::enter(&r, "loop");
+        }
+        assert_eq!(r.snapshot().span("loop").unwrap().count, 3);
+    }
+}

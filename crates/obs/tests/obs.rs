@@ -1,0 +1,199 @@
+//! Integration tests for the observability crate: thread-safety,
+//! span-timing invariants, trace round-trips, and the pinned profile
+//! table format.
+
+use pixel_obs::profile::profile_table;
+use pixel_obs::sink::parse_flat_object;
+use pixel_obs::{Registry, SpanGuard};
+use std::io::Write;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+#[test]
+fn concurrent_counter_increments_are_lossless() {
+    let registry = Arc::new(Registry::new());
+    registry.enable();
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let r = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                for _ in 0..1_000 {
+                    r.add("shared", 1);
+                    r.add(&format!("thread/{t}"), 1);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let snap = registry.snapshot();
+    assert_eq!(snap.counter("shared"), Some(8_000));
+    for t in 0..8 {
+        assert_eq!(snap.counter(&format!("thread/{t}")), Some(1_000));
+    }
+}
+
+#[test]
+fn concurrent_spans_keep_per_thread_paths() {
+    // Scope stacks are thread-local: spans opened on different threads
+    // must not interleave into each other's paths.
+    let registry = Arc::new(Registry::new());
+    registry.enable();
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let r = Arc::clone(&registry);
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let _outer = SpanGuard::enter(&r, &format!("t{t}"));
+                    let _inner = SpanGuard::enter(&r, "work");
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let snap = registry.snapshot();
+    for t in 0..4 {
+        assert_eq!(snap.span(&format!("t{t}")).unwrap().count, 50);
+        assert_eq!(snap.span(&format!("t{t}/work")).unwrap().count, 50);
+    }
+}
+
+#[test]
+fn nested_span_durations_are_monotone() {
+    // An enclosing span can never be shorter than a span it contains,
+    // and min ≤ mean ≤ max must hold for every recorded path.
+    let r = Registry::new();
+    r.enable();
+    for _ in 0..5 {
+        let _outer = SpanGuard::enter(&r, "outer");
+        let _inner = SpanGuard::enter(&r, "inner");
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    let snap = r.snapshot();
+    let outer = snap.span("outer").unwrap();
+    let inner = snap.span("outer/inner").unwrap();
+    assert!(outer.total >= inner.total);
+    assert!(outer.max >= inner.max);
+    for (path, s) in &snap.spans {
+        assert!(s.min <= s.mean() && s.mean() <= s.max, "{path}: {s:?}");
+        assert!(s.total >= s.max, "{path}: {s:?}");
+    }
+}
+
+/// A `Write` sink tests can read back after the registry consumed it.
+#[derive(Clone, Default)]
+struct SharedBuffer(Arc<Mutex<Vec<u8>>>);
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        self.0.lock().unwrap().extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+#[test]
+fn trace_round_trips_through_the_jsonl_parser() {
+    let r = Registry::new();
+    r.enable();
+    let buffer = SharedBuffer::default();
+    r.install_trace(Box::new(buffer.clone()));
+    {
+        let _outer = SpanGuard::enter(&r, "dse");
+        let _inner = SpanGuard::enter(&r, "fig4");
+    }
+    r.add("mac_ops", 42);
+    r.gauge("utilization", 0.75);
+    r.finish_trace();
+
+    let bytes = buffer.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).unwrap();
+    let events: Vec<Vec<(String, String)>> = text
+        .lines()
+        .map(|line| parse_flat_object(line).unwrap_or_else(|| panic!("bad JSONL: {line}")))
+        .collect();
+
+    let field = |ev: &[(String, String)], key: &str| -> String {
+        ev.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.clone())
+            .unwrap_or_default()
+    };
+    // Live span events stream in begin/end order, innermost end first.
+    let kinds: Vec<String> = events.iter().map(|e| field(e, "event")).collect();
+    assert_eq!(
+        kinds,
+        vec!["span_begin", "span_begin", "span_end", "span_end", "counter", "gauge"]
+    );
+    assert_eq!(field(&events[1], "path"), "dse/fig4");
+    assert_eq!(field(&events[2], "path"), "dse/fig4");
+    assert_eq!(field(&events[3], "path"), "dse");
+    assert_eq!(field(&events[4], "name"), "mac_ops");
+    assert_eq!(field(&events[4], "value"), "42");
+    assert_eq!(field(&events[5], "name"), "utilization");
+    assert_eq!(field(&events[5], "value"), "0.75");
+    // Timestamps and durations parse as integers.
+    for ev in &events[..4] {
+        let t: u128 = field(ev, "t_us").parse().unwrap();
+        let _ = t;
+    }
+    let dur: u64 = field(&events[2], "dur_us").parse().unwrap();
+    let _ = dur;
+}
+
+#[test]
+fn profile_table_format_is_pinned() {
+    // The exact byte-for-byte layout the `reproduce --profile` flag
+    // prints. Deliberate format changes must update this snapshot.
+    let r = Registry::new();
+    r.enable();
+    r.record_span("reproduce", Duration::from_micros(3500));
+    r.record_span("reproduce/table1", Duration::from_micros(1200));
+    r.record_span("reproduce/table1", Duration::from_micros(1800));
+    r.add("dnn/analysis/layers", 16);
+    r.add("dse/model_evals", 3);
+    r.gauge("sim/last_utilization", 0.875);
+    r.observe("latency_ms", 2.0);
+    r.observe("latency_ms", 4.0);
+    let expected = "\
+span                                     |    count        total         mean          max
+reproduce                                |        1      3.50 ms      3.50 ms      3.50 ms
+reproduce/table1                         |        2      3.00 ms      1.50 ms      1.80 ms
+
+counter                                  |            value
+dnn/analysis/layers                      |               16
+dse/model_evals                          |                3
+
+gauge                                    |            value
+sim/last_utilization                     |           0.8750
+
+histogram                                |    count         mean          min          max
+latency_ms                               |        2        3.000        2.000        4.000
+";
+    assert_eq!(profile_table(&r.snapshot()), expected);
+}
+
+#[test]
+fn disabled_registry_is_a_no_op_end_to_end() {
+    let r = Registry::new();
+    let buffer = SharedBuffer::default();
+    r.install_trace(Box::new(buffer.clone()));
+    {
+        let _span = SpanGuard::enter(&r, "nothing");
+        r.add("c", 1);
+        r.gauge("g", 1.0);
+        r.observe("h", 1.0);
+    }
+    let snap = r.snapshot();
+    assert!(snap.counters.is_empty() && snap.spans.is_empty());
+    assert_eq!(profile_table(&snap), "(no observability data recorded)\n");
+    // The disabled span never produced trace events.
+    r.finish_trace();
+    assert!(buffer.0.lock().unwrap().is_empty());
+}

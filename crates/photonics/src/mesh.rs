@@ -396,22 +396,22 @@ impl BeamCoupler {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use pixel_units::rng::SplitMix64;
 
     fn random_vector(n: usize, seed: u64) -> Vec<Complex> {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         (0..n)
-            .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .map(|_| Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)))
             .collect()
     }
 
     /// Random unitary via Gram-Schmidt on a random complex matrix.
     fn random_unitary(n: usize, seed: u64) -> Unitary {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::seed_from_u64(seed);
         let mut rows: Vec<Vec<Complex>> = (0..n)
             .map(|_| {
                 (0..n)
-                    .map(|_| Complex::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+                    .map(|_| Complex::new(rng.range_f64(-1.0, 1.0), rng.range_f64(-1.0, 1.0)))
                     .collect()
             })
             .collect();

@@ -100,7 +100,7 @@ pub fn ber_from_q_factor(q: f64) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::{Rng, SeedableRng};
+    use pixel_units::rng::SplitMix64;
 
     #[test]
     fn erfc_reference_values() {
@@ -135,9 +135,9 @@ mod tests {
     #[test]
     fn small_noise_rounds_away() {
         let noise = AmplitudeNoise::new(0.05);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut rng = SplitMix64::seed_from_u64(1);
         let train = PulseTrain::from_bits(0b1011, 4);
-        let out = noise.perturb(&train, move || rng.gen::<f64>());
+        let out = noise.perturb(&train, move || rng.next_f64());
         assert_eq!(out.to_bits(), Some(0b1011), "σ=0.05 never flips a level");
     }
 
@@ -157,12 +157,12 @@ mod tests {
         // Monte-Carlo the comparator decision at σ = 0.25 and compare
         // against 2·Q(2) ≈ 4.55e-2.
         let noise = AmplitudeNoise::new(0.25);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::seed_from_u64(7);
         let trials = 40_000;
         let mut errors = 0u32;
         for _ in 0..trials {
             let train = PulseTrain::from_amplitudes(vec![2.0]); // interior level
-            let out = noise.perturb(&train, || rng.gen::<f64>());
+            let out = noise.perturb(&train, || rng.next_f64());
             if out.quantized_levels()[0] != 2 {
                 errors += 1;
             }
@@ -178,9 +178,9 @@ mod tests {
     #[test]
     fn negative_power_is_clamped() {
         let noise = AmplitudeNoise::new(5.0);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut rng = SplitMix64::seed_from_u64(3);
         let train = PulseTrain::from_amplitudes(vec![0.1; 64]);
-        let out = noise.perturb(&train, move || rng.gen::<f64>());
+        let out = noise.perturb(&train, move || rng.next_f64());
         assert!(out.iter().all(|a| a >= 0.0));
     }
 }

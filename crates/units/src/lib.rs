@@ -3,6 +3,12 @@
 //! The paper mixes femtojoules, picoseconds, micrometres and millimetres
 //! freely; newtypes keep every interface in SI base units while providing
 //! convenient constructors and accessors for the units the paper quotes.
+//!
+//! The crate also hosts [`rng`], the workspace's zero-dependency
+//! deterministic PRNG (the build environment has no registry access, so
+//! `rand` is unavailable).
+
+pub mod rng;
 
 use std::fmt;
 use std::iter::Sum;

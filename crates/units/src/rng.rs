@@ -1,0 +1,179 @@
+//! A tiny deterministic PRNG shared by every crate in the workspace.
+//!
+//! The build environment has no access to a crates.io registry, so the
+//! reproduction cannot depend on `rand`. Everything that needs randomness
+//! — Monte-Carlo noise sweeps, synthetic datasets, randomized tests — uses
+//! this SplitMix64 generator instead. SplitMix64 (Steele, Lea & Flood,
+//! "Fast splittable pseudorandom number generators", OOPSLA 2014) passes
+//! BigCrush, needs eight lines of code, and is fully deterministic from a
+//! 64-bit seed, which is all the repository requires: seeded test vectors
+//! and seeded experiment sweeps, not cryptographic quality.
+
+/// Deterministic 64-bit SplitMix64 generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a 64-bit seed. Equal seeds yield equal
+    /// streams on every platform.
+    #[must_use]
+    pub const fn seed_from_u64(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Returns a uniform `f64` in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        #[allow(clippy::cast_precision_loss)]
+        let mantissa = (self.next_u64() >> 11) as f64;
+        mantissa / (1u64 << 53) as f64
+    }
+
+    /// Returns a uniform `bool`.
+    pub fn next_bool(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// Returns a uniform `u64` in `lo..=hi`.
+    ///
+    /// Uses multiply-shift range reduction; the modulo bias over a 64-bit
+    /// source is below 2⁻⁶⁴ per draw — irrelevant for simulation seeds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_u64(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = hi - lo;
+        if span == u64::MAX {
+            return self.next_u64();
+        }
+        let reduced = ((u128::from(self.next_u64()) * (u128::from(span) + 1)) >> 64) as u64;
+        lo + reduced
+    }
+
+    /// Returns a uniform `u32` in `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_u32(&mut self, lo: u32, hi: u32) -> u32 {
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            self.range_u64(u64::from(lo), u64::from(hi)) as u32
+        }
+    }
+
+    /// Returns a uniform `usize` in `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_usize(&mut self, lo: usize, hi: usize) -> usize {
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            self.range_u64(lo as u64, hi as u64) as usize
+        }
+    }
+
+    /// Returns a uniform `i64` in `lo..=hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "empty range {lo}..={hi}");
+        let span = hi.wrapping_sub(lo) as u64;
+        let reduced = self.range_u64(0, span);
+        lo.wrapping_add(reduced as i64)
+    }
+
+    /// Returns a uniform `f64` in the half-open interval `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi` or either bound is non-finite.
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad range {lo}..{hi}");
+        lo + (hi - lo) * self.next_f64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vector() {
+        // Reference outputs of SplitMix64 seeded with 1234567.
+        let mut rng = SplitMix64::seed_from_u64(1_234_567);
+        assert_eq!(rng.next_u64(), 6_457_827_717_110_365_317);
+        assert_eq!(rng.next_u64(), 3_203_168_211_198_807_973);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SplitMix64::seed_from_u64(42);
+        let mut b = SplitMix64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SplitMix64::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = SplitMix64::seed_from_u64(7);
+        for _ in 0..2_000 {
+            let v = rng.range_u64(3, 17);
+            assert!((3..=17).contains(&v));
+            let i = rng.range_i64(-128, 127);
+            assert!((-128..=127).contains(&i));
+            let f = rng.range_f64(-1.0, 1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let u = rng.next_f64();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn degenerate_single_point_range() {
+        let mut rng = SplitMix64::seed_from_u64(9);
+        assert_eq!(rng.range_u64(5, 5), 5);
+        assert_eq!(rng.range_i64(-3, -3), -3);
+    }
+
+    #[test]
+    fn full_width_range_is_identity_distribution() {
+        let mut rng = SplitMix64::seed_from_u64(11);
+        // Must not overflow the span arithmetic.
+        let _ = rng.range_u64(0, u64::MAX);
+        let _ = rng.range_i64(i64::MIN, i64::MAX);
+    }
+
+    #[test]
+    fn mean_of_unit_interval_is_half() {
+        let mut rng = SplitMix64::seed_from_u64(3);
+        let n = 20_000;
+        let sum: f64 = (0..n).map(|_| rng.next_f64()).sum();
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn inverted_range_rejected() {
+        let _ = SplitMix64::seed_from_u64(0).range_u64(4, 3);
+    }
+}

@@ -18,7 +18,7 @@ use pixel::dnn::layer::Shape;
 use pixel::dnn::quant::Precision;
 use pixel::dnn::tensor::Tensor;
 use pixel::dnn::zoo;
-use rand::{Rng, SeedableRng};
+use pixel::units::rng::SplitMix64;
 use std::time::Instant;
 
 fn main() {
@@ -26,14 +26,14 @@ fn main() {
     let precision = Precision::new(4);
 
     // Random quantized weights and a random 32×32 "digit".
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2020);
+    let mut rng = SplitMix64::seed_from_u64(2020);
     let weights: Vec<LayerWeights> = network
         .layers()
         .iter()
-        .map(|l| LayerWeights::generate(l, || rng.gen_range(0..=precision.max_value())))
+        .map(|l| LayerWeights::generate(l, || rng.range_u64(0, precision.max_value())))
         .collect();
     let input = Tensor::from_fn(Shape::square(32, 1), |_, _, _| {
-        rng.gen_range(0..=precision.max_value())
+        rng.range_u64(0, precision.max_value())
     });
 
     println!("LeNet-5 quantized inference ({}-bit operands)\n", precision.bits());

@@ -16,14 +16,14 @@ use pixel::core::config::{AcceleratorConfig, Design};
 use pixel::core::omac::engine_for;
 use pixel::photonics::complex::Complex;
 use pixel::photonics::mesh::{BeamCoupler, MziMesh, Unitary};
-use rand::{Rng, SeedableRng};
+use pixel::units::rng::SplitMix64;
 
 fn main() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(2020);
+    let mut rng = SplitMix64::seed_from_u64(2020);
 
     // 1. Miller's self-aligning beam coupler: the OO accumulate primitive.
     let target: Vec<Complex> = (0..4)
-        .map(|_| Complex::new(rng.gen_range(0.1..1.0), 0.0))
+        .map(|_| Complex::new(rng.range_f64(0.1, 1.0), 0.0))
         .collect();
     let coupler = BeamCoupler::configure_for(&target);
     println!(
@@ -44,10 +44,10 @@ fn main() {
     // 3. Coherent matrix engine vs PIXEL OO on the same weights.
     let n = 6;
     let weights: Vec<Vec<f64>> = (0..n)
-        .map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        .map(|_| (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect())
         .collect();
     let engine = CoherentEngine::synthesize(&weights);
-    let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let x: Vec<f64> = (0..n).map(|_| rng.range_f64(-1.0, 1.0)).collect();
     let optical = engine.apply(&x);
     let exact: Vec<f64> = weights
         .iter()

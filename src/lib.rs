@@ -13,6 +13,8 @@
 //! * [`core`] — the PIXEL accelerator itself: EE/OE/OO OMAC units, tile
 //!   fabric, and the energy/area/latency/EDP models behind every figure
 //!   and table in the paper.
+//! * [`obs`] — std-only observability: span timers, counters, JSONL
+//!   tracing, and profile tables threaded through the crates above.
 //!
 //! # Quickstart
 //!
@@ -31,4 +33,5 @@ pub use pixel_core as core;
 pub use pixel_units as units;
 pub use pixel_dnn as dnn;
 pub use pixel_electronics as electronics;
+pub use pixel_obs as obs;
 pub use pixel_photonics as photonics;

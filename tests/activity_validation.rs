@@ -5,7 +5,7 @@
 
 use pixel::core::omac::{OeMac, OoMac};
 use pixel::dnn::inference::MacEngine;
-use rand::{Rng, SeedableRng};
+use pixel::units::rng::SplitMix64;
 
 #[test]
 fn oe_activity_matches_energy_model_forms() {
@@ -14,10 +14,10 @@ fn oe_activity_matches_energy_model_forms() {
     // multiply must equal b².
     for (lanes, bits, muls) in [(4usize, 8u32, 12usize), (2, 4, 6), (8, 16, 8)] {
         let mac = OeMac::new(lanes, bits);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(u64::from(bits));
+        let mut rng = SplitMix64::seed_from_u64(u64::from(bits));
         let limit = (1u64 << bits) - 1;
-        let n: Vec<u64> = (0..muls).map(|_| rng.gen_range(0..=limit)).collect();
-        let s: Vec<u64> = (0..muls).map(|_| rng.gen_range(0..=limit)).collect();
+        let n: Vec<u64> = (0..muls).map(|_| rng.range_u64(0, limit)).collect();
+        let s: Vec<u64> = (0..muls).map(|_| rng.range_u64(0, limit)).collect();
         let _ = mac.inner_product(&n, &s);
 
         // Padded to full lanes: the hardware gates every lane every cycle.
@@ -45,10 +45,10 @@ fn oe_activity_matches_energy_model_forms() {
 fn oo_activity_matches_energy_model_forms() {
     for (lanes, bits, muls) in [(4usize, 8u32, 10usize), (1, 4, 5)] {
         let mac = OoMac::new(lanes, bits);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut rng = SplitMix64::seed_from_u64(7);
         let limit = (1u64 << bits) - 1;
-        let n: Vec<u64> = (0..muls).map(|_| rng.gen_range(0..=limit)).collect();
-        let s: Vec<u64> = (0..muls).map(|_| rng.gen_range(0..=limit)).collect();
+        let n: Vec<u64> = (0..muls).map(|_| rng.range_u64(0, limit)).collect();
+        let s: Vec<u64> = (0..muls).map(|_| rng.range_u64(0, limit)).collect();
         let _ = mac.inner_product(&n, &s);
 
         let padded = (muls.div_ceil(lanes) * lanes) as u64;

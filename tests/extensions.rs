@@ -10,19 +10,19 @@ use pixel::core::throughput::batched;
 use pixel::dnn::quant::Precision;
 use pixel::dnn::signed::{signed_inner_product, SignedQuant};
 use pixel::dnn::zoo;
-use rand::{Rng, SeedableRng};
+use pixel::units::rng::SplitMix64;
 
 #[test]
 fn signed_inner_products_through_optical_engines() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut rng = SplitMix64::seed_from_u64(5);
     let qa = SignedQuant::centered(Precision::new(8));
     let qb = SignedQuant::centered(Precision::new(8));
     for design in Design::ALL {
         let engine = engine_for(&AcceleratorConfig::new(design, 4, 8));
         for _ in 0..5 {
-            let len = rng.gen_range(1..30);
+            let len = rng.range_usize(1, 29);
             let signed: Vec<(i64, i64)> = (0..len)
-                .map(|_| (rng.gen_range(-128..=127), rng.gen_range(-128..=127)))
+                .map(|_| (rng.range_i64(-128, 127), rng.range_i64(-128, 127)))
                 .collect();
             let expected: i64 = signed.iter().map(|&(x, y)| x * y).sum();
             let a: Vec<u64> = signed.iter().map(|&(x, _)| qa.encode(x)).collect();
@@ -40,9 +40,9 @@ fn signed_inner_products_through_optical_engines() {
 fn signed_fc_layer_through_optical_engines() {
     use pixel::dnn::signed::signed_fully_connected;
     let q = SignedQuant::centered(Precision::new(8));
-    let mut rng = rand::rngs::StdRng::seed_from_u64(17);
-    let inputs: Vec<i64> = (0..12).map(|_| rng.gen_range(-128..=127)).collect();
-    let weights: Vec<i64> = (0..3 * 12).map(|_| rng.gen_range(-128..=127)).collect();
+    let mut rng = SplitMix64::seed_from_u64(17);
+    let inputs: Vec<i64> = (0..12).map(|_| rng.range_i64(-128, 127)).collect();
+    let weights: Vec<i64> = (0..3 * 12).map(|_| rng.range_i64(-128, 127)).collect();
     let expected: Vec<i64> = weights
         .chunks(12)
         .map(|row| row.iter().zip(&inputs).map(|(a, b)| a * b).sum())

@@ -7,8 +7,8 @@ use pixel::core::interconnect::{Dimension, TileCoord, XyFabric};
 use pixel::core::tile::Tile;
 use pixel::photonics::photodetector::Photodetector;
 use pixel::photonics::signal::PulseTrain;
+use pixel::units::rng::SplitMix64;
 use pixel::units::Power;
-use rand::{Rng, SeedableRng};
 
 const BITS: usize = 8;
 
@@ -17,9 +17,9 @@ const BITS: usize = 8;
 #[test]
 fn row_broadcast_survives_attenuation() {
     let fabric = XyFabric::new(1, 4, 2);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let mut rng = SplitMix64::seed_from_u64(5);
     let words: Vec<Vec<u64>> = (0..4)
-        .map(|_| (0..2).map(|_| rng.gen_range(0..256u64)).collect())
+        .map(|_| (0..2).map(|_| rng.range_u64(0, 255)).collect())
         .collect();
     let per_tile: Vec<Vec<PulseTrain>> = words
         .iter()
@@ -46,9 +46,9 @@ fn row_broadcast_survives_attenuation() {
 /// for each design, equals the direct integer result.
 #[test]
 fn tiles_compute_conv_windows_after_firing() {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
-    let window: Vec<u64> = (0..9).map(|_| rng.gen_range(0..16u64)).collect();
-    let kernel: Vec<u64> = (0..9).map(|_| rng.gen_range(0..16u64)).collect();
+    let mut rng = SplitMix64::seed_from_u64(11);
+    let window: Vec<u64> = (0..9).map(|_| rng.range_u64(0, 15)).collect();
+    let kernel: Vec<u64> = (0..9).map(|_| rng.range_u64(0, 15)).collect();
     let expected: u64 = window.iter().zip(&kernel).map(|(&a, &b)| a * b).sum();
 
     for design in Design::ALL {

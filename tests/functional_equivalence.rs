@@ -10,7 +10,7 @@ use pixel::dnn::network::Network;
 use pixel::dnn::quant::Precision;
 use pixel::dnn::tensor::Tensor;
 use pixel::dnn::zoo;
-use rand::{Rng, SeedableRng};
+use pixel::units::rng::SplitMix64;
 
 /// A LeNet-shaped micro CNN small enough to push through the pulse-train
 /// simulation in a debug-mode test.
@@ -27,16 +27,16 @@ fn micro_net() -> Network {
 }
 
 fn random_weights(net: &Network, precision: Precision, seed: u64) -> Vec<LayerWeights> {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::seed_from_u64(seed);
     net.layers()
         .iter()
-        .map(|l| LayerWeights::generate(l, || rng.gen_range(0..=precision.max_value())))
+        .map(|l| LayerWeights::generate(l, || rng.range_u64(0, precision.max_value())))
         .collect()
 }
 
 fn random_input(shape: Shape, precision: Precision, seed: u64) -> Tensor {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    Tensor::from_fn(shape, |_, _, _| rng.gen_range(0..=precision.max_value()))
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    Tensor::from_fn(shape, |_, _, _| rng.range_u64(0, precision.max_value()))
 }
 
 #[test]
@@ -76,10 +76,10 @@ fn real_lenet_windows_sampled_through_optical_engines() {
         .collect();
     assert!(window_sizes.contains(&400), "LeNet conv3 window");
 
-    let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+    let mut rng = SplitMix64::seed_from_u64(99);
     for &len in &window_sizes {
-        let n: Vec<u64> = (0..len).map(|_| rng.gen_range(0..=255)).collect();
-        let s: Vec<u64> = (0..len).map(|_| rng.gen_range(0..=255)).collect();
+        let n: Vec<u64> = (0..len).map(|_| rng.range_u64(0, 255)).collect();
+        let s: Vec<u64> = (0..len).map(|_| rng.range_u64(0, 255)).collect();
         let expected = DirectMac.inner_product(&n, &s);
         for design in Design::ALL {
             let engine = engine_for(&AcceleratorConfig::new(design, 8, 8));

@@ -7,116 +7,131 @@ use pixel::core::latency::cycles_per_firing;
 use pixel::core::mapping::LayerMapping;
 use pixel::dnn::analysis::{analyze_layer, FcCountConvention};
 use pixel::dnn::layer::{Layer, Shape};
-use proptest::prelude::*;
+use pixel::units::rng::SplitMix64;
 
-fn arb_config() -> impl Strategy<Value = (Design, usize, u32)> {
-    (
-        prop_oneof![Just(Design::Ee), Just(Design::Oe), Just(Design::Oo)],
-        1usize..=16,
-        1u32..=32,
-    )
+fn random_config(rng: &mut SplitMix64) -> (Design, usize, u32) {
+    let design = Design::ALL[rng.range_usize(0, Design::ALL.len() - 1)];
+    (design, rng.range_usize(1, 16), rng.range_u32(1, 32))
 }
 
-proptest! {
-    /// All per-operation energies are positive and finite everywhere in
-    /// the configuration space.
-    #[test]
-    fn energies_are_finite_and_positive((design, lanes, bits) in arb_config()) {
+/// All per-operation energies are positive and finite everywhere in
+/// the configuration space.
+#[test]
+fn energies_are_finite_and_positive() {
+    let mut rng = SplitMix64::seed_from_u64(0x01);
+    for _ in 0..256 {
+        let (design, lanes, bits) = random_config(&mut rng);
         let ops = OperationEnergies::for_config(&AcceleratorConfig::new(design, lanes, bits));
         for e in [ops.mul, ops.add, ops.act, ops.comm] {
-            prop_assert!(e.value() > 0.0 && e.is_finite());
+            assert!(e.value() > 0.0 && e.is_finite(), "{design} {lanes}/{bits}");
         }
         if design.is_optical() {
-            prop_assert!(ops.oe.value() > 0.0);
-            prop_assert!(ops.laser.value() > 0.0);
+            assert!(ops.oe.value() > 0.0);
+            assert!(ops.laser.value() > 0.0);
         } else {
-            prop_assert!(ops.oe.value() == 0.0 && ops.laser.value() == 0.0);
+            assert!(ops.oe.value() == 0.0 && ops.laser.value() == 0.0);
         }
     }
+}
 
-    /// EE multiply energy is strictly increasing in precision; the
-    /// optical multiply stays a fixed small fraction of it.
-    #[test]
-    fn multiply_energy_monotone_in_bits(lanes in 1usize..=16, bits in 1u32..=31) {
+/// EE multiply energy is strictly increasing in precision; the
+/// optical multiply stays a fixed small fraction of it.
+#[test]
+fn multiply_energy_monotone_in_bits() {
+    let mut rng = SplitMix64::seed_from_u64(0x02);
+    for _ in 0..256 {
+        let lanes = rng.range_usize(1, 16);
+        let bits = rng.range_u32(1, 31);
         let at = |b: u32, d: Design| {
             OperationEnergies::for_config(&AcceleratorConfig::new(d, lanes, b)).mul
         };
-        prop_assert!(at(bits + 1, Design::Ee) > at(bits, Design::Ee));
+        assert!(at(bits + 1, Design::Ee) > at(bits, Design::Ee));
         let ratio = at(bits, Design::Oe) / at(bits, Design::Ee);
-        prop_assert!((ratio - 0.0516).abs() < 0.001, "ratio {ratio}");
+        assert!((ratio - 0.0516).abs() < 0.001, "ratio {ratio}");
     }
+}
 
-    /// Firing service time never decreases with precision and both
-    /// optical designs obey OE ≥ OO (the extra o/e handoff).
-    #[test]
-    fn cycles_monotone_and_ordered(lanes in 1usize..=16, bits in 1u32..=31) {
+/// Firing service time never decreases with precision and both
+/// optical designs obey OE ≥ OO (the extra o/e handoff).
+#[test]
+fn cycles_monotone_and_ordered() {
+    let mut rng = SplitMix64::seed_from_u64(0x03);
+    for _ in 0..256 {
+        let lanes = rng.range_usize(1, 16);
+        let bits = rng.range_u32(1, 31);
         for d in Design::ALL {
             let now = cycles_per_firing(&AcceleratorConfig::new(d, lanes, bits));
             let next = cycles_per_firing(&AcceleratorConfig::new(d, lanes, bits + 1));
-            prop_assert!(next >= now, "{d} at {bits}");
+            assert!(next >= now, "{d} at {bits}");
         }
         let oe = cycles_per_firing(&AcceleratorConfig::new(Design::Oe, lanes, bits));
         let oo = cycles_per_firing(&AcceleratorConfig::new(Design::Oo, lanes, bits));
-        prop_assert!(oe >= oo);
+        assert!(oe >= oo);
     }
+}
 
-    /// Mapping identities: chunks cover all MACs exactly once, rounds
-    /// cover all chunks, utilization ∈ (0, 100].
-    #[test]
-    fn mapping_covers_work(
-        h in 4usize..=32,
-        c in 1usize..=16,
-        m in 1usize..=16,
-        r in 1usize..=3,
-        lanes in 1usize..=16,
-        tiles in 1usize..=32,
-    ) {
-        prop_assume!(h >= r);
+/// Mapping identities: chunks cover all MACs exactly once, rounds
+/// cover all chunks, utilization ∈ (0, 100].
+#[test]
+fn mapping_covers_work() {
+    let mut rng = SplitMix64::seed_from_u64(0x04);
+    for _ in 0..256 {
+        let r = rng.range_usize(1, 3);
+        let h = rng.range_usize(r.max(4), 32);
+        let c = rng.range_usize(1, 16);
+        let m = rng.range_usize(1, 16);
+        let lanes = rng.range_usize(1, 16);
+        let tiles = rng.range_usize(1, 32);
         let layer = Layer::conv("c", Shape::square(h, c), m, 2 * r - 1, 1);
         let config = AcceleratorConfig::new(Design::Oe, lanes, 8).with_tiles(tiles);
         let map = LayerMapping::for_layer(&config, &layer);
 
         let counts = analyze_layer(&layer, FcCountConvention::Paper);
-        prop_assert_eq!(map.total_macs(), counts.mul, "macs = N_mul");
-        prop_assert!(map.chunks_per_window * map.lanes >= map.macs_per_window);
-        prop_assert!((map.chunks_per_window - 1) * map.lanes < map.macs_per_window);
-        prop_assert!(map.rounds * config.tiles as u64 >= map.windows * map.chunks_per_window);
+        assert_eq!(map.total_macs(), counts.mul, "macs = N_mul");
+        assert!(map.chunks_per_window * map.lanes >= map.macs_per_window);
+        assert!((map.chunks_per_window - 1) * map.lanes < map.macs_per_window);
+        assert!(map.rounds * config.tiles as u64 >= map.windows * map.chunks_per_window);
         let u = map.average_utilization_pct();
-        prop_assert!(u > 0.0 && u <= 100.0);
+        assert!(u > 0.0 && u <= 100.0);
     }
+}
 
-    /// The §IV-B identities hold for every conv layer: N_add = N_mul +
-    /// N_act and N_mul = R²·N_MVM.
-    #[test]
-    fn analysis_identities(
-        h in 3usize..=64,
-        c in 1usize..=32,
-        m in 1usize..=64,
-        r_idx in 0usize..3,
-        u in 1usize..=2,
-    ) {
-        let r = [1usize, 3, 5][r_idx];
-        prop_assume!(h >= r);
+/// The §IV-B identities hold for every conv layer: N_add = N_mul +
+/// N_act and N_mul = R²·N_MVM.
+#[test]
+fn analysis_identities() {
+    let mut rng = SplitMix64::seed_from_u64(0x05);
+    for _ in 0..256 {
+        let r = [1usize, 3, 5][rng.range_usize(0, 2)];
+        let h = rng.range_usize(r.max(3), 64);
+        let c = rng.range_usize(1, 32);
+        let m = rng.range_usize(1, 64);
+        let u = rng.range_usize(1, 2);
         let layer = Layer::conv("c", Shape::square(h, c), m, r, u);
         let counts = analyze_layer(&layer, FcCountConvention::Paper);
-        prop_assert_eq!(counts.add, counts.mul + counts.act);
-        prop_assert_eq!(counts.mul, (r * r) as u64 * counts.mvm);
+        assert_eq!(counts.add, counts.mul + counts.act);
+        assert_eq!(counts.mul, (r * r) as u64 * counts.mvm);
         let e = layer.output_feature_size() as u64;
-        prop_assert_eq!(counts.act, e * e * m as u64);
+        assert_eq!(counts.act, e * e * m as u64);
     }
+}
 
-    /// Design ordering at the calibration point extends across the whole
-    /// precision sweep: total per-op energy of OO ≤ OE for bits ≥ 8, and
-    /// both beat EE for bits ≥ 8 at any lane count.
-    #[test]
-    fn optical_energy_dominance_at_high_bits(lanes in 1usize..=16, bits in 8u32..=32) {
+/// Design ordering at the calibration point extends across the whole
+/// precision sweep: total per-op energy of OO ≤ OE for bits ≥ 8, and
+/// both beat EE for bits ≥ 8 at any lane count.
+#[test]
+fn optical_energy_dominance_at_high_bits() {
+    let mut rng = SplitMix64::seed_from_u64(0x06);
+    for _ in 0..256 {
+        let lanes = rng.range_usize(1, 16);
+        let bits = rng.range_u32(8, 32);
         let total = |d: Design| {
             let ops = OperationEnergies::for_config(&AcceleratorConfig::new(d, lanes, bits));
             (ops.mul + ops.add + ops.oe + ops.comm + ops.laser).value()
         };
-        prop_assert!(total(Design::Oe) < total(Design::Ee), "OE < EE at {lanes}/{bits}");
+        assert!(total(Design::Oe) < total(Design::Ee), "OE < EE at {lanes}/{bits}");
         if bits >= 16 {
-            prop_assert!(total(Design::Oo) < total(Design::Oe), "OO < OE at {lanes}/{bits}");
+            assert!(total(Design::Oo) < total(Design::Oe), "OO < OE at {lanes}/{bits}");
         }
     }
 }
