@@ -3,6 +3,9 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "== fmt"
+cargo fmt --all --check
+
 echo "== build"
 cargo build --release --workspace
 
@@ -11,6 +14,9 @@ cargo test -q --workspace
 
 echo "== clippy"
 cargo clippy --all-targets --workspace -- -D warnings
+
+echo "== doc"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
 echo "== reproduce smoke"
 out=$(./target/release/reproduce table1 --profile)

@@ -1,12 +1,11 @@
 //! Bench regenerating Figure 10 data series (normalized EDP, 6 CNNs).
-//!
-//! Prints the reproduced artifact once and then measures how long the
-//! full sweep takes to regenerate (std-only timing harness).
 
-use pixel_bench::timing::bench;
+use pixel_bench::artifact_bench;
 
 fn main() {
-    println!("\n== Figure 10 data series (normalized EDP, 6 CNNs) ==");
-    println!("{}", pixel_bench::fig10());
-    bench("fig10_edp", pixel_bench::fig10);
+    artifact_bench(
+        "Figure 10 data series (normalized EDP, 6 CNNs)",
+        "fig10_edp",
+        pixel_bench::fig10,
+    );
 }

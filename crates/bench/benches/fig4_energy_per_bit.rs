@@ -1,12 +1,11 @@
 //! Bench regenerating Figure 4 data series (single-MAC energy/bit sweep).
-//!
-//! Prints the reproduced artifact once and then measures how long the
-//! full sweep takes to regenerate (std-only timing harness).
 
-use pixel_bench::timing::bench;
+use pixel_bench::artifact_bench;
 
 fn main() {
-    println!("\n== Figure 4 data series (single-MAC energy/bit sweep) ==");
-    println!("{}", pixel_bench::fig4());
-    bench("fig4_energy_per_bit", pixel_bench::fig4);
+    artifact_bench(
+        "Figure 4 data series (single-MAC energy/bit sweep)",
+        "fig4_energy_per_bit",
+        pixel_bench::fig4,
+    );
 }

@@ -1,12 +1,11 @@
-//! Bench regenerating Figure 5 data series (component energy for 3 CNNs).
-//!
-//! Prints the reproduced artifact once and then measures how long the
-//! full sweep takes to regenerate (std-only timing harness).
+//! Bench regenerating Figure 5 data series (component energy, 3 CNNs).
 
-use pixel_bench::timing::bench;
+use pixel_bench::artifact_bench;
 
 fn main() {
-    println!("\n== Figure 5 data series (component energy for 3 CNNs) ==");
-    println!("{}", pixel_bench::fig5());
-    bench("fig5_components", pixel_bench::fig5);
+    artifact_bench(
+        "Figure 5 data series (component energy for 3 CNNs)",
+        "fig5_components",
+        pixel_bench::fig5,
+    );
 }

@@ -1,12 +1,11 @@
 //! Bench regenerating Figure 6 data series (fabric area vs lanes).
-//!
-//! Prints the reproduced artifact once and then measures how long the
-//! full sweep takes to regenerate (std-only timing harness).
 
-use pixel_bench::timing::bench;
+use pixel_bench::artifact_bench;
 
 fn main() {
-    println!("\n== Figure 6 data series (fabric area vs lanes) ==");
-    println!("{}", pixel_bench::fig6());
-    bench("fig6_area", pixel_bench::fig6);
+    artifact_bench(
+        "Figure 6 data series (fabric area vs lanes)",
+        "fig6_area",
+        pixel_bench::fig6,
+    );
 }

@@ -1,12 +1,11 @@
 //! Bench regenerating Figure 7 data series (normalized energy, 6 CNNs).
-//!
-//! Prints the reproduced artifact once and then measures how long the
-//! full sweep takes to regenerate (std-only timing harness).
 
-use pixel_bench::timing::bench;
+use pixel_bench::artifact_bench;
 
 fn main() {
-    println!("\n== Figure 7 data series (normalized energy, 6 CNNs) ==");
-    println!("{}", pixel_bench::fig7());
-    bench("fig7_normalized_energy", pixel_bench::fig7);
+    artifact_bench(
+        "Figure 7 data series (normalized energy, 6 CNNs)",
+        "fig7_normalized_energy",
+        pixel_bench::fig7,
+    );
 }

@@ -1,12 +1,11 @@
 //! Bench regenerating Figure 8 data series (geomean latency sweep).
-//!
-//! Prints the reproduced artifact once and then measures how long the
-//! full sweep takes to regenerate (std-only timing harness).
 
-use pixel_bench::timing::bench;
+use pixel_bench::artifact_bench;
 
 fn main() {
-    println!("\n== Figure 8 data series (geomean latency sweep) ==");
-    println!("{}", pixel_bench::fig8());
-    bench("fig8_latency", pixel_bench::fig8);
+    artifact_bench(
+        "Figure 8 data series (geomean latency sweep)",
+        "fig8_latency",
+        pixel_bench::fig8,
+    );
 }

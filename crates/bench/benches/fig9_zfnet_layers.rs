@@ -1,12 +1,11 @@
 //! Bench regenerating Figure 9 data series (ZFNet per-layer latency).
-//!
-//! Prints the reproduced artifact once and then measures how long the
-//! full sweep takes to regenerate (std-only timing harness).
 
-use pixel_bench::timing::bench;
+use pixel_bench::artifact_bench;
 
 fn main() {
-    println!("\n== Figure 9 data series (ZFNet per-layer latency) ==");
-    println!("{}", pixel_bench::fig9());
-    bench("fig9_zfnet_layers", pixel_bench::fig9);
+    artifact_bench(
+        "Figure 9 data series (ZFNet per-layer latency)",
+        "fig9_zfnet_layers",
+        pixel_bench::fig9,
+    );
 }

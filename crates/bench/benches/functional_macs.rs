@@ -28,8 +28,9 @@ fn main() {
 
     for design in Design::ALL {
         let engine = engine_for(&AcceleratorConfig::new(design, 8, 8));
-        bench(&format!("functional_mac_72x8bit/omac_{}", design.label()), || {
-            engine.inner_product(&neurons, &synapses)
-        });
+        bench(
+            &format!("functional_mac_72x8bit/omac_{}", design.label()),
+            || engine.inner_product(&neurons, &synapses),
+        );
     }
 }

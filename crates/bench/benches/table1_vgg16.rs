@@ -1,12 +1,11 @@
 //! Bench regenerating Table I (VGG16 per-layer op counts).
-//!
-//! Prints the reproduced artifact once and then measures how long the
-//! full sweep takes to regenerate (std-only timing harness).
 
-use pixel_bench::timing::bench;
+use pixel_bench::artifact_bench;
 
 fn main() {
-    println!("\n== Table I (VGG16 per-layer op counts) ==");
-    println!("{}", pixel_bench::table1());
-    bench("table1_vgg16", pixel_bench::table1);
+    artifact_bench(
+        "Table I (VGG16 per-layer op counts)",
+        "table1_vgg16",
+        pixel_bench::table1,
+    );
 }

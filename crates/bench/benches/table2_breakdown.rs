@@ -1,12 +1,11 @@
 //! Bench regenerating Table II (energy breakdown rows).
-//!
-//! Prints the reproduced artifact once and then measures how long the
-//! full sweep takes to regenerate (std-only timing harness).
 
-use pixel_bench::timing::bench;
+use pixel_bench::artifact_bench;
 
 fn main() {
-    println!("\n== Table II (energy breakdown rows) ==");
-    println!("{}", pixel_bench::table2());
-    bench("table2_breakdown", pixel_bench::table2);
+    artifact_bench(
+        "Table II (energy breakdown rows)",
+        "table2_breakdown",
+        pixel_bench::table2,
+    );
 }

@@ -7,6 +7,7 @@
 //!
 //! ARTIFACT   table1|table2|fig4..fig10|power|ablation|...|all (default: all)
 //! --list     print the artifact keys and exit
+//! --jobs N   sweep worker threads (default: available parallelism)
 //! --profile  record spans/counters and print a profile table at the end
 //! --trace F  stream span/counter events to F as JSON lines
 //! ```
@@ -19,7 +20,11 @@ use std::process::ExitCode;
 type Artifact = (&'static str, &'static str, fn() -> String);
 
 const ARTIFACTS: [Artifact; 18] = [
-    ("table1", "Table I — VGG16 computations [millions]", pixel_bench::table1),
+    (
+        "table1",
+        "Table I — VGG16 computations [millions]",
+        pixel_bench::table1,
+    ),
     (
         "fig4",
         "Figure 4 — Energy/bit of a single MAC unit (lanes × bits/lane)",
@@ -138,6 +143,19 @@ fn main() -> ExitCode {
                 return ExitCode::SUCCESS;
             }
             "--profile" => profile = true,
+            "--jobs" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--jobs requires a worker count");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => pixel_core::sweep::set_default_jobs(Some(n)),
+                    _ => {
+                        eprintln!("--jobs needs a positive integer, got {value:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--trace" => {
                 let Some(path) = args.next() else {
                     eprintln!("--trace requires a file path");
@@ -146,7 +164,9 @@ fn main() -> ExitCode {
                 trace_path = Some(path);
             }
             flag if flag.starts_with("--") => {
-                eprintln!("unknown flag {flag:?}; valid flags: --list --profile --trace <file>");
+                eprintln!(
+                    "unknown flag {flag:?}; valid flags: --list --jobs <n> --profile --trace <file>"
+                );
                 return ExitCode::FAILURE;
             }
             key => keys.push(key.to_owned()),
@@ -194,6 +214,16 @@ fn main() -> ExitCode {
     if profile {
         println!("== profile");
         print!("{}", pixel_obs::profile_table());
+        let snap = pixel_obs::snapshot();
+        let count = |name: &str| snap.counter(name).unwrap_or(0);
+        println!(
+            "eval cache: {} hits / {} misses; network-counts cache: {} hits / {} misses ({} sweep workers)",
+            count("eval/cache_hit"),
+            count("eval/cache_miss"),
+            count("eval/counts_hit"),
+            count("eval/counts_miss"),
+            pixel_core::sweep::default_jobs(),
+        );
     }
     ExitCode::SUCCESS
 }

@@ -12,6 +12,16 @@ use pixel_core::report;
 use pixel_dnn::analysis::{analyze_network, FcCountConvention};
 use pixel_dnn::zoo;
 
+/// Shared harness for the artifact bench binaries: prints the rendered
+/// artifact once under a title banner, then times regenerating it with
+/// the default budget. Every `benches/` binary that wraps one artifact
+/// is a one-line call to this.
+pub fn artifact_bench(title: &str, name: &str, artifact: fn() -> String) -> timing::Measurement {
+    println!("\n== {title} ==");
+    println!("{}", artifact());
+    timing::bench(name, artifact)
+}
+
 /// The lanes sweep of Fig. 4 and Fig. 6.
 pub const LANES_SWEEP: [usize; 4] = [2, 4, 8, 16];
 
@@ -33,10 +43,7 @@ pub fn table1() -> String {
     );
     let net = zoo::vgg16();
     let counts = analyze_network(&net, FcCountConvention::Paper);
-    let shapes: Vec<String> = net
-        .compute_layers()
-        .map(|l| l.input.to_string())
-        .collect();
+    let shapes: Vec<String> = net.compute_layers().map(|l| l.input.to_string()).collect();
     for (c, shape) in counts.iter().zip(shapes) {
         #[allow(clippy::cast_precision_loss)]
         let m = |v: u64| v as f64 / 1e6;
@@ -134,9 +141,7 @@ pub fn power() -> String {
     use pixel_core::config::{AcceleratorConfig, Design};
     use pixel_core::power::{macs_per_second_per_watt, power_report};
 
-    let mut s = String::from(
-        "des  |  avg power [W]  laser [W]  heaters [W]  |  GMAC/s/W\n",
-    );
+    let mut s = String::from("des  |  avg power [W]  laser [W]  heaters [W]  |  GMAC/s/W\n");
     for design in Design::ALL {
         let report =
             Accelerator::new(AcceleratorConfig::new(design, 4, 16)).evaluate(&zoo::zfnet());
@@ -211,8 +216,7 @@ pub fn scaling() -> String {
 pub fn noise() -> String {
     let _span = pixel_obs::span("noise");
     use pixel_core::robustness::noise_sweep;
-    let mut s =
-        String::from("sigma |  correct  silent-err  detected | analytic slot err\n");
+    let mut s = String::from("sigma |  correct  silent-err  detected | analytic slot err\n");
     for p in noise_sweep(8, &[0.0, 0.1, 0.2, 0.3, 0.5], 1_000, 42) {
         s.push_str(&format!(
             "{:>5.2} | {:>8.4} {:>11.4} {:>9.4} | {:>17.2e}\n",
@@ -240,7 +244,11 @@ pub fn roofline() -> String {
                 r.compute_roof_macs_per_s / 1e9,
                 r.ingress_bits_per_s / 1e9,
                 r.bound_macs_per_s / 1e9,
-                if r.compute_bound() { "compute" } else { "ingress" },
+                if r.compute_bound() {
+                    "compute"
+                } else {
+                    "ingress"
+                },
             ));
         }
     }
@@ -291,9 +299,8 @@ pub fn pam() -> String {
     let _span = pixel_obs::span("pam");
     use pixel_core::config::Design;
     use pixel_core::pam::pam4_sweep;
-    let mut s = String::from(
-        "bits |  OE PAM-4/OOK latency  |  OO PAM-4/OOK latency  (modulation ×1.5)\n",
-    );
+    let mut s =
+        String::from("bits |  OE PAM-4/OOK latency  |  OO PAM-4/OOK latency  (modulation ×1.5)\n");
     let oe = pam4_sweep(Design::Oe, &[4, 8, 16, 32]);
     let oo = pam4_sweep(Design::Oo, &[4, 8, 16, 32]);
     for (a, b) in oe.iter().zip(&oo) {

@@ -16,11 +16,7 @@ use pixel_units::{Energy, Time};
 
 /// EDP of a network under explicit overrides.
 #[must_use]
-pub fn edp_with(
-    config: &AcceleratorConfig,
-    network: &Network,
-    overrides: &ModelOverrides,
-) -> Edp {
+pub fn edp_with(config: &AcceleratorConfig, network: &Network, overrides: &ModelOverrides) -> Edp {
     let counts = analyze_network(network, FcCountConvention::Paper);
     let energy: Energy = counts
         .iter()
@@ -117,8 +113,7 @@ pub fn tile_scaling(network: &Network, design: Design, tiles: &[usize]) -> Vec<(
     tiles
         .iter()
         .map(|&t| {
-            let accel =
-                Accelerator::new(AcceleratorConfig::new(design, 4, 16).with_tiles(t));
+            let accel = Accelerator::new(AcceleratorConfig::new(design, 4, 16).with_tiles(t));
             (t, accel.evaluate(network).total_latency())
         })
         .collect()

@@ -5,6 +5,7 @@ use crate::config::AcceleratorConfig;
 use crate::edp::Edp;
 use crate::energy::{layer_energy, EnergyBreakdown};
 use crate::latency::layer_latency;
+use crate::model::EvalContext;
 use pixel_dnn::analysis::{analyze_network, ComputeCounts, FcCountConvention};
 use pixel_dnn::network::Network;
 use pixel_units::{Energy, Time};
@@ -84,13 +85,18 @@ impl Accelerator {
         self.evaluate_with(network, FcCountConvention::Paper)
     }
 
+    /// Evaluates a network through a shared memoizing [`EvalContext`]
+    /// (bitwise-identical to [`Self::evaluate`], but repeated
+    /// evaluations of the same configuration or network reuse the
+    /// context's caches).
+    #[must_use]
+    pub fn evaluate_in(&self, ctx: &EvalContext, network: &Network) -> NetworkReport {
+        ctx.evaluate(&self.config, network)
+    }
+
     /// Evaluates a network with an explicit FC op-count convention.
     #[must_use]
-    pub fn evaluate_with(
-        &self,
-        network: &Network,
-        convention: FcCountConvention,
-    ) -> NetworkReport {
+    pub fn evaluate_with(&self, network: &Network, convention: FcCountConvention) -> NetworkReport {
         pixel_obs::add("dse/model_evals", 1);
         let layers = analyze_network(network, convention)
             .into_iter()

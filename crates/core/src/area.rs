@@ -7,22 +7,12 @@
 //! OO much larger (cascaded MZIs) — follows directly from the device
 //! geometry. (The paper's printed absolute deltas mix units
 //! inconsistently; see DESIGN.md §6. We report mm².)
+//!
+//! The composition itself lives in the per-design
+//! [`crate::model::DesignModel`] backends; this module keeps the
+//! breakdown type and the dispatching entry points.
 
-use crate::config::{AcceleratorConfig, Design};
-use pixel_electronics::activation::TanhUnit;
-use pixel_electronics::cla::Cla;
-use pixel_electronics::comparator::ComparatorLadder;
-use pixel_electronics::converter::{AmplitudeConverter, SerialConverter};
-use pixel_electronics::dsent;
-use pixel_electronics::gates::{GateCount, LogicDepth};
-use pixel_electronics::register::GATES_PER_FLIPFLOP;
-use pixel_electronics::shifter::BarrelShifter;
-use pixel_electronics::stripes::StripesMac;
-use pixel_electronics::technology::Technology;
-use pixel_photonics::constants::{waveguide_pitch, OPTICAL_CLOCK_HZ};
-use pixel_photonics::laser::FabryPerotLaser;
-use pixel_photonics::mrr::DoubleMrrFilter;
-use pixel_photonics::mzi::MziChain;
+use crate::config::AcceleratorConfig;
 use pixel_units::Area;
 
 /// Area split between the electrical and photonic portions of one design.
@@ -42,100 +32,23 @@ impl AreaBreakdown {
     }
 }
 
-/// Gate count of the weight register file: `lanes` synapse words.
-fn register_file_gates(config: &AcceleratorConfig) -> GateCount {
-    GateCount::new(config.lanes as u64 * u64::from(config.bits_per_lane) * GATES_PER_FLIPFLOP)
-}
-
-/// Electrical area common to all designs: register file + activation.
-fn common_electrical_gates(config: &AcceleratorConfig) -> GateCount {
-    register_file_gates(config) + TanhUnit::new().gate_count()
-}
-
 /// Area of one OMAC tile under `config`.
 #[must_use]
 pub fn tile_area(config: &AcceleratorConfig) -> AreaBreakdown {
-    let tech = Technology::bulk22lvt();
-    let bits = config.bits_per_lane.clamp(1, 16);
-    let acc_width = StripesMac::accumulator_width(config.lanes, bits).min(64);
-    let estimate = |gates: GateCount| dsent::estimate(gates, LogicDepth::new(1), &tech).area;
-
-    let mut electrical = estimate(common_electrical_gates(config));
-    let mut photonic = Area::default();
-
-    match config.design {
-        Design::Ee => {
-            electrical += estimate(StripesMac::new(config.lanes, bits).gate_count());
-        }
-        Design::Oe => {
-            // Accumulate-side logic: per-lane converter + shared shifter
-            // and accumulator.
-            let logic = SerialConverter::new(bits).gate_count() * config.lanes as u64
-                + BarrelShifter::new(acc_width).gate_count()
-                + Cla::new(acc_width).gate_count();
-            electrical += estimate(logic);
-            photonic = photonic + mrr_array_area(config) + receiver_area(config);
-        }
-        Design::Oo => {
-            let logic = AmplitudeConverter::new(bits).gate_count() * config.lanes as u64
-                + ComparatorLadder::new(bits).gate_count() * config.lanes as u64
-                + Cla::new(acc_width).gate_count();
-            electrical += estimate(logic);
-            let chain = MziChain::delay_matched(bits as usize, OPTICAL_CLOCK_HZ);
-            let chains = Area::new(chain.area().value() * config.lanes as f64);
-            photonic = photonic + mrr_array_area(config) + receiver_area(config) + chains;
-        }
-    }
-
-    AreaBreakdown {
-        electrical,
-        photonic,
-    }
-}
-
-/// Footprint of the tile's double-MRR array: `lanes` synapse lanes each
-/// filtering `lanes` wavelengths (paper §IV-C: the 4-lane design uses 16
-/// double filters per OMAC).
-fn mrr_array_area(config: &AcceleratorConfig) -> Area {
-    let filter = DoubleMrrFilter::default();
-    #[allow(clippy::cast_precision_loss)]
-    let count = (config.lanes * config.lanes) as f64;
-    Area::new(filter.area().value() * count)
-}
-
-/// Photodetector area: one Ge detector per wavelength (~200 µm² each).
-fn receiver_area(config: &AcceleratorConfig) -> Area {
-    #[allow(clippy::cast_precision_loss)]
-    let count = config.lanes as f64;
-    Area::from_square_micrometres(200.0 * count)
+    config.design.model().tile_area(config)
 }
 
 /// Area of the whole fabric: tiles plus shared photonic infrastructure
 /// (laser die, x/y waveguide routing).
 #[must_use]
 pub fn fabric_area(config: &AcceleratorConfig) -> AreaBreakdown {
-    let tile = tile_area(config);
-    #[allow(clippy::cast_precision_loss)]
-    let tiles = config.tiles as f64;
-    let mut total = AreaBreakdown {
-        electrical: tile.electrical * tiles,
-        photonic: tile.photonic * tiles,
-    };
-    if config.design.is_optical() {
-        let laser = FabryPerotLaser::default().area();
-        // x + y waveguide bundles: one waveguide per tile per dimension,
-        // spanning the fabric edge (≈1 mm per tile pitch).
-        let per_guide = pixel_units::Length::from_millimetres(tiles.sqrt().ceil())
-            * waveguide_pitch();
-        let guides = Area::new(per_guide.value() * 2.0 * tiles);
-        total.photonic = total.photonic + laser + guides;
-    }
-    total
+    config.design.model().fabric_area(config)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Design;
 
     fn cfg(design: Design, lanes: usize) -> AcceleratorConfig {
         AcceleratorConfig::new(design, lanes, 4)

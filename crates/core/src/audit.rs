@@ -20,16 +20,13 @@
 //!   of correlation).
 //!
 //! [`activity_audit`] runs random inner products through the bit-true
-//! functional MACs, reads the counted [`ActivityCounter`] tallies, and
+//! functional MACs, reads the counted [`crate::omac::ActivityCounter`] tallies, and
 //! reports counted vs analytic rates with relative errors. It is a
 //! `reproduce` artifact (`reproduce audit`) and an integration-tested
 //! invariant: the simulation's measured activity must match what the
 //! model multiplies by.
 
-use crate::config::Design;
-use crate::omac::activity::ActivityCounter;
-use crate::omac::{EeMac, OeMac, OoMac};
-use pixel_dnn::inference::MacEngine;
+use crate::config::{AcceleratorConfig, Design};
 use pixel_units::rng::SplitMix64;
 
 /// Counted-vs-analytic activity of one design.
@@ -106,42 +103,22 @@ pub fn activity_audit(
         .iter()
         .map(|&design| {
             let mut rng = SplitMix64::seed_from_u64(seed);
-            let run = |engine: &dyn MacEngine, rng: &mut SplitMix64| {
-                for _ in 0..windows {
-                    let n: Vec<u64> =
-                        (0..window_len).map(|_| rng.range_u64(0, limit)).collect();
-                    let s: Vec<u64> =
-                        (0..window_len).map(|_| rng.range_u64(0, limit)).collect();
-                    let _ = engine.inner_product(&n, &s);
-                }
-            };
-            let row = |activity: &ActivityCounter| {
-                let (lit, toggle) = analytic_activity(design);
-                ActivityAuditRow {
-                    design,
-                    slots: activity.gated_slots(),
-                    counted_lit_rate: activity.lit_rate(),
-                    analytic_lit_rate: lit,
-                    counted_toggle_rate: activity.toggle_rate(),
-                    analytic_toggle_rate: toggle,
-                }
-            };
-            match design {
-                Design::Ee => {
-                    let mac = EeMac::new(lanes, bits);
-                    run(&mac, &mut rng);
-                    row(mac.activity())
-                }
-                Design::Oe => {
-                    let mac = OeMac::new(lanes, bits);
-                    run(&mac, &mut rng);
-                    row(mac.activity())
-                }
-                Design::Oo => {
-                    let mac = OoMac::new(lanes, bits);
-                    run(&mac, &mut rng);
-                    row(mac.activity())
-                }
+            let config = AcceleratorConfig::new(design, lanes, bits);
+            let mac = design.model().functional_engine(&config);
+            for _ in 0..windows {
+                let n: Vec<u64> = (0..window_len).map(|_| rng.range_u64(0, limit)).collect();
+                let s: Vec<u64> = (0..window_len).map(|_| rng.range_u64(0, limit)).collect();
+                let _ = mac.inner_product(&n, &s);
+            }
+            let activity = mac.activity();
+            let (lit, toggle) = analytic_activity(design);
+            ActivityAuditRow {
+                design,
+                slots: activity.gated_slots(),
+                counted_lit_rate: activity.lit_rate(),
+                analytic_lit_rate: lit,
+                counted_toggle_rate: activity.toggle_rate(),
+                analytic_toggle_rate: toggle,
             }
         })
         .collect()

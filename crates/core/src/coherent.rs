@@ -90,9 +90,7 @@ pub fn jacobi_svd(w: &[Vec<f64>]) -> Svd {
     let mut u_cols: Vec<Option<Vec<f64>>> = a
         .iter()
         .enumerate()
-        .map(|(j, col)| {
-            (sigma[j] > rank_tol).then(|| col.iter().map(|x| x / sigma[j]).collect())
-        })
+        .map(|(j, col)| (sigma[j] > rank_tol).then(|| col.iter().map(|x| x / sigma[j]).collect()))
         .collect();
     for j in 0..n {
         if u_cols[j].is_some() {
@@ -291,7 +289,10 @@ mod tests {
             .map(|i| (0..n).map(|j| f64::from(u8::from(i == j))).collect())
             .collect();
         let engine = CoherentEngine::synthesize(&eye);
-        assert!(engine.attenuations().iter().all(|&a| (a - 1.0).abs() < 1e-9));
+        assert!(engine
+            .attenuations()
+            .iter()
+            .all(|&a| (a - 1.0).abs() < 1e-9));
         let x = vec![0.3, -0.7, 0.1, 0.9];
         let y = engine.apply(&x);
         for (a, b) in y.iter().zip(&x) {
@@ -310,7 +311,10 @@ mod tests {
         // Rank-1 outer product.
         let u = [1.0, 2.0, -1.0];
         let v = [0.5, -1.0, 2.0];
-        let w: Vec<Vec<f64>> = u.iter().map(|&a| v.iter().map(|&b| a * b).collect()).collect();
+        let w: Vec<Vec<f64>> = u
+            .iter()
+            .map(|&a| v.iter().map(|&b| a * b).collect())
+            .collect();
         let engine = CoherentEngine::synthesize(&w);
         let x = vec![1.0, 1.0, 1.0];
         let optical = engine.apply(&x);

@@ -2,13 +2,19 @@
 //!
 //! Each function regenerates the data series of one paper artifact; the
 //! `reproduce` binary and the criterion benches are thin wrappers over
-//! these.
+//! these. Every artifact routes through [`SweepEngine`]: the design
+//! points are laid out as a flat grid, mapped in parallel over worker
+//! threads, and evaluated through the engine's shared memoizing
+//! [`crate::model::EvalContext`]. Results are returned in grid order,
+//! so a parallel sweep is bitwise-identical to a serial one; the
+//! `*_with` variants take an explicit engine (worker count, overrides),
+//! the plain functions use the process-default worker count.
 
-use crate::accelerator::Accelerator;
-use crate::area::fabric_area;
 use crate::config::{AcceleratorConfig, Design};
 use crate::edp::geomean;
-use crate::energy::{EnergyBreakdown, OperationEnergies};
+use crate::energy::EnergyBreakdown;
+use crate::model::EvalContext;
+use crate::sweep::SweepEngine;
 use pixel_dnn::network::Network;
 use pixel_dnn::zoo;
 use pixel_units::Area;
@@ -29,24 +35,38 @@ pub struct EnergyPerBitPoint {
 /// Fig. 4: energy/bit of a single MAC unit over lanes × bits/lane.
 #[must_use]
 pub fn fig4_energy_per_bit(lanes_sweep: &[usize], bits_sweep: &[u32]) -> Vec<EnergyPerBitPoint> {
-    let mut out = Vec::new();
-    for design in Design::ALL {
-        let _design_span = pixel_obs::span(design.label());
-        for &lanes in lanes_sweep {
-            for &bits in bits_sweep {
-                pixel_obs::add("dse/design_points", 1);
-                let cfg = AcceleratorConfig::new(design, lanes, bits);
-                let ops = OperationEnergies::for_config(&cfg);
-                out.push(EnergyPerBitPoint {
-                    design,
-                    lanes,
-                    bits,
-                    energy_per_bit: ops.energy_per_bit(lanes, bits).value(),
-                });
-            }
+    fig4_energy_per_bit_with(&SweepEngine::with_default_jobs(), lanes_sweep, bits_sweep)
+}
+
+/// Fig. 4 through an explicit [`SweepEngine`].
+#[must_use]
+pub fn fig4_energy_per_bit_with(
+    engine: &SweepEngine,
+    lanes_sweep: &[usize],
+    bits_sweep: &[u32],
+) -> Vec<EnergyPerBitPoint> {
+    let points: Vec<(Design, usize, u32)> = Design::ALL
+        .iter()
+        .flat_map(|&design| {
+            lanes_sweep
+                .iter()
+                .flat_map(move |&lanes| bits_sweep.iter().map(move |&bits| (design, lanes, bits)))
+        })
+        .collect();
+    engine.map(&points, |ctx, &(design, lanes, bits)| {
+        let _span = pixel_obs::span(design.label());
+        pixel_obs::add("dse/design_points", 1);
+        let cfg = AcceleratorConfig::new(design, lanes, bits);
+        EnergyPerBitPoint {
+            design,
+            lanes,
+            bits,
+            energy_per_bit: ctx
+                .operation_energies(&cfg)
+                .energy_per_bit(lanes, bits)
+                .value(),
         }
-    }
-    out
+    })
 }
 
 /// One bar of the Fig. 5 component-energy study.
@@ -66,24 +86,35 @@ pub struct ComponentEnergyBar {
 /// bits/lane sweep.
 #[must_use]
 pub fn fig5_component_energy(networks: &[Network], bits_sweep: &[u32]) -> Vec<ComponentEnergyBar> {
-    let mut out = Vec::new();
-    for net in networks {
-        for design in Design::ALL {
-            let _design_span = pixel_obs::span(design.label());
-            for &bits in bits_sweep {
-                pixel_obs::add("dse/design_points", 1);
-                let accel = Accelerator::new(AcceleratorConfig::new(design, 4, bits));
-                let report = accel.evaluate(net);
-                out.push(ComponentEnergyBar {
-                    network: net.name().to_owned(),
-                    design,
-                    bits,
-                    breakdown: report.energy_breakdown(),
-                });
-            }
+    fig5_component_energy_with(&SweepEngine::with_default_jobs(), networks, bits_sweep)
+}
+
+/// Fig. 5 through an explicit [`SweepEngine`].
+#[must_use]
+pub fn fig5_component_energy_with(
+    engine: &SweepEngine,
+    networks: &[Network],
+    bits_sweep: &[u32],
+) -> Vec<ComponentEnergyBar> {
+    let points: Vec<(&Network, Design, u32)> = networks
+        .iter()
+        .flat_map(|net| {
+            Design::ALL
+                .iter()
+                .flat_map(move |&design| bits_sweep.iter().map(move |&bits| (net, design, bits)))
+        })
+        .collect();
+    engine.map(&points, |ctx, &(net, design, bits)| {
+        let _span = pixel_obs::span(design.label());
+        pixel_obs::add("dse/design_points", 1);
+        let report = ctx.evaluate(&AcceleratorConfig::new(design, 4, bits), net);
+        ComponentEnergyBar {
+            network: net.name().to_owned(),
+            design,
+            bits,
+            breakdown: report.energy_breakdown(),
         }
-    }
-    out
+    })
 }
 
 /// One point of the Fig. 6 area study.
@@ -100,20 +131,26 @@ pub struct AreaPoint {
 /// Fig. 6: fabric area at 4 bits/lane over a lane sweep.
 #[must_use]
 pub fn fig6_area(lanes_sweep: &[usize]) -> Vec<AreaPoint> {
-    let mut out = Vec::new();
-    for design in Design::ALL {
-        let _design_span = pixel_obs::span(design.label());
-        for &lanes in lanes_sweep {
-            pixel_obs::add("dse/design_points", 1);
-            let cfg = AcceleratorConfig::new(design, lanes, 4);
-            out.push(AreaPoint {
-                design,
-                lanes,
-                area: fabric_area(&cfg).total(),
-            });
+    fig6_area_with(&SweepEngine::with_default_jobs(), lanes_sweep)
+}
+
+/// Fig. 6 through an explicit [`SweepEngine`].
+#[must_use]
+pub fn fig6_area_with(engine: &SweepEngine, lanes_sweep: &[usize]) -> Vec<AreaPoint> {
+    let points: Vec<(Design, usize)> = Design::ALL
+        .iter()
+        .flat_map(|&design| lanes_sweep.iter().map(move |&lanes| (design, lanes)))
+        .collect();
+    engine.map(&points, |_ctx, &(design, lanes)| {
+        let _span = pixel_obs::span(design.label());
+        pixel_obs::add("dse/design_points", 1);
+        let cfg = AcceleratorConfig::new(design, lanes, 4);
+        AreaPoint {
+            design,
+            lanes,
+            area: design.model().fabric_area(&cfg).total(),
         }
-    }
-    out
+    })
 }
 
 /// One bar of a normalized per-network study (Figs. 7 and 10).
@@ -132,49 +169,69 @@ pub struct NormalizedPoint {
 /// Fig. 7: energy normalized to EE, per network × bits/lane, at 8 lanes.
 #[must_use]
 pub fn fig7_normalized_energy(networks: &[Network], bits_sweep: &[u32]) -> Vec<NormalizedPoint> {
-    normalized_sweep(networks, bits_sweep, 8, |accel, net| {
-        accel.evaluate(net).total_energy().value()
+    fig7_normalized_energy_with(&SweepEngine::with_default_jobs(), networks, bits_sweep)
+}
+
+/// Fig. 7 through an explicit [`SweepEngine`].
+#[must_use]
+pub fn fig7_normalized_energy_with(
+    engine: &SweepEngine,
+    networks: &[Network],
+    bits_sweep: &[u32],
+) -> Vec<NormalizedPoint> {
+    normalized_sweep(engine, networks, bits_sweep, 8, |ctx, cfg, net| {
+        ctx.evaluate(cfg, net).total_energy().value()
     })
 }
 
 /// Fig. 10: EDP normalized to EE, per network × bits/lane, at 4 lanes.
 #[must_use]
 pub fn fig10_normalized_edp(networks: &[Network], bits_sweep: &[u32]) -> Vec<NormalizedPoint> {
-    normalized_sweep(networks, bits_sweep, 4, |accel, net| {
-        accel.evaluate(net).edp().value()
+    fig10_normalized_edp_with(&SweepEngine::with_default_jobs(), networks, bits_sweep)
+}
+
+/// Fig. 10 through an explicit [`SweepEngine`].
+#[must_use]
+pub fn fig10_normalized_edp_with(
+    engine: &SweepEngine,
+    networks: &[Network],
+    bits_sweep: &[u32],
+) -> Vec<NormalizedPoint> {
+    normalized_sweep(engine, networks, bits_sweep, 4, |ctx, cfg, net| {
+        ctx.evaluate(cfg, net).edp().value()
     })
 }
 
 fn normalized_sweep(
+    engine: &SweepEngine,
     networks: &[Network],
     bits_sweep: &[u32],
     lanes: usize,
-    metric: impl Fn(&Accelerator, &Network) -> f64,
+    metric: impl Fn(&EvalContext, &AcceleratorConfig, &Network) -> f64 + Sync,
 ) -> Vec<NormalizedPoint> {
-    let mut out = Vec::new();
-    for net in networks {
-        for &bits in bits_sweep {
-            let baseline = metric(
-                &Accelerator::new(AcceleratorConfig::new(Design::Ee, lanes, bits)),
-                net,
-            );
-            for design in Design::ALL {
-                let _design_span = pixel_obs::span(design.label());
+    // One point per (network, bits): the EE baseline and the three
+    // normalized bars belong together, so they evaluate on one worker.
+    let points: Vec<(&Network, u32)> = networks
+        .iter()
+        .flat_map(|net| bits_sweep.iter().map(move |&bits| (net, bits)))
+        .collect();
+    let groups = engine.map(&points, |ctx, &(net, bits)| {
+        let baseline = metric(ctx, &AcceleratorConfig::new(Design::Ee, lanes, bits), net);
+        Design::ALL
+            .map(|design| {
+                let _span = pixel_obs::span(design.label());
                 pixel_obs::add("dse/design_points", 1);
-                let value = metric(
-                    &Accelerator::new(AcceleratorConfig::new(design, lanes, bits)),
-                    net,
-                );
-                out.push(NormalizedPoint {
+                let value = metric(ctx, &AcceleratorConfig::new(design, lanes, bits), net);
+                NormalizedPoint {
                     network: net.name().to_owned(),
                     design,
                     bits,
                     normalized: value / baseline,
-                });
-            }
-        }
-    }
-    out
+                }
+            })
+            .to_vec()
+    });
+    groups.into_iter().flatten().collect()
 }
 
 /// One point of the Fig. 8 latency study.
@@ -191,24 +248,34 @@ pub struct LatencyPoint {
 /// Fig. 8: geomean latency across the six CNNs at 8 lanes, bits/lane 1–32.
 #[must_use]
 pub fn fig8_latency_geomean(networks: &[Network], bits_sweep: &[u32]) -> Vec<LatencyPoint> {
-    let mut out = Vec::new();
-    for design in Design::ALL {
-        let _design_span = pixel_obs::span(design.label());
-        for &bits in bits_sweep {
-            pixel_obs::add("dse/design_points", 1);
-            let accel = Accelerator::new(AcceleratorConfig::new(design, 8, bits));
-            let latencies: Vec<f64> = networks
-                .iter()
-                .map(|n| accel.evaluate(n).total_latency().value())
-                .collect();
-            out.push(LatencyPoint {
-                design,
-                bits,
-                latency_geomean: geomean(&latencies),
-            });
+    fig8_latency_geomean_with(&SweepEngine::with_default_jobs(), networks, bits_sweep)
+}
+
+/// Fig. 8 through an explicit [`SweepEngine`].
+#[must_use]
+pub fn fig8_latency_geomean_with(
+    engine: &SweepEngine,
+    networks: &[Network],
+    bits_sweep: &[u32],
+) -> Vec<LatencyPoint> {
+    let points: Vec<(Design, u32)> = Design::ALL
+        .iter()
+        .flat_map(|&design| bits_sweep.iter().map(move |&bits| (design, bits)))
+        .collect();
+    engine.map(&points, |ctx, &(design, bits)| {
+        let _span = pixel_obs::span(design.label());
+        pixel_obs::add("dse/design_points", 1);
+        let cfg = AcceleratorConfig::new(design, 8, bits);
+        let latencies: Vec<f64> = networks
+            .iter()
+            .map(|n| ctx.evaluate(&cfg, n).total_latency().value())
+            .collect();
+        LatencyPoint {
+            design,
+            bits,
+            latency_geomean: geomean(&latencies),
         }
-    }
-    out
+    })
 }
 
 /// One bar of the Fig. 9 per-layer latency study.
@@ -225,21 +292,28 @@ pub struct LayerLatencyPoint {
 /// Fig. 9: ZFNet per-layer latency at 8 lanes, 8 bits/lane.
 #[must_use]
 pub fn fig9_zfnet_layer_latency() -> Vec<LayerLatencyPoint> {
+    fig9_zfnet_layer_latency_with(&SweepEngine::with_default_jobs())
+}
+
+/// Fig. 9 through an explicit [`SweepEngine`].
+#[must_use]
+pub fn fig9_zfnet_layer_latency_with(engine: &SweepEngine) -> Vec<LayerLatencyPoint> {
     let net = zoo::zfnet();
-    let mut out = Vec::new();
-    for design in Design::ALL {
-        let _design_span = pixel_obs::span(design.label());
+    let groups = engine.map(&Design::ALL, |ctx, &design| {
+        let _span = pixel_obs::span(design.label());
         pixel_obs::add("dse/design_points", 1);
-        let accel = Accelerator::new(AcceleratorConfig::new(design, 8, 8));
-        for layer in accel.evaluate(&net).layers {
-            out.push(LayerLatencyPoint {
-                layer: layer.name.clone(),
+        let report = ctx.evaluate(&AcceleratorConfig::new(design, 8, 8), &net);
+        report
+            .layers
+            .into_iter()
+            .map(|layer| LayerLatencyPoint {
+                layer: layer.name,
                 design,
                 latency: layer.latency.value(),
-            });
-        }
-    }
-    out
+            })
+            .collect::<Vec<_>>()
+    });
+    groups.into_iter().flatten().collect()
 }
 
 /// One row of Table II.
@@ -257,20 +331,27 @@ pub struct TableIiRow {
 /// 4 lanes, 16 bits/lane.
 #[must_use]
 pub fn table2_breakdown() -> Vec<TableIiRow> {
-    let mut out = Vec::new();
-    for net in [zoo::resnet34(), zoo::googlenet(), zoo::zfnet()] {
-        for design in Design::ALL {
-            let _design_span = pixel_obs::span(design.label());
-            pixel_obs::add("dse/design_points", 1);
-            let accel = Accelerator::new(AcceleratorConfig::new(design, 4, 16));
-            out.push(TableIiRow {
-                network: net.name().to_owned(),
-                design,
-                breakdown: accel.evaluate(&net).energy_breakdown(),
-            });
+    table2_breakdown_with(&SweepEngine::with_default_jobs())
+}
+
+/// Table II through an explicit [`SweepEngine`].
+#[must_use]
+pub fn table2_breakdown_with(engine: &SweepEngine) -> Vec<TableIiRow> {
+    let networks = [zoo::resnet34(), zoo::googlenet(), zoo::zfnet()];
+    let points: Vec<(&Network, Design)> = networks
+        .iter()
+        .flat_map(|net| Design::ALL.iter().map(move |&design| (net, design)))
+        .collect();
+    engine.map(&points, |ctx, &(net, design)| {
+        let _span = pixel_obs::span(design.label());
+        pixel_obs::add("dse/design_points", 1);
+        let report = ctx.evaluate(&AcceleratorConfig::new(design, 4, 16), net);
+        TableIiRow {
+            network: net.name().to_owned(),
+            design,
+            breakdown: report.energy_breakdown(),
         }
-    }
-    out
+    })
 }
 
 /// The paper's headline claim: geomean EDP improvement of OE and OO over
@@ -278,19 +359,27 @@ pub fn table2_breakdown() -> Vec<TableIiRow> {
 /// `(oe_improvement, oo_improvement)` as fractions (paper: 0.484, 0.739).
 #[must_use]
 pub fn headline_edp_improvements() -> (f64, f64) {
+    headline_edp_improvements_with(&SweepEngine::with_default_jobs())
+}
+
+/// Headline EDP improvements through an explicit [`SweepEngine`].
+#[must_use]
+pub fn headline_edp_improvements_with(engine: &SweepEngine) -> (f64, f64) {
     let networks = zoo::all_networks();
-    let edp_for = |design: Design| {
-        let _design_span = pixel_obs::span(design.label());
+    let edps = engine.map(&Design::ALL, |ctx, &design| {
+        let _span = pixel_obs::span(design.label());
         pixel_obs::add("dse/design_points", 1);
-        let accel = Accelerator::new(AcceleratorConfig::new(design, 4, 16));
+        let cfg = AcceleratorConfig::new(design, 4, 16);
         let values: Vec<f64> = networks
             .iter()
-            .map(|n| accel.evaluate(n).edp().value())
+            .map(|n| ctx.evaluate(&cfg, n).edp().value())
             .collect();
         geomean(&values)
+    });
+    let [ee, oe, oo] = edps[..] else {
+        unreachable!("one geomean per design");
     };
-    let ee = edp_for(Design::Ee);
-    (1.0 - edp_for(Design::Oe) / ee, 1.0 - edp_for(Design::Oo) / ee)
+    (1.0 - oe / ee, 1.0 - oo / ee)
 }
 
 #[cfg(test)]
@@ -409,8 +498,47 @@ mod tests {
     fn table2_has_nine_rows() {
         let rows = table2_breakdown();
         assert_eq!(rows.len(), 9);
-        assert!(rows
-            .iter()
-            .all(|r| r.breakdown.total().value() > 0.0));
+        assert!(rows.iter().all(|r| r.breakdown.total().value() > 0.0));
+    }
+
+    #[test]
+    fn parallel_artifacts_match_serial_exactly() {
+        // The determinism contract: a 4-worker sweep reproduces the
+        // serial artifact bit for bit.
+        let serial = SweepEngine::new(1);
+        let parallel = SweepEngine::new(4);
+        let nets = [zoo::lenet(), zoo::alexnet()];
+        assert_eq!(
+            fig4_energy_per_bit_with(&serial, &[2, 4, 8], &[4, 8, 16, 32]),
+            fig4_energy_per_bit_with(&parallel, &[2, 4, 8], &[4, 8, 16, 32]),
+        );
+        assert_eq!(
+            fig7_normalized_energy_with(&serial, &nets, &[4, 16]),
+            fig7_normalized_energy_with(&parallel, &nets, &[4, 16]),
+        );
+        assert_eq!(
+            fig8_latency_geomean_with(&serial, &nets, &[4, 8, 16]),
+            fig8_latency_geomean_with(&parallel, &nets, &[4, 8, 16]),
+        );
+        assert_eq!(
+            table2_breakdown_with(&serial),
+            table2_breakdown_with(&parallel),
+        );
+        let (oe_s, oo_s) = headline_edp_improvements_with(&serial);
+        let (oe_p, oo_p) = headline_edp_improvements_with(&parallel);
+        assert!(oe_s == oe_p && oo_s == oo_p);
+    }
+
+    #[test]
+    fn sweeps_reuse_the_engine_cache() {
+        let engine = SweepEngine::new(2);
+        let nets = [zoo::lenet()];
+        let first = fig7_normalized_energy_with(&engine, &nets, &[4, 16]);
+        let entries = engine.ctx().derived_entries();
+        assert!(entries > 0);
+        let second = fig7_normalized_energy_with(&engine, &nets, &[4, 16]);
+        assert_eq!(first, second);
+        // No new derivations on the second pass.
+        assert_eq!(engine.ctx().derived_entries(), entries);
     }
 }

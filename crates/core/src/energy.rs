@@ -13,8 +13,7 @@
 //! | Comm | `N_mul` words | elec in+out | optical in, elec out | same |
 //! | Laser| `N_mul` words | — | FP laser share | ×1.52 (chain loss) |
 
-use crate::calibration as cal;
-use crate::config::{AcceleratorConfig, Design};
+use crate::config::AcceleratorConfig;
 use crate::overrides::ModelOverrides;
 use pixel_dnn::analysis::ComputeCounts;
 use pixel_units::Energy;
@@ -53,8 +52,7 @@ impl EnergyBreakdown {
     }
 
     /// Component labels matching [`Self::components`].
-    pub const COMPONENT_LABELS: [&'static str; 6] =
-        ["Mul", "Add", "Act", "o/e", "Comm", "Laser"];
+    pub const COMPONENT_LABELS: [&'static str; 6] = ["Mul", "Add", "Act", "o/e", "Comm", "Laser"];
 }
 
 impl Add for EnergyBreakdown {
@@ -103,62 +101,11 @@ impl OperationEnergies {
     }
 
     /// Derives the per-operation energies for `config` under explicit
-    /// [`ModelOverrides`] (sensitivity / ablation studies).
+    /// [`ModelOverrides`] (sensitivity / ablation studies), dispatching
+    /// through the design's [`crate::model::DesignModel`] backend.
     #[must_use]
     pub fn for_config_with(config: &AcceleratorConfig, overrides: &ModelOverrides) -> Self {
-        let b = config.b();
-        let g = cal::lane_width_factor(config.lanes, config.bits_per_lane);
-
-        let mul = match config.design {
-            Design::Ee => cal::pj(cal::K_EE_MUL_PJ_PER_BIT2 * b * b),
-            Design::Oe | Design::Oo => cal::pj(
-                2.0 * cal::K_MRR_PJ_PER_BIT * overrides.mrr_energy_scale * b * b,
-            ),
-        };
-
-        let add = match config.design {
-            Design::Ee => cal::pj(cal::K_EE_ADD_PJ_PER_BIT * b * g),
-            Design::Oe => cal::pj(cal::K_EE_ADD_PJ_PER_BIT * b * g * cal::OE_ADD_FACTOR),
-            Design::Oo => cal::pj(
-                cal::K_OO_ADD_FIXED_PJ * overrides.oo_add_fixed_scale * g
-                    + cal::K_MZI_PJ_PER_BIT * b,
-            ),
-        };
-
-        let act = cal::pj(cal::K_ACT_PJ_PER_BIT * b);
-
-        let oe = if config.design.is_optical() {
-            cal::pj(
-                (cal::K_OE_CONV_FIXED_PJ + cal::K_OE_CONV_PJ_PER_BIT * b)
-                    * overrides.oe_conversion_scale,
-            )
-        } else {
-            Energy::ZERO
-        };
-
-        let comm = match config.design {
-            Design::Ee => cal::pj(2.0 * cal::K_LINK_E_PJ_PER_BIT * b),
-            Design::Oe | Design::Oo => {
-                cal::pj((cal::K_LINK_O_PJ_PER_BIT + cal::K_LINK_E_PJ_PER_BIT) * b)
-            }
-        };
-
-        let laser = match config.design {
-            Design::Ee => Energy::ZERO,
-            Design::Oe => cal::pj(cal::K_LASER_FIXED_PJ + cal::K_LASER_PJ_PER_BIT * b),
-            Design::Oo => cal::pj(
-                (cal::K_LASER_FIXED_PJ + cal::K_LASER_PJ_PER_BIT * b) * cal::LASER_OO_FACTOR,
-            ),
-        };
-
-        Self {
-            mul,
-            add,
-            act,
-            oe,
-            comm,
-            laser,
-        }
+        config.design.model().operation_energies(config, overrides)
     }
 
     /// Energy of a single MAC window (all lanes: `lanes` multiplies and
@@ -194,7 +141,17 @@ pub fn layer_energy_with(
     counts: &ComputeCounts,
     overrides: &ModelOverrides,
 ) -> EnergyBreakdown {
-    let ops = OperationEnergies::for_config_with(config, overrides);
+    breakdown_from_ops(
+        &OperationEnergies::for_config_with(config, overrides),
+        counts,
+    )
+}
+
+/// Scales per-operation energies by a layer's op counts — the shared
+/// kernel of the direct path and the memoized
+/// [`crate::model::EvalContext`] path.
+#[must_use]
+pub fn breakdown_from_ops(ops: &OperationEnergies, counts: &ComputeCounts) -> EnergyBreakdown {
     #[allow(clippy::cast_precision_loss)]
     let (mul_n, add_n, act_n) = (counts.mul as f64, counts.add as f64, counts.act as f64);
     EnergyBreakdown {
@@ -210,6 +167,7 @@ pub fn layer_energy_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Design;
 
     fn cfg(design: Design) -> AcceleratorConfig {
         AcceleratorConfig::new(design, 4, 16)
@@ -273,7 +231,10 @@ mod tests {
         assert!((a.total().as_picojoules() - 21.0).abs() < 1e-9);
         let double: EnergyBreakdown = [a, a].into_iter().sum();
         assert!((double.total().as_picojoules() - 42.0).abs() < 1e-9);
-        assert_eq!(a.components().len(), EnergyBreakdown::COMPONENT_LABELS.len());
+        assert_eq!(
+            a.components().len(),
+            EnergyBreakdown::COMPONENT_LABELS.len()
+        );
     }
 
     #[test]

@@ -98,14 +98,26 @@ impl FunctionalFabric {
         // The firing side groups window elements into per-wavelength
         // lanes: `lanes` words per firing round per firing tile.
         let plan = BandPlan::new(
-            self.config.tiles.min(window.div_ceil(self.config.lanes)).max(1),
+            self.config
+                .tiles
+                .min(window.div_ceil(self.config.lanes))
+                .max(1),
             self.config.lanes,
         );
 
         let mut neurons = vec![0u64; window];
         for oh in 0..e {
             for ow in 0..e {
-                gather_window(input, kernel, stride, padding, channels, oh, ow, &mut neurons);
+                gather_window(
+                    input,
+                    kernel,
+                    stride,
+                    padding,
+                    channels,
+                    oh,
+                    ow,
+                    &mut neurons,
+                );
                 let received = self.transport(&plan, &neurons, bits);
                 for m in 0..filters {
                     let tile = &tiles[m % tiles.len()];

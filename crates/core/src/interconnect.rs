@@ -50,7 +50,10 @@ impl XyFabric {
     /// Panics if any dimension is zero.
     #[must_use]
     pub fn new(rows: usize, cols: usize, lanes: usize) -> Self {
-        assert!(rows > 0 && cols > 0 && lanes > 0, "fabric must be non-empty");
+        assert!(
+            rows > 0 && cols > 0 && lanes > 0,
+            "fabric must be non-empty"
+        );
         Self {
             rows,
             cols,
@@ -136,10 +139,7 @@ impl XyFabric {
     /// # Errors
     ///
     /// Returns [`BandPlanError`] if more tiles than columns are supplied.
-    pub fn broadcast_row(
-        &self,
-        per_tile: &[Vec<PulseTrain>],
-    ) -> Result<WdmSignal, BandPlanError> {
+    pub fn broadcast_row(&self, per_tile: &[Vec<PulseTrain>]) -> Result<WdmSignal, BandPlanError> {
         let plan = self.row_band_plan();
         let muxed = mux_tiles(&plan, per_tile)?;
         let guide = self.line_waveguide(Dimension::X);
@@ -190,8 +190,14 @@ mod tests {
     fn broadcast_row_preserves_data_under_loss() {
         let fabric = XyFabric::new(1, 2, 2);
         let per_tile = vec![
-            vec![PulseTrain::from_bits(0b101, 3), PulseTrain::from_bits(0b011, 3)],
-            vec![PulseTrain::from_bits(0b110, 3), PulseTrain::from_bits(0b001, 3)],
+            vec![
+                PulseTrain::from_bits(0b101, 3),
+                PulseTrain::from_bits(0b011, 3),
+            ],
+            vec![
+                PulseTrain::from_bits(0b110, 3),
+                PulseTrain::from_bits(0b001, 3),
+            ],
         ];
         let signal = fabric.broadcast_row(&per_tile).unwrap();
         assert_eq!(signal.channel_count(), 4);

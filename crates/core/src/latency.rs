@@ -17,8 +17,7 @@
 //!   Per-bit latency is U-shaped with its minimum at `b = Q` — exactly
 //!   the paper's description of the optical latency response.
 
-use crate::calibration as cal;
-use crate::config::{AcceleratorConfig, Design};
+use crate::config::AcceleratorConfig;
 use crate::overrides::ModelOverrides;
 use pixel_dnn::analysis::ComputeCounts;
 use pixel_units::Time;
@@ -29,22 +28,12 @@ pub fn cycles_per_firing(config: &AcceleratorConfig) -> f64 {
     cycles_per_firing_with(config, &ModelOverrides::calibrated())
 }
 
-/// Service time of one firing round under explicit [`ModelOverrides`].
+/// Service time of one firing round under explicit [`ModelOverrides`],
+/// dispatching through the design's [`crate::model::DesignModel`]
+/// backend.
 #[must_use]
 pub fn cycles_per_firing_with(config: &AcceleratorConfig, overrides: &ModelOverrides) -> f64 {
-    let b = config.b();
-    let q = config.clocks.pulses_per_electrical_cycle();
-    match config.design {
-        Design::Ee => cal::PIPELINE_CYCLES + (overrides.ee_cycles_per_bit * b).ceil(),
-        Design::Oe => {
-            let chunks = (b / q).ceil();
-            cal::PIPELINE_CYCLES + 2.0 * chunks + overrides.resync_cycles * (chunks - 1.0)
-        }
-        Design::Oo => {
-            let chunks = (b / q).ceil();
-            cal::PIPELINE_CYCLES + chunks + overrides.resync_cycles * (chunks - 1.0)
-        }
-    }
+    config.design.model().cycles_per_firing(config, overrides)
 }
 
 /// Number of firing rounds a layer needs: each scalar multiply consumes
@@ -73,7 +62,19 @@ pub fn layer_latency_with(
     counts: &ComputeCounts,
     overrides: &ModelOverrides,
 ) -> Time {
-    let mac_cycles = firings(config, counts) * cycles_per_firing_with(config, overrides);
+    layer_latency_from_cycles(config, cycles_per_firing_with(config, overrides), counts)
+}
+
+/// Latency of one layer given an already-derived firing-round service
+/// time — the shared kernel of the direct path and the memoized
+/// [`crate::model::EvalContext`] path.
+#[must_use]
+pub fn layer_latency_from_cycles(
+    config: &AcceleratorConfig,
+    cycles_per_firing: f64,
+    counts: &ComputeCounts,
+) -> Time {
+    let mac_cycles = firings(config, counts) * cycles_per_firing;
     // Activation evaluations stream through the (identical) tanh units,
     // one per tile per cycle.
     #[allow(clippy::cast_precision_loss)]
@@ -84,6 +85,7 @@ pub fn layer_latency_with(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Design;
 
     fn counts(mul: u64) -> ComputeCounts {
         ComputeCounts {

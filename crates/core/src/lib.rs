@@ -52,6 +52,7 @@ pub mod functional_fabric;
 pub mod interconnect;
 pub mod latency;
 pub mod mapping;
+pub mod model;
 pub mod omac;
 pub mod overrides;
 pub mod pam;
@@ -63,6 +64,7 @@ pub mod robustness;
 pub mod roofline;
 pub mod scaling;
 pub mod sim;
+pub mod sweep;
 pub mod swmr;
 pub mod throughput;
 pub mod tile;
@@ -72,3 +74,5 @@ pub mod weight_streaming;
 pub use accelerator::{Accelerator, LayerReport, NetworkReport};
 pub use config::{AcceleratorConfig, Design};
 pub use energy::EnergyBreakdown;
+pub use model::{DesignModel, EvalContext};
+pub use sweep::SweepEngine;

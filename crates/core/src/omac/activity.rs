@@ -226,7 +226,10 @@ mod tests {
 
     #[test]
     fn stream_edge_cases() {
-        assert_eq!(bit_stream_activity(std::iter::empty()), StreamActivity::default());
+        assert_eq!(
+            bit_stream_activity(std::iter::empty()),
+            StreamActivity::default()
+        );
         let single = bit_stream_activity([true].into_iter());
         assert_eq!((single.slots, single.lit, single.pairs), (1, 1, 0));
     }

@@ -26,10 +26,40 @@ pub use ee::EeMac;
 pub use oe::OeMac;
 pub use oo::OoMac;
 
-use crate::config::{AcceleratorConfig, Design};
+use crate::config::AcceleratorConfig;
 use pixel_dnn::inference::MacEngine;
 
-/// Builds the functional MAC engine matching a configuration.
+/// A functional MAC engine that tallies its device activity.
+///
+/// All three bit-true OMACs implement this; the
+/// [`crate::model::DesignModel`] backends hand them out so the audit
+/// and validation layers can run *any* design's engine and read its
+/// counted activity without naming the concrete type.
+pub trait ActivityMac: MacEngine {
+    /// The engine's device-activity tallies.
+    fn activity(&self) -> &ActivityCounter;
+}
+
+impl ActivityMac for EeMac {
+    fn activity(&self) -> &ActivityCounter {
+        EeMac::activity(self)
+    }
+}
+
+impl ActivityMac for OeMac {
+    fn activity(&self) -> &ActivityCounter {
+        OeMac::activity(self)
+    }
+}
+
+impl ActivityMac for OoMac {
+    fn activity(&self) -> &ActivityCounter {
+        OoMac::activity(self)
+    }
+}
+
+/// Builds the functional MAC engine matching a configuration, through
+/// the configuration's [`crate::model::DesignModel`] backend.
 ///
 /// # Panics
 ///
@@ -38,11 +68,7 @@ use pixel_dnn::inference::MacEngine;
 /// amplitude range).
 #[must_use]
 pub fn engine_for(config: &AcceleratorConfig) -> Box<dyn MacEngine> {
-    match config.design {
-        Design::Ee => Box::new(EeMac::new(config.lanes, config.bits_per_lane)),
-        Design::Oe => Box::new(OeMac::new(config.lanes, config.bits_per_lane)),
-        Design::Oo => Box::new(OoMac::new(config.lanes, config.bits_per_lane)),
-    }
+    config.design.model().functional_engine(config)
 }
 
 /// Splits an arbitrary-length operand pair into `lanes`-wide chunks,
@@ -54,20 +80,22 @@ pub(crate) fn lane_chunks<'a>(
     lanes: usize,
 ) -> impl Iterator<Item = (Vec<u64>, Vec<u64>)> + 'a {
     assert_eq!(neurons.len(), synapses.len(), "operand length mismatch");
-    neurons.chunks(lanes).zip(synapses.chunks(lanes)).map(
-        move |(n, s)| {
+    neurons
+        .chunks(lanes)
+        .zip(synapses.chunks(lanes))
+        .map(move |(n, s)| {
             let mut nv = n.to_vec();
             let mut sv = s.to_vec();
             nv.resize(lanes, 0);
             sv.resize(lanes, 0);
             (nv, sv)
-        },
-    )
+        })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Design;
     use pixel_dnn::inference::{DirectMac, MacEngine};
     use pixel_units::rng::SplitMix64;
 

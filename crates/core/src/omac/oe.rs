@@ -112,7 +112,10 @@ impl MacEngine for OeMac {
         if pixel_obs::enabled() {
             pixel_obs::add("omac/oe/mac_ops", neurons.len() as u64);
             pixel_obs::add("omac/oe/mrr_slots", self.activity.mrr_slots() - before_mrr);
-            pixel_obs::add("omac/oe/bit_toggles", self.activity.bit_toggles() - before_toggles);
+            pixel_obs::add(
+                "omac/oe/bit_toggles",
+                self.activity.bit_toggles() - before_toggles,
+            );
             pixel_obs::add(
                 "omac/oe/oe_conversions",
                 self.activity.oe_conversions() - before_conversions,
@@ -157,10 +160,7 @@ mod tests {
         let mac = OeMac::new(4, 4);
         let n = [2u64, 4, 6, 9];
         let s = [6u64, 1, 2, 3];
-        assert_eq!(
-            mac.inner_product(&n, &s),
-            DirectMac.inner_product(&n, &s)
-        );
+        assert_eq!(mac.inner_product(&n, &s), DirectMac.inner_product(&n, &s));
     }
 
     #[test]

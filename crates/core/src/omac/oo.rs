@@ -134,7 +134,10 @@ impl MacEngine for OoMac {
             pixel_obs::add("omac/oo/mac_ops", neurons.len() as u64);
             pixel_obs::add("omac/oo/mrr_slots", self.activity.mrr_slots() - before_mrr);
             pixel_obs::add("omac/oo/mzi_slots", self.activity.mzi_slots() - before_mzi);
-            pixel_obs::add("omac/oo/bit_toggles", self.activity.bit_toggles() - before_toggles);
+            pixel_obs::add(
+                "omac/oo/bit_toggles",
+                self.activity.bit_toggles() - before_toggles,
+            );
         }
         acc
     }
@@ -175,8 +178,7 @@ mod tests {
         // Worst case: all-ones neuron and synapse produce peak level = bits.
         let mac = OoMac::new(1, 8);
         let train = PulseTrain::from_bits(0xFF, 8);
-        let partials: Vec<PulseTrain> =
-            (0..8).map(|_| mac.filter.and(&train, true)).collect();
+        let partials: Vec<PulseTrain> = (0..8).map(|_| mac.filter.and(&train, true)).collect();
         let combined = mac.chain.accumulate(&partials);
         assert_eq!(combined.peak_level(), 8);
         assert_eq!(mac.bits(), 8);

@@ -23,18 +23,14 @@ use pixel_units::Time;
 /// Panics for the EE design (no optical line code to choose).
 #[must_use]
 pub fn optical_cycles_per_firing(config: &AcceleratorConfig, format: Format) -> f64 {
-    assert!(
-        config.design.is_optical(),
-        "line coding applies to the optical designs"
-    );
+    let per_chunk = config
+        .design
+        .model()
+        .chunk_handoff_cycles()
+        .expect("line coding applies to the optical designs");
     let slots = f64::from(format.slots_for(config.bits_per_lane));
     let q = config.clocks.pulses_per_electrical_cycle();
     let chunks = (slots / q).ceil();
-    let per_chunk = match config.design {
-        Design::Oe => 2.0,
-        Design::Oo => 1.0,
-        Design::Ee => unreachable!(),
-    };
     cal::PIPELINE_CYCLES + per_chunk * chunks + cal::RESYNC_CYCLES * (chunks - 1.0)
 }
 
@@ -103,9 +99,8 @@ mod tests {
             for bits in [4u32, 8, 16, 32] {
                 let config = AcceleratorConfig::new(design, 8, bits);
                 assert!(
-                    (optical_cycles_per_firing(&config, Format::Ook)
-                        - cycles_per_firing(&config))
-                    .abs()
+                    (optical_cycles_per_firing(&config, Format::Ook) - cycles_per_firing(&config))
+                        .abs()
                         < 1e-12,
                     "{design} {bits}"
                 );

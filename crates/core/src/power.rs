@@ -1,10 +1,12 @@
 //! Power analysis: average inference power, peak laser power and the
 //! thermal-tuning overhead the paper folds away (§II-A1's ring heaters).
+//!
+//! The static photonic overheads come from the design's
+//! [`crate::model::DesignModel`] backend; this module keeps the report
+//! type and the workload-dependent average.
 
 use crate::accelerator::NetworkReport;
 use crate::config::AcceleratorConfig;
-use pixel_photonics::laser::FabryPerotLaser;
-use pixel_photonics::thermal::RingHeaterBank;
 use pixel_units::{Energy, Power, Time};
 
 /// Power figures of one inference run.
@@ -41,33 +43,12 @@ pub fn power_report(report: &NetworkReport) -> PowerReport {
     let latency: Time = report.total_latency();
     let average = energy / latency;
 
-    let (laser_wall_plug, thermal_tuning) = if config.design.is_optical() {
-        let per_channel = config.lanes.min(128);
-        let laser = FabryPerotLaser::new(
-            per_channel,
-            Power::from_milliwatts(1.0),
-            0.1,
-        )
-        .expect("lanes clamped to channel capacity");
-        #[allow(clippy::cast_precision_loss)]
-        let channels = config.tiles as f64;
-        let heater = RingHeaterBank::new(
-            ring_count(config),
-            Power::from_milliwatts(0.1),
-            1.0,
-        );
-        (
-            laser.electrical_power() * channels,
-            heater.total_power(),
-        )
-    } else {
-        (Power::ZERO, Power::ZERO)
-    };
+    let overheads = config.design.model().static_power(config);
 
     PowerReport {
         average,
-        laser_wall_plug,
-        thermal_tuning,
+        laser_wall_plug: overheads.laser_wall_plug,
+        thermal_tuning: overheads.thermal_tuning,
     }
 }
 

@@ -76,9 +76,8 @@ pub fn format_breakdown_row(b: &EnergyBreakdown) -> String {
 /// Renders Table II.
 #[must_use]
 pub fn format_table2(rows: &[TableIiRow]) -> String {
-    let mut s = String::from(
-        "CNN        Des |      Mul      Add     Act     o/e    Comm   Laser  [mJ]\n",
-    );
+    let mut s =
+        String::from("CNN        Des |      Mul      Add     Act     o/e    Comm   Laser  [mJ]\n");
     for row in rows {
         let _ = writeln!(
             s,
@@ -139,10 +138,7 @@ pub fn format_area(points: &[AreaPoint]) -> String {
 #[must_use]
 pub fn format_normalized(points: &[NormalizedPoint], metric: &str) -> String {
     let mut s = format!("network    bits | normalized {metric} (EE = 1.0)   EE     OE     OO\n");
-    let mut keys: Vec<(String, u32)> = points
-        .iter()
-        .map(|p| (p.network.clone(), p.bits))
-        .collect();
+    let mut keys: Vec<(String, u32)> = points.iter().map(|p| (p.network.clone(), p.bits)).collect();
     keys.sort();
     keys.dedup();
     for (net, bits) in keys {

@@ -158,7 +158,9 @@ impl pixel_dnn::inference::MacEngine for NoisyOoEngine {
             .zip(synapses)
             .map(|(&n, &s)| {
                 // Detected over-range levels contribute zero (dropped term).
-                self.multiplier.noisy_product(n, s, &mut rng).unwrap_or_default()
+                self.multiplier
+                    .noisy_product(n, s, &mut rng)
+                    .unwrap_or_default()
             })
             .sum()
     }

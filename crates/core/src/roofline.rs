@@ -10,7 +10,7 @@
 //! roofline collapses to a clean min() — but it makes the designs'
 //! bottlenecks comparable at a glance.
 
-use crate::config::{AcceleratorConfig, Design};
+use crate::config::AcceleratorConfig;
 use crate::latency::cycles_per_firing;
 
 /// The two roofs and the resulting bound for one configuration.
@@ -46,10 +46,7 @@ pub fn roofline(config: &AcceleratorConfig) -> Roofline {
 
     // Ingress: every lane of every tile carries bits at the design's line
     // rate (optical clock for OE/OO, electrical for EE).
-    let line_rate = match config.design {
-        Design::Ee => config.clocks.electrical_hz,
-        Design::Oe | Design::Oo => config.clocks.optical_hz,
-    };
+    let line_rate = config.design.model().ingress_line_rate_hz(&config.clocks);
     #[allow(clippy::cast_precision_loss)]
     let lanes_total = (config.tiles * config.lanes) as f64;
     let ingress = lanes_total * line_rate;
@@ -69,6 +66,7 @@ pub fn roofline(config: &AcceleratorConfig) -> Roofline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::Design;
 
     #[test]
     fn optical_designs_raise_the_compute_roof_at_moderate_bits() {

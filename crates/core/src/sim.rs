@@ -93,7 +93,11 @@ pub fn simulate_layer(config: &AcceleratorConfig, sim: &SimConfig, layer: &Layer
     // Total chunks, scaled by the native-word packing the latency model
     // uses (each chunk re-fires native/b times).
     let packing = (f64::from(config.native_bits) / config.b()).max(1.0);
-    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
     let chunks = ((mapping.windows * mapping.chunks_per_window) as f64 * packing).ceil() as u64;
 
     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
@@ -102,7 +106,9 @@ pub fn simulate_layer(config: &AcceleratorConfig, sim: &SimConfig, layer: &Layer
 
     // Per-chunk cost on a tile, including the amortized window-switch
     // stall (one switch every `chunks_per_window` chunks).
-    let switches_per_tile = chunks.div_ceil(mapping.chunks_per_window.max(1)).div_ceil(tiles);
+    let switches_per_tile = chunks
+        .div_ceil(mapping.chunks_per_window.max(1))
+        .div_ceil(tiles);
 
     // Round-robin distribution: the most loaded tile runs ⌈chunks/tiles⌉.
     let max_chunks_on_a_tile = chunks.div_ceil(tiles);

@@ -1,0 +1,218 @@
+//! Parallel sweep executor for design-space grids.
+//!
+//! Every figure and table of the evaluation is a map over a list of
+//! design points (design × lanes × bits/lane × network). The points are
+//! independent and the models pure, so [`SweepEngine::map`] chunks the
+//! point list over `std::thread::scope` workers, each evaluating
+//! through a shared memoizing [`EvalContext`]. Results come back in
+//! input order regardless of worker count, and — because the model is
+//! deterministic — a parallel sweep is bitwise-identical to a serial
+//! one.
+//!
+//! Worker count resolution, strongest first: an explicit
+//! [`SweepEngine::new`] argument, the process-wide default installed by
+//! [`set_default_jobs`] (the `reproduce --jobs` flag), the `PIXEL_JOBS`
+//! environment variable, and finally [`std::thread::available_parallelism`].
+//!
+//! Observability: each worker runs under a `sweep/worker` span,
+//! `sweep/points` counts evaluated points, and the shared context
+//! counts its `eval/cache_hit` / `eval/cache_miss` traffic.
+
+use crate::model::EvalContext;
+use crate::overrides::ModelOverrides;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide default worker count; 0 = not set.
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Installs (or, with `None`, clears) the process-wide default worker
+/// count used by [`SweepEngine::default`] — the `--jobs` flag of the
+/// `reproduce` binary lands here.
+pub fn set_default_jobs(jobs: Option<usize>) {
+    DEFAULT_JOBS.store(jobs.unwrap_or(0), Ordering::Relaxed);
+}
+
+/// Resolves the default worker count: [`set_default_jobs`], then the
+/// `PIXEL_JOBS` environment variable, then available parallelism.
+#[must_use]
+pub fn default_jobs() -> usize {
+    let installed = DEFAULT_JOBS.load(Ordering::Relaxed);
+    if installed > 0 {
+        return installed;
+    }
+    if let Some(jobs) = std::env::var("PIXEL_JOBS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&v| v > 0)
+    {
+        return jobs;
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// A sweep executor: a worker count plus a shared memoizing context.
+#[derive(Debug, Default)]
+pub struct SweepEngine {
+    jobs: usize,
+    ctx: EvalContext,
+}
+
+impl SweepEngine {
+    /// An engine with an explicit worker count (`0` resolves to the
+    /// process default) over the calibrated model.
+    #[must_use]
+    pub fn new(jobs: usize) -> Self {
+        Self::with_overrides(jobs, ModelOverrides::calibrated())
+    }
+
+    /// An engine with the process-default worker count.
+    #[must_use]
+    pub fn with_default_jobs() -> Self {
+        Self::new(0)
+    }
+
+    /// An engine over an explicitly overridden model.
+    #[must_use]
+    pub fn with_overrides(jobs: usize, overrides: ModelOverrides) -> Self {
+        Self {
+            jobs,
+            ctx: EvalContext::with_overrides(overrides),
+        }
+    }
+
+    /// The resolved worker count.
+    #[must_use]
+    pub fn jobs(&self) -> usize {
+        if self.jobs > 0 {
+            self.jobs
+        } else {
+            default_jobs()
+        }
+    }
+
+    /// The shared memoizing context.
+    #[must_use]
+    pub fn ctx(&self) -> &EvalContext {
+        &self.ctx
+    }
+
+    /// Maps `f` over `points`, in parallel when more than one worker is
+    /// resolved, returning results in input order.
+    pub fn map<P, R, F>(&self, points: &[P], f: F) -> Vec<R>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(&EvalContext, &P) -> R + Sync,
+    {
+        let _span = pixel_obs::span("sweep");
+        pixel_obs::add("sweep/points", points.len() as u64);
+        let jobs = self.jobs().min(points.len()).max(1);
+        pixel_obs::gauge("sweep/jobs", {
+            #[allow(clippy::cast_precision_loss)]
+            let j = jobs as f64;
+            j
+        });
+        if jobs == 1 {
+            let _worker = pixel_obs::span("sweep/worker");
+            return points.iter().map(|p| f(&self.ctx, p)).collect();
+        }
+
+        // Chunk the points contiguously: worker w takes points
+        // [w·chunk, (w+1)·chunk) and returns its results as one block,
+        // so concatenation restores input order deterministically.
+        let chunk = points.len().div_ceil(jobs);
+        let ctx = &self.ctx;
+        let f = &f;
+        let mut results: Vec<R> = Vec::with_capacity(points.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = points
+                .chunks(chunk)
+                .map(|block| {
+                    scope.spawn(move || {
+                        let _worker = pixel_obs::span("sweep/worker");
+                        block.iter().map(|p| f(ctx, p)).collect::<Vec<R>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                results.extend(handle.join().expect("sweep worker panicked"));
+            }
+        });
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{AcceleratorConfig, Design};
+
+    fn grid() -> Vec<(Design, usize, u32)> {
+        let mut points = Vec::new();
+        for design in Design::ALL {
+            for lanes in [2usize, 4, 8] {
+                for bits in [4u32, 8, 16, 32] {
+                    points.push((design, lanes, bits));
+                }
+            }
+        }
+        points
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let points: Vec<usize> = (0..101).collect();
+        let engine = SweepEngine::new(4);
+        let out = engine.map(&points, |_, &p| p * 2);
+        assert_eq!(out, points.iter().map(|p| p * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_sweeps_are_bitwise_identical() {
+        let points = grid();
+        let eval = |ctx: &EvalContext, &(design, lanes, bits): &(Design, usize, u32)| {
+            let cfg = AcceleratorConfig::new(design, lanes, bits);
+            let ops = ctx.operation_energies(&cfg);
+            (
+                ops.mul.value(),
+                ops.add.value(),
+                ctx.cycles_per_firing(&cfg),
+            )
+        };
+        let serial = SweepEngine::new(1).map(&points, eval);
+        for jobs in [2usize, 4, 7] {
+            let parallel = SweepEngine::new(jobs).map(&points, eval);
+            assert_eq!(serial, parallel, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn engine_shares_one_context_across_workers() {
+        let points = grid();
+        let engine = SweepEngine::new(4);
+        let _ = engine.map(&points, |ctx, &(design, lanes, bits)| {
+            ctx.operation_energies(&AcceleratorConfig::new(design, lanes, bits))
+        });
+        // 3 designs × 3 lanes × 4 bits = 36 distinct configurations.
+        assert_eq!(engine.ctx().derived_entries(), 36);
+    }
+
+    #[test]
+    fn jobs_resolution_and_default_override() {
+        assert!(default_jobs() >= 1);
+        set_default_jobs(Some(3));
+        assert_eq!(default_jobs(), 3);
+        assert_eq!(SweepEngine::with_default_jobs().jobs(), 3);
+        assert_eq!(SweepEngine::new(5).jobs(), 5);
+        set_default_jobs(None);
+        assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn empty_and_single_point_sweeps() {
+        let engine = SweepEngine::new(8);
+        let empty: Vec<u32> = engine.map(&[], |_, &p: &u32| p);
+        assert!(empty.is_empty());
+        assert_eq!(engine.map(&[7u32], |_, &p| p + 1), vec![8]);
+    }
+}

@@ -11,8 +11,6 @@
 use crate::calibration as cal;
 use crate::config::{AcceleratorConfig, Design};
 use crate::energy::OperationEnergies;
-use crate::omac::{OeMac, OoMac};
-use pixel_dnn::inference::MacEngine;
 use pixel_units::Energy;
 
 /// Both sides of the multiply-energy reconciliation.
@@ -59,23 +57,14 @@ pub fn reconcile_optical_multiply(
     let neurons: Vec<u64> = vec![limit; count];
     let synapses: Vec<u64> = vec![limit; count];
 
-    let counted = match design {
-        Design::Oe => {
-            let mac = OeMac::new(lanes, bits);
-            let _ = mac.inner_product(&neurons, &synapses);
-            mac.activity().mrr_slots()
-        }
-        Design::Oo => {
-            let mac = OoMac::new(lanes, bits);
-            let _ = mac.inner_product(&neurons, &synapses);
-            mac.activity().mrr_slots()
-        }
-        Design::Ee => unreachable!(),
-    };
+    let config = AcceleratorConfig::new(design, lanes, bits);
+    let mac = design.model().functional_engine(&config);
+    let _ = mac.inner_product(&neurons, &synapses);
+    let counted = mac.activity().mrr_slots();
 
     #[allow(clippy::cast_precision_loss)]
     let priced = cal::pj(2.0 * cal::K_MRR_PJ_PER_BIT) * counted as f64;
-    let ops = OperationEnergies::for_config(&AcceleratorConfig::new(design, lanes, bits));
+    let ops = OperationEnergies::for_config(&config);
     #[allow(clippy::cast_precision_loss)]
     let charged = ops.mul * count as f64;
 

@@ -140,8 +140,8 @@ mod tests {
         let net = zoo::vgg16();
         let conv = net.layers().iter().find(|l| l.name == "Conv2").unwrap();
         let fc = net.layers().iter().find(|l| l.name == "FC2").unwrap();
-        let conv_ratio = layer_weight_load(&config, conv).words as f64
-            / (conv.output_shape().elements() as f64);
+        let conv_ratio =
+            layer_weight_load(&config, conv).words as f64 / (conv.output_shape().elements() as f64);
         let fc_ratio =
             layer_weight_load(&config, fc).words as f64 / (fc.output_shape().elements() as f64);
         assert!(fc_ratio > conv_ratio);

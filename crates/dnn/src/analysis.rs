@@ -196,8 +196,11 @@ mod tests {
     #[test]
     fn add_equals_mul_plus_act_for_conv() {
         // Structural invariant of the conv formulas.
-        for (h, c_in, m, r, u) in [(58, 128, 256, 3, 1), (30, 256, 512, 3, 1), (114, 64, 128, 3, 1)]
-        {
+        for (h, c_in, m, r, u) in [
+            (58, 128, 256, 3, 1),
+            (30, 256, 512, 3, 1),
+            (114, 64, 128, 3, 1),
+        ] {
             let layer = Layer::conv("c", Shape::square(h, c_in), m, r, u);
             let counts = analyze_layer(&layer, FcCountConvention::Paper);
             assert_eq!(counts.add, counts.mul + counts.act);

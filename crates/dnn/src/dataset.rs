@@ -69,14 +69,14 @@ impl GlyphDataset {
         let band = (n / 8).max(1);
         let near = |a: usize, b: usize| a.abs_diff(b) < band;
         match class {
-            0 => near(h, mid),                                // horizontal bar
-            1 => near(w, mid),                                // vertical bar
-            2 => near(h, w),                                  // main diagonal
-            3 => near(h + w, n - 1),                          // anti-diagonal
-            4 => near(h, mid) || near(w, mid),                // cross
+            0 => near(h, mid),                                           // horizontal bar
+            1 => near(w, mid),                                           // vertical bar
+            2 => near(h, w),                                             // main diagonal
+            3 => near(h + w, n - 1),                                     // anti-diagonal
+            4 => near(h, mid) || near(w, mid),                           // cross
             5 => h < band || h >= n - band || w < band || w >= n - band, // box
-            6 => near(h, mid) && w >= mid,                    // half bar
-            7 => (h / (2 * band)).is_multiple_of(2),          // stripes
+            6 => near(h, mid) && w >= mid,                               // half bar
+            7 => (h / (2 * band)).is_multiple_of(2),                     // stripes
             _ => false,
         }
     }
@@ -89,7 +89,11 @@ impl GlyphDataset {
         let mut rng = SplitMix64::seed_from_u64(seed ^ (label as u64).wrapping_mul(0x9E37_79B9));
         let full = self.precision.max_value();
         let image = Tensor::from_fn(Shape::square(self.size, 1), |h, w, _| {
-            let base = if self.glyph_pixel(label, h, w) { full } else { 0 };
+            let base = if self.glyph_pixel(label, h, w) {
+                full
+            } else {
+                0
+            };
             let noise = rng.range_u64(0, self.noise_level);
             self.precision.clamp(base.saturating_add(noise))
         });
@@ -181,8 +185,8 @@ mod tests {
                 .map(|t| {
                     let mass: u64 = t.iter().sum();
                     #[allow(clippy::cast_precision_loss)]
-                    let normalized = DirectMac.inner_product(&flat, t) as f64
-                        / (mass.max(1) as f64).sqrt();
+                    let normalized =
+                        DirectMac.inner_product(&flat, t) as f64 / (mass.max(1) as f64).sqrt();
                     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                     {
                         (normalized * 1000.0) as u64

@@ -396,8 +396,13 @@ mod tests {
     fn shape_errors_are_reported() {
         let layer = Layer::conv("c", Shape::square(4, 1), 1, 3, 1);
         let input = Tensor::zeros(Shape::square(3, 1));
-        let err = conv2d(&layer, &input, &LayerWeights::generate(&layer, || 1), &DirectMac)
-            .unwrap_err();
+        let err = conv2d(
+            &layer,
+            &input,
+            &LayerWeights::generate(&layer, || 1),
+            &DirectMac,
+        )
+        .unwrap_err();
         assert_eq!(err.layer, "c");
         assert!(err.to_string().contains("expected input"));
     }

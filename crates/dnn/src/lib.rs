@@ -36,8 +36,8 @@ pub mod analysis;
 pub mod dataset;
 pub mod im2col;
 pub mod inference;
-pub mod metrics;
 pub mod layer;
+pub mod metrics;
 pub mod network;
 pub mod quant;
 pub mod signed;

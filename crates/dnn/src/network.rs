@@ -102,9 +102,7 @@ impl Network {
             let ok = if matches!(next.kind, LayerKind::Fc { .. }) && produced.h > 1 {
                 produced.elements() == expected.elements()
             } else {
-                produced.c == expected.c
-                    && expected.h >= produced.h
-                    && expected.h - produced.h <= 4
+                produced.c == expected.c && expected.h >= produced.h && expected.h - produced.h <= 4
             };
             if !ok {
                 return Err(ShapeMismatchError {

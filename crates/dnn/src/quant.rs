@@ -39,7 +39,11 @@ impl Precision {
     /// Quantizes a float in `[0, 1]` to the full range.
     #[must_use]
     pub fn quantize_unit(self, x: f64) -> u64 {
-        #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
         {
             (x.clamp(0.0, 1.0) * self.max_value() as f64).round() as u64
         }

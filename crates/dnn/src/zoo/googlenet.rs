@@ -12,7 +12,13 @@ type InceptionSpec = (usize, usize, usize, usize, usize, usize);
 /// spatial size `s` with `c` input channels.
 fn push_inception(layers: &mut Vec<Layer>, name: &str, s: usize, c: usize, spec: InceptionSpec) {
     let (n1, n3r, n3, n5r, n5, pp) = spec;
-    layers.push(Layer::conv(format!("{name}_1x1"), Shape::square(s, c), n1, 1, 1));
+    layers.push(Layer::conv(
+        format!("{name}_1x1"),
+        Shape::square(s, c),
+        n1,
+        1,
+        1,
+    ));
     layers.push(Layer::conv(
         format!("{name}_3x3r"),
         Shape::square(s, c),

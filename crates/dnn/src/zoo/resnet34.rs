@@ -36,53 +36,23 @@ pub fn resnet34() -> Network {
 
     // Stage 3: downsample to 28×28 / 128 channels (stride-2 first conv +
     // 1×1 projection), then continue.
-    layers.push(Layer::conv(
-        "Conv3_1_1",
-        Shape::square(58, 64),
-        128,
-        3,
-        2,
-    ));
-    layers.push(Layer::conv(
-        "Conv3_1_2",
-        Shape::square(30, 128),
-        128,
-        3,
-        1,
-    ));
+    layers.push(Layer::conv("Conv3_1_1", Shape::square(58, 64), 128, 3, 2));
+    layers.push(Layer::conv("Conv3_1_2", Shape::square(30, 128), 128, 3, 1));
     layers.push(Layer::conv("Proj3", Shape::square(56, 64), 128, 1, 2));
     for b in 2..=4 {
         push_block(&mut layers, 3, b, 28, 128);
     }
 
     // Stage 4: 14×14 / 256.
-    layers.push(Layer::conv(
-        "Conv4_1_1",
-        Shape::square(30, 128),
-        256,
-        3,
-        2,
-    ));
-    layers.push(Layer::conv(
-        "Conv4_1_2",
-        Shape::square(16, 256),
-        256,
-        3,
-        1,
-    ));
+    layers.push(Layer::conv("Conv4_1_1", Shape::square(30, 128), 256, 3, 2));
+    layers.push(Layer::conv("Conv4_1_2", Shape::square(16, 256), 256, 3, 1));
     layers.push(Layer::conv("Proj4", Shape::square(28, 128), 256, 1, 2));
     for b in 2..=6 {
         push_block(&mut layers, 4, b, 14, 256);
     }
 
     // Stage 5: 7×7 / 512.
-    layers.push(Layer::conv(
-        "Conv5_1_1",
-        Shape::square(16, 256),
-        512,
-        3,
-        2,
-    ));
+    layers.push(Layer::conv("Conv5_1_1", Shape::square(16, 256), 512, 3, 2));
     layers.push(Layer::conv("Conv5_1_2", Shape::square(9, 512), 512, 3, 1));
     layers.push(Layer::conv("Proj5", Shape::square(14, 256), 512, 1, 2));
     for b in 2..=3 {

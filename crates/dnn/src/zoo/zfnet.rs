@@ -59,7 +59,13 @@ mod tests {
         let counts = analyze_network(&zfnet(), FcCountConvention::Paper);
         let conv2 = counts.iter().find(|c| c.name == "Conv2").unwrap();
         for c in counts.iter().filter(|c| c.name != "Conv2") {
-            assert!(conv2.mul > c.mul, "Conv2 ({}) vs {} ({})", conv2.mul, c.name, c.mul);
+            assert!(
+                conv2.mul > c.mul,
+                "Conv2 ({}) vs {} ({})",
+                conv2.mul,
+                c.name,
+                c.mul
+            );
         }
     }
 

@@ -154,9 +154,8 @@ mod tests {
             let width = rng.range_u32(1, 64);
             let cla = Cla::new(width);
             let (sum, cout) = cla.add(a, b, cin);
-            let full = u128::from(a & cla.mask())
-                + u128::from(b & cla.mask())
-                + u128::from(u8::from(cin));
+            let full =
+                u128::from(a & cla.mask()) + u128::from(b & cla.mask()) + u128::from(u8::from(cin));
             #[allow(clippy::cast_possible_truncation)]
             {
                 assert_eq!(sum, (full as u64) & cla.mask(), "width={width}");

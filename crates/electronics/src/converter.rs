@@ -244,9 +244,7 @@ mod tests {
 
     #[test]
     fn gate_models_scale_with_capability() {
-        assert!(
-            AmplitudeConverter::new(8).gate_count() > AmplitudeConverter::new(2).gate_count()
-        );
+        assert!(AmplitudeConverter::new(8).gate_count() > AmplitudeConverter::new(2).gate_count());
         assert!(SerialConverter::new(32).gate_count() > SerialConverter::new(8).gate_count());
     }
 }

@@ -107,9 +107,7 @@ mod tests {
     fn energy_scales_with_activity() {
         let low = estimate_with_activity(GateCount::new(100), LogicDepth::new(1), &tech(), 0.1);
         let high = estimate_with_activity(GateCount::new(100), LogicDepth::new(1), &tech(), 0.2);
-        assert!(
-            (high.dynamic_energy_per_op / low.dynamic_energy_per_op - 2.0).abs() < 1e-12
-        );
+        assert!((high.dynamic_energy_per_op / low.dynamic_energy_per_op - 2.0).abs() < 1e-12);
     }
 
     #[test]

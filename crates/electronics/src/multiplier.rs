@@ -99,8 +99,7 @@ mod tests {
         use crate::shifter::BarrelShifter;
         let array = ArrayMultiplier::new(16).gate_count();
         let acc_width = StripesMac::accumulator_width(1, 16);
-        let and_plus_shift =
-            GateCount::new(16) + BarrelShifter::new(acc_width).gate_count();
+        let and_plus_shift = GateCount::new(16) + BarrelShifter::new(acc_width).gate_count();
         assert!(
             and_plus_shift < array,
             "{and_plus_shift} should undercut {array}"

@@ -98,10 +98,7 @@ mod tests {
             let cla = Cla::new(width);
             assert!(rca.gate_count() < cla.gate_count(), "area at {width}b");
             if width >= 8 {
-                assert!(
-                    rca.logic_depth() > cla.logic_depth(),
-                    "depth at {width}b"
-                );
+                assert!(rca.logic_depth() > cla.logic_depth(), "depth at {width}b");
             }
         }
     }

@@ -116,9 +116,21 @@ mod tests {
             let amount = rng.range_u32(0, 69);
             let width = rng.range_u32(1, 64);
             let s = BarrelShifter::new(width);
-            let mask = if width == 64 { u64::MAX } else { (1u64 << width) - 1 };
-            let expected = if amount >= width { 0 } else { ((value & mask) << amount) & mask };
-            assert_eq!(s.shift_left(value, amount), expected, "width={width} amount={amount}");
+            let mask = if width == 64 {
+                u64::MAX
+            } else {
+                (1u64 << width) - 1
+            };
+            let expected = if amount >= width {
+                0
+            } else {
+                ((value & mask) << amount) & mask
+            };
+            assert_eq!(
+                s.shift_left(value, amount),
+                expected,
+                "width={width} amount={amount}"
+            );
         }
     }
 }

@@ -172,8 +172,7 @@ mod tests {
     fn sram_is_denser_than_flipflops() {
         use crate::register::GATES_PER_FLIPFLOP;
         let m = SramMacro::new(1024, 16);
-        let ff_area = tech().area_per_gate
-            * (m.capacity_bits() as f64 * GATES_PER_FLIPFLOP as f64);
+        let ff_area = tech().area_per_gate * (m.capacity_bits() as f64 * GATES_PER_FLIPFLOP as f64);
         assert!(m.area(&tech()).value() < ff_area.value() / 10.0);
     }
 

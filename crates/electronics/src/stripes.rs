@@ -156,7 +156,11 @@ impl StripesMac {
     /// # Panics
     ///
     /// Panics if the slices are not `lanes` long.
-    pub fn mac(&self, neurons: &[u64], synapses: &[u64]) -> Result<StripesResult, OperandRangeError> {
+    pub fn mac(
+        &self,
+        neurons: &[u64],
+        synapses: &[u64],
+    ) -> Result<StripesResult, OperandRangeError> {
         assert_eq!(neurons.len(), self.lanes, "one neuron per lane");
         assert_eq!(synapses.len(), self.lanes, "one synapse per lane");
         self.check_operands(neurons)?;
@@ -220,11 +224,7 @@ impl StripesMac {
     /// Reference inner product in plain integer arithmetic.
     #[must_use]
     pub fn reference(neurons: &[u64], synapses: &[u64]) -> u64 {
-        neurons
-            .iter()
-            .zip(synapses)
-            .map(|(&n, &s)| n * s)
-            .sum()
+        neurons.iter().zip(synapses).map(|(&n, &s)| n * s).sum()
     }
 }
 

@@ -8,7 +8,7 @@
 //!   deterministic (lexicographic) metric ordering. Tests and embedded
 //!   uses create their own.
 //! * A process-global registry behind free functions ([`enable`],
-//!   [`add`], [`span`], [`snapshot`], …) that the instrumented crates
+//!   [`add`], [`span()`], [`snapshot`], …) that the instrumented crates
 //!   (`pixel-core`, `pixel-dnn`, `pixel-bench`) call. It starts
 //!   **disabled**: every hook is one relaxed atomic load until a profile
 //!   or trace is requested, so instrumentation stays effectively free in

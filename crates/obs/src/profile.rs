@@ -102,7 +102,10 @@ mod tests {
     #[test]
     fn empty_snapshot_renders_stub() {
         let r = Registry::new();
-        assert_eq!(profile_table(&r.snapshot()), "(no observability data recorded)\n");
+        assert_eq!(
+            profile_table(&r.snapshot()),
+            "(no observability data recorded)\n"
+        );
     }
 
     #[test]

@@ -232,7 +232,11 @@ impl Registry {
             return;
         }
         let mut state = self.state.lock().expect("obs registry poisoned");
-        state.spans.entry(path.to_owned()).or_default().record(duration);
+        state
+            .spans
+            .entry(path.to_owned())
+            .or_default()
+            .record(duration);
     }
 
     /// Copies every metric out, in deterministic name order.
@@ -240,7 +244,11 @@ impl Registry {
     pub fn snapshot(&self) -> Snapshot {
         let state = self.state.lock().expect("obs registry poisoned");
         Snapshot {
-            counters: state.counters.iter().map(|(k, &v)| (k.clone(), v)).collect(),
+            counters: state
+                .counters
+                .iter()
+                .map(|(k, &v)| (k.clone(), v))
+                .collect(),
             gauges: state.gauges.iter().map(|(k, &v)| (k.clone(), v)).collect(),
             histograms: state
                 .histograms

@@ -15,7 +15,7 @@ thread_local! {
 }
 
 /// RAII timer for one span. Created by [`Registry`]-aware helpers such as
-/// [`crate::span`]; records on drop.
+/// [`crate::span()`]; records on drop.
 #[must_use = "a span guard measures until it is dropped"]
 pub struct SpanGuard<'r> {
     registry: Option<&'r Registry>,

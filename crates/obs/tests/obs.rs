@@ -129,7 +129,14 @@ fn trace_round_trips_through_the_jsonl_parser() {
     let kinds: Vec<String> = events.iter().map(|e| field(e, "event")).collect();
     assert_eq!(
         kinds,
-        vec!["span_begin", "span_begin", "span_end", "span_end", "counter", "gauge"]
+        vec![
+            "span_begin",
+            "span_begin",
+            "span_end",
+            "span_end",
+            "counter",
+            "gauge"
+        ]
     );
     assert_eq!(field(&events[1], "path"), "dse/fig4");
     assert_eq!(field(&events[2], "path"), "dse/fig4");

@@ -112,7 +112,11 @@ pub fn eval_trains(gate: Gate, a: &PulseTrain, b: &PulseTrain) -> Option<PulseTr
 /// exactly `AND(neuron bit, synapse bit)` realized with the same bar/cross
 /// routing — this helper ties the directed-logic view to the OMAC view.
 #[must_use]
-pub fn and_with_filter(filter: &DoubleMrrFilter, neuron: &PulseTrain, synapse_bit: bool) -> PulseTrain {
+pub fn and_with_filter(
+    filter: &DoubleMrrFilter,
+    neuron: &PulseTrain,
+    synapse_bit: bool,
+) -> PulseTrain {
     filter.and(neuron, synapse_bit)
 }
 
@@ -190,7 +194,11 @@ mod tests {
             let a = rng.next_u64();
             let b = rng.next_u64();
             let bits = rng.range_u32(1, 64);
-            let mask = if bits == 64 { u64::MAX } else { (1 << bits) - 1 };
+            let mask = if bits == 64 {
+                u64::MAX
+            } else {
+                (1 << bits) - 1
+            };
             let (am, bm) = (a & mask, b & mask);
             assert_eq!(eval_word(Gate::And, a, b, bits), am & bm);
             assert_eq!(eval_word(Gate::Or, a, b, bits), am | bm);

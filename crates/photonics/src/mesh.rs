@@ -90,9 +90,7 @@ impl Unitary {
     pub fn apply(&self, x: &[Complex]) -> Vec<Complex> {
         assert_eq!(x.len(), self.n, "dimension mismatch");
         (0..self.n)
-            .map(|r| {
-                (0..self.n).fold(Complex::ZERO, |acc, c| acc + self.get(r, c) * x[c])
-            })
+            .map(|r| (0..self.n).fold(Complex::ZERO, |acc, c| acc + self.get(r, c) * x[c]))
             .collect()
     }
 
@@ -119,9 +117,8 @@ impl Unitary {
         let mut m = Self::identity(self.n);
         for r in 0..self.n {
             for c in 0..self.n {
-                let v = (0..self.n).fold(Complex::ZERO, |acc, k| {
-                    acc + self.get(r, k) * rhs.get(k, c)
-                });
+                let v =
+                    (0..self.n).fold(Complex::ZERO, |acc, k| acc + self.get(r, k) * rhs.get(k, c));
                 m.set(r, c, v);
             }
         }
@@ -421,8 +418,7 @@ mod tests {
                     .iter()
                     .zip(&rows[j])
                     .fold(Complex::ZERO, |acc, (a, b)| acc + *a * b.conj());
-                let adjustments: Vec<Complex> =
-                    rows[j].iter().map(|&v| proj * v).collect();
+                let adjustments: Vec<Complex> = rows[j].iter().map(|&v| proj * v).collect();
                 for (value, adj) in rows[i].iter_mut().zip(adjustments) {
                     *value = *value - adj;
                 }

@@ -239,7 +239,12 @@ mod tests {
     fn and_truth_table() {
         let f = DoubleMrrFilter::default();
         // A=1, B=1 → 1 ; all other combinations → 0 (paper §II-A1).
-        for (a, b, y) in [(1u64, true, 1u64), (1, false, 0), (0, true, 0), (0, false, 0)] {
+        for (a, b, y) in [
+            (1u64, true, 1u64),
+            (1, false, 0),
+            (0, true, 0),
+            (0, false, 0),
+        ] {
             let out = f.and(&PulseTrain::from_bits(a, 1), b);
             assert_eq!(out.to_bits(), Some(y), "A={a} B={b}");
         }

@@ -143,9 +143,7 @@ impl Mzi {
         let m00 = a * a.conj() + b * b.conj();
         let m01 = a * c.conj() + b * d.conj();
         let m11 = c * c.conj() + d * d.conj();
-        (m00 - Complex::ONE).norm() < tol
-            && m01.norm() < tol
-            && (m11 - Complex::ONE).norm() < tol
+        (m00 - Complex::ONE).norm() < tol && m01.norm() < tol && (m11 - Complex::ONE).norm() < tol
     }
 }
 
@@ -309,7 +307,10 @@ mod tests {
         let mzi = Mzi::cross();
         let (o0, o1) = mzi.propagate(Complex::ONE, Complex::ZERO);
         assert!(o0.norm_sqr() < 1e-12);
-        assert!((o1.norm_sqr() - 1.0).abs() < 1e-12, "cross moves power to o1");
+        assert!(
+            (o1.norm_sqr() - 1.0).abs() < 1e-12,
+            "cross moves power to o1"
+        );
     }
 
     #[test]

@@ -46,8 +46,7 @@ impl AmplitudeNoise {
             .map(|amp| {
                 let u1: f64 = uniform().clamp(1e-12, 1.0);
                 let u2: f64 = uniform();
-                let gaussian =
-                    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let gaussian = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
                 (amp + self.sigma * gaussian).max(0.0)
             })
             .collect()
@@ -81,7 +80,8 @@ pub fn erfc(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     let erfc = poly * (-x * x).exp();
     if sign_negative {
         2.0 - erfc

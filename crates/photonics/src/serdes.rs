@@ -210,7 +210,11 @@ mod tests {
         for _ in 0..256 {
             let word = rng.next_u64();
             let bits = rng.range_u32(1, 64);
-            let masked = if bits == 64 { word } else { word & ((1 << bits) - 1) };
+            let masked = if bits == 64 {
+                word
+            } else {
+                word & ((1 << bits) - 1)
+            };
             for format in [Format::Ook, Format::Pam4] {
                 let t = serialize(format, masked, bits);
                 assert_eq!(deserialize(format, &t).unwrap(), masked, "bits={bits}");

@@ -143,7 +143,10 @@ pub fn adjacent_channel_crosstalk_db(ring: &RingSpectrum, channel_spacing_m: f64
 /// Panics if `max_crosstalk_db` is not negative.
 #[must_use]
 pub fn min_channel_spacing(ring: &RingSpectrum, max_crosstalk_db: f64) -> f64 {
-    assert!(max_crosstalk_db < 0.0, "crosstalk bound must be negative dB");
+    assert!(
+        max_crosstalk_db < 0.0,
+        "crosstalk bound must be negative dB"
+    );
     // Invert the Lorentzian: T = 1/(1+x²) ≤ 10^(dB/10).
     let t = 10f64.powf(max_crosstalk_db / 10.0);
     let x = (1.0 / t - 1.0).sqrt();

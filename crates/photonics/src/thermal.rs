@@ -109,7 +109,8 @@ impl HeaterController {
     /// drift plus the heater's contribution.
     #[must_use]
     pub fn tuned_ring(&self, ambient_kelvin: f64) -> RingSpectrum {
-        self.ring.thermally_shifted(ambient_kelvin + self.heater_kelvin)
+        self.ring
+            .thermally_shifted(ambient_kelvin + self.heater_kelvin)
     }
 
     /// Runs one control step against an ambient offset: observes the
@@ -130,7 +131,8 @@ impl HeaterController {
         for _ in 0..steps {
             self.step(ambient_kelvin);
         }
-        self.tuned_ring(ambient_kelvin).drop_transmission(self.target_m)
+        self.tuned_ring(ambient_kelvin)
+            .drop_transmission(self.target_m)
     }
 
     /// Heater power at the current drive, at `mw_per_kelvin` efficiency.

@@ -107,7 +107,10 @@ impl BandPlan {
 /// # Panics
 ///
 /// Panics if a tile supplies more lanes than the plan allocates.
-pub fn mux_tiles(plan: &BandPlan, per_tile: &[Vec<PulseTrain>]) -> Result<WdmSignal, BandPlanError> {
+pub fn mux_tiles(
+    plan: &BandPlan,
+    per_tile: &[Vec<PulseTrain>],
+) -> Result<WdmSignal, BandPlanError> {
     if per_tile.len() > plan.tiles() {
         return Err(BandPlanError {
             tile: per_tile.len() - 1,

@@ -104,7 +104,10 @@ impl SplitMix64 {
     ///
     /// Panics if `lo >= hi` or either bound is non-finite.
     pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
-        assert!(lo < hi && lo.is_finite() && hi.is_finite(), "bad range {lo}..{hi}");
+        assert!(
+            lo < hi && lo.is_finite() && hi.is_finite(),
+            "bad range {lo}..{hi}"
+        );
         lo + (hi - lo) * self.next_f64()
     }
 }

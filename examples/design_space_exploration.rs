@@ -21,7 +21,9 @@ fn pick_network(name: &str) -> Option<Network> {
 }
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "GoogLeNet".into());
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "GoogLeNet".into());
     let Some(network) = pick_network(&name) else {
         eprintln!("unknown network {name:?}; try one of:");
         for n in zoo::all_networks() {

@@ -29,8 +29,7 @@ fn classify(engine: &dyn MacEngine, dataset: &GlyphDataset, per_class: usize) ->
                 .map(|t| {
                     let mass: u64 = t.iter().sum::<u64>().max(1);
                     #[allow(clippy::cast_precision_loss)]
-                    let normalized =
-                        engine.inner_product(&flat, t) as f64 / (mass as f64).sqrt();
+                    let normalized = engine.inner_product(&flat, t) as f64 / (mass as f64).sqrt();
                     #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
                     {
                         (normalized * 1000.0) as u64
@@ -49,7 +48,11 @@ fn main() {
     for bits in [2u32, 4, 8] {
         let dataset = GlyphDataset::new(16, 6, Precision::new(bits));
         let direct = classify(&DirectMac, &dataset, 10);
-        println!("{bits:>5} {:>44} {:>9.1}%", "direct integer", direct * 100.0);
+        println!(
+            "{bits:>5} {:>44} {:>9.1}%",
+            "direct integer",
+            direct * 100.0
+        );
         for design in [Design::Oe, Design::Oo] {
             let engine = engine_for(&AcceleratorConfig::new(design, 4, bits.max(4)));
             let acc = classify(engine.as_ref(), &dataset, 10);

@@ -35,7 +35,9 @@ fn main() {
         .collect();
 
     println!("MWSR broadcast on the x-dimension waveguide:");
-    let signal = fabric.broadcast_row(&per_tile).expect("4 tiles fit the plan");
+    let signal = fabric
+        .broadcast_row(&per_tile)
+        .expect("4 tiles fit the plan");
     for (id, train) in signal.iter() {
         if train.total_power() > 0.0 {
             println!(
@@ -56,7 +58,10 @@ fn main() {
         let mut tile = Tile::new(AcceleratorConfig::new(design, 4, 4), 4);
         tile.load_weights(&[6, 1, 2, 3]);
         let partial = tile.fire(&fired);
-        println!("{} OMAC 0 partial sum: {partial} (paper: 42)", design.label());
+        println!(
+            "{} OMAC 0 partial sum: {partial} (paper: 42)",
+            design.label()
+        );
         assert_eq!(partial, 42);
     }
 
@@ -64,5 +69,9 @@ fn main() {
     let band = fabric
         .tile_wavelengths(TileCoord { row: 0, col: 3 }, Dimension::X)
         .expect("tile 3 on fabric");
-    println!("\nOMAC 3 transmits on {} – {}", band[0], band[band.len() - 1]);
+    println!(
+        "\nOMAC 3 transmits on {} – {}",
+        band[0],
+        band[band.len() - 1]
+    );
 }

@@ -36,11 +36,14 @@ fn main() {
         rng.range_u64(0, precision.max_value())
     });
 
-    println!("LeNet-5 quantized inference ({}-bit operands)\n", precision.bits());
+    println!(
+        "LeNet-5 quantized inference ({}-bit operands)\n",
+        precision.bits()
+    );
 
     let t0 = Instant::now();
-    let reference = forward(&network, &input, &weights, &DirectMac, precision)
-        .expect("shapes are consistent");
+    let reference =
+        forward(&network, &input, &weights, &DirectMac, precision).expect("shapes are consistent");
     println!(
         "direct integer engine      {:>8.2?}  scores {:?}",
         t0.elapsed(),
@@ -59,7 +62,8 @@ fn main() {
             out.to_flat()
         );
         assert_eq!(
-            out, reference,
+            out,
+            reference,
             "{} diverged from the integer reference",
             engine.name()
         );

@@ -22,7 +22,12 @@ fn main() {
         "{:>6} {:>10} {:>12} {:>10} {:>20}",
         "sigma", "correct", "silent err", "detected", "analytic slot err"
     );
-    for p in noise_sweep(bits, &[0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5], trials, 2020) {
+    for p in noise_sweep(
+        bits,
+        &[0.0, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5],
+        trials,
+        2020,
+    ) {
         println!(
             "{:>6.2} {:>10.4} {:>12.4} {:>10.4} {:>20.3e}",
             p.sigma, p.correct_rate, p.silent_error_rate, p.detected_rate, p.analytic_slot_error

@@ -14,7 +14,10 @@ use pixel::dnn::zoo;
 
 fn main() {
     let network = zoo::alexnet();
-    println!("PIXEL quickstart — {} inference, 4 lanes, 16 bits/lane\n", network.name());
+    println!(
+        "PIXEL quickstart — {} inference, 4 lanes, 16 bits/lane\n",
+        network.name()
+    );
     println!(
         "{:<4} {:>14} {:>14} {:>16}",
         "des", "energy [mJ]", "latency [ms]", "EDP [mJ·ms]"

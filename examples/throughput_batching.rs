@@ -19,7 +19,10 @@ fn main() {
     let net = zoo::zfnet();
 
     println!("Batched ZFNet inference on the OO design (4 lanes, 16 bits/lane)\n");
-    println!("{:>6} {:>16} {:>18}", "batch", "batch time [ms]", "inferences/sec");
+    println!(
+        "{:>6} {:>16} {:>18}",
+        "batch", "batch time [ms]", "inferences/sec"
+    );
     for batch in [1usize, 2, 8, 32, 128, 512] {
         let t = batched(&config, &net, batch);
         println!(

@@ -30,8 +30,8 @@
 //! ```
 
 pub use pixel_core as core;
-pub use pixel_units as units;
 pub use pixel_dnn as dnn;
 pub use pixel_electronics as electronics;
 pub use pixel_obs as obs;
 pub use pixel_photonics as photonics;
+pub use pixel_units as units;

@@ -34,10 +34,7 @@ fn oe_activity_matches_energy_model_forms() {
             (padded as u64) * u64::from(bits)
         );
         // One accumulate per partial product.
-        assert_eq!(
-            mac.activity().cla_ops(),
-            (padded as u64) * u64::from(bits)
-        );
+        assert_eq!(mac.activity().cla_ops(), (padded as u64) * u64::from(bits));
     }
 }
 
@@ -53,7 +50,10 @@ fn oo_activity_matches_energy_model_forms() {
 
         let padded = (muls.div_ceil(lanes) * lanes) as u64;
         // b² MRR slots per multiply — same optical AND as OE.
-        assert_eq!(mac.activity().mrr_slots(), padded * u64::from(bits) * u64::from(bits));
+        assert_eq!(
+            mac.activity().mrr_slots(),
+            padded * u64::from(bits) * u64::from(bits)
+        );
         // Exactly one o/e conversion per multiply (the OO design's big
         // structural win over OE's b conversions): the model charges o/e
         // per word, and the count confirms it.
@@ -62,10 +62,7 @@ fn oo_activity_matches_energy_model_forms() {
         // add the OO energy model's fixed term covers.
         assert_eq!(mac.activity().cla_ops(), padded);
         // The combined train spans 2b−1 slots (product width).
-        assert_eq!(
-            mac.activity().mzi_slots(),
-            padded * u64::from(2 * bits - 1)
-        );
+        assert_eq!(mac.activity().mzi_slots(), padded * u64::from(2 * bits - 1));
         assert_eq!(
             mac.activity().comparator_decisions(),
             padded * u64::from(2 * bits - 1)

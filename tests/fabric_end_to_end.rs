@@ -23,7 +23,12 @@ fn row_broadcast_survives_attenuation() {
         .collect();
     let per_tile: Vec<Vec<PulseTrain>> = words
         .iter()
-        .map(|lanes| lanes.iter().map(|&w| PulseTrain::from_bits(w, BITS)).collect())
+        .map(|lanes| {
+            lanes
+                .iter()
+                .map(|&w| PulseTrain::from_bits(w, BITS))
+                .collect()
+        })
         .collect();
     let signal = fabric.broadcast_row(&per_tile).expect("plan fits");
 
@@ -64,12 +69,24 @@ fn tiles_compute_conv_windows_after_firing() {
 fn rows_are_independent_waveguides() {
     let fabric = XyFabric::new(2, 2, 2);
     let row0 = vec![
-        vec![PulseTrain::from_bits(0b1010, 4), PulseTrain::from_bits(1, 4)],
-        vec![PulseTrain::from_bits(0b0101, 4), PulseTrain::from_bits(2, 4)],
+        vec![
+            PulseTrain::from_bits(0b1010, 4),
+            PulseTrain::from_bits(1, 4),
+        ],
+        vec![
+            PulseTrain::from_bits(0b0101, 4),
+            PulseTrain::from_bits(2, 4),
+        ],
     ];
     let row1 = vec![
-        vec![PulseTrain::from_bits(0b1111, 4), PulseTrain::from_bits(3, 4)],
-        vec![PulseTrain::from_bits(0b0001, 4), PulseTrain::from_bits(0, 4)],
+        vec![
+            PulseTrain::from_bits(0b1111, 4),
+            PulseTrain::from_bits(3, 4),
+        ],
+        vec![
+            PulseTrain::from_bits(0b0001, 4),
+            PulseTrain::from_bits(0, 4),
+        ],
     ];
     let s0 = fabric.broadcast_row(&row0).expect("row 0");
     let s1 = fabric.broadcast_row(&row1).expect("row 1");

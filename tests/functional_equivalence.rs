@@ -115,11 +115,9 @@ fn requantization_is_engine_independent() {
     let input = random_input(Shape::square(12, 1), Precision::new(6), 8);
     for precision_bits in [2u32, 4, 6] {
         let precision = Precision::new(precision_bits);
-        let reference =
-            forward(&net, &input, &weights, &DirectMac, precision).expect("shapes");
+        let reference = forward(&net, &input, &weights, &DirectMac, precision).expect("shapes");
         let engine = engine_for(&AcceleratorConfig::new(Design::Oo, 4, 6));
-        let optical = forward(&net, &input, &weights, engine.as_ref(), precision)
-            .expect("shapes");
+        let optical = forward(&net, &input, &weights, engine.as_ref(), precision).expect("shapes");
         assert_eq!(optical, reference, "precision {precision_bits}");
     }
 }

@@ -129,9 +129,15 @@ fn optical_energy_dominance_at_high_bits() {
             let ops = OperationEnergies::for_config(&AcceleratorConfig::new(d, lanes, bits));
             (ops.mul + ops.add + ops.oe + ops.comm + ops.laser).value()
         };
-        assert!(total(Design::Oe) < total(Design::Ee), "OE < EE at {lanes}/{bits}");
+        assert!(
+            total(Design::Oe) < total(Design::Ee),
+            "OE < EE at {lanes}/{bits}"
+        );
         if bits >= 16 {
-            assert!(total(Design::Oo) < total(Design::Oe), "OO < OE at {lanes}/{bits}");
+            assert!(
+                total(Design::Oo) < total(Design::Oe),
+                "OO < OE at {lanes}/{bits}"
+            );
         }
     }
 }

@@ -22,7 +22,10 @@ fn claim_94_9_percent_multiplication_improvement() {
     let ee = OperationEnergies::for_config(&AcceleratorConfig::new(Design::Ee, 4, 16));
     let oe = OperationEnergies::for_config(&AcceleratorConfig::new(Design::Oe, 4, 16));
     let oo = OperationEnergies::for_config(&AcceleratorConfig::new(Design::Oo, 4, 16));
-    assert_eq!(oe.mul, oo.mul, "both optical designs share the MRR multiply");
+    assert_eq!(
+        oe.mul, oo.mul,
+        "both optical designs share the MRR multiply"
+    );
     let improvement = 1.0 - oe.mul / ee.mul;
     assert!(
         (improvement - 0.949).abs() < 0.01,
@@ -79,12 +82,36 @@ fn claim_zfnet_conv2_latency_gaps() {
 fn claim_table_ii_cells() {
     // (network, design, [mul, add, act, oe, comm, laser]) in mJ.
     let paper: &[(&str, Design, [f64; 6])] = &[
-        ("ResNet-34", Design::Ee, [3634.0, 847.0, 1.09, 0.0, 139.0, 0.0]),
-        ("ResNet-34", Design::Oe, [187.0, 910.0, 1.09, 227.0, 118.0, 59.8]),
-        ("ResNet-34", Design::Oo, [187.0, 420.0, 1.09, 227.0, 118.0, 91.0]),
-        ("GoogLeNet", Design::Ee, [1578.0, 368.0, 1.22, 0.0, 60.4, 0.0]),
-        ("GoogLeNet", Design::Oe, [81.0, 396.0, 1.22, 98.8, 51.4, 26.0]),
-        ("GoogLeNet", Design::Oo, [81.0, 183.0, 1.22, 98.8, 51.4, 35.1]),
+        (
+            "ResNet-34",
+            Design::Ee,
+            [3634.0, 847.0, 1.09, 0.0, 139.0, 0.0],
+        ),
+        (
+            "ResNet-34",
+            Design::Oe,
+            [187.0, 910.0, 1.09, 227.0, 118.0, 59.8],
+        ),
+        (
+            "ResNet-34",
+            Design::Oo,
+            [187.0, 420.0, 1.09, 227.0, 118.0, 91.0],
+        ),
+        (
+            "GoogLeNet",
+            Design::Ee,
+            [1578.0, 368.0, 1.22, 0.0, 60.4, 0.0],
+        ),
+        (
+            "GoogLeNet",
+            Design::Oe,
+            [81.0, 396.0, 1.22, 98.8, 51.4, 26.0],
+        ),
+        (
+            "GoogLeNet",
+            Design::Oo,
+            [81.0, 183.0, 1.22, 98.8, 51.4, 35.1],
+        ),
         ("ZFNet", Design::Ee, [1225.0, 313.0, 34.2, 0.0, 46.9, 0.0]),
         ("ZFNet", Design::Oe, [62.9, 336.0, 34.2, 76.6, 39.9, 20.1]),
         ("ZFNet", Design::Oo, [62.9, 155.0, 34.2, 76.6, 39.9, 30.4]),
@@ -103,7 +130,10 @@ fn claim_table_ii_cells() {
             .collect();
         for (i, (&a, &p)) in actual.iter().zip(expected).enumerate() {
             if p == 0.0 {
-                assert!(a.abs() < 1e-9, "{net} {design} component {i}: {a} should be 0");
+                assert!(
+                    a.abs() < 1e-9,
+                    "{net} {design} component {i}: {a} should be 0"
+                );
             } else {
                 let err = (a - p).abs() / p;
                 assert!(
