@@ -23,6 +23,8 @@ out=$(./target/release/reproduce table1 --profile)
 echo "$out" | grep -q "== profile" || { echo "profile table missing" >&2; exit 1; }
 echo "$out" | grep -q "dnn/analysis/layers" || { echo "expected counter missing" >&2; exit 1; }
 ./target/release/reproduce --list > /dev/null
+serve_out=$(./target/release/reproduce serve --jobs 2)
+echo "$serve_out" | grep -q "saturation knee" || { echo "serve knee line missing" >&2; exit 1; }
 if ./target/release/reproduce no-such-artifact 2> /dev/null; then
   echo "unknown artifact should fail" >&2
   exit 1

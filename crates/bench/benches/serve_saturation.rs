@@ -1,0 +1,10 @@
+//! Serving bench: the full saturation sweep (load × design) through the
+//! discrete-event simulator, printed once and then timed.
+
+fn main() {
+    pixel_bench::artifact_bench(
+        "Inference-serving saturation sweep (load × design)",
+        "serve_saturation_sweep",
+        pixel_bench::serve,
+    );
+}

@@ -8,6 +8,8 @@
 //! ARTIFACT   table1|table2|fig4..fig10|power|ablation|...|all (default: all)
 //! --list     print the artifact keys and exit
 //! --jobs N   sweep worker threads (default: available parallelism)
+//! --seed S   override the pinned seeds of the stochastic artifacts
+//!            (noise, audit, serve); default keeps the pinned outputs
 //! --profile  record spans/counters and print a profile table at the end
 //! --trace F  stream span/counter events to F as JSON lines
 //! ```
@@ -19,7 +21,7 @@ use std::process::ExitCode;
 /// One reproducible artifact: key, title, renderer.
 type Artifact = (&'static str, &'static str, fn() -> String);
 
-const ARTIFACTS: [Artifact; 18] = [
+const ARTIFACTS: [Artifact; 19] = [
     (
         "table1",
         "Table I — VGG16 computations [millions]",
@@ -110,6 +112,11 @@ const ARTIFACTS: [Artifact; 18] = [
         "Extension — counted vs analytic device activity (lit/toggle rates)",
         pixel_bench::audit,
     ),
+    (
+        "serve",
+        "Extension — inference-serving saturation sweep (load × design)",
+        pixel_bench::serve,
+    ),
 ];
 
 fn print_artifact(key: &str, title: &str, render: fn() -> String) {
@@ -156,6 +163,19 @@ fn main() -> ExitCode {
                     }
                 }
             }
+            "--seed" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--seed requires a u64 value");
+                    return ExitCode::FAILURE;
+                };
+                match value.parse::<u64>() {
+                    Ok(s) => pixel_core::seed::set_default_seed(Some(s)),
+                    Err(_) => {
+                        eprintln!("--seed needs an unsigned 64-bit integer, got {value:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--trace" => {
                 let Some(path) = args.next() else {
                     eprintln!("--trace requires a file path");
@@ -165,7 +185,7 @@ fn main() -> ExitCode {
             }
             flag if flag.starts_with("--") => {
                 eprintln!(
-                    "unknown flag {flag:?}; valid flags: --list --jobs <n> --profile --trace <file>"
+                    "unknown flag {flag:?}; valid flags: --list --jobs <n> --seed <u64> --profile --trace <file>"
                 );
                 return ExitCode::FAILURE;
             }

@@ -216,8 +216,9 @@ pub fn scaling() -> String {
 pub fn noise() -> String {
     let _span = pixel_obs::span("noise");
     use pixel_core::robustness::noise_sweep;
+    let seed = pixel_core::seed::artifact_seed("noise", 42);
     let mut s = String::from("sigma |  correct  silent-err  detected | analytic slot err\n");
-    for p in noise_sweep(8, &[0.0, 0.1, 0.2, 0.3, 0.5], 1_000, 42) {
+    for p in noise_sweep(8, &[0.0, 0.1, 0.2, 0.3, 0.5], 1_000, seed) {
         s.push_str(&format!(
             "{:>5.2} | {:>8.4} {:>11.4} {:>9.4} | {:>17.2e}\n",
             p.sigma, p.correct_rate, p.silent_error_rate, p.detected_rate, p.analytic_slot_error
@@ -287,7 +288,8 @@ pub fn counts() -> String {
 #[must_use]
 pub fn audit() -> String {
     let _span = pixel_obs::span("audit");
-    let rows = pixel_core::audit::activity_audit(4, 8, 200, 16, 2020);
+    let seed = pixel_core::seed::artifact_seed("audit", 2020);
+    let rows = pixel_core::audit::activity_audit(4, 8, 200, 16, seed);
     let mut s = pixel_core::report::format_audit(&rows);
     s.push_str("\n(200 windows x 16 uniform 8-bit operand pairs per design)\n");
     s
@@ -310,6 +312,22 @@ pub fn pam() -> String {
         ));
     }
     s
+}
+
+/// Extension artifact: inference-serving saturation sweep — offered
+/// load × design through the discrete-event simulator, locating each
+/// design's saturation knee under the multi-tenant paper mix.
+#[must_use]
+pub fn serve() -> String {
+    let _span = pixel_obs::span("serve");
+    use pixel_core::sweep::SweepEngine;
+    use pixel_serve::arrivals::Workload;
+    use pixel_serve::saturation::{render_curves, saturation_sweep, SweepSpec};
+
+    let workload = Workload::paper_mix();
+    let spec = SweepSpec::artifact(pixel_core::seed::artifact_seed("serve", 2026));
+    let curves = saturation_sweep(&SweepEngine::with_default_jobs(), &workload, &spec);
+    render_curves(&workload, &spec, &curves)
 }
 
 /// Extension artifact: photonic weight pre-load vs compute cost.

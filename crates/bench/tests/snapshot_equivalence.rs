@@ -4,15 +4,16 @@
 //!
 //! The snapshots were captured from the `reproduce` binary before the
 //! cost models moved behind the backend trait (`reproduce <key>`, header
-//! line stripped). Any divergence — a reordered float addition, a
-//! worker-count-dependent result — fails here with a diff.
+//! line stripped); `serve` was pinned when the serving simulator landed.
+//! Any divergence — a reordered float addition, a worker-count-dependent
+//! result — fails here with a diff.
 
 use pixel_core::sweep::set_default_jobs;
 
 /// Artifact key, renderer, and its pinned pre-refactor output.
 type Snapshot = (&'static str, fn() -> String, &'static str);
 
-const SNAPSHOTS: [Snapshot; 9] = [
+const SNAPSHOTS: [Snapshot; 10] = [
     (
         "table1",
         pixel_bench::table1,
@@ -57,6 +58,11 @@ const SNAPSHOTS: [Snapshot; 9] = [
         "table2",
         pixel_bench::table2,
         include_str!("snapshots/table2.txt"),
+    ),
+    (
+        "serve",
+        pixel_bench::serve,
+        include_str!("snapshots/serve.txt"),
     ),
 ];
 

@@ -63,6 +63,7 @@ pub mod report;
 pub mod robustness;
 pub mod roofline;
 pub mod scaling;
+pub mod seed;
 pub mod sim;
 pub mod sweep;
 pub mod swmr;

@@ -194,6 +194,31 @@ impl EvalContext {
         }
     }
 
+    /// Service time and dynamic energy of one `batch`-sized dispatch —
+    /// the serving simulator's per-batch cost, derived through the
+    /// memoized evaluation (paper FC convention) and the pipeline-fill
+    /// batching model of [`crate::throughput`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` is zero.
+    #[must_use]
+    pub fn batch_service(
+        &self,
+        config: &AcceleratorConfig,
+        network: &Network,
+        batch: usize,
+    ) -> crate::throughput::BatchService {
+        let report = self.evaluate(config, network);
+        #[allow(clippy::cast_precision_loss)]
+        let energy = report.total_energy() * batch as f64;
+        crate::throughput::BatchService {
+            batch,
+            latency: crate::throughput::batch_latency(&report, batch),
+            energy,
+        }
+    }
+
     /// Number of distinct configurations derived so far.
     #[must_use]
     pub fn derived_entries(&self) -> usize {

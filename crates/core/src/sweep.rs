@@ -32,20 +32,39 @@ pub fn set_default_jobs(jobs: Option<usize>) {
     DEFAULT_JOBS.store(jobs.unwrap_or(0), Ordering::Relaxed);
 }
 
+/// Parses a `PIXEL_JOBS` value: a positive worker count, or a one-line
+/// diagnostic explaining why the value is unusable.
+fn parse_jobs_var(value: &str) -> Result<usize, String> {
+    match value.trim().parse::<usize>() {
+        Ok(0) => Err(format!(
+            "PIXEL_JOBS={value:?} is zero; need a positive worker count — ignoring it"
+        )),
+        Ok(jobs) => Ok(jobs),
+        Err(_) => Err(format!(
+            "PIXEL_JOBS={value:?} is not a positive integer — ignoring it"
+        )),
+    }
+}
+
 /// Resolves the default worker count: [`set_default_jobs`], then the
 /// `PIXEL_JOBS` environment variable, then available parallelism.
+///
+/// A `PIXEL_JOBS` that is set but unusable (not a positive integer) is
+/// ignored with a one-line warning on stderr, printed once per process.
 #[must_use]
 pub fn default_jobs() -> usize {
     let installed = DEFAULT_JOBS.load(Ordering::Relaxed);
     if installed > 0 {
         return installed;
     }
-    if let Some(jobs) = std::env::var("PIXEL_JOBS")
-        .ok()
-        .and_then(|v| v.parse::<usize>().ok())
-        .filter(|&v| v > 0)
-    {
-        return jobs;
+    if let Ok(value) = std::env::var("PIXEL_JOBS") {
+        match parse_jobs_var(&value) {
+            Ok(jobs) => return jobs,
+            Err(warning) => {
+                static WARNED: std::sync::Once = std::sync::Once::new();
+                WARNED.call_once(|| eprintln!("warning: {warning}"));
+            }
+        }
     }
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
@@ -206,6 +225,17 @@ mod tests {
         assert_eq!(SweepEngine::new(5).jobs(), 5);
         set_default_jobs(None);
         assert!(default_jobs() >= 1);
+    }
+
+    #[test]
+    fn jobs_var_parsing_accepts_counts_and_flags_garbage() {
+        assert_eq!(parse_jobs_var("4"), Ok(4));
+        assert_eq!(parse_jobs_var(" 16 "), Ok(16));
+        for bad in ["0", "-2", "four", "", "3.5"] {
+            let err = parse_jobs_var(bad).unwrap_err();
+            assert!(err.contains("PIXEL_JOBS"), "{bad:?}: {err}");
+            assert!(err.contains("ignoring"), "{bad:?}: {err}");
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 use crate::accelerator::{Accelerator, NetworkReport};
 use crate::config::AcceleratorConfig;
 use pixel_dnn::network::Network;
-use pixel_units::Time;
+use pixel_units::{Energy, Time};
 
 /// Throughput report for batched inference.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -25,12 +25,28 @@ pub struct ThroughputReport {
     pub energy_per_inference: pixel_units::Energy,
 }
 
-/// Pipeline fill: the first image pays the full layer-by-layer latency;
-/// each subsequent image adds only the bottleneck stage time.
+/// Service time and dynamic energy of one batch — the quantity the
+/// serving simulator charges per dispatch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchService {
+    /// Batch size.
+    pub batch: usize,
+    /// Wall-clock service time of the whole batch.
+    pub latency: Time,
+    /// Dynamic energy of the whole batch (batch × per-inference energy).
+    pub energy: Energy,
+}
+
+/// Batch completion time from an evaluated network report: the first
+/// image pays the full layer-by-layer fill latency, each subsequent
+/// image adds only the bottleneck stage time.
+///
+/// # Panics
+///
+/// Panics if `batch` is zero.
 #[must_use]
-pub fn batched(config: &AcceleratorConfig, network: &Network, batch: usize) -> ThroughputReport {
+pub fn batch_latency(report: &NetworkReport, batch: usize) -> Time {
     assert!(batch > 0, "batch must be non-empty");
-    let report: NetworkReport = Accelerator::new(*config).evaluate(network);
     let fill = report.total_latency();
     let bottleneck = report
         .layers
@@ -39,12 +55,20 @@ pub fn batched(config: &AcceleratorConfig, network: &Network, batch: usize) -> T
         .fold(Time::ZERO, Time::max);
     #[allow(clippy::cast_precision_loss)]
     let extra = (batch - 1) as f64;
-    let batch_latency = fill + bottleneck * extra;
+    fill + bottleneck * extra
+}
+
+/// Pipeline fill: the first image pays the full layer-by-layer latency;
+/// each subsequent image adds only the bottleneck stage time.
+#[must_use]
+pub fn batched(config: &AcceleratorConfig, network: &Network, batch: usize) -> ThroughputReport {
+    let report: NetworkReport = Accelerator::new(*config).evaluate(network);
+    let latency = batch_latency(&report, batch);
     #[allow(clippy::cast_precision_loss)]
-    let throughput = batch as f64 / batch_latency.value();
+    let throughput = batch as f64 / latency.value();
     ThroughputReport {
         batch,
-        batch_latency,
+        batch_latency: latency,
         inferences_per_second: throughput,
         energy_per_inference: report.total_energy(),
     }
@@ -111,5 +135,20 @@ mod tests {
     #[should_panic(expected = "batch")]
     fn zero_batch_rejected() {
         let _ = batched(&cfg(), &zoo::lenet(), 0);
+    }
+
+    #[test]
+    fn batch_service_matches_the_direct_throughput_path() {
+        let ctx = crate::model::EvalContext::new();
+        let net = zoo::zfnet();
+        for batch in [1usize, 8, 64] {
+            let direct = batched(&cfg(), &net, batch);
+            let service = ctx.batch_service(&cfg(), &net, batch);
+            assert_eq!(service.batch, batch);
+            assert_eq!(service.latency, direct.batch_latency);
+            #[allow(clippy::cast_precision_loss)]
+            let expect = direct.energy_per_inference * batch as f64;
+            assert_eq!(service.energy, expect);
+        }
     }
 }

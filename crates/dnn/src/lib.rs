@@ -38,6 +38,7 @@ pub mod im2col;
 pub mod inference;
 pub mod layer;
 pub mod metrics;
+pub mod mix;
 pub mod network;
 pub mod quant;
 pub mod signed;
@@ -46,5 +47,6 @@ pub mod zoo;
 
 pub use analysis::{ComputeCounts, FcCountConvention};
 pub use layer::{Layer, LayerKind, Shape};
+pub use mix::NetworkMix;
 pub use network::Network;
 pub use tensor::Tensor;

@@ -1,0 +1,139 @@
+//! Weighted workload mixes over the network zoo.
+//!
+//! A serving fleet never sees one model: each tenant (a product surface,
+//! an API customer) sends its own blend of architectures. [`NetworkMix`]
+//! captures one such blend — a normalized categorical distribution over
+//! network indices — with deterministic inverse-CDF sampling from a
+//! [`SplitMix64`] stream, so a seeded request trace is bitwise
+//! reproducible. The mix stores *indices into a caller-owned network
+//! list* rather than `Network` values: tenants sharing an architecture
+//! then share one analysis/evaluation of it.
+
+use pixel_units::rng::SplitMix64;
+
+/// A normalized weighted mix over network indices.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkMix {
+    name: String,
+    entries: Vec<(usize, f64)>,
+    /// Cumulative weights, normalized so the last entry is exactly 1.0.
+    cumulative: Vec<f64>,
+}
+
+impl NetworkMix {
+    /// Builds a mix from `(network index, weight)` pairs.
+    ///
+    /// Weights are normalized; they need not sum to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is empty, or any weight is non-finite or
+    /// non-positive.
+    #[must_use]
+    pub fn new(name: impl Into<String>, entries: &[(usize, f64)]) -> Self {
+        assert!(!entries.is_empty(), "a mix needs at least one network");
+        let total: f64 = entries.iter().map(|&(_, w)| w).sum();
+        for &(index, weight) in entries {
+            assert!(
+                weight.is_finite() && weight > 0.0,
+                "bad weight {weight} for network {index}"
+            );
+        }
+        let mut running = 0.0;
+        let mut cumulative: Vec<f64> = entries
+            .iter()
+            .map(|&(_, w)| {
+                running += w / total;
+                running
+            })
+            .collect();
+        // Guard the last boundary against rounding: sample() must always
+        // land inside the table.
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        Self {
+            name: name.into(),
+            entries: entries.to_vec(),
+            cumulative,
+        }
+    }
+
+    /// The mix's display name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The `(network index, raw weight)` entries, in construction order.
+    #[must_use]
+    pub fn entries(&self) -> &[(usize, f64)] {
+        &self.entries
+    }
+
+    /// The normalized weight of entry `i`.
+    #[must_use]
+    pub fn fraction(&self, i: usize) -> f64 {
+        let prev = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
+        self.cumulative[i] - prev
+    }
+
+    /// Draws one network index by inverse-CDF sampling (one `f64` from
+    /// the stream per draw, regardless of mix size).
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let u = rng.next_f64();
+        let slot = self
+            .cumulative
+            .iter()
+            .position(|&c| u < c)
+            .unwrap_or(self.entries.len() - 1);
+        self.entries[slot].0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalizes_and_samples_in_proportion() {
+        let mix = NetworkMix::new("t", &[(0, 3.0), (2, 1.0)]);
+        assert!((mix.fraction(0) - 0.75).abs() < 1e-12);
+        assert!((mix.fraction(1) - 0.25).abs() < 1e-12);
+        let mut rng = SplitMix64::seed_from_u64(11);
+        let draws = 40_000;
+        let hits = (0..draws).filter(|_| mix.sample(&mut rng) == 0).count();
+        #[allow(clippy::cast_precision_loss)]
+        let rate = hits as f64 / f64::from(draws);
+        assert!((rate - 0.75).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let mix = NetworkMix::new("t", &[(1, 1.0), (4, 1.0), (5, 2.0)]);
+        let trace = |seed| {
+            let mut rng = SplitMix64::seed_from_u64(seed);
+            (0..64).map(|_| mix.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(trace(9), trace(9));
+        assert_ne!(trace(9), trace(10));
+    }
+
+    #[test]
+    fn single_entry_mix_always_samples_it() {
+        let mix = NetworkMix::new("solo", &[(3, 0.5)]);
+        let mut rng = SplitMix64::seed_from_u64(1);
+        assert!((0..100).all(|_| mix.sample(&mut rng) == 3));
+        assert!((mix.fraction(0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad weight")]
+    fn rejects_nonpositive_weights() {
+        let _ = NetworkMix::new("bad", &[(0, 0.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty_mix() {
+        let _ = NetworkMix::new("empty", &[]);
+    }
+}

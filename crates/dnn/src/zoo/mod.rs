@@ -64,6 +64,21 @@ pub fn all_networks() -> Vec<Network> {
     ]
 }
 
+/// Builds a zoo network by its canonical name (the `Network::name` the
+/// constructors assign), or `None` for a name outside the zoo.
+#[must_use]
+pub fn by_name(name: &str) -> Option<Network> {
+    match name {
+        "VGG16" => Some(vgg16()),
+        "AlexNet" => Some(alexnet()),
+        "ZFNet" => Some(zfnet()),
+        "ResNet-34" => Some(resnet34()),
+        "LeNet" => Some(lenet()),
+        "GoogLeNet" => Some(googlenet()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +98,16 @@ mod tests {
                 "GoogLeNet"
             ]
         );
+    }
+
+    #[test]
+    fn by_name_round_trips_the_zoo() {
+        for net in all_networks() {
+            let found = by_name(net.name()).unwrap();
+            assert_eq!(found.name(), net.name());
+            assert_eq!(found.len(), net.len());
+        }
+        assert!(by_name("MLP-Mixer").is_none());
     }
 
     #[test]

@@ -1,0 +1,272 @@
+//! Deterministic request generation: tenants and Poisson arrivals.
+//!
+//! A [`Workload`] is a set of weighted tenants, each sending its own
+//! [`NetworkMix`] over a shared network list (the paper's six CNNs by
+//! default). [`RequestSource`] turns a workload into a Poisson arrival
+//! stream: exponential inter-arrival gaps at a configurable rate, with
+//! the tenant and network of each request drawn from the same seeded
+//! [`SplitMix64`] stream.
+//!
+//! The draw order per request is fixed (gap, then tenant, then network)
+//! and the gap is sampled at *unit* rate and scaled by `1/rate`, so two
+//! sources with the same seed but different rates see the **same request
+//! sequence on a compressed clock** (common random numbers). Load sweeps
+//! built this way are coupled: raising the offered rate can only make
+//! queueing worse, which keeps measured latency percentiles monotone in
+//! load and pins saturation knees sharply.
+
+use pixel_dnn::mix::NetworkMix;
+use pixel_dnn::network::Network;
+use pixel_dnn::zoo;
+use pixel_units::rng::SplitMix64;
+
+/// One inference request.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Request {
+    /// Admission-order id (0-based arrival sequence number).
+    pub id: u64,
+    /// Index into [`Workload::tenants`].
+    pub tenant: usize,
+    /// Index into [`Workload::networks`].
+    pub network: usize,
+    /// Arrival time \[s\] since simulation start.
+    pub arrival: f64,
+}
+
+/// One tenant: a share of the offered traffic and its network blend.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tenant {
+    /// Tenant name.
+    pub name: String,
+    /// Share of total traffic (normalized against the other tenants).
+    pub weight: f64,
+    /// The tenant's blend over [`Workload::networks`] indices.
+    pub mix: NetworkMix,
+}
+
+/// A serving workload: shared network list plus weighted tenants.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    networks: Vec<Network>,
+    tenants: Vec<Tenant>,
+    /// Tenant selection as a categorical mix over tenant indices.
+    tenant_mix: NetworkMix,
+}
+
+impl Workload {
+    /// Builds a workload over an explicit network list.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no tenants, or a tenant mix references a
+    /// network index outside `networks`.
+    #[must_use]
+    pub fn new(networks: Vec<Network>, tenants: Vec<Tenant>) -> Self {
+        assert!(!tenants.is_empty(), "a workload needs at least one tenant");
+        for tenant in &tenants {
+            for &(index, _) in tenant.mix.entries() {
+                assert!(
+                    index < networks.len(),
+                    "tenant {:?} references network {index} outside the list of {}",
+                    tenant.name,
+                    networks.len()
+                );
+            }
+        }
+        let weights: Vec<(usize, f64)> = tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (i, t.weight))
+            .collect();
+        let tenant_mix = NetworkMix::new("tenants", &weights);
+        Self {
+            networks,
+            tenants,
+            tenant_mix,
+        }
+    }
+
+    /// The default serving workload: three tenants with distinct blends
+    /// over the six evaluated CNNs (zoo order: VGG16, AlexNet, ZFNet,
+    /// ResNet-34, LeNet, GoogLeNet).
+    ///
+    /// * `vision-api` (50 % of traffic) — heavyweight classifiers.
+    /// * `mobile` (30 %) — small nets dominated by LeNet.
+    /// * `batch-lab` (20 %) — a uniform research blend.
+    #[must_use]
+    pub fn paper_mix() -> Self {
+        let networks = zoo::all_networks();
+        let tenants = vec![
+            Tenant {
+                name: "vision-api".to_owned(),
+                weight: 0.5,
+                mix: NetworkMix::new("vision-api", &[(0, 0.45), (3, 0.35), (5, 0.20)]),
+            },
+            Tenant {
+                name: "mobile".to_owned(),
+                weight: 0.3,
+                mix: NetworkMix::new("mobile", &[(4, 0.70), (1, 0.20), (2, 0.10)]),
+            },
+            Tenant {
+                name: "batch-lab".to_owned(),
+                weight: 0.2,
+                mix: NetworkMix::new(
+                    "batch-lab",
+                    &[(0, 1.0), (1, 1.0), (2, 1.0), (3, 1.0), (4, 1.0), (5, 1.0)],
+                ),
+            },
+        ];
+        Self::new(networks, tenants)
+    }
+
+    /// The shared network list.
+    #[must_use]
+    pub fn networks(&self) -> &[Network] {
+        &self.networks
+    }
+
+    /// The tenants.
+    #[must_use]
+    pub fn tenants(&self) -> &[Tenant] {
+        &self.tenants
+    }
+
+    /// Overall fraction of traffic hitting each network: the
+    /// tenant-weighted sum of per-tenant mix fractions.
+    #[must_use]
+    pub fn network_fractions(&self) -> Vec<f64> {
+        let mut fractions = vec![0.0; self.networks.len()];
+        for (t, tenant) in self.tenants.iter().enumerate() {
+            let share = self.tenant_mix.fraction(t);
+            for (slot, &(network, _)) in tenant.mix.entries().iter().enumerate() {
+                fractions[network] += share * tenant.mix.fraction(slot);
+            }
+        }
+        fractions
+    }
+
+    /// Draws one `(tenant, network)` pair (two stream values).
+    fn sample(&self, rng: &mut SplitMix64) -> (usize, usize) {
+        let tenant = self.tenant_mix.sample(rng);
+        let network = self.tenants[tenant].mix.sample(rng);
+        (tenant, network)
+    }
+}
+
+/// A finite Poisson arrival stream over a workload.
+#[derive(Debug, Clone)]
+pub struct RequestSource<'a> {
+    workload: &'a Workload,
+    rate_hz: f64,
+    remaining: usize,
+    clock: f64,
+    next_id: u64,
+    rng: SplitMix64,
+}
+
+impl<'a> RequestSource<'a> {
+    /// A source emitting `count` requests at `rate_hz` mean arrivals per
+    /// second, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate_hz` is not finite and positive.
+    #[must_use]
+    pub fn new(workload: &'a Workload, rate_hz: f64, count: usize, seed: u64) -> Self {
+        assert!(
+            rate_hz.is_finite() && rate_hz > 0.0,
+            "arrival rate must be positive, got {rate_hz}"
+        );
+        Self {
+            workload,
+            rate_hz,
+            remaining: count,
+            clock: 0.0,
+            next_id: 0,
+            rng: SplitMix64::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Iterator for RequestSource<'_> {
+    type Item = Request;
+
+    fn next(&mut self) -> Option<Request> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        // Unit-rate exponential gap, scaled by 1/rate: the u-sequence (and
+        // everything after it) is rate-independent.
+        let u = self.rng.next_f64();
+        let gap = -(1.0 - u).ln() / self.rate_hz;
+        self.clock += gap;
+        let (tenant, network) = self.workload.sample(&mut self.rng);
+        let request = Request {
+            id: self.next_id,
+            tenant,
+            network,
+            arrival: self.clock,
+        };
+        self.next_id += 1;
+        Some(request)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_mix_is_consistent() {
+        let w = Workload::paper_mix();
+        assert_eq!(w.networks().len(), 6);
+        assert_eq!(w.tenants().len(), 3);
+        let fractions = w.network_fractions();
+        let total: f64 = fractions.iter().sum();
+        assert!((total - 1.0).abs() < 1e-12, "fractions sum to {total}");
+        assert!(fractions.iter().all(|&f| f > 0.0));
+    }
+
+    #[test]
+    fn arrivals_are_ordered_and_mean_gap_matches_rate() {
+        let w = Workload::paper_mix();
+        let requests: Vec<Request> = RequestSource::new(&w, 100.0, 20_000, 7).collect();
+        assert_eq!(requests.len(), 20_000);
+        assert!(requests.windows(2).all(|p| p[0].arrival <= p[1].arrival));
+        assert!(requests.windows(2).all(|p| p[0].id + 1 == p[1].id));
+        let mean_gap = requests.last().unwrap().arrival / 20_000.0;
+        assert!((mean_gap - 0.01).abs() < 0.001, "mean gap {mean_gap}");
+    }
+
+    #[test]
+    fn rate_only_rescales_the_clock() {
+        let w = Workload::paper_mix();
+        let slow: Vec<Request> = RequestSource::new(&w, 10.0, 500, 3).collect();
+        let fast: Vec<Request> = RequestSource::new(&w, 40.0, 500, 3).collect();
+        for (a, b) in slow.iter().zip(&fast) {
+            assert_eq!((a.tenant, a.network), (b.tenant, b.network));
+            assert!((a.arrival / 4.0 - b.arrival).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn tenant_shares_are_respected() {
+        let w = Workload::paper_mix();
+        let requests: Vec<Request> = RequestSource::new(&w, 1000.0, 60_000, 11).collect();
+        #[allow(clippy::cast_precision_loss)]
+        let share = |t: usize| {
+            requests.iter().filter(|r| r.tenant == t).count() as f64 / requests.len() as f64
+        };
+        assert!((share(0) - 0.5).abs() < 0.01);
+        assert!((share(1) - 0.3).abs() < 0.01);
+        assert!((share(2) - 0.2).abs() < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "arrival rate")]
+    fn rejects_nonpositive_rate() {
+        let w = Workload::paper_mix();
+        let _ = RequestSource::new(&w, 0.0, 1, 0);
+    }
+}

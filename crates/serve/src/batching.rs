@@ -1,0 +1,179 @@
+//! Batching policies: when an idle server should form a batch.
+//!
+//! Dispatch decisions are only taken when the accelerator is idle —
+//! while it is busy, arrivals accumulate in the admission queue and are
+//! swept up by the next decision ("natural batching"). The policy then
+//! chooses between dispatching the head-of-line same-network prefix now
+//! or holding for more requests:
+//!
+//! * [`BatchPolicy::Fixed`] waits until a full same-network batch is
+//!   available (classic fixed-size batching; the simulator flushes a
+//!   final partial batch once the arrival stream ends).
+//! * [`BatchPolicy::Dynamic`] dispatches as soon as the batch is full
+//!   **or** the oldest waiting request has aged past the deadline. A
+//!   zero deadline degenerates to greedy dispatch-on-idle, which keeps
+//!   latency monotone in offered load.
+
+use crate::queue::AdmissionQueue;
+use pixel_units::Time;
+
+/// A batch-formation policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchPolicy {
+    /// Dispatch only full `size`-request same-network batches.
+    Fixed {
+        /// Exact batch size.
+        size: usize,
+    },
+    /// Dispatch up to `max_size` requests when full, or when the head
+    /// request has waited `deadline`.
+    Dynamic {
+        /// Largest batch to form.
+        max_size: usize,
+        /// Longest the head-of-line request may wait before dispatch.
+        deadline: Time,
+    },
+}
+
+/// What an idle server should do next.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Decision {
+    /// Form and dispatch a batch now.
+    Dispatch,
+    /// Hold until this absolute time \[s\], unless an arrival or a full
+    /// batch triggers an earlier decision.
+    HoldUntil(f64),
+    /// Hold until the next arrival (no timer pending).
+    Hold,
+}
+
+impl BatchPolicy {
+    /// The largest batch this policy ever dispatches.
+    #[must_use]
+    pub fn max_batch(&self) -> usize {
+        match *self {
+            Self::Fixed { size } => size,
+            Self::Dynamic { max_size, .. } => max_size,
+        }
+    }
+
+    /// Display label for reports.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            Self::Fixed { size } => format!("fixed({size})"),
+            Self::Dynamic { max_size, deadline } => {
+                format!("dynamic(max {max_size}, {:.0} us)", deadline.as_micros())
+            }
+        }
+    }
+
+    /// Decides what an idle server facing `queue` should do at `now`.
+    #[must_use]
+    pub fn decide(&self, queue: &AdmissionQueue, now: f64) -> Decision {
+        let Some(head_arrival) = queue.head_arrival() else {
+            return Decision::Hold;
+        };
+        match *self {
+            Self::Fixed { size } => {
+                // A full queue can never grow the head-of-line prefix, so
+                // holding would idle the server while shedding arrivals;
+                // relieve pressure with a partial batch instead.
+                if queue.prefix_len(size) >= size || queue.is_full() {
+                    Decision::Dispatch
+                } else {
+                    Decision::Hold
+                }
+            }
+            Self::Dynamic { max_size, deadline } => {
+                if queue.prefix_len(max_size) >= max_size {
+                    return Decision::Dispatch;
+                }
+                let expiry = head_arrival + deadline.value();
+                if now >= expiry {
+                    Decision::Dispatch
+                } else {
+                    Decision::HoldUntil(expiry)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arrivals::Request;
+    use crate::queue::ShedPolicy;
+
+    fn queue_with(nets: &[usize]) -> AdmissionQueue {
+        let mut q = AdmissionQueue::new(64, ShedPolicy::DropNewest);
+        for (id, &net) in nets.iter().enumerate() {
+            let _ = q.offer(
+                0.0,
+                Request {
+                    id: id as u64,
+                    tenant: 0,
+                    network: net,
+                    arrival: 0.0,
+                },
+            );
+        }
+        q
+    }
+
+    #[test]
+    fn fixed_waits_for_a_full_same_network_batch() {
+        let policy = BatchPolicy::Fixed { size: 3 };
+        assert_eq!(policy.decide(&queue_with(&[1, 1]), 5.0), Decision::Hold);
+        assert_eq!(
+            policy.decide(&queue_with(&[1, 1, 1, 2]), 5.0),
+            Decision::Dispatch
+        );
+        // A network boundary caps the prefix below the batch size.
+        assert_eq!(
+            policy.decide(&queue_with(&[1, 2, 1, 1]), 5.0),
+            Decision::Hold
+        );
+    }
+
+    #[test]
+    fn dynamic_dispatches_on_full_batch_or_deadline() {
+        let policy = BatchPolicy::Dynamic {
+            max_size: 2,
+            deadline: Time::from_micros(100.0),
+        };
+        assert_eq!(policy.decide(&queue_with(&[1, 1]), 0.0), Decision::Dispatch);
+        match policy.decide(&queue_with(&[1]), 0.0) {
+            Decision::HoldUntil(t) => assert!((t - 100e-6).abs() < 1e-12),
+            other => panic!("expected HoldUntil, got {other:?}"),
+        }
+        assert_eq!(policy.decide(&queue_with(&[1]), 1e-4), Decision::Dispatch);
+    }
+
+    #[test]
+    fn zero_deadline_is_greedy() {
+        let policy = BatchPolicy::Dynamic {
+            max_size: 8,
+            deadline: Time::ZERO,
+        };
+        assert_eq!(policy.decide(&queue_with(&[4]), 0.0), Decision::Dispatch);
+        assert_eq!(
+            policy.decide(&queue_with(&[]), 0.0),
+            Decision::Hold,
+            "empty queue holds"
+        );
+    }
+
+    #[test]
+    fn labels_and_max_batch() {
+        assert_eq!(BatchPolicy::Fixed { size: 8 }.label(), "fixed(8)");
+        assert_eq!(BatchPolicy::Fixed { size: 8 }.max_batch(), 8);
+        let dynamic = BatchPolicy::Dynamic {
+            max_size: 4,
+            deadline: Time::from_micros(250.0),
+        };
+        assert_eq!(dynamic.label(), "dynamic(max 4, 250 us)");
+        assert_eq!(dynamic.max_batch(), 4);
+    }
+}

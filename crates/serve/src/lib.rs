@@ -1,0 +1,50 @@
+//! # pixel-serve — discrete-event inference serving on PIXEL fabrics
+//!
+//! The analytical layers below ([`pixel_core`]) answer *how fast is one
+//! inference, one batch, one design point*. This crate answers the
+//! operational question an accelerator deployment actually faces: **at
+//! what offered load does a design stop keeping up, and what do tail
+//! latencies look like on the way there?**
+//!
+//! It is a small, std-only discrete-event simulator of a single-fabric
+//! serving system:
+//!
+//! * [`arrivals`] — deterministic Poisson arrivals (seeded
+//!   [`pixel_units::rng::SplitMix64`], unit-rate exponential gaps scaled
+//!   by `1/rate` so the request *sequence* is rate-independent), drawn
+//!   from a multi-tenant [`arrivals::Workload`] mixing the six paper
+//!   CNNs.
+//! * [`queue`] — a bounded FIFO admission queue with configurable load
+//!   shedding and time-weighted depth accounting.
+//! * [`batching`] — pluggable batch formation: fixed-size, or dynamic
+//!   (dispatch when full *or* when the head-of-line request ages past a
+//!   deadline; zero deadline is greedy natural batching).
+//! * [`sim`] — the event loop. Service times and energy come straight
+//!   from the memoized [`pixel_core::model::EvalContext`] via the
+//!   pipeline-fill batch model in [`pixel_core::throughput`]; no cost
+//!   formula is duplicated here.
+//! * [`percentile`] — an integer-only log-linear latency histogram
+//!   (HDR-style) whose percentiles are bitwise deterministic across
+//!   platforms and worker counts.
+//! * [`saturation`] — sweeps offered load × design through
+//!   [`pixel_core::sweep::SweepEngine`] and locates each design's
+//!   saturation knee.
+//!
+//! Everything is deterministic: one `u64` seed fixes the entire run, and
+//! the artifact output is bitwise identical at any `--jobs` level.
+
+pub mod arrivals;
+pub mod batching;
+pub mod percentile;
+pub mod queue;
+pub mod report;
+pub mod saturation;
+pub mod sim;
+
+pub use arrivals::{Request, RequestSource, Tenant, Workload};
+pub use batching::BatchPolicy;
+pub use percentile::LatencyHistogram;
+pub use queue::{AdmissionQueue, ShedPolicy};
+pub use report::{LatencyPercentiles, ServeReport, TenantStats};
+pub use saturation::{saturation_sweep, DesignCurve, SweepSpec};
+pub use sim::{simulate, ServeConfig};

@@ -1,0 +1,261 @@
+//! Fixed-memory latency percentiles: an HDR-style log-linear histogram.
+//!
+//! Tail-latency reporting cannot afford to keep every sample at serving
+//! scale, so the simulator records latencies (integer nanoseconds) into
+//! logarithmic buckets with `2^sub_bits` linear sub-buckets per octave.
+//! That bounds the relative quantization error of any reported
+//! percentile by `2^-sub_bits` (0.78 % at the default 7 sub-bucket
+//! bits) while using a few kilobytes regardless of sample count. All
+//! bucket math is integer (shifts and leading-zero counts), so recorded
+//! histograms — and therefore every percentile the serving artifact
+//! prints — are bitwise reproducible across platforms and worker
+//! counts.
+//!
+//! [`exact_percentile`] is the sorted-reference implementation (same
+//! nearest-rank convention); the property tests pin the estimator
+//! against it.
+
+/// Default linear resolution: 7 bits → ≤ 0.78 % relative error.
+pub const DEFAULT_SUB_BITS: u32 = 7;
+
+/// Log-linear histogram over `u64` values (nanoseconds, by convention).
+#[derive(Debug, Clone)]
+pub struct LatencyHistogram {
+    sub_bits: u32,
+    counts: Vec<u64>,
+    total: u64,
+    min: u64,
+    max: u64,
+    sum: u128,
+}
+
+/// Bucket index of `value`: unit buckets below `2^sub_bits`, then
+/// `2^sub_bits` linear sub-buckets per power of two.
+fn index_of(value: u64, sub_bits: u32) -> usize {
+    let m = 1u64 << sub_bits;
+    if value < m {
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            value as usize
+        }
+    } else {
+        let msb = 63 - value.leading_zeros();
+        let shift = msb - sub_bits;
+        #[allow(clippy::cast_possible_truncation)]
+        {
+            (u64::from(shift) * m + (value >> shift)) as usize
+        }
+    }
+}
+
+/// Lowest value mapping to bucket `index`.
+fn lower_bound(index: usize, sub_bits: u32) -> u64 {
+    let m = 1usize << sub_bits;
+    if index < 2 * m {
+        index as u64
+    } else {
+        let shift = (index - m) / m;
+        ((index - shift * m) as u64) << shift
+    }
+}
+
+/// Width of bucket `index` (1 below two octaves, doubling per octave).
+fn bucket_width(index: usize, sub_bits: u32) -> u64 {
+    let m = 1usize << sub_bits;
+    if index < 2 * m {
+        1
+    } else {
+        1u64 << ((index - m) / m)
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new(DEFAULT_SUB_BITS)
+    }
+}
+
+impl LatencyHistogram {
+    /// A histogram with `2^sub_bits` sub-buckets per octave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sub_bits` is outside `1..=16`.
+    #[must_use]
+    pub fn new(sub_bits: u32) -> Self {
+        assert!((1..=16).contains(&sub_bits), "sub_bits must be 1..=16");
+        Self {
+            sub_bits,
+            counts: Vec::new(),
+            total: 0,
+            min: u64::MAX,
+            max: 0,
+            sum: 0,
+        }
+    }
+
+    /// Records one value.
+    pub fn record(&mut self, value: u64) {
+        let index = index_of(value, self.sub_bits);
+        if index >= self.counts.len() {
+            self.counts.resize(index + 1, 0);
+        }
+        self.counts[index] += 1;
+        self.total += 1;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.sum += u128::from(value);
+    }
+
+    /// Number of recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Smallest recorded value (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.total == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of the recorded values (exact, from the running sum).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// Value at quantile `q` in `[0, 1]` by the nearest-rank rule,
+    /// reported as the midpoint of the containing bucket (clamped to the
+    /// recorded min/max so degenerate distributions answer exactly).
+    ///
+    /// Returns 0 on an empty histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+        if self.total == 0 {
+            return 0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        let target = (q * self.total as f64).ceil();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let rank = (target as u64).max(1);
+        let mut seen = 0u64;
+        for (index, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                let lower = lower_bound(index, self.sub_bits);
+                let mid = lower + (bucket_width(index, self.sub_bits) - 1) / 2;
+                return mid.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+}
+
+/// Sorted-reference percentile (nearest-rank) for validation: `values`
+/// must be sorted ascending.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or `q` is outside `[0, 1]`.
+#[must_use]
+pub fn exact_percentile(values: &[u64], q: f64) -> u64 {
+    assert!(!values.is_empty(), "need at least one value");
+    assert!((0.0..=1.0).contains(&q), "quantile {q} outside [0, 1]");
+    #[allow(clippy::cast_precision_loss)]
+    let target = (q * values.len() as f64).ceil();
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let rank = (target as usize).max(1);
+    values[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_round_trip_brackets_every_value() {
+        for sub_bits in [1u32, 4, 7] {
+            for value in (0u64..2000).chain([1 << 20, u64::MAX / 2, u64::MAX]) {
+                let index = index_of(value, sub_bits);
+                let lower = lower_bound(index, sub_bits);
+                let width = bucket_width(index, sub_bits);
+                assert!(
+                    lower <= value && value - lower < width,
+                    "v={value} sub={sub_bits}: [{lower}, +{width})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_indices_are_monotone() {
+        let mut last = 0;
+        for value in 0u64..100_000 {
+            let index = index_of(value, 7);
+            assert!(index >= last, "index regressed at {value}");
+            last = index;
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = LatencyHistogram::new(7);
+        for v in [3u64, 9, 9, 100, 127] {
+            h.record(v);
+        }
+        assert_eq!(h.percentile(0.0), 3);
+        assert_eq!(h.percentile(0.5), 9);
+        assert_eq!(h.percentile(1.0), 127);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.min(), 3);
+        assert_eq!(h.max(), 127);
+    }
+
+    #[test]
+    fn empty_histogram_answers_zero() {
+        let h = LatencyHistogram::default();
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.min(), 0);
+        assert!((h.mean() - 0.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn exact_percentile_nearest_rank() {
+        let values = [10u64, 20, 30, 40];
+        assert_eq!(exact_percentile(&values, 0.0), 10);
+        assert_eq!(exact_percentile(&values, 0.25), 10);
+        assert_eq!(exact_percentile(&values, 0.26), 20);
+        assert_eq!(exact_percentile(&values, 0.5), 20);
+        assert_eq!(exact_percentile(&values, 0.99), 40);
+        assert_eq!(exact_percentile(&values, 1.0), 40);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile")]
+    fn rejects_out_of_range_quantile() {
+        let _ = LatencyHistogram::default().percentile(1.5);
+    }
+}

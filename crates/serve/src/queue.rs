@@ -1,0 +1,254 @@
+//! Bounded FIFO admission queue with configurable load shedding.
+//!
+//! The queue is the serving system's only buffer: arrivals that cannot
+//! be admitted are shed according to [`ShedPolicy`], and dispatches pop
+//! strictly from the front, so admitted requests complete in admission
+//! order (the FIFO invariant the property tests pin). Depth is tracked
+//! both as a maximum and as a time-weighted mean, the queueing-theory
+//! quantity comparable to `L` in Little's law.
+
+use crate::arrivals::Request;
+use std::collections::VecDeque;
+
+/// What to do with an arrival when the queue is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedPolicy {
+    /// Reject the arriving request (classic bounded queue).
+    DropNewest,
+    /// Admit the arrival and evict the oldest waiting request.
+    DropOldest,
+}
+
+impl ShedPolicy {
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::DropNewest => "drop-newest",
+            Self::DropOldest => "drop-oldest",
+        }
+    }
+}
+
+/// Bounded FIFO queue with shedding and depth accounting.
+#[derive(Debug, Clone)]
+pub struct AdmissionQueue {
+    capacity: usize,
+    shed: ShedPolicy,
+    items: VecDeque<Request>,
+    admitted: u64,
+    shed_count: u64,
+    max_depth: usize,
+    depth_integral: f64,
+    last_event: f64,
+}
+
+impl AdmissionQueue {
+    /// An empty queue holding at most `capacity` waiting requests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize, shed: ShedPolicy) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        Self {
+            capacity,
+            shed,
+            items: VecDeque::with_capacity(capacity.min(4096)),
+            admitted: 0,
+            shed_count: 0,
+            max_depth: 0,
+            depth_integral: 0.0,
+            last_event: 0.0,
+        }
+    }
+
+    /// Advances the time-weighted depth integral to `now`.
+    fn advance(&mut self, now: f64) {
+        #[allow(clippy::cast_precision_loss)]
+        let depth = self.items.len() as f64;
+        self.depth_integral += depth * (now - self.last_event);
+        self.last_event = now;
+    }
+
+    /// Offers an arrival at time `now`. Returns the request that was
+    /// shed, if any — the offered one under [`ShedPolicy::DropNewest`],
+    /// the oldest waiting one under [`ShedPolicy::DropOldest`].
+    pub fn offer(&mut self, now: f64, request: Request) -> Option<Request> {
+        self.advance(now);
+        let shed = if self.items.len() == self.capacity {
+            self.shed_count += 1;
+            match self.shed {
+                ShedPolicy::DropNewest => return Some(request),
+                ShedPolicy::DropOldest => self.items.pop_front(),
+            }
+        } else {
+            None
+        };
+        self.admitted += 1;
+        self.items.push_back(request);
+        self.max_depth = self.max_depth.max(self.items.len());
+        shed
+    }
+
+    /// Pops the longest prefix of same-network requests, up to `max`
+    /// (head-of-line batching: strict FIFO across the whole queue).
+    pub fn take_batch(&mut self, now: f64, max: usize) -> Vec<Request> {
+        self.advance(now);
+        let mut batch = Vec::new();
+        let Some(head) = self.items.front() else {
+            return batch;
+        };
+        let network = head.network;
+        while batch.len() < max {
+            match self.items.front() {
+                Some(next) if next.network == network => {
+                    batch.push(self.items.pop_front().expect("front checked"));
+                }
+                _ => break,
+            }
+        }
+        batch
+    }
+
+    /// Length of the head-of-line same-network prefix, capped at `max`.
+    #[must_use]
+    pub fn prefix_len(&self, max: usize) -> usize {
+        let Some(head) = self.items.front() else {
+            return 0;
+        };
+        self.items
+            .iter()
+            .take(max)
+            .take_while(|r| r.network == head.network)
+            .count()
+    }
+
+    /// Arrival time of the oldest waiting request.
+    #[must_use]
+    pub fn head_arrival(&self) -> Option<f64> {
+        self.items.front().map(|r| r.arrival)
+    }
+
+    /// Current depth.
+    #[must_use]
+    pub fn depth(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when no requests wait.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when the next offer will shed.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.items.len() == self.capacity
+    }
+
+    /// Requests admitted so far (shed `DropOldest` victims included —
+    /// they were admitted before eviction).
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.admitted
+    }
+
+    /// Requests shed so far (either rejected or evicted).
+    #[must_use]
+    pub fn shed_count(&self) -> u64 {
+        self.shed_count
+    }
+
+    /// Deepest the queue has been.
+    #[must_use]
+    pub fn max_depth(&self) -> usize {
+        self.max_depth
+    }
+
+    /// Time-weighted mean depth over `[0, now]`.
+    #[must_use]
+    pub fn mean_depth(&mut self, now: f64) -> f64 {
+        self.advance(now);
+        if now > 0.0 {
+            self.depth_integral / now
+        } else {
+            0.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn req(id: u64, network: usize, arrival: f64) -> Request {
+        Request {
+            id,
+            tenant: 0,
+            network,
+            arrival,
+        }
+    }
+
+    #[test]
+    fn fifo_order_and_same_network_prefix() {
+        let mut q = AdmissionQueue::new(8, ShedPolicy::DropNewest);
+        for (id, net) in [(0u64, 1usize), (1, 1), (2, 2), (3, 1)] {
+            assert!(q.offer(0.0, req(id, net, 0.0)).is_none());
+        }
+        assert_eq!(q.prefix_len(8), 2);
+        let batch = q.take_batch(1.0, 8);
+        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), [0, 1]);
+        // Network 2 now heads the queue; network-1 request 3 waits behind.
+        let batch = q.take_batch(2.0, 8);
+        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), [2]);
+        let batch = q.take_batch(3.0, 8);
+        assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), [3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn drop_newest_rejects_the_arrival() {
+        let mut q = AdmissionQueue::new(2, ShedPolicy::DropNewest);
+        assert!(q.offer(0.0, req(0, 0, 0.0)).is_none());
+        assert!(q.offer(0.0, req(1, 0, 0.0)).is_none());
+        let shed = q.offer(0.0, req(2, 0, 0.0)).unwrap();
+        assert_eq!(shed.id, 2);
+        assert_eq!(q.admitted(), 2);
+        assert_eq!(q.shed_count(), 1);
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn drop_oldest_evicts_the_head() {
+        let mut q = AdmissionQueue::new(2, ShedPolicy::DropOldest);
+        for id in 0..2 {
+            assert!(q.offer(0.0, req(id, 0, 0.0)).is_none());
+        }
+        let shed = q.offer(0.0, req(2, 0, 0.0)).unwrap();
+        assert_eq!(shed.id, 0);
+        assert_eq!(q.admitted(), 3);
+        assert_eq!(q.shed_count(), 1);
+        assert_eq!(q.take_batch(1.0, 4).iter().map(|r| r.id).sum::<u64>(), 3);
+    }
+
+    #[test]
+    fn time_weighted_depth() {
+        let mut q = AdmissionQueue::new(4, ShedPolicy::DropNewest);
+        let _ = q.offer(0.0, req(0, 0, 0.0));
+        let _ = q.offer(1.0, req(1, 0, 1.0));
+        let _ = q.take_batch(2.0, 4);
+        // Depth 1 over [0,1), 2 over [1,2), 0 over [2,4): integral 3.
+        assert!((q.mean_depth(4.0) - 0.75).abs() < 1e-12);
+        assert_eq!(q.max_depth(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn rejects_zero_capacity() {
+        let _ = AdmissionQueue::new(0, ShedPolicy::DropNewest);
+    }
+}

@@ -1,0 +1,92 @@
+//! Serving metrics: what one simulation run reports.
+
+use pixel_core::config::AcceleratorConfig;
+use pixel_units::{Energy, Time};
+
+/// Latency percentiles of completed requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyPercentiles {
+    /// Median sojourn time.
+    pub p50: Time,
+    /// 95th percentile.
+    pub p95: Time,
+    /// 99th percentile.
+    pub p99: Time,
+    /// 99.9th percentile.
+    pub p999: Time,
+    /// Worst completed request.
+    pub max: Time,
+}
+
+/// Per-tenant completion accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantStats {
+    /// Tenant name.
+    pub name: String,
+    /// Requests from this tenant that completed.
+    pub completed: u64,
+    /// 95th-percentile sojourn time of this tenant's requests.
+    pub p95: Time,
+}
+
+/// Everything one serving simulation measures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// The accelerator configuration that served the run.
+    pub config: AcceleratorConfig,
+    /// Batching policy label.
+    pub policy: String,
+    /// Offered (generated) arrival rate \[requests/s\].
+    pub offered_hz: f64,
+    /// Achieved completion rate \[inferences/s\] over the makespan.
+    pub achieved_hz: f64,
+    /// Requests generated.
+    pub arrivals: u64,
+    /// Requests that completed inference.
+    pub completed: u64,
+    /// Requests shed at admission (rejected or evicted).
+    pub dropped: u64,
+    /// Sojourn-time percentiles of completed requests.
+    pub latency: LatencyPercentiles,
+    /// Mean dispatched batch size.
+    pub mean_batch: f64,
+    /// Time-weighted mean queue depth.
+    pub mean_queue_depth: f64,
+    /// Deepest the queue got.
+    pub max_queue_depth: usize,
+    /// Fraction of the makespan the accelerator was busy.
+    pub utilization: f64,
+    /// Wall-clock of the whole run (first arrival to last completion).
+    pub makespan: Time,
+    /// Total energy charged: dynamic inference energy plus static
+    /// (laser + thermal tuning) power integrated over the makespan.
+    pub total_energy: Energy,
+    /// Total energy divided by completed inferences.
+    pub energy_per_inference: Energy,
+    /// Per-tenant completions, in workload tenant order.
+    pub tenants: Vec<TenantStats>,
+}
+
+impl ServeReport {
+    /// Fraction of arrivals shed.
+    #[must_use]
+    pub fn drop_rate(&self) -> f64 {
+        if self.arrivals == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            self.dropped as f64 / self.arrivals as f64
+        }
+    }
+
+    /// Goodput ratio: achieved throughput over offered load.
+    #[must_use]
+    pub fn goodput_ratio(&self) -> f64 {
+        if self.offered_hz > 0.0 {
+            self.achieved_hz / self.offered_hz
+        } else {
+            0.0
+        }
+    }
+}

@@ -1,0 +1,460 @@
+//! The discrete-event serving loop.
+//!
+//! A single PIXEL fabric serves one batch at a time. The simulation
+//! advances event to event — the next arrival, the in-flight batch's
+//! completion, or a batching-deadline expiry, whichever is earliest
+//! (ties resolve completion-first, then deadline-before-arrival, making
+//! the trajectory a pure function of the seed). Per-batch service time
+//! and energy come from [`EvalContext`] through the pipeline-fill
+//! batching model in `pixel_core::throughput` — the same `DesignModel`
+//! backends behind every paper artifact, so EE/OE/OO serving curves are
+//! comparable by construction.
+//!
+//! Instrumentation: the run executes under a `serve/sim` span and
+//! counts `serve/arrivals`, `serve/admitted`, `serve/shed`,
+//! `serve/dispatches` and `serve/completions`; dispatched batch sizes
+//! feed the `serve/batch_size` histogram.
+
+use crate::arrivals::{Request, RequestSource, Workload};
+use crate::batching::{BatchPolicy, Decision};
+use crate::percentile::LatencyHistogram;
+use crate::queue::{AdmissionQueue, ShedPolicy};
+use crate::report::{LatencyPercentiles, ServeReport, TenantStats};
+use pixel_core::config::AcceleratorConfig;
+use pixel_core::model::EvalContext;
+use pixel_core::throughput;
+use pixel_units::{Energy, Time};
+
+/// Parameters of one serving simulation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeConfig {
+    /// The accelerator under load.
+    pub accel: AcceleratorConfig,
+    /// Batch-formation policy.
+    pub policy: BatchPolicy,
+    /// Admission-queue bound.
+    pub queue_capacity: usize,
+    /// What to shed when the queue is full.
+    pub shed: ShedPolicy,
+    /// Offered arrival rate \[requests/s\].
+    pub rate_hz: f64,
+    /// Arrivals to generate before draining.
+    pub requests: usize,
+    /// Seed of the arrival process.
+    pub seed: u64,
+}
+
+impl ServeConfig {
+    /// A serving setup with the defaults the artifact sweep uses:
+    /// dynamic batching up to 8, a 256-deep drop-newest queue.
+    #[must_use]
+    pub fn new(accel: AcceleratorConfig, rate_hz: f64, requests: usize, seed: u64) -> Self {
+        Self {
+            accel,
+            policy: BatchPolicy::Dynamic {
+                max_size: 8,
+                deadline: Time::ZERO,
+            },
+            queue_capacity: 256,
+            shed: ShedPolicy::DropNewest,
+            rate_hz,
+            requests,
+            seed,
+        }
+    }
+}
+
+/// Per-network service quantities, evaluated once per simulation.
+struct ServiceModel {
+    reports: Vec<pixel_core::accelerator::NetworkReport>,
+    static_power: pixel_units::Power,
+}
+
+impl ServiceModel {
+    fn new(ctx: &EvalContext, workload: &Workload, accel: &AcceleratorConfig) -> Self {
+        let reports = workload
+            .networks()
+            .iter()
+            .map(|net| ctx.evaluate(accel, net))
+            .collect();
+        let static_power = accel.design.model().static_power(accel);
+        Self {
+            reports,
+            static_power: static_power.laser_wall_plug + static_power.thermal_tuning,
+        }
+    }
+
+    /// Service time and dynamic energy of a `batch`-sized dispatch of
+    /// network `network`.
+    fn batch(&self, network: usize, batch: usize) -> (Time, Energy) {
+        let report = &self.reports[network];
+        let latency = throughput::batch_latency(report, batch);
+        #[allow(clippy::cast_precision_loss)]
+        let energy = report.total_energy() * batch as f64;
+        (latency, energy)
+    }
+}
+
+/// The in-flight batch.
+struct InFlight {
+    completes_at: f64,
+    batch: Vec<Request>,
+}
+
+/// Mutable simulation state shared by the event handlers.
+struct SimState<'a> {
+    clock: f64,
+    queue: AdmissionQueue,
+    server: Option<InFlight>,
+    service: &'a ServiceModel,
+    policy: BatchPolicy,
+    latencies: LatencyHistogram,
+    tenant_latencies: Vec<LatencyHistogram>,
+    tenant_completed: Vec<u64>,
+    completed: u64,
+    shed: u64,
+    dispatches: u64,
+    batched_total: u64,
+    busy_time: f64,
+    dynamic_energy: Energy,
+    last_completion: f64,
+}
+
+impl SimState<'_> {
+    fn admit(&mut self, request: Request) {
+        self.clock = self.clock.max(request.arrival);
+        pixel_obs::add("serve/arrivals", 1);
+        if self.queue.offer(request.arrival, request).is_some() {
+            pixel_obs::add("serve/shed", 1);
+            self.shed += 1;
+        } else {
+            pixel_obs::add("serve/admitted", 1);
+        }
+    }
+
+    fn dispatch(&mut self) {
+        let batch = self.queue.take_batch(self.clock, self.policy.max_batch());
+        assert!(!batch.is_empty(), "dispatch on an empty queue");
+        let (latency, energy) = self.service.batch(batch[0].network, batch.len());
+        pixel_obs::add("serve/dispatches", 1);
+        #[allow(clippy::cast_precision_loss)]
+        pixel_obs::observe("serve/batch_size", batch.len() as f64);
+        self.dispatches += 1;
+        self.batched_total += batch.len() as u64;
+        self.busy_time += latency.value();
+        self.dynamic_energy += energy;
+        self.server = Some(InFlight {
+            completes_at: self.clock + latency.value(),
+            batch,
+        });
+    }
+
+    fn complete(&mut self) {
+        let flight = self.server.take().expect("completion without a batch");
+        self.clock = flight.completes_at;
+        self.last_completion = flight.completes_at;
+        for request in &flight.batch {
+            let sojourn = flight.completes_at - request.arrival;
+            // Integer nanoseconds: deterministic bucketing, ns resolution.
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let ns = (sojourn * 1e9).round() as u64;
+            self.latencies.record(ns);
+            self.tenant_latencies[request.tenant].record(ns);
+            self.tenant_completed[request.tenant] += 1;
+            self.completed += 1;
+            pixel_obs::add("serve/completions", 1);
+        }
+    }
+}
+
+fn percentiles(histogram: &LatencyHistogram) -> LatencyPercentiles {
+    let at = |q: f64| {
+        Time::from_nanos({
+            #[allow(clippy::cast_precision_loss)]
+            {
+                histogram.percentile(q) as f64
+            }
+        })
+    };
+    LatencyPercentiles {
+        p50: at(0.50),
+        p95: at(0.95),
+        p99: at(0.99),
+        p999: at(0.999),
+        max: Time::from_nanos({
+            #[allow(clippy::cast_precision_loss)]
+            {
+                histogram.max() as f64
+            }
+        }),
+    }
+}
+
+/// Runs one serving simulation to completion (all arrivals generated,
+/// queue drained, last batch finished) and reports the measurements.
+///
+/// Deterministic: the report is a pure function of `(workload, the
+/// context's overrides, config)` — bitwise identical across runs,
+/// machines, and sweep worker counts.
+///
+/// # Panics
+///
+/// Panics if `config.requests` is zero.
+#[must_use]
+pub fn simulate(workload: &Workload, ctx: &EvalContext, config: &ServeConfig) -> ServeReport {
+    let _span = pixel_obs::span("serve/sim");
+    assert!(config.requests > 0, "need at least one request");
+    let service = ServiceModel::new(ctx, workload, &config.accel);
+    let mut source =
+        RequestSource::new(workload, config.rate_hz, config.requests, config.seed).peekable();
+    let tenants = workload.tenants().len();
+    let mut state = SimState {
+        clock: 0.0,
+        queue: AdmissionQueue::new(config.queue_capacity, config.shed),
+        server: None,
+        service: &service,
+        policy: config.policy,
+        latencies: LatencyHistogram::default(),
+        tenant_latencies: (0..tenants).map(|_| LatencyHistogram::default()).collect(),
+        tenant_completed: vec![0; tenants],
+        completed: 0,
+        shed: 0,
+        dispatches: 0,
+        batched_total: 0,
+        busy_time: 0.0,
+        dynamic_energy: Energy::ZERO,
+        last_completion: 0.0,
+    };
+
+    loop {
+        if let Some(flight) = &state.server {
+            // Busy: the next event is the completion or an earlier arrival.
+            let completes_at = flight.completes_at;
+            match source.peek() {
+                Some(next) if next.arrival < completes_at => {
+                    let request = source.next().expect("peeked");
+                    state.admit(request);
+                }
+                _ => state.complete(),
+            }
+            continue;
+        }
+        // Idle server: consult the batching policy.
+        match state.policy.decide(&state.queue, state.clock) {
+            Decision::Dispatch => state.dispatch(),
+            Decision::HoldUntil(expiry) => match source.peek() {
+                Some(next) if next.arrival < expiry => {
+                    let request = source.next().expect("peeked");
+                    state.admit(request);
+                }
+                _ => {
+                    // Deadline fires (or the stream ended): dispatch what
+                    // is waiting.
+                    state.clock = state.clock.max(expiry);
+                    state.dispatch();
+                }
+            },
+            Decision::Hold => match source.next() {
+                Some(request) => state.admit(request),
+                None if !state.queue.is_empty() => {
+                    // Stream over: flush remaining (possibly partial)
+                    // batches so every admitted request completes.
+                    state.dispatch();
+                }
+                None => break,
+            },
+        }
+    }
+
+    let makespan = state.last_completion.max(state.clock);
+    let arrivals = config.requests as u64;
+    #[allow(clippy::cast_precision_loss)]
+    let achieved_hz = if makespan > 0.0 {
+        state.completed as f64 / makespan
+    } else {
+        0.0
+    };
+    #[allow(clippy::cast_precision_loss)]
+    let mean_batch = if state.dispatches > 0 {
+        state.batched_total as f64 / state.dispatches as f64
+    } else {
+        0.0
+    };
+    let static_energy = service.static_power * Time::new(makespan);
+    let total_energy = state.dynamic_energy + static_energy;
+    #[allow(clippy::cast_precision_loss)]
+    let energy_per_inference = if state.completed > 0 {
+        total_energy / state.completed as f64
+    } else {
+        Energy::ZERO
+    };
+    let tenant_stats = workload
+        .tenants()
+        .iter()
+        .enumerate()
+        .map(|(t, tenant)| TenantStats {
+            name: tenant.name.clone(),
+            completed: state.tenant_completed[t],
+            p95: percentiles(&state.tenant_latencies[t]).p95,
+        })
+        .collect();
+    pixel_obs::gauge("serve/utilization", state.busy_time / makespan.max(1e-30));
+    ServeReport {
+        config: config.accel,
+        policy: config.policy.label(),
+        offered_hz: config.rate_hz,
+        achieved_hz,
+        arrivals,
+        completed: state.completed,
+        dropped: state.shed,
+        latency: percentiles(&state.latencies),
+        mean_batch,
+        mean_queue_depth: state.queue.mean_depth(makespan),
+        max_queue_depth: state.queue.max_depth(),
+        utilization: state.busy_time / makespan.max(1e-30),
+        makespan: Time::new(makespan),
+        total_energy,
+        energy_per_inference,
+        tenants: tenant_stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixel_core::config::Design;
+
+    fn base_config(rate: f64) -> ServeConfig {
+        ServeConfig::new(AcceleratorConfig::new(Design::Oo, 4, 16), rate, 400, 2026)
+    }
+
+    #[test]
+    fn conservation_all_arrivals_complete_or_drop() {
+        let workload = Workload::paper_mix();
+        let ctx = EvalContext::new();
+        for rate in [0.5, 2.0, 1_000.0] {
+            let report = simulate(&workload, &ctx, &base_config(rate));
+            assert_eq!(
+                report.completed + report.dropped,
+                report.arrivals,
+                "rate {rate}"
+            );
+            assert!(report.completed > 0, "rate {rate}");
+        }
+    }
+
+    #[test]
+    fn low_load_latency_is_single_batch_service() {
+        let workload = Workload::paper_mix();
+        let ctx = EvalContext::new();
+        // One request every 50 s against a fabric that serves ~1.7/s:
+        // no queueing, every batch is a singleton, so p50 equals a
+        // single-network service time (between the fastest and slowest
+        // network in the mix).
+        let report = simulate(&workload, &ctx, &base_config(0.02));
+        assert!((report.mean_batch - 1.0).abs() < 1e-9);
+        let singles: Vec<f64> = workload
+            .networks()
+            .iter()
+            .map(|net| {
+                ctx.batch_service(&base_config(0.02).accel, net, 1)
+                    .latency
+                    .value()
+            })
+            .collect();
+        let lo = singles.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = singles.iter().copied().fold(0.0f64, f64::max);
+        let p50 = report.latency.p50.value();
+        assert!(
+            p50 >= lo * 0.99 && p50 <= hi * 1.01,
+            "p50 {p50} outside [{lo}, {hi}]"
+        );
+        assert_eq!(report.dropped, 0);
+    }
+
+    #[test]
+    fn overload_sheds_and_saturates() {
+        let workload = Workload::paper_mix();
+        let ctx = EvalContext::new();
+        // The OO fabric serves ~1.7 inf/s under this mix: 0.8/s is a
+        // comfortable load, 1000/s buries it.
+        let light = simulate(&workload, &ctx, &base_config(0.8));
+        let crushed = simulate(&workload, &ctx, &base_config(1_000.0));
+        assert!(crushed.dropped > 0, "overload must shed");
+        assert!(crushed.utilization > 0.99, "overloaded server never idles");
+        assert!(crushed.achieved_hz < crushed.offered_hz * 0.5);
+        assert!(crushed.latency.p99 >= light.latency.p99);
+        assert!(crushed.mean_batch > light.mean_batch);
+    }
+
+    #[test]
+    fn fixed_policy_flushes_partial_batches() {
+        let workload = Workload::paper_mix();
+        let ctx = EvalContext::new();
+        let mut config = base_config(500.0);
+        config.policy = BatchPolicy::Fixed { size: 8 };
+        let report = simulate(&workload, &ctx, &config);
+        assert_eq!(report.completed + report.dropped, report.arrivals);
+        assert!(report.mean_batch > 1.0);
+    }
+
+    #[test]
+    fn deadline_policy_bounds_head_waiting() {
+        let workload = Workload::paper_mix();
+        let ctx = EvalContext::new();
+        let mut config = base_config(0.05);
+        config.policy = BatchPolicy::Dynamic {
+            max_size: 8,
+            deadline: Time::from_millis(5.0),
+        };
+        let report = simulate(&workload, &ctx, &config);
+        assert_eq!(report.completed, report.arrivals);
+        // At one request every 20 s the fabric mostly idles; sojourn is
+        // bounded by the deadline plus a few service times.
+        let slowest = workload
+            .networks()
+            .iter()
+            .map(|net| ctx.batch_service(&config.accel, net, 1).latency.value())
+            .fold(0.0f64, f64::max);
+        // Batches can hold several requests and one batch may wait behind
+        // another; the bound is loose but real.
+        assert!(
+            report.latency.max.value() < 5e-3 + slowest * 20.0,
+            "max {} vs bound {}",
+            report.latency.max.value(),
+            5e-3 + slowest * 20.0
+        );
+    }
+
+    #[test]
+    fn static_power_amortizes_worse_at_low_load() {
+        let workload = Workload::paper_mix();
+        let ctx = EvalContext::new();
+        // Same request count at a lower rate stretches the makespan, so
+        // the OO laser/heater wall-plug is amortized over fewer
+        // inferences per second: energy/inference must rise.
+        let slow = simulate(&workload, &ctx, &base_config(0.05));
+        let fast = simulate(&workload, &ctx, &base_config(1.5));
+        assert!(
+            slow.energy_per_inference > fast.energy_per_inference,
+            "slow {} vs fast {}",
+            slow.energy_per_inference.as_millijoules(),
+            fast.energy_per_inference.as_millijoules()
+        );
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let workload = Workload::paper_mix();
+        let ctx = EvalContext::new();
+        let a = simulate(&workload, &ctx, &base_config(3_000.0));
+        let b = simulate(&workload, &ctx, &base_config(3_000.0));
+        assert_eq!(a, b);
+        let c = {
+            let mut config = base_config(3_000.0);
+            config.seed += 1;
+            simulate(&workload, &ctx, &config)
+        };
+        assert_ne!(a.latency, c.latency, "different seed, different trace");
+    }
+}

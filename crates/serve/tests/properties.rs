@@ -1,0 +1,184 @@
+//! Property tests for the serving simulator: queue invariants under
+//! randomized traffic, the histogram percentile estimator against a
+//! sorted reference, and bitwise determinism of the full saturation
+//! sweep across worker counts and repeated runs.
+
+use pixel_core::config::{AcceleratorConfig, Design};
+use pixel_core::model::EvalContext;
+use pixel_core::sweep::SweepEngine;
+use pixel_serve::arrivals::{Request, Workload};
+use pixel_serve::percentile::{exact_percentile, LatencyHistogram, DEFAULT_SUB_BITS};
+use pixel_serve::queue::{AdmissionQueue, ShedPolicy};
+use pixel_serve::saturation::{render_curves, saturation_sweep, SweepSpec};
+use pixel_serve::sim::{simulate, ServeConfig};
+use pixel_units::rng::SplitMix64;
+
+/// Replays a random offer/take trace against the queue and checks the
+/// conservation and ordering invariants a bounded FIFO must keep.
+fn check_queue_invariants(seed: u64, shed: ShedPolicy) {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let capacity = 1 + (rng.next_u64() % 32) as usize;
+    let mut queue = AdmissionQueue::new(capacity, shed);
+    let mut clock = 0.0;
+    let mut offered: u64 = 0;
+    let mut shed_seen: u64 = 0;
+    let mut taken: Vec<Request> = Vec::new();
+    for id in 0..4000u64 {
+        clock += rng.next_f64();
+        if rng.next_f64() < 0.7 {
+            offered += 1;
+            let request = Request {
+                id,
+                tenant: 0,
+                network: (rng.next_u64() % 3) as usize,
+                arrival: clock,
+            };
+            if queue.offer(clock, request).is_some() {
+                shed_seen += 1;
+            }
+        } else {
+            let max = 1 + (rng.next_u64() % 8) as usize;
+            let batch = queue.take_batch(clock, max);
+            assert!(batch.len() <= max);
+            assert!(
+                batch.windows(2).all(|w| w[0].network == w[1].network),
+                "mixed-network batch"
+            );
+            taken.extend(batch);
+        }
+        assert!(queue.depth() <= capacity, "depth exceeds capacity");
+        assert!(queue.max_depth() <= capacity);
+    }
+    // Conservation: every offered request was admitted or shed, and
+    // every admitted one is either taken or still waiting.
+    assert_eq!(queue.shed_count(), shed_seen);
+    match shed {
+        // DropNewest never admits the victim.
+        ShedPolicy::DropNewest => assert_eq!(queue.admitted(), offered - shed_seen),
+        // DropOldest admits everything and evicts waiting requests.
+        ShedPolicy::DropOldest => assert_eq!(queue.admitted(), offered),
+    }
+    let in_flight = queue.depth() as u64;
+    let evicted = match shed {
+        ShedPolicy::DropNewest => 0,
+        ShedPolicy::DropOldest => shed_seen,
+    };
+    assert_eq!(
+        taken.len() as u64 + in_flight + evicted,
+        queue.admitted(),
+        "admitted = taken + waiting + evicted"
+    );
+    // FIFO: ids leave in strictly increasing admission order except
+    // across network boundaries — but within one network they must be
+    // strictly increasing.
+    for net in 0..3 {
+        let ids: Vec<u64> = taken
+            .iter()
+            .filter(|r| r.network == net)
+            .map(|r| r.id)
+            .collect();
+        assert!(
+            ids.windows(2).all(|w| w[0] < w[1]),
+            "FIFO broken for network {net}"
+        );
+    }
+}
+
+#[test]
+fn queue_invariants_hold_under_random_traffic() {
+    for seed in 0..8 {
+        check_queue_invariants(seed, ShedPolicy::DropNewest);
+        check_queue_invariants(seed ^ 0xdead_beef, ShedPolicy::DropOldest);
+    }
+}
+
+#[test]
+fn histogram_percentiles_track_the_sorted_reference() {
+    // Relative bucket error is bounded by 2^-sub_bits; allow twice that
+    // plus one unit for the integer midpoint rounding.
+    let tolerance = 2.0 / f64::from(1u32 << DEFAULT_SUB_BITS);
+    for seed in 0..6u64 {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let mut hist = LatencyHistogram::new(DEFAULT_SUB_BITS);
+        let mut values: Vec<u64> = Vec::new();
+        for _ in 0..5000 {
+            // Log-uniform values spanning nanoseconds to ~1000 s.
+            let magnitude = (rng.next_f64() * 40.0).exp();
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            let v = magnitude as u64;
+            values.push(v);
+            hist.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let exact = exact_percentile(&values, q);
+            let approx = hist.percentile(q);
+            #[allow(clippy::cast_precision_loss)]
+            let bound = exact as f64 * tolerance + 1.0;
+            #[allow(clippy::cast_precision_loss)]
+            let err = (approx as f64 - exact as f64).abs();
+            assert!(
+                err <= bound,
+                "seed {seed} q {q}: approx {approx} vs exact {exact} (err {err}, bound {bound})"
+            );
+        }
+    }
+}
+
+#[test]
+fn simulation_conserves_requests_across_policies_and_loads() {
+    let workload = Workload::paper_mix();
+    let ctx = EvalContext::new();
+    for design in Design::ALL {
+        for rate in [0.3, 1.5, 40.0] {
+            for shed in [ShedPolicy::DropNewest, ShedPolicy::DropOldest] {
+                let mut config =
+                    ServeConfig::new(AcceleratorConfig::new(design, 4, 16), rate, 500, 11);
+                config.shed = shed;
+                let report = simulate(&workload, &ctx, &config);
+                assert_eq!(
+                    report.completed + report.dropped,
+                    report.arrivals,
+                    "{design} rate {rate} {}",
+                    shed.label()
+                );
+                let tenant_total: u64 = report.tenants.iter().map(|t| t.completed).sum();
+                assert_eq!(tenant_total, report.completed, "tenant accounting");
+            }
+        }
+    }
+}
+
+/// The acceptance bar for the serve artifact: the rendered sweep is
+/// bitwise identical at `--jobs 1` and `--jobs 4`, and across repeated
+/// runs at the same seed.
+#[test]
+fn saturation_sweep_is_bitwise_identical_across_worker_counts() {
+    let workload = Workload::paper_mix();
+    let mut spec = SweepSpec::artifact(99);
+    spec.loads = vec![0.5, 0.95, 1.15];
+    spec.requests = 800;
+    let render = |jobs: usize| {
+        let engine = SweepEngine::new(jobs);
+        render_curves(
+            &workload,
+            &spec,
+            &saturation_sweep(&engine, &workload, &spec),
+        )
+    };
+    let serial = render(1);
+    let parallel = render(4);
+    let repeat = render(4);
+    assert_eq!(serial, parallel, "worker count changed the artifact");
+    assert_eq!(parallel, repeat, "repeated run changed the artifact");
+
+    let mut other = spec.clone();
+    other.seed = 100;
+    let engine = SweepEngine::new(2);
+    let reseeded = render_curves(
+        &workload,
+        &other,
+        &saturation_sweep(&engine, &workload, &other),
+    );
+    assert_ne!(serial, reseeded, "seed must matter");
+}

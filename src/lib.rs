@@ -15,6 +15,8 @@
 //!   and table in the paper.
 //! * [`obs`] — std-only observability: span timers, counters, JSONL
 //!   tracing, and profile tables threaded through the crates above.
+//! * [`serve`] — discrete-event inference-serving simulator (arrivals,
+//!   admission queue, batching, tail latency) over the design models.
 //!
 //! # Quickstart
 //!
@@ -34,4 +36,5 @@ pub use pixel_dnn as dnn;
 pub use pixel_electronics as electronics;
 pub use pixel_obs as obs;
 pub use pixel_photonics as photonics;
+pub use pixel_serve as serve;
 pub use pixel_units as units;
