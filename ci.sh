@@ -12,6 +12,37 @@ cargo build --release --workspace
 echo "== test"
 cargo test -q --workspace
 
+echo "== lint"
+# Deny mode: the checked-in baseline must stay empty and the tree clean.
+./target/release/reproduce lint --deny
+
+# Negative smoke: seed one violation of each rule family into a scratch
+# file and assert the analyzer refuses it. The file is not referenced by
+# any module tree, so cargo never compiles it; the trap guarantees
+# cleanup even when an assertion fails.
+smoke=crates/core/src/lint_smoke_tmp.rs
+trap 'rm -f "$smoke"' EXIT
+cat > "$smoke" <<'EOF'
+pub fn smoke() {
+    let _ = std::time::Instant::now();
+    let design: Option<u32> = None;
+    match design { _ => {} }
+    let _ = design.unwrap();
+}
+pub fn smoke_energy(raw_energy: f64) -> f64 {
+    raw_energy
+}
+EOF
+if ./target/release/reproduce lint --deny > /tmp/lint_smoke_out 2>&1; then
+  echo "lint failed to flag the seeded violations" >&2
+  exit 1
+fi
+for rule in D001 A001 P001 U001; do
+  grep -q "$rule" /tmp/lint_smoke_out || { echo "lint missed $rule" >&2; exit 1; }
+done
+rm -f "$smoke"
+trap - EXIT
+
 echo "== clippy"
 cargo clippy --all-targets --workspace -- -D warnings
 

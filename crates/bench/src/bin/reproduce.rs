@@ -14,6 +14,9 @@
 //! --trace F  stream span/counter events to F as JSON lines
 //! ```
 //!
+//! `reproduce lint [ARGS...]` forwards to the `pixel-lint` static
+//! analyzer (see `reproduce lint --help`).
+//!
 //! With no artifact (or `all`) every artifact is printed in paper order.
 
 use std::process::ExitCode;
@@ -139,6 +142,14 @@ fn print_keys(to_stderr: bool) {
 }
 
 fn main() -> ExitCode {
+    // `reproduce lint [...]` forwards straight to the static analyzer:
+    // the lint pass is an artifact of the reproduction like any other.
+    {
+        let forwarded: Vec<String> = std::env::args().skip(1).collect();
+        if forwarded.first().is_some_and(|a| a == "lint") {
+            return ExitCode::from(pixel_lint::cli::run(&forwarded[1..]));
+        }
+    }
     let mut profile = false;
     let mut trace_path: Option<String> = None;
     let mut keys: Vec<String> = Vec::new();

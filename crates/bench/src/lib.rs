@@ -290,7 +290,7 @@ pub fn audit() -> String {
     let _span = pixel_obs::span("audit");
     let seed = pixel_core::seed::artifact_seed("audit", 2020);
     let rows = pixel_core::audit::activity_audit(4, 8, 200, 16, seed);
-    let mut s = pixel_core::report::format_audit(&rows);
+    let mut s = report::format_audit(&rows);
     s.push_str("\n(200 windows x 16 uniform 8-bit operand pairs per design)\n");
     s
 }

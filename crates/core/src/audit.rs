@@ -64,16 +64,12 @@ fn rel_error(counted: f64, analytic: f64) -> f64 {
     (counted - analytic).abs() / analytic
 }
 
-/// Closed-form (lit, toggle) activity factors for uniform operands.
+/// Closed-form (lit, toggle) activity factors for uniform operands,
+/// dispatched through the design's [`crate::model::DesignModel`]
+/// backend (where the per-design reasoning lives).
 #[must_use]
 pub fn analytic_activity(design: Design) -> (f64, f64) {
-    match design {
-        // Independent fair synapse bits, serially streamed.
-        Design::Ee => (0.5, 0.5),
-        // Neuron bit AND synapse-bit gate; the gate is shared along the
-        // train, correlating adjacent slots.
-        Design::Oe | Design::Oo => (0.25, 0.25),
-    }
+    design.model().analytic_activity()
 }
 
 /// Audits every design: runs `windows` random inner products of
@@ -133,7 +129,7 @@ mod tests {
         // 200 windows × 16 operands at 8 bits gives ≥25k measured slots
         // per design; sampling error on the rates is well under 3%.
         for row in activity_audit(4, 8, 200, 16, 0xA0D1) {
-            assert!(row.slots > 10_000, "{:?}", row);
+            assert!(row.slots > 10_000, "{row:?}");
             assert!(
                 row.lit_rel_error() < 0.03,
                 "{} lit {} vs {}",

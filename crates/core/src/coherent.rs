@@ -115,8 +115,10 @@ pub fn jacobi_svd(w: &[Vec<f64>]) -> Svd {
                 best = Some(e.iter().map(|x| x / norm).collect());
             }
         }
+        // lint:allow(P002) Gram-Schmidt over the standard basis always yields a completion
         u_cols[j] = Some(best.expect("an orthogonal completion always exists"));
     }
+    // lint:allow(P002) every column was filled by the completion loop above
     let u_cols: Vec<Vec<f64>> = u_cols.into_iter().map(|c| c.expect("filled")).collect();
 
     let to_unitary = |cols: &Vec<Vec<f64>>| {

@@ -67,6 +67,7 @@ impl FunctionalFabric {
             padding,
         } = layer.kind
         else {
+            // lint:allow(P003) caller contract: the fabric executes convolution layers only
             panic!("functional fabric executes convolution layers");
         };
         if input.shape() != layer.input {
@@ -158,9 +159,11 @@ impl FunctionalFabric {
                     .collect()
             })
             .collect();
+        // lint:allow(P002) the mux plan is sized to the window by construction
         let signal = mux_tiles(plan, &per_tile).expect("plan sized to the window");
         let mut received = Vec::with_capacity(neurons.len());
         'outer: for tile in 0..plan.tiles() {
+            // lint:allow(P002) tile ids come from the plan being iterated
             for id in plan.tile_band(tile).expect("tile in plan") {
                 if received.len() == neurons.len() {
                     break 'outer;
@@ -169,6 +172,7 @@ impl FunctionalFabric {
                 let word = self
                     .detector
                     .detect_binary(&train, Power::from_microwatts(100.0))
+                    // lint:allow(P002) noiseless binary channel decodes losslessly
                     .expect("clean binary channel");
                 received.push(word);
             }
@@ -186,6 +190,7 @@ impl FunctionalFabric {
 fn kernel_of(weights: &LayerWeights, filter: usize, window: usize) -> &[u64] {
     match weights {
         LayerWeights::Conv { data, .. } => &data[filter * window..(filter + 1) * window],
+        // lint:allow(P003) caller contract: convolution weights accompany conv layers
         _ => panic!("convolution weights required"),
     }
 }

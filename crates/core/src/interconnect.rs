@@ -204,7 +204,7 @@ mod tests {
         // Loss attenuates but thresholded decode recovers the bits.
         assert_eq!(signal.demux(WavelengthId(0)).to_bits(), Some(0b101));
         assert_eq!(signal.demux(WavelengthId(2)).to_bits(), Some(0b110));
-        assert!(signal.demux(WavelengthId(0)).total_power() < 2.0);
+        assert!(signal.demux(WavelengthId(0)).total_amplitude() < 2.0);
     }
 
     #[test]

@@ -49,6 +49,7 @@ impl LayerMapping {
                 )
             }
             LayerKind::Fc { outputs } => (outputs as u64, layer.input.elements() as u64),
+            // lint:allow(P003) pooling layers are never scheduled on OMACs by the mapper
             LayerKind::Pool { .. } => panic!("pooling layers are not scheduled on OMACs"),
         };
         let lanes = config.lanes as u64;

@@ -21,6 +21,9 @@ use crate::latency;
 use crate::overrides::ModelOverrides;
 use pixel_dnn::analysis::{analyze_network, ComputeCounts, FcCountConvention};
 use pixel_dnn::network::Network;
+// HashMap iteration order never reaches any artifact: both caches are
+// read per-key (and `len()` for stats), so nondeterministic ordering
+// cannot leak into reports. Audited for the D002 hash-order invariant.
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
@@ -107,7 +110,10 @@ impl EvalContext {
 
     fn derived(&self, config: &AcceleratorConfig) -> Derived {
         let key = DerivedKey::new(config, &self.overrides);
-        let mut cache = self.derived.lock().expect("derived cache poisoned");
+        let mut cache = self
+            .derived
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(hit) = cache.get(&key) {
             pixel_obs::add("eval/cache_hit", 1);
             return *hit;
@@ -145,7 +151,10 @@ impl EvalContext {
         convention: FcCountConvention,
     ) -> Arc<Vec<ComputeCounts>> {
         let key = (network.name().to_owned(), convention);
-        let mut cache = self.counts.lock().expect("counts cache poisoned");
+        let mut cache = self
+            .counts
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(hit) = cache.get(&key) {
             pixel_obs::add("eval/counts_hit", 1);
             return Arc::clone(hit);
@@ -222,7 +231,10 @@ impl EvalContext {
     /// Number of distinct configurations derived so far.
     #[must_use]
     pub fn derived_entries(&self) -> usize {
-        self.derived.lock().expect("derived cache poisoned").len()
+        self.derived
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .len()
     }
 }
 

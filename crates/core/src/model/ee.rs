@@ -75,6 +75,12 @@ impl DesignModel for EeModel {
         None
     }
 
+    fn analytic_activity(&self) -> (f64, f64) {
+        // Independent fair synapse bits, serially streamed: lit and
+        // toggle rates are both 1/2.
+        (0.5, 0.5)
+    }
+
     fn functional_engine(&self, config: &AcceleratorConfig) -> Box<dyn ActivityMac> {
         Box::new(EeMac::new(config.lanes, config.bits_per_lane))
     }

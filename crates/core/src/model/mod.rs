@@ -90,6 +90,11 @@ pub trait DesignModel: Send + Sync {
     /// designs without an optical front end (no line code to choose).
     fn chunk_handoff_cycles(&self) -> Option<f64>;
 
+    /// Closed-form (lit, toggle) activity factors for uniformly random
+    /// operands — what the energy model multiplies by, and what
+    /// [`crate::audit`] checks the counted functional activity against.
+    fn analytic_activity(&self) -> (f64, f64);
+
     /// Builds the bit-true functional MAC engine of this design.
     fn functional_engine(&self, config: &AcceleratorConfig) -> Box<dyn ActivityMac>;
 }
@@ -217,6 +222,7 @@ pub(crate) fn optical_fabric_area(
 pub(crate) fn optical_static_power(config: &AcceleratorConfig) -> StaticPower {
     let per_channel = config.lanes.min(128);
     let laser = FabryPerotLaser::new(per_channel, Power::from_milliwatts(1.0), 0.1)
+        // lint:allow(P002) lanes clamped to the 128-channel comb capacity above
         .expect("lanes clamped to channel capacity");
     #[allow(clippy::cast_precision_loss)]
     let channels = config.tiles as f64;

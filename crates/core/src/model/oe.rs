@@ -87,6 +87,13 @@ impl DesignModel for OeModel {
         Some(CHUNK_HANDOFF_CYCLES)
     }
 
+    fn analytic_activity(&self) -> (f64, f64) {
+        // Neuron bit AND synapse-bit gate: lit rate 1/4; the gate is
+        // shared along the train, correlating adjacent slots into a
+        // toggle rate of 1/4 (not the independent-model 3/8).
+        (0.25, 0.25)
+    }
+
     fn functional_engine(&self, config: &AcceleratorConfig) -> Box<dyn ActivityMac> {
         Box::new(OeMac::new(config.lanes, config.bits_per_lane))
     }

@@ -94,6 +94,12 @@ impl DesignModel for OoModel {
         Some(CHUNK_HANDOFF_CYCLES)
     }
 
+    fn analytic_activity(&self) -> (f64, f64) {
+        // Same shared-gate partial-product trains as OE: the MZI
+        // accumulation changes where sums happen, not slot statistics.
+        (0.25, 0.25)
+    }
+
     fn functional_engine(&self, config: &AcceleratorConfig) -> Box<dyn ActivityMac> {
         Box::new(OoMac::new(config.lanes, config.bits_per_lane))
     }

@@ -77,6 +77,7 @@ impl MacEngine for EeMac {
             let chunk = self
                 .stripes
                 .mac(&n, &s)
+                // lint:allow(P002) operand widths validated by the caller precision check
                 .expect("operands validated by caller precision");
             let (sum, carry) = self.output_accumulator.add(acc, chunk.value, false);
             self.activity.add_cla_op();

@@ -80,6 +80,7 @@ impl OeMac {
         let word = self
             .converter
             .decode(&dropped.quantized_levels())
+            // lint:allow(P002) a noiseless binary optical train decodes losslessly
             .expect("binary optical train decodes losslessly");
         self.activity.add_oe_conversion();
         self.shifter.shift_left(word, bit_index)

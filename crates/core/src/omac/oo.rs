@@ -111,6 +111,7 @@ impl OoMac {
         self.activity.add_oe_conversion();
         self.converter
             .decode(&amplitudes)
+            // lint:allow(P002) amplitude levels bounded by bits-per-lane accumulation
             .expect("amplitude levels bounded by bits per lane")
     }
 }

@@ -27,6 +27,7 @@ pub fn optical_cycles_per_firing(config: &AcceleratorConfig, format: Format) -> 
         .design
         .model()
         .chunk_handoff_cycles()
+        // lint:allow(P002) EE never reaches line coding; documented # Panics contract
         .expect("line coding applies to the optical designs");
     let slots = f64::from(format.slots_for(config.bits_per_lane));
     let q = config.clocks.pulses_per_electrical_cycle();

@@ -129,6 +129,7 @@ pub fn proportional_rows(grid_rows: usize, jobs: &[&Network]) -> Vec<usize> {
                 let b = work[*j] * ra as u64;
                 a.cmp(&b)
             })
+            // lint:allow(P002) rows is non-empty: the grid has at least one row
             .expect("non-empty");
         rows[idx] += 1;
         remaining -= 1;
@@ -192,7 +193,7 @@ mod tests {
     #[test]
     fn proportional_rows_cover_the_grid() {
         let nets = zoo::all_networks();
-        let refs: Vec<&pixel_dnn::network::Network> = nets.iter().collect();
+        let refs: Vec<&Network> = nets.iter().collect();
         let rows = proportional_rows(12, &refs);
         assert_eq!(rows.len(), 6);
         assert_eq!(rows.iter().sum::<usize>(), 12);

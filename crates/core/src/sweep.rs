@@ -154,7 +154,11 @@ impl SweepEngine {
                 })
                 .collect();
             for handle in handles {
-                results.extend(handle.join().expect("sweep worker panicked"));
+                results.extend(
+                    handle
+                        .join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload)),
+                );
             }
         });
         results

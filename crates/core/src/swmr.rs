@@ -170,7 +170,7 @@ mod tests {
                 .collect();
             assert_eq!(scaled, vec![1, 1, 0, 1]);
         }
-        assert!(taps[3].total_power() < taps[0].total_power());
+        assert!(taps[3].total_amplitude() < taps[0].total_amplitude());
     }
 
     #[test]

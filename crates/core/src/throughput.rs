@@ -22,7 +22,7 @@ pub struct ThroughputReport {
     /// Steady-state inferences per second.
     pub inferences_per_second: f64,
     /// Energy per inference (batch-invariant).
-    pub energy_per_inference: pixel_units::Energy,
+    pub energy_per_inference: Energy,
 }
 
 /// Service time and dynamic energy of one batch — the quantity the

@@ -61,6 +61,7 @@ pub fn im2col(layer: &Layer, input: &Tensor) -> Result<PatchMatrix, ShapeError> 
         ..
     } = layer.kind
     else {
+        // lint:allow(P003) caller contract: im2col is only invoked on conv layers
         panic!("im2col requires a convolution layer");
     };
     if input.shape() != layer.input {
@@ -114,6 +115,7 @@ pub fn conv2d_im2col(
     engine: &dyn MacEngine,
 ) -> Result<Tensor, ShapeError> {
     let LayerKind::Conv { filters, .. } = layer.kind else {
+        // lint:allow(P003) caller contract: conv2d_im2col dispatches on conv layers
         panic!("conv2d_im2col requires a convolution layer");
     };
     let patches = im2col(layer, input)?;
@@ -126,6 +128,7 @@ pub fn conv2d_im2col(
         ..
     } = weights
     else {
+        // lint:allow(P003) caller contract: conv weights accompany conv layers
         panic!("conv weights required");
     };
     let klen = kernel * kernel * channels;

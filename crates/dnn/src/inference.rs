@@ -106,6 +106,7 @@ impl LayerWeights {
                 let len = kernel * kernel * channels;
                 &data[filter * len..(filter + 1) * len]
             }
+            // lint:allow(P003) programmer-error contract: wrong weight variant for layer kind
             _ => panic!("not convolution weights"),
         }
     }
@@ -113,6 +114,7 @@ impl LayerWeights {
     fn fc_row(&self, output: usize) -> &[u64] {
         match self {
             Self::Fc { inputs, data, .. } => &data[output * inputs..(output + 1) * inputs],
+            // lint:allow(P003) programmer-error contract: wrong weight variant for layer kind
             _ => panic!("not fully-connected weights"),
         }
     }
@@ -159,6 +161,7 @@ pub fn conv2d(
         padding,
     } = layer.kind
     else {
+        // lint:allow(P003) caller contract: conv2d dispatches on LayerKind::Conv
         panic!("conv2d called on a non-conv layer");
     };
     if input.shape() != layer.input {
@@ -211,6 +214,7 @@ pub fn fully_connected(
     engine: &dyn MacEngine,
 ) -> Result<Tensor, ShapeError> {
     let LayerKind::Fc { outputs } = layer.kind else {
+        // lint:allow(P003) caller contract: fully_connected dispatches on LayerKind::Fc
         panic!("fully_connected called on a non-FC layer");
     };
     let flat = input.to_flat();
@@ -239,6 +243,7 @@ pub fn pool(layer: &Layer, input: &Tensor) -> Result<Tensor, ShapeError> {
         kind,
     } = layer.kind
     else {
+        // lint:allow(P003) caller contract: pool dispatches on LayerKind::Pool
         panic!("pool called on a non-pool layer");
     };
     if input.shape() != layer.input {

@@ -13,7 +13,7 @@ pub fn argmax(scores: &[u64]) -> usize {
         .enumerate()
         .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
         .map(|(i, _)| i)
-        .expect("non-empty")
+        .unwrap_or(0)
 }
 
 /// Indices of the `k` largest scores, descending (stable on ties).

@@ -49,7 +49,9 @@ impl NetworkMix {
             .collect();
         // Guard the last boundary against rounding: sample() must always
         // land inside the table.
-        *cumulative.last_mut().expect("non-empty") = 1.0;
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
         Self {
             name: name.into(),
             entries: entries.to_vec(),

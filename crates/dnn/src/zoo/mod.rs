@@ -128,8 +128,7 @@ mod tests {
         // Table II energy ordering implies total-mul ordering:
         // ResNet-34 > GoogLeNet > ZFNet; VGG16 is the largest of all;
         // LeNet is tiny.
-        let mul_of =
-            |net: &crate::network::Network| network_totals(net, FcCountConvention::Paper).mul;
+        let mul_of = |net: &Network| network_totals(net, FcCountConvention::Paper).mul;
         let nets = all_networks();
         let vgg = mul_of(&nets[0]);
         let alex = mul_of(&nets[1]);

@@ -1,0 +1,200 @@
+//! The `lint-baseline.toml` grandfather file.
+//!
+//! The baseline lets the analyzer land strict: pre-existing violations
+//! are recorded here and filtered from the report, while anything new
+//! fails CI immediately. The intended trajectory is burn-down — this
+//! repository's baseline is empty and must stay empty (the self-check
+//! test asserts it).
+//!
+//! The format is a minimal TOML subset parsed without dependencies:
+//!
+//! ```toml
+//! [[finding]]
+//! rule = "P001"
+//! file = "crates/x/src/y.rs"
+//! line = 12
+//! ```
+
+use crate::diag::Finding;
+
+/// One grandfathered finding.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct BaselineEntry {
+    /// Rule ID.
+    pub rule: String,
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+}
+
+/// Error produced by [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineError {
+    /// 1-based line of the baseline file.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "baseline line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+/// Parses the baseline TOML subset.
+///
+/// # Errors
+///
+/// Returns [`BaselineError`] on unknown keys, values outside the
+/// string/integer subset, or fields outside a `[[finding]]` table.
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, BaselineError> {
+    let mut entries: Vec<BaselineEntry> = Vec::new();
+    let mut current: Option<BaselineEntry> = None;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[finding]]" {
+            if let Some(done) = current.take() {
+                entries.push(done);
+            }
+            current = Some(BaselineEntry {
+                rule: String::new(),
+                file: String::new(),
+                line: 0,
+            });
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(BaselineError {
+                line: lineno,
+                message: format!("expected `key = value`, got {line:?}"),
+            });
+        };
+        let Some(entry) = current.as_mut() else {
+            return Err(BaselineError {
+                line: lineno,
+                message: "field outside a [[finding]] table".to_owned(),
+            });
+        };
+        let key = key.trim();
+        let value = value.trim();
+        match key {
+            "rule" | "file" => {
+                let Some(s) = value.strip_prefix('"').and_then(|v| v.strip_suffix('"')) else {
+                    return Err(BaselineError {
+                        line: lineno,
+                        message: format!("{key} must be a quoted string"),
+                    });
+                };
+                if key == "rule" {
+                    entry.rule = s.to_owned();
+                } else {
+                    entry.file = s.to_owned();
+                }
+            }
+            "line" => match value.parse::<u32>() {
+                Ok(n) => entry.line = n,
+                Err(_) => {
+                    return Err(BaselineError {
+                        line: lineno,
+                        message: "line must be an unsigned integer".to_owned(),
+                    });
+                }
+            },
+            other => {
+                return Err(BaselineError {
+                    line: lineno,
+                    message: format!("unknown key {other:?}"),
+                });
+            }
+        }
+    }
+    if let Some(done) = current.take() {
+        entries.push(done);
+    }
+    Ok(entries)
+}
+
+/// Serializes entries back to the baseline format (round-trips [`parse`]).
+#[must_use]
+pub fn serialize(entries: &[BaselineEntry]) -> String {
+    let mut out = String::from(
+        "# pixel-lint baseline: grandfathered findings, one [[finding]] table each.\n\
+         # The goal is burn-down; keep this file empty.\n",
+    );
+    for e in entries {
+        out.push_str(&format!(
+            "\n[[finding]]\nrule = \"{}\"\nfile = \"{}\"\nline = {}\n",
+            e.rule, e.file, e.line
+        ));
+    }
+    out
+}
+
+/// Filters `findings`, dropping those matched by a baseline entry.
+#[must_use]
+pub fn apply(findings: Vec<Finding>, baseline: &[BaselineEntry]) -> Vec<Finding> {
+    findings
+        .into_iter()
+        .filter(|f| {
+            !baseline
+                .iter()
+                .any(|b| b.rule == f.rule && b.file == f.file && b.line == f.line)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(rule: &str, file: &str, line: u32) -> BaselineEntry {
+        BaselineEntry {
+            rule: rule.to_owned(),
+            file: file.to_owned(),
+            line,
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let entries = vec![
+            entry("P001", "crates/a/src/l.rs", 3),
+            entry("D002", "crates/b/src/m.rs", 99),
+        ];
+        assert_eq!(parse(&serialize(&entries)), Ok(entries));
+    }
+
+    #[test]
+    fn empty_baseline_parses_empty() {
+        assert_eq!(parse(&serialize(&[])), Ok(vec![]));
+        assert_eq!(parse("# only comments\n\n"), Ok(vec![]));
+    }
+
+    #[test]
+    fn rejects_unknown_keys_and_loose_fields() {
+        assert!(parse("[[finding]]\nseverity = \"high\"\n").is_err());
+        assert!(parse("rule = \"P001\"\n").is_err());
+        assert!(parse("[[finding]]\nline = \"three\"\n").is_err());
+    }
+
+    #[test]
+    fn apply_filters_exact_matches_only() {
+        let f = |line| Finding {
+            file: "crates/a/src/l.rs".to_owned(),
+            line,
+            rule: "P001",
+            message: String::new(),
+        };
+        let kept = apply(vec![f(3), f(4)], &[entry("P001", "crates/a/src/l.rs", 3)]);
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].line, 4);
+    }
+}

@@ -1,0 +1,259 @@
+//! Command-line driver shared by the `pixel-lint` binary and the
+//! `reproduce lint` subcommand.
+
+use crate::baseline::{self, BaselineEntry};
+use crate::diag::{render_human, render_json, Finding, RULES};
+use crate::walk;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Output format of a lint run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// `file:line: RULE: message` lines plus a summary.
+    Human,
+    /// A single machine-readable JSON document.
+    Json,
+}
+
+/// Parsed command-line options.
+#[derive(Debug)]
+pub struct Options {
+    /// Workspace root (auto-discovered when `None`).
+    pub root: Option<PathBuf>,
+    /// Baseline path (`<root>/lint-baseline.toml` when `None`).
+    pub baseline: Option<PathBuf>,
+    /// Output format.
+    pub format: Format,
+    /// Deny mode: ignore the baseline, every finding fails.
+    pub deny: bool,
+    /// Rewrite the baseline file with the current findings and exit 0.
+    pub write_baseline: bool,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Self {
+            root: None,
+            baseline: None,
+            format: Format::Human,
+            deny: false,
+            write_baseline: false,
+        }
+    }
+}
+
+const USAGE: &str = "\
+pixel-lint: workspace-specific invariants for the PIXEL reproduction
+
+USAGE: pixel-lint [OPTIONS]
+  --root <dir>       workspace root (default: discovered from cwd)
+  --baseline <file>  baseline file (default: <root>/lint-baseline.toml)
+  --format <fmt>     human | json (default: human)
+  -D, --deny         ignore the baseline: every finding fails
+  --write-baseline   record current findings as the new baseline
+  --list-rules       print the rule table and exit
+
+EXIT: 0 clean, 1 findings, 2 usage or I/O error
+";
+
+/// Parses CLI arguments.
+///
+/// # Errors
+///
+/// Returns a usage message on unknown flags or missing values.
+pub fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = Some(PathBuf::from(
+                    it.next().ok_or("--root requires a directory")?,
+                ));
+            }
+            "--baseline" => {
+                opts.baseline = Some(PathBuf::from(
+                    it.next().ok_or("--baseline requires a file path")?,
+                ));
+            }
+            "--format" => {
+                opts.format = match it.next().map(String::as_str) {
+                    Some("human") => Format::Human,
+                    Some("json") => Format::Json,
+                    other => return Err(format!("--format must be human|json, got {other:?}")),
+                };
+            }
+            "-D" | "--deny" => opts.deny = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--list-rules" | "--help" | "-h" => {
+                return Err(String::new()); // caller prints usage/rules
+            }
+            other => return Err(format!("unknown argument {other:?}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Renders the rule table for `--list-rules`.
+#[must_use]
+pub fn rule_table() -> String {
+    let mut out = String::new();
+    for r in RULES {
+        out.push_str(&format!("  {:<5} {}\n", r.id, r.summary));
+    }
+    out
+}
+
+/// Walks up from `start` to the directory holding the workspace-level
+/// `Cargo.toml` (the one declaring `[workspace]`).
+#[must_use]
+pub fn discover_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Analyzes every `.rs` source under `root`.
+///
+/// # Errors
+///
+/// Returns a description of any I/O failure.
+pub fn analyze_root(root: &Path) -> Result<Vec<Finding>, String> {
+    let files = walk::rust_sources(root).map_err(|e| format!("walking {root:?}: {e}"))?;
+    let mut findings = Vec::new();
+    for path in files {
+        let rel = walk::relative(root, &path);
+        let src = fs::read_to_string(&path).map_err(|e| format!("reading {rel}: {e}"))?;
+        findings.extend(crate::rules::analyze_source(&rel, &src));
+    }
+    findings.sort();
+    Ok(findings)
+}
+
+/// Runs a full lint pass; returns the process exit code.
+#[must_use]
+#[allow(clippy::missing_panics_doc)] // no panic paths: errors map to exit 2
+pub fn run(args: &[String]) -> u8 {
+    let opts = match parse_args(args) {
+        Ok(opts) => opts,
+        Err(msg) if msg.is_empty() => {
+            print!("{USAGE}\nRULES:\n{}", rule_table());
+            return 0;
+        }
+        Err(msg) => {
+            eprintln!("pixel-lint: {msg}\n{USAGE}");
+            return 2;
+        }
+    };
+    let Some(root) = opts
+        .root
+        .clone()
+        .or_else(|| std::env::current_dir().ok().and_then(|d| discover_root(&d)))
+    else {
+        eprintln!("pixel-lint: cannot find a workspace root (try --root)");
+        return 2;
+    };
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| root.join("lint-baseline.toml"));
+
+    let findings = match analyze_root(&root) {
+        Ok(f) => f,
+        Err(msg) => {
+            eprintln!("pixel-lint: {msg}");
+            return 2;
+        }
+    };
+
+    if opts.write_baseline {
+        let entries: Vec<BaselineEntry> = findings
+            .iter()
+            .map(|f| BaselineEntry {
+                rule: f.rule.to_owned(),
+                file: f.file.clone(),
+                line: f.line,
+            })
+            .collect();
+        if let Err(e) = fs::write(&baseline_path, baseline::serialize(&entries)) {
+            eprintln!("pixel-lint: writing {baseline_path:?}: {e}");
+            return 2;
+        }
+        println!(
+            "pixel-lint: wrote {} entr(ies) to {}",
+            entries.len(),
+            baseline_path.display()
+        );
+        return 0;
+    }
+
+    let grandfathered = if opts.deny {
+        Vec::new()
+    } else {
+        match fs::read_to_string(&baseline_path) {
+            Ok(text) => match baseline::parse(&text) {
+                Ok(entries) => entries,
+                Err(e) => {
+                    eprintln!("pixel-lint: {e}");
+                    return 2;
+                }
+            },
+            Err(_) => Vec::new(), // no baseline file = empty baseline
+        }
+    };
+    let remaining = baseline::apply(findings, &grandfathered);
+
+    match opts.format {
+        Format::Human => print!("{}", render_human(&remaining)),
+        Format::Json => print!("{}", render_json(&remaining)),
+    }
+    u8::from(!remaining.is_empty())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn parses_flags() {
+        let o = parse_args(&args(&["--deny", "--format", "json", "--root", "/ws"])).unwrap();
+        assert!(o.deny);
+        assert_eq!(o.format, Format::Json);
+        assert_eq!(o.root.as_deref(), Some(Path::new("/ws")));
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        assert!(parse_args(&args(&["--frobnicate"])).is_err());
+        assert!(parse_args(&args(&["--format", "xml"])).is_err());
+    }
+
+    #[test]
+    fn discovers_this_workspace() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = discover_root(here).expect("workspace root");
+        assert!(root.join("Cargo.toml").exists());
+        assert!(root.join("crates").exists());
+    }
+
+    #[test]
+    fn rule_table_lists_every_rule() {
+        let table = rule_table();
+        for r in RULES {
+            assert!(table.contains(r.id), "{} missing", r.id);
+        }
+    }
+}

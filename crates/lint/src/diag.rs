@@ -1,0 +1,188 @@
+//! Findings, the rule registry, and the human / JSON output formats.
+
+use std::fmt;
+
+/// One diagnostic produced by a rule.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes).
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// Stable rule ID (`D001`, `A002`, ...).
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// Static description of one rule, for `--list-rules` and the docs.
+#[derive(Debug, Clone, Copy)]
+pub struct RuleInfo {
+    /// Stable ID.
+    pub id: &'static str,
+    /// One-line summary of what the rule enforces.
+    pub summary: &'static str,
+}
+
+/// Every rule the analyzer knows, in report order.
+pub const RULES: [RuleInfo; 11] = [
+    RuleInfo {
+        id: "D001",
+        summary: "no SystemTime / Instant::now outside crates/obs and crates/bench/src/timing.rs",
+    },
+    RuleInfo {
+        id: "D002",
+        summary: "no HashMap/HashSet in artifact/report/serve paths (iteration order reaches output); use BTreeMap or a sorted collection",
+    },
+    RuleInfo {
+        id: "D003",
+        summary: "no float == / != against float literals outside tests",
+    },
+    RuleInfo {
+        id: "D004",
+        summary: "no std::env reads outside the sanctioned sweep/CLI entry points",
+    },
+    RuleInfo {
+        id: "A001",
+        summary: "no match on Design outside the crates/core model/ and omac/ backend modules",
+    },
+    RuleInfo {
+        id: "A002",
+        summary: "no cross-backend reference (ee.rs must not name oe:: or oo::, etc.)",
+    },
+    RuleInfo {
+        id: "U001",
+        summary: "public fns in core/electronics/photonics with quantity-named params or returns must use pixel-units types, not bare f64",
+    },
+    RuleInfo {
+        id: "P001",
+        summary: "no .unwrap() in non-test library code without a lint:allow suppression",
+    },
+    RuleInfo {
+        id: "P002",
+        summary: "no .expect() in non-test library code without a lint:allow suppression",
+    },
+    RuleInfo {
+        id: "P003",
+        summary: "no panic! in non-test library code without a lint:allow suppression",
+    },
+    RuleInfo {
+        id: "X001",
+        summary: "every lint:allow marker must list known rule IDs and carry a reason",
+    },
+];
+
+/// True if `id` names a known rule.
+#[must_use]
+pub fn is_known_rule(id: &str) -> bool {
+    RULES.iter().any(|r| r.id == id)
+}
+
+/// Renders findings in the human `file:line: RULE: message` format.
+#[must_use]
+pub fn render_human(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    for f in findings {
+        out.push_str(&f.to_string());
+        out.push('\n');
+    }
+    if findings.is_empty() {
+        out.push_str("pixel-lint: no findings\n");
+    } else {
+        out.push_str(&format!("pixel-lint: {} finding(s)\n", findings.len()));
+    }
+    out
+}
+
+/// Escapes a string for inclusion in a JSON document.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders findings as a stable JSON document:
+///
+/// ```json
+/// {"version":1,"total":1,"findings":[
+///   {"rule":"P001","file":"crates/x/src/y.rs","line":12,"message":"..."}]}
+/// ```
+#[must_use]
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"version\":1,\"total\":{},\"findings\":[",
+        findings.len()
+    ));
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            f.rule,
+            json_escape(&f.file),
+            f.line,
+            json_escape(&f.message)
+        ));
+    }
+    out.push_str("]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Finding {
+        Finding {
+            file: "crates/x/src/y.rs".to_owned(),
+            line: 3,
+            rule: "P001",
+            message: "say \"no\"".to_owned(),
+        }
+    }
+
+    #[test]
+    fn human_format_is_clickable() {
+        let text = render_human(&[sample()]);
+        assert!(text.starts_with("crates/x/src/y.rs:3: P001: "));
+        assert!(text.contains("1 finding(s)"));
+    }
+
+    #[test]
+    fn json_escapes_quotes() {
+        let json = render_json(&[sample()]);
+        assert!(json.contains("\\\"no\\\""));
+        assert!(json.contains("\"total\":1"));
+    }
+
+    #[test]
+    fn rule_ids_are_unique_and_known() {
+        for (i, r) in RULES.iter().enumerate() {
+            assert!(is_known_rule(r.id));
+            assert!(!RULES[..i].iter().any(|p| p.id == r.id), "dup {}", r.id);
+        }
+        assert!(!is_known_rule("Z999"));
+    }
+}

@@ -1,0 +1,38 @@
+//! `pixel-lint` — workspace-specific static analysis for the PIXEL
+//! reproduction.
+//!
+//! Off-the-shelf tools cannot check the invariants this reproduction's
+//! credibility rests on, so this crate does, with a zero-dependency,
+//! std-only analyzer built on a lightweight Rust tokenizer (no `syn`):
+//!
+//! * **D-rules (determinism)** — artifacts are pinned bitwise by the
+//!   snapshot-equivalence tests, so library code must not read wall
+//!   clocks (`D001`) or the process environment (`D004`), must not let
+//!   hash-iteration order reach artifact output (`D002`), and must not
+//!   compare floats for exact equality against literals (`D003`).
+//! * **A-rules (architecture)** — all design-specific cost logic lives
+//!   in the `DesignModel` backends: no `match` on `Design` outside
+//!   `crates/core/src/{model,omac}` (`A001`) and no cross-backend
+//!   reference between the `ee`/`oe`/`oo` modules (`A002`).
+//! * **U-rules (unit hygiene)** — public functions in the modelling
+//!   crates whose parameter or return names claim a physical quantity
+//!   (`*_energy`, `*_area`, `*_ns`, ...) must carry `pixel-units`
+//!   newtypes, not bare `f64` (`U001`) — the discipline DSENT imposes
+//!   on its technology models.
+//! * **P-rules (panic hygiene)** — non-test library code must not
+//!   `unwrap()` / `expect()` / `panic!` (`P001`–`P003`) unless the line
+//!   carries a justified `// lint:allow(P001) reason` suppression.
+//!
+//! Findings can be grandfathered in `lint-baseline.toml` (kept empty in
+//! this repository) and are reported in human or `--format json` form.
+//! See `DESIGN.md` §11 for the full rule catalogue and how to extend it.
+
+pub mod baseline;
+pub mod cli;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+pub use diag::{Finding, RuleInfo, RULES};
+pub use rules::{analyze_scan, analyze_source};

@@ -1,0 +1,8 @@
+//! The standalone `pixel-lint` binary. See [`pixel_lint::cli`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    ExitCode::from(pixel_lint::cli::run(&args))
+}

@@ -1,0 +1,504 @@
+//! The rule set: determinism (D), architecture (A), unit hygiene (U) and
+//! panic hygiene (P) checks over one file's token stream.
+//!
+//! Every rule has a stable ID (see [`crate::diag::RULES`]) and reports
+//! `file:line` findings. Rules are token-level heuristics, not type
+//! checks — they are tuned to the idioms of this workspace and accept a
+//! `// lint:allow(RULE) reason` suppression on the offending line (or
+//! the line directly above it) where a violation is deliberate.
+
+use crate::diag::{is_known_rule, Finding};
+use crate::lexer::{Scan, Token, TokenKind};
+
+/// Paths where wall-clock time is sanctioned (the observability layer
+/// and the bench timer are *about* wall-clock time).
+const D001_EXEMPT_PREFIXES: [&str; 1] = ["crates/obs/src/"];
+const D001_EXEMPT_FILES: [&str; 1] = ["crates/bench/src/timing.rs"];
+
+/// Artifact / report / serve paths whose output must not depend on hash
+/// iteration order.
+const D002_PREFIXES: [&str; 3] = ["crates/serve/src/", "crates/bench/src/", "crates/obs/src/"];
+const D002_FILES: [&str; 2] = ["crates/core/src/report.rs", "crates/core/src/dse.rs"];
+
+/// Entry points sanctioned to read the process environment.
+const D004_EXEMPT_FILES: [&str; 4] = [
+    "crates/core/src/sweep.rs",
+    "crates/bench/src/bin/reproduce.rs",
+    "crates/lint/src/cli.rs",
+    "crates/lint/src/main.rs",
+];
+
+/// Backend modules allowed to match on `Design`.
+const A001_EXEMPT_PREFIXES: [&str; 2] = ["crates/core/src/model/", "crates/core/src/omac/"];
+
+/// Crates whose public API must carry `pixel-units` quantity types.
+const U001_PREFIXES: [&str; 3] = [
+    "crates/core/src/",
+    "crates/electronics/src/",
+    "crates/photonics/src/",
+];
+
+/// Quantity-bearing name suffixes (the DSENT-style unit discipline).
+const U001_SUFFIXES: [&str; 10] = [
+    "_energy", "_fj", "_pj", "_area", "_um2", "_latency", "_ns", "_ps", "_power", "_uw",
+];
+/// Bare quantity names that count the same as the suffixes.
+const U001_BARE: [&str; 4] = ["energy", "area", "latency", "power"];
+
+fn has_prefix(rel: &str, prefixes: &[&str]) -> bool {
+    prefixes.iter().any(|p| rel.starts_with(p))
+}
+
+/// True for files that are wholly test/bench/example context.
+fn is_test_context(rel: &str) -> bool {
+    rel.starts_with("tests/")
+        || rel.starts_with("examples/")
+        || rel.contains("/tests/")
+        || rel.contains("/benches/")
+        || rel.contains("/examples/")
+}
+
+/// True for library-ish sources the panic-hygiene rules cover.
+fn is_library_src(rel: &str) -> bool {
+    (rel.starts_with("src/") || rel.contains("/src/")) && !is_test_context(rel)
+}
+
+fn quantity_name(name: &str) -> bool {
+    U001_BARE.contains(&name) || U001_SUFFIXES.iter().any(|s| name.ends_with(s))
+}
+
+struct Ctx<'a> {
+    rel: &'a str,
+    scan: &'a Scan,
+    findings: Vec<Finding>,
+}
+
+impl Ctx<'_> {
+    fn toks(&self) -> &[Token] {
+        &self.scan.tokens
+    }
+
+    fn text(&self, idx: usize) -> &str {
+        self.toks().get(idx).map_or("", |t| t.text.as_str())
+    }
+
+    fn kind(&self, idx: usize) -> Option<TokenKind> {
+        self.toks().get(idx).map(|t| t.kind)
+    }
+
+    fn emit(&mut self, rule: &'static str, line: u32, message: String) {
+        self.findings.push(Finding {
+            file: self.rel.to_owned(),
+            line,
+            rule,
+            message,
+        });
+    }
+
+    fn in_test(&self, line: u32) -> bool {
+        is_test_context(self.rel) || self.scan.is_test_line(line)
+    }
+}
+
+/// D001 — wall-clock reads poison determinism outside obs/timing.
+/// Tests, benches and examples may time things; artifacts may not.
+fn check_d001(ctx: &mut Ctx<'_>) {
+    if is_test_context(ctx.rel)
+        || has_prefix(ctx.rel, &D001_EXEMPT_PREFIXES)
+        || D001_EXEMPT_FILES.contains(&ctx.rel)
+    {
+        return;
+    }
+    for i in 0..ctx.toks().len() {
+        let t = &ctx.toks()[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        if t.text == "SystemTime" {
+            let line = t.line;
+            ctx.emit(
+                "D001",
+                line,
+                "SystemTime read outside crates/obs; route wall-clock time through pixel-obs"
+                    .to_owned(),
+            );
+        } else if t.text == "Instant" && ctx.text(i + 1) == "::" && ctx.text(i + 2) == "now" {
+            let line = t.line;
+            ctx.emit(
+                "D001",
+                line,
+                "Instant::now outside crates/obs / bench timing; artifacts must be wall-clock free"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
+/// D002 — hash iteration order must never reach artifact output.
+fn check_d002(ctx: &mut Ctx<'_>) {
+    if !has_prefix(ctx.rel, &D002_PREFIXES) && !D002_FILES.contains(&ctx.rel) {
+        return;
+    }
+    for i in 0..ctx.toks().len() {
+        let t = &ctx.toks()[i];
+        if t.kind == TokenKind::Ident
+            && (t.text == "HashMap" || t.text == "HashSet")
+            && !ctx.in_test(t.line)
+        {
+            let (line, name) = (t.line, t.text.clone());
+            ctx.emit(
+                "D002",
+                line,
+                format!("{name} in an artifact/report/serve path; use BTreeMap/BTreeSet or a sorted Vec"),
+            );
+        }
+    }
+}
+
+/// D003 — exact float comparison against a literal.
+fn check_d003(ctx: &mut Ctx<'_>) {
+    for i in 0..ctx.toks().len() {
+        let t = &ctx.toks()[i];
+        if t.kind != TokenKind::Punct || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        let float_neighbour = ctx.kind(i + 1) == Some(TokenKind::Float)
+            || (i > 0 && ctx.kind(i - 1) == Some(TokenKind::Float));
+        if float_neighbour && !ctx.in_test(t.line) {
+            let (line, op) = (t.line, t.text.clone());
+            ctx.emit(
+                "D003",
+                line,
+                format!("float `{op}` against a literal; compare with a tolerance (suppress when the literal is an exact sentinel)"),
+            );
+        }
+    }
+}
+
+/// D004 — process-environment reads outside sanctioned entry points.
+fn check_d004(ctx: &mut Ctx<'_>) {
+    if D004_EXEMPT_FILES.contains(&ctx.rel) {
+        return;
+    }
+    for i in 0..ctx.toks().len() {
+        let t = &ctx.toks()[i];
+        if t.kind == TokenKind::Ident
+            && t.text == "env"
+            && ctx.text(i + 1) == "::"
+            && !ctx.in_test(t.line)
+        {
+            let line = t.line;
+            ctx.emit(
+                "D004",
+                line,
+                "std::env read outside the sanctioned sweep/CLI entry points".to_owned(),
+            );
+        }
+    }
+}
+
+/// A001 — `match` on `Design` outside the backend modules.
+fn check_a001(ctx: &mut Ctx<'_>) {
+    if has_prefix(ctx.rel, &A001_EXEMPT_PREFIXES) {
+        return;
+    }
+    for i in 0..ctx.toks().len() {
+        let t = &ctx.toks()[i];
+        if t.kind != TokenKind::Ident {
+            continue;
+        }
+        let scrutinee: Option<(usize, usize)> = if t.text == "match" {
+            // Scrutinee runs from after `match` to the arm block's `{`.
+            let mut j = i + 1;
+            while j < ctx.toks().len() && ctx.text(j) != "{" {
+                j += 1;
+            }
+            Some((i + 1, j))
+        } else if t.text == "matches" && ctx.text(i + 1) == "!" && ctx.text(i + 2) == "(" {
+            let mut depth = 0usize;
+            let mut j = i + 2;
+            while j < ctx.toks().len() {
+                match ctx.text(j) {
+                    "(" => depth += 1,
+                    ")" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            Some((i + 2, j))
+        } else {
+            None
+        };
+        let Some((from, to)) = scrutinee else {
+            continue;
+        };
+        let names_design = ctx.toks()[from..to.min(ctx.toks().len())]
+            .iter()
+            .any(|t| t.kind == TokenKind::Ident && (t.text == "design" || t.text == "Design"));
+        if names_design {
+            let line = t.line;
+            ctx.emit(
+                "A001",
+                line,
+                "match on Design outside crates/core/src/{model,omac}; dispatch through the DesignModel trait"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
+/// A002 — cross-backend references between ee/oe/oo modules.
+fn check_a002(ctx: &mut Ctx<'_>) {
+    let Some(stem) = backend_stem(ctx.rel) else {
+        return;
+    };
+    let others: Vec<&str> = ["ee", "oe", "oo"]
+        .into_iter()
+        .filter(|&s| s != stem)
+        .collect();
+    for i in 0..ctx.toks().len() {
+        let t = &ctx.toks()[i];
+        if t.kind != TokenKind::Ident || !others.contains(&t.text.as_str()) {
+            continue;
+        }
+        let path_like = ctx.text(i + 1) == "::" || (i > 0 && ctx.text(i - 1) == "::");
+        if path_like {
+            let (line, name) = (t.line, t.text.clone());
+            ctx.emit(
+                "A002",
+                line,
+                format!("backend `{stem}` references sibling backend `{name}`; backends must stay isolated"),
+            );
+        }
+    }
+}
+
+/// The backend stem (`ee` / `oe` / `oo`) of a backend-module path.
+fn backend_stem(rel: &str) -> Option<&'static str> {
+    for dir in ["crates/core/src/model/", "crates/core/src/omac/"] {
+        for stem in ["ee", "oe", "oo"] {
+            if rel == format!("{dir}{stem}.rs") {
+                return Some(stem);
+            }
+        }
+    }
+    None
+}
+
+/// U001 — quantity-named params/returns of public fns must be typed.
+fn check_u001(ctx: &mut Ctx<'_>) {
+    if !has_prefix(ctx.rel, &U001_PREFIXES) {
+        return;
+    }
+    let len = ctx.toks().len();
+    let mut i = 0usize;
+    while i < len {
+        if ctx.text(i) != "pub" {
+            i += 1;
+            continue;
+        }
+        // `pub(crate)` / `pub(super)` are internal API: skip.
+        if ctx.text(i + 1) == "(" {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        while matches!(ctx.text(j), "const" | "async" | "unsafe") {
+            j += 1;
+        }
+        if ctx.text(j) != "fn" {
+            i += 1;
+            continue;
+        }
+        let fn_name = ctx.text(j + 1).to_owned();
+        let fn_line = ctx.toks().get(j + 1).map_or(0, |t| t.line);
+        // Find the parameter list (skip generics up to the `(`).
+        let mut k = j + 2;
+        while k < len && ctx.text(k) != "(" {
+            k += 1;
+        }
+        let open = k;
+        let mut depth = 0usize;
+        while k < len {
+            match ctx.text(k) {
+                "(" => depth += 1,
+                ")" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        let close = k;
+        check_u001_params(ctx, &fn_name, open + 1, close);
+        // Return type: `-> f64` with a quantity-named fn.
+        if ctx.text(close + 1) == "->"
+            && ctx.text(close + 2) == "f64"
+            && matches!(ctx.text(close + 3), "{" | ";" | "where")
+            && quantity_name(&fn_name)
+            && !ctx.in_test(fn_line)
+        {
+            ctx.emit(
+                "U001",
+                fn_line,
+                format!("pub fn `{fn_name}` returns bare f64; return a pixel-units quantity type"),
+            );
+        }
+        i = close + 1;
+    }
+}
+
+/// Checks the parameter tokens in `(open..close)` of `fn_name`.
+fn check_u001_params(ctx: &mut Ctx<'_>, fn_name: &str, open: usize, close: usize) {
+    let mut param_start = open;
+    let mut depth = 0usize;
+    let mut groups: Vec<(usize, usize)> = Vec::new();
+    for idx in open..close {
+        match ctx.text(idx) {
+            "(" | "[" | "<" => depth += 1,
+            ")" | "]" | ">" => depth = depth.saturating_sub(1),
+            "," if depth == 0 => {
+                groups.push((param_start, idx));
+                param_start = idx + 1;
+            }
+            _ => {}
+        }
+    }
+    if param_start < close {
+        groups.push((param_start, close));
+    }
+    for (a, b) in groups {
+        // The declared name is the last ident before the top-level `:`.
+        let Some(colon_at) = (a..b).find(|&idx| ctx.text(idx) == ":") else {
+            continue; // receiver (`self`, `&mut self`) or pattern-only
+        };
+        let name = (a..colon_at)
+            .rev()
+            .find_map(|idx| {
+                let t = &ctx.scan.tokens[idx];
+                (t.kind == TokenKind::Ident).then(|| t.text.clone())
+            })
+            .unwrap_or_default();
+        let bare_f64 = colon_at + 1 < b && ctx.text(colon_at + 1) == "f64" && colon_at + 2 == b;
+        if bare_f64 && quantity_name(&name) && !ctx.in_test(ctx.scan.tokens[a].line) {
+            let line = ctx.scan.tokens[a].line;
+            ctx.emit(
+                "U001",
+                line,
+                format!("pub fn `{fn_name}` takes quantity `{name}` as bare f64; use a pixel-units type"),
+            );
+        }
+    }
+}
+
+/// P001/P002/P003 — panic hygiene in non-test library code.
+fn check_panics(ctx: &mut Ctx<'_>) {
+    if !is_library_src(ctx.rel) {
+        return;
+    }
+    for i in 0..ctx.toks().len() {
+        let t = &ctx.toks()[i];
+        if t.kind != TokenKind::Ident || ctx.in_test(t.line) {
+            continue;
+        }
+        let line = t.line;
+        if ctx.text(i + 1) == "(" && i > 0 && ctx.text(i - 1) == "." {
+            if t.text == "unwrap" {
+                ctx.emit(
+                    "P001",
+                    line,
+                    "unwrap() in library code; propagate a Result or suppress with a reason"
+                        .to_owned(),
+                );
+            } else if t.text == "expect" {
+                ctx.emit(
+                    "P002",
+                    line,
+                    "expect() in library code; propagate a Result or suppress with a reason"
+                        .to_owned(),
+                );
+            }
+        } else if t.text == "panic" && ctx.text(i + 1) == "!" {
+            ctx.emit(
+                "P003",
+                line,
+                "panic! in library code; return an error or suppress with a reason".to_owned(),
+            );
+        }
+    }
+}
+
+/// X001 — malformed suppression markers.
+fn check_x001(ctx: &mut Ctx<'_>) {
+    for s in &ctx.scan.suppressions {
+        let bad =
+            s.rules.is_empty() || s.rules.iter().any(|r| !is_known_rule(r)) || s.reason.len() < 3;
+        if bad {
+            let line = s.line;
+            ctx.emit(
+                "X001",
+                line,
+                "lint:allow must list known rule IDs and carry a reason, e.g. `lint:allow(P001) poisoning is unrecoverable here`"
+                    .to_owned(),
+            );
+        }
+    }
+}
+
+/// Runs every rule over one scanned file and applies suppressions.
+///
+/// `rel` is the workspace-relative path with forward slashes; findings
+/// come back sorted by line then rule.
+#[must_use]
+pub fn analyze_scan(rel: &str, scan: &Scan) -> Vec<Finding> {
+    let mut ctx = Ctx {
+        rel,
+        scan,
+        findings: Vec::new(),
+    };
+    check_d001(&mut ctx);
+    check_d002(&mut ctx);
+    check_d003(&mut ctx);
+    check_d004(&mut ctx);
+    check_a001(&mut ctx);
+    check_a002(&mut ctx);
+    check_u001(&mut ctx);
+    check_panics(&mut ctx);
+    check_x001(&mut ctx);
+
+    // A valid suppression covers its own line and the line below it
+    // (so a marker can sit on its own line above a long statement).
+    let mut suppressed: Vec<(u32, String)> = Vec::new();
+    for s in &scan.suppressions {
+        if s.rules.is_empty() || s.rules.iter().any(|r| !is_known_rule(r)) || s.reason.len() < 3 {
+            continue;
+        }
+        for r in &s.rules {
+            suppressed.push((s.line, r.clone()));
+            suppressed.push((s.line + 1, r.clone()));
+        }
+    }
+    let mut findings: Vec<Finding> = ctx
+        .findings
+        .into_iter()
+        .filter(|f| {
+            f.rule == "X001" || !suppressed.iter().any(|(l, r)| *l == f.line && r == f.rule)
+        })
+        .collect();
+    findings.sort();
+    findings
+}
+
+/// Scans and analyzes raw source text (fixture-test entry point).
+#[must_use]
+pub fn analyze_source(rel: &str, src: &str) -> Vec<Finding> {
+    analyze_scan(rel, &crate::lexer::scan(src))
+}

@@ -1,0 +1,73 @@
+//! Deterministic discovery of the workspace's `.rs` sources.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: [&str; 3] = ["target", ".git", "node_modules"];
+
+/// Collects every `.rs` file under `root`, as workspace-relative
+/// forward-slash paths, sorted for deterministic reports.
+///
+/// # Errors
+///
+/// Returns any I/O error encountered while walking the tree.
+pub fn rust_sources(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    walk(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Converts an absolute source path to the workspace-relative
+/// forward-slash form the rules and baseline use.
+#[must_use]
+pub fn relative(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    rel.components()
+        .map(|c| c.as_os_str().to_string_lossy())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relative_uses_forward_slashes() {
+        let root = Path::new("/ws");
+        let p = Path::new("/ws/crates/core/src/lib.rs");
+        assert_eq!(relative(root, p), "crates/core/src/lib.rs");
+    }
+
+    #[test]
+    fn walks_this_crate() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let files = rust_sources(root).expect("walk lint crate");
+        let rels: Vec<String> = files.iter().map(|p| relative(root, p)).collect();
+        assert!(rels.contains(&"src/walk.rs".to_owned()), "{rels:?}");
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "output is sorted");
+    }
+}

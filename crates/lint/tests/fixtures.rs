@@ -1,0 +1,292 @@
+//! Fixture tests: one positive (fires) and one negative (clean) snippet
+//! per rule ID, plus suppression semantics and JSON output shape.
+
+use pixel_lint::analyze_source;
+
+/// Rules fired by a snippet placed at `rel`, in sorted order.
+fn rules(rel: &str, src: &str) -> Vec<&'static str> {
+    analyze_source(rel, src)
+        .into_iter()
+        .map(|f| f.rule)
+        .collect()
+}
+
+const LIB: &str = "crates/core/src/fixture.rs";
+
+// ----------------------------------------------------------------- D001
+
+#[test]
+fn d001_fires_on_wall_clock_reads_in_model_code() {
+    let src = "pub fn t() -> std::time::Instant { std::time::Instant::now() }\n";
+    assert_eq!(rules(LIB, src), ["D001"]);
+    let sys = "use std::time::SystemTime;\n";
+    assert_eq!(rules(LIB, sys), ["D001"]);
+}
+
+#[test]
+fn d001_allows_obs_bench_timing_and_test_code() {
+    let src = "pub fn t() { let _ = std::time::Instant::now(); }\n";
+    assert_eq!(rules("crates/obs/src/clock.rs", src), Vec::<&str>::new());
+    assert_eq!(rules("crates/bench/src/timing.rs", src), Vec::<&str>::new());
+    assert_eq!(rules("crates/core/tests/wall.rs", src), Vec::<&str>::new());
+    assert_eq!(rules("examples/demo.rs", src), Vec::<&str>::new());
+}
+
+// ----------------------------------------------------------------- D002
+
+#[test]
+fn d002_fires_on_hash_collections_in_artifact_paths() {
+    let src = "use std::collections::HashMap;\nuse std::collections::HashSet;\n";
+    assert_eq!(rules("crates/serve/src/fixture.rs", src), ["D002", "D002"]);
+    assert_eq!(rules("crates/core/src/report.rs", src), ["D002", "D002"]);
+}
+
+#[test]
+fn d002_allows_hashes_outside_artifact_paths_and_btreemap_anywhere() {
+    let src = "use std::collections::HashMap;\n";
+    assert_eq!(rules(LIB, src), Vec::<&str>::new());
+    let btree = "use std::collections::BTreeMap;\n";
+    assert_eq!(
+        rules("crates/serve/src/fixture.rs", btree),
+        Vec::<&str>::new()
+    );
+}
+
+// ----------------------------------------------------------------- D003
+
+#[test]
+fn d003_fires_on_float_literal_equality() {
+    assert_eq!(rules(LIB, "fn f(x: f64) -> bool { x == 0.5 }\n"), ["D003"]);
+    assert_eq!(rules(LIB, "fn f(x: f64) -> bool { 1.0 != x }\n"), ["D003"]);
+}
+
+#[test]
+fn d003_allows_integer_equality_and_float_ordering() {
+    assert_eq!(
+        rules(LIB, "fn f(x: u64) -> bool { x == 5 }\n"),
+        Vec::<&str>::new()
+    );
+    assert_eq!(
+        rules(LIB, "fn f(x: f64) -> bool { x < 0.5 }\n"),
+        Vec::<&str>::new()
+    );
+}
+
+// ----------------------------------------------------------------- D004
+
+#[test]
+fn d004_fires_on_env_reads_outside_sanctioned_entry_points() {
+    let src = "pub fn f() -> Option<String> { std::env::var(\"X\").ok() }\n";
+    assert_eq!(rules(LIB, src), ["D004"]);
+}
+
+#[test]
+fn d004_allows_env_in_sweep_and_cli_entry_points() {
+    let src = "pub fn f() -> Option<String> { std::env::var(\"X\").ok() }\n";
+    assert_eq!(rules("crates/core/src/sweep.rs", src), Vec::<&str>::new());
+    assert_eq!(
+        rules("crates/bench/src/bin/reproduce.rs", src),
+        Vec::<&str>::new()
+    );
+}
+
+// ----------------------------------------------------------------- A001
+
+#[test]
+fn a001_fires_on_design_match_outside_backends() {
+    let src = "fn f(d: Design) -> u32 { match d { Design::Ee => 1, _ => 2 } }\n";
+    // `d` is not literally named design; use the idiomatic name.
+    let named = "fn f(design: Design) -> u32 { match design { _ => 2 } }\n";
+    assert_eq!(rules(LIB, named), ["A001"]);
+    let matches = "fn f(design: Design) -> bool { matches!(design, Design::Ee) }\n";
+    assert_eq!(rules(LIB, matches), ["A001"]);
+    let _ = src;
+}
+
+#[test]
+fn a001_allows_design_matches_inside_the_backend_layer() {
+    let named = "fn f(design: Design) -> u32 { match design { _ => 2 } }\n";
+    assert_eq!(
+        rules("crates/core/src/model/registry.rs", named),
+        Vec::<&str>::new()
+    );
+    assert_eq!(
+        rules("crates/core/src/omac/dispatch.rs", named),
+        Vec::<&str>::new()
+    );
+    // A match on something else entirely is fine anywhere.
+    let other = "fn f(x: u32) -> u32 { match x { _ => 2 } }\n";
+    assert_eq!(rules(LIB, other), Vec::<&str>::new());
+}
+
+// ----------------------------------------------------------------- A002
+
+#[test]
+fn a002_fires_on_cross_backend_imports() {
+    let src = "use super::oe::shared_helper;\n";
+    assert_eq!(rules("crates/core/src/model/ee.rs", src), ["A002"]);
+    let omac = "fn f() { crate::omac::oo::leak(); }\n";
+    assert_eq!(rules("crates/core/src/omac/oe.rs", omac), ["A002"]);
+}
+
+#[test]
+fn a002_allows_parent_module_and_self_imports() {
+    let src = "use super::{DesignModel, StaticPower};\n";
+    assert_eq!(
+        rules("crates/core/src/model/ee.rs", src),
+        Vec::<&str>::new()
+    );
+    // The shared mod.rs may name all backends.
+    let modrs = "pub use ee::EeModel;\npub use oe::OeModel;\n";
+    assert_eq!(
+        rules("crates/core/src/model/mod.rs", modrs),
+        Vec::<&str>::new()
+    );
+}
+
+// ----------------------------------------------------------------- U001
+
+#[test]
+fn u001_fires_on_bare_f64_quantity_signatures() {
+    let ret = "pub fn tile_energy(&self) -> f64 { 1.0 }\n";
+    assert_eq!(rules(LIB, ret), ["U001"]);
+    let param = "pub fn set(total_area_um2: f64) {}\n";
+    assert_eq!(rules(LIB, param), ["U001"]);
+}
+
+#[test]
+fn u001_allows_typed_quantities_private_fns_and_other_crates() {
+    let typed = "pub fn tile_energy(&self) -> Energy { Energy::ZERO }\n";
+    assert_eq!(rules(LIB, typed), Vec::<&str>::new());
+    let private = "fn tile_energy(&self) -> f64 { 1.0 }\n";
+    assert_eq!(rules(LIB, private), Vec::<&str>::new());
+    let elsewhere = "pub fn tile_energy(&self) -> f64 { 1.0 }\n";
+    assert_eq!(
+        rules("crates/serve/src/fixture.rs", elsewhere),
+        Vec::<&str>::new()
+    );
+}
+
+// ----------------------------------------------------------------- P-rules
+
+#[test]
+fn p_rules_fire_on_panicking_calls_in_library_code() {
+    assert_eq!(
+        rules(LIB, "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n"),
+        ["P001"]
+    );
+    assert_eq!(
+        rules(LIB, "fn f(x: Option<u32>) -> u32 { x.expect(\"set\") }\n"),
+        ["P002"]
+    );
+    assert_eq!(rules(LIB, "fn f() { panic!(\"boom\"); }\n"), ["P003"]);
+}
+
+#[test]
+fn p_rules_allow_test_code_and_non_library_paths() {
+    let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert_eq!(rules("crates/core/tests/t.rs", src), Vec::<&str>::new());
+    let in_mod = "#[cfg(test)]\nmod tests {\n    fn f(x: Option<u32>) -> u32 { x.unwrap() }\n}\n";
+    assert_eq!(rules(LIB, in_mod), Vec::<&str>::new());
+}
+
+// ----------------------------------------------------------- suppression
+
+#[test]
+fn suppression_silences_its_line_and_the_next() {
+    let above = "fn f(x: Option<u32>) -> u32 {\n    // lint:allow(P001) checked upstream\n    x.unwrap()\n}\n";
+    assert_eq!(rules(LIB, above), Vec::<&str>::new());
+    let trailing =
+        "fn f(x: Option<u32>) -> u32 { x.unwrap() } // lint:allow(P001) checked upstream\n";
+    assert_eq!(rules(LIB, trailing), Vec::<&str>::new());
+}
+
+#[test]
+fn suppression_does_not_reach_two_lines_down() {
+    let src =
+        "// lint:allow(P001) too far away\nfn g() {}\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+    assert_eq!(rules(LIB, src), ["P001"]);
+}
+
+#[test]
+fn suppression_only_covers_the_named_rule() {
+    let src =
+        "fn f(x: Option<u32>) -> u32 {\n    // lint:allow(P002) wrong rule\n    x.unwrap()\n}\n";
+    assert_eq!(rules(LIB, src), ["P001"]);
+}
+
+#[test]
+fn x001_fires_on_malformed_suppressions_and_is_unsuppressible() {
+    assert_eq!(rules(LIB, "// lint:allow(P999) no such rule\n"), ["X001"]);
+    assert_eq!(rules(LIB, "// lint:allow(P001)\n"), ["X001"]);
+    // X001 cannot be silenced by another suppression.
+    let nested = "// lint:allow(X001) hush\n// lint:allow(P999) no such rule\n";
+    assert!(rules(LIB, nested).contains(&"X001"));
+}
+
+#[test]
+fn doc_comments_describing_the_syntax_are_not_suppressions() {
+    let src = "/// Use `// lint:allow(P999) reason` to suppress.\nfn f() {}\n";
+    assert_eq!(rules(LIB, src), Vec::<&str>::new());
+}
+
+// ------------------------------------------------------------- rendering
+
+#[test]
+fn json_output_has_the_documented_shape() {
+    let findings = analyze_source(LIB, "fn f() { panic!(\"boom\"); }\n");
+    let json = pixel_lint::diag::render_json(&findings);
+    assert!(
+        json.starts_with('{') && json.trim_end().ends_with('}'),
+        "{json}"
+    );
+    assert!(json.contains("\"version\":1"), "{json}");
+    assert!(json.contains("\"total\":1"), "{json}");
+    assert!(json.contains("\"rule\":\"P003\""), "{json}");
+    assert!(json.contains(&format!("\"file\":\"{LIB}\"")), "{json}");
+    assert!(json.contains("\"line\":1"), "{json}");
+}
+
+#[test]
+fn human_output_is_file_line_rule_message() {
+    let findings = analyze_source(LIB, "fn f() { panic!(\"boom\"); }\n");
+    let text = pixel_lint::diag::render_human(&findings);
+    assert!(text.contains(&format!("{LIB}:1: P003:")), "{text}");
+    assert!(text.contains("pixel-lint: 1 finding(s)"), "{text}");
+}
+
+// --------------------------------------------------------------- baseline
+
+#[test]
+fn baseline_round_trips_and_filters_exact_matches() {
+    use pixel_lint::baseline::{apply, parse, serialize, BaselineEntry};
+    let entries = vec![
+        BaselineEntry {
+            rule: "P001".into(),
+            file: "crates/core/src/a.rs".into(),
+            line: 7,
+        },
+        BaselineEntry {
+            rule: "D003".into(),
+            file: "crates/dnn/src/b.rs".into(),
+            line: 99,
+        },
+    ];
+    let text = serialize(&entries);
+    assert_eq!(parse(&text).expect("round trip"), entries);
+
+    let fired = analyze_source(
+        "crates/core/src/a.rs",
+        "fn a() {}\nfn b() {}\nfn c() {}\nfn d() {}\nfn e() {}\nfn g() {}\nfn f(x: Option<u32>) -> u32 { x.unwrap() }\n",
+    );
+    assert_eq!(fired.len(), 1);
+    assert_eq!(fired[0].line, 7);
+    // Exact (rule, file, line) match is filtered; anything else is not.
+    assert!(apply(fired.clone(), &entries).is_empty());
+    let off_by_one = vec![BaselineEntry {
+        rule: "P001".into(),
+        file: "crates/core/src/a.rs".into(),
+        line: 8,
+    }];
+    assert_eq!(apply(fired, &off_by_one).len(), 1);
+}

@@ -1,0 +1,52 @@
+//! Workspace self-check: the repository must lint clean against an
+//! EMPTY checked-in baseline. This is the executable form of the
+//! invariants DESIGN.md §11 documents — `cargo test -p pixel-lint`
+//! fails if anyone reintroduces a violation without a justified
+//! `lint:allow` suppression.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_has_zero_non_suppressed_findings() {
+    let root = workspace_root();
+    let findings = pixel_lint::cli::analyze_root(&root).expect("workspace walk");
+    assert!(
+        findings.is_empty(),
+        "pixel-lint found violations:\n{}",
+        pixel_lint::diag::render_human(&findings)
+    );
+}
+
+#[test]
+fn checked_in_baseline_is_empty() {
+    let path = workspace_root().join("lint-baseline.toml");
+    let text = std::fs::read_to_string(&path).expect("lint-baseline.toml is checked in");
+    let entries = pixel_lint::baseline::parse(&text).expect("baseline parses");
+    assert!(
+        entries.is_empty(),
+        "the baseline must stay burned down to empty; found {} grandfathered entr(ies)",
+        entries.len()
+    );
+}
+
+#[test]
+fn every_rule_id_is_documented_and_unique() {
+    let mut seen = std::collections::BTreeSet::new();
+    for rule in pixel_lint::RULES {
+        assert!(seen.insert(rule.id), "duplicate rule id {}", rule.id);
+        assert!(!rule.summary.is_empty(), "{} lacks a summary", rule.id);
+    }
+    for family in [
+        "D001", "D002", "D003", "D004", "A001", "A002", "U001", "P001", "P002", "P003", "X001",
+    ] {
+        assert!(seen.contains(family), "missing rule {family}");
+    }
+}

@@ -9,7 +9,7 @@ use crate::sink::{escape_json, TraceSink};
 use std::collections::BTreeMap;
 use std::io::Write;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
 /// Aggregated statistics of one histogram.
@@ -162,6 +162,13 @@ impl Default for Registry {
     }
 }
 
+/// Locks a registry mutex, recovering the data if a panicking thread
+/// poisoned it: the registry holds plain metric state that stays
+/// coherent, and observability must never amplify a failure elsewhere.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
 impl Registry {
     /// Creates a disabled registry.
     #[must_use]
@@ -200,7 +207,7 @@ impl Registry {
         if !self.is_enabled() {
             return;
         }
-        let mut state = self.state.lock().expect("obs registry poisoned");
+        let mut state = lock_unpoisoned(&self.state);
         match state.counters.get_mut(name) {
             Some(v) => *v += delta,
             None => {
@@ -214,7 +221,7 @@ impl Registry {
         if !self.is_enabled() {
             return;
         }
-        let mut state = self.state.lock().expect("obs registry poisoned");
+        let mut state = lock_unpoisoned(&self.state);
         state.gauges.insert(name.to_owned(), value);
     }
 
@@ -223,7 +230,7 @@ impl Registry {
         if !self.is_enabled() {
             return;
         }
-        let mut state = self.state.lock().expect("obs registry poisoned");
+        let mut state = lock_unpoisoned(&self.state);
         state
             .histograms
             .entry(name.to_owned())
@@ -240,7 +247,7 @@ impl Registry {
         if !self.is_enabled() {
             return;
         }
-        let mut state = self.state.lock().expect("obs registry poisoned");
+        let mut state = lock_unpoisoned(&self.state);
         state
             .spans
             .entry(path.to_owned())
@@ -251,7 +258,7 @@ impl Registry {
     /// Copies every metric out, in deterministic name order.
     #[must_use]
     pub fn snapshot(&self) -> Snapshot {
-        let state = self.state.lock().expect("obs registry poisoned");
+        let state = lock_unpoisoned(&self.state);
         Snapshot {
             counters: state
                 .counters
@@ -270,21 +277,21 @@ impl Registry {
 
     /// Clears every metric (enabled flag and trace sink are untouched).
     pub fn reset(&self) {
-        let mut state = self.state.lock().expect("obs registry poisoned");
+        let mut state = lock_unpoisoned(&self.state);
         *state = State::default();
     }
 
     /// Installs a JSONL trace sink; span begin/end events stream to it
     /// live. Replaces (and finishes) any previous sink.
     pub fn install_trace(&self, writer: Box<dyn Write + Send>) {
-        let mut trace = self.trace.lock().expect("obs trace poisoned");
+        let mut trace = lock_unpoisoned(&self.trace);
         *trace = Some(TraceSink::new(writer));
     }
 
     /// Emits a final counter/gauge snapshot into the trace and removes
     /// the sink, flushing it. No-op without an installed sink.
     pub fn finish_trace(&self) {
-        let mut trace = self.trace.lock().expect("obs trace poisoned");
+        let mut trace = lock_unpoisoned(&self.trace);
         if let Some(mut sink) = trace.take() {
             let snapshot = self.snapshot();
             for (name, value) in &snapshot.counters {
@@ -304,7 +311,7 @@ impl Registry {
     }
 
     pub(crate) fn trace_span_begin(&self, path: &str) {
-        let mut trace = self.trace.lock().expect("obs trace poisoned");
+        let mut trace = lock_unpoisoned(&self.trace);
         if let Some(sink) = trace.as_mut() {
             sink.write_line(&format!(
                 "{{\"event\":\"span_begin\",\"path\":\"{}\",\"t_us\":{}}}",
@@ -315,7 +322,7 @@ impl Registry {
     }
 
     pub(crate) fn trace_span_end(&self, path: &str, duration: Duration) {
-        let mut trace = self.trace.lock().expect("obs trace poisoned");
+        let mut trace = lock_unpoisoned(&self.trace);
         if let Some(sink) = trace.as_mut() {
             sink.write_line(&format!(
                 "{{\"event\":\"span_end\",\"path\":\"{}\",\"t_us\":{},\"dur_us\":{}}}",

@@ -382,6 +382,7 @@ impl BeamCoupler {
     #[must_use]
     pub fn efficiency(&self, input: &[Complex]) -> f64 {
         let power_in: f64 = input.iter().map(|c| c.norm_sqr()).sum();
+        // lint:allow(D003) exact dark-input sentinel, not a computed comparison
         if power_in == 0.0 {
             return 0.0;
         }

@@ -38,6 +38,7 @@ impl AmplitudeNoise {
     /// (Box-Muller from the supplied uniform source). Clamped at zero —
     /// optical power cannot be negative.
     pub fn perturb(&self, train: &PulseTrain, mut uniform: impl FnMut() -> f64) -> PulseTrain {
+        // lint:allow(D003) sigma exactly zero is the noiseless sentinel
         if self.sigma == 0.0 {
             return train.clone();
         }
@@ -58,6 +59,7 @@ impl AmplitudeNoise {
     /// is an upper bound).
     #[must_use]
     pub fn level_error_probability(&self) -> f64 {
+        // lint:allow(D003) sigma exactly zero is the noiseless sentinel
         if self.sigma == 0.0 {
             return 0.0;
         }

@@ -98,10 +98,10 @@ impl PulseTrain {
         self.slots.iter().copied()
     }
 
-    /// Total optical energy in the train (sum of slot amplitudes, in units
-    /// of one pulse-slot).
+    /// Total slot amplitude of the train (sum of slot amplitudes — a
+    /// dimensionless count of lit pulse-slots, not a watt-valued power).
     #[must_use]
-    pub fn total_power(&self) -> f64 {
+    pub fn total_amplitude(&self) -> f64 {
         self.slots.iter().sum()
     }
 
@@ -245,10 +245,13 @@ impl WdmSignal {
         self.channels.iter().map(|(id, t)| (*id, t))
     }
 
-    /// Aggregate optical power across all channels.
+    /// Aggregate slot amplitude across all channels.
     #[must_use]
-    pub fn total_power(&self) -> f64 {
-        self.channels.values().map(PulseTrain::total_power).sum()
+    pub fn total_amplitude(&self) -> f64 {
+        self.channels
+            .values()
+            .map(PulseTrain::total_amplitude)
+            .sum()
     }
 }
 
@@ -315,7 +318,7 @@ mod tests {
     fn attenuation_scales_power() {
         let t = PulseTrain::from_bits(0b11, 2);
         let att = t.attenuated(0.5);
-        assert!((att.total_power() - 1.0).abs() < 1e-12);
+        assert!((att.total_amplitude() - 1.0).abs() < 1e-12);
     }
 
     #[test]
@@ -342,7 +345,7 @@ mod tests {
         s.mux(WavelengthId(0), PulseTrain::from_bits(0b1, 2));
         s.mux(WavelengthId(0), PulseTrain::from_bits(0b1, 2));
         assert_eq!(s.demux(WavelengthId(0)).quantized_levels(), vec![2, 0]);
-        assert!((s.total_power() - 2.0).abs() < 1e-12);
+        assert!((s.total_amplitude() - 2.0).abs() < 1e-12);
     }
 
     #[test]

@@ -100,7 +100,7 @@ mod tests {
     fn propagate_attenuates_amplitudes() {
         let wg = Waveguide::new(Length::from_centimetres(1.0));
         let out = wg.propagate(&PulseTrain::from_bits(0b11, 2));
-        assert!((out.total_power() - 2.0 * wg.transmission()).abs() < 1e-12);
+        assert!((out.total_amplitude() - 2.0 * wg.transmission()).abs() < 1e-12);
     }
 
     #[test]

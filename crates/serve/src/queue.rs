@@ -102,11 +102,15 @@ impl AdmissionQueue {
         };
         let network = head.network;
         while batch.len() < max {
-            match self.items.front() {
-                Some(next) if next.network == network => {
-                    batch.push(self.items.pop_front().expect("front checked"));
-                }
-                _ => break,
+            if self
+                .items
+                .front()
+                .is_none_or(|next| next.network != network)
+            {
+                break;
+            }
+            if let Some(next) = self.items.pop_front() {
+                batch.push(next);
             }
         }
         batch

@@ -150,6 +150,7 @@ impl SimState<'_> {
     }
 
     fn complete(&mut self) {
+        // lint:allow(P002) complete() only runs with an in-flight batch; silent recovery would corrupt the clock
         let flight = self.server.take().expect("completion without a batch");
         self.clock = flight.completes_at;
         self.last_completion = flight.completes_at;
@@ -232,8 +233,9 @@ pub fn simulate(workload: &Workload, ctx: &EvalContext, config: &ServeConfig) ->
             let completes_at = flight.completes_at;
             match source.peek() {
                 Some(next) if next.arrival < completes_at => {
-                    let request = source.next().expect("peeked");
-                    state.admit(request);
+                    if let Some(request) = source.next() {
+                        state.admit(request);
+                    }
                 }
                 _ => state.complete(),
             }
@@ -244,8 +246,9 @@ pub fn simulate(workload: &Workload, ctx: &EvalContext, config: &ServeConfig) ->
             Decision::Dispatch => state.dispatch(),
             Decision::HoldUntil(expiry) => match source.peek() {
                 Some(next) if next.arrival < expiry => {
-                    let request = source.next().expect("peeked");
-                    state.admit(request);
+                    if let Some(request) = source.next() {
+                        state.admit(request);
+                    }
                 }
                 _ => {
                     // Deadline fires (or the stream ended): dispatch what

@@ -39,11 +39,11 @@ fn main() {
         .broadcast_row(&per_tile)
         .expect("4 tiles fit the plan");
     for (id, train) in signal.iter() {
-        if train.total_power() > 0.0 {
+        if train.total_amplitude() > 0.0 {
             println!(
                 "  {id}: bits {:04b} (post-loss power {:.2})",
                 train.to_bits().unwrap_or(0),
-                train.total_power()
+                train.total_amplitude()
             );
         }
     }
