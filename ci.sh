@@ -61,4 +61,15 @@ if ./target/release/reproduce no-such-artifact 2> /dev/null; then
   exit 1
 fi
 
+echo "== bench"
+# Smoke the perf harness: quick mode must produce a well-formed
+# BENCH_functional.json with every expected bench present (the compare
+# path validates both files' schema and keys). The delta report against
+# the committed baseline is advisory — machine-to-machine wall-time
+# noise must not fail CI — but a malformed or incomplete artifact does.
+./target/release/reproduce bench --quick --jobs 1 --out target/BENCH_functional.json
+if [ -f BENCH_functional.json ]; then
+  ./target/release/reproduce bench --compare BENCH_functional.json target/BENCH_functional.json
+fi
+
 echo "== ok"

@@ -17,6 +17,10 @@
 //! `reproduce lint [ARGS...]` forwards to the `pixel-lint` static
 //! analyzer (see `reproduce lint --help`).
 //!
+//! `reproduce bench [--quick] [--jobs N] [--out FILE]` times the hot
+//! paths and writes a `BENCH_functional.json` regression artifact;
+//! `reproduce bench --compare OLD NEW` diffs two such artifacts.
+//!
 //! With no artifact (or `all`) every artifact is printed in paper order.
 
 use std::process::ExitCode;
@@ -148,6 +152,10 @@ fn main() -> ExitCode {
         let forwarded: Vec<String> = std::env::args().skip(1).collect();
         if forwarded.first().is_some_and(|a| a == "lint") {
             return ExitCode::from(pixel_lint::cli::run(&forwarded[1..]));
+        }
+        // `reproduce bench [...]` likewise forwards to the perf harness.
+        if forwarded.first().is_some_and(|a| a == "bench") {
+            return ExitCode::from(pixel_bench::perf::run_cli(&forwarded[1..]));
         }
     }
     let mut profile = false;

@@ -5,6 +5,7 @@
 //! generator functions here, which wrap `pixel_core::dse` with the exact
 //! parameter grids the paper uses.
 
+pub mod perf;
 pub mod timing;
 
 use pixel_core::dse;

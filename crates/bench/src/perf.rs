@@ -1,0 +1,512 @@
+//! The `reproduce bench` performance-regression harness.
+//!
+//! Times the repository's hot paths — the bit-true functional MACs, the
+//! fabric convolution, a full quantized forward pass, and the serving
+//! simulator's event loop — and writes the medians to a
+//! `BENCH_functional.json` artifact (schema [`SCHEMA`]). A committed
+//! baseline plus `reproduce bench --compare OLD NEW` turns the artifact
+//! into an advisory perf-regression check in CI: comparison output never
+//! fails the build on a slowdown (wall time on shared runners is noisy),
+//! but malformed files and missing benches do.
+
+use crate::timing;
+use pixel_core::config::{AcceleratorConfig, Design};
+use pixel_core::functional_fabric::FunctionalFabric;
+use pixel_core::omac::engine_for;
+use pixel_dnn::inference::{forward, DirectMac, LayerWeights, MacEngine};
+use pixel_dnn::layer::{Layer, Shape};
+use pixel_dnn::quant::Precision;
+use pixel_dnn::tensor::Tensor;
+use pixel_dnn::zoo;
+use pixel_serve::arrivals::Workload;
+use pixel_serve::sim::{simulate, ServeConfig};
+use pixel_units::rng::SplitMix64;
+use std::time::Duration;
+
+/// Schema tag written into (and required from) every bench file.
+pub const SCHEMA: &str = "pixel-bench/1";
+
+/// Every bench the harness runs, in run order. Comparison hard-fails if
+/// a file is missing any of these.
+pub const EXPECTED: [&str; 9] = [
+    "functional_mac_direct",
+    "functional_mac_ee",
+    "functional_mac_oe",
+    "functional_mac_oo",
+    "fabric_conv_ee",
+    "fabric_conv_oe",
+    "fabric_conv_oo",
+    "forward_lenet_direct",
+    "serve_simulate",
+];
+
+/// One timed hot path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchResult {
+    /// Stable bench key (one of [`EXPECTED`]).
+    pub name: &'static str,
+    /// Iterations of the median repetition.
+    pub iterations: u64,
+    /// Median-of-repetitions wall time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Domain operations per iteration (MACs, requests, or inferences).
+    pub ops_per_iter: u64,
+    /// `ops_per_iter` scaled by the median time.
+    pub ops_per_sec: f64,
+}
+
+fn result(name: &'static str, m: timing::Measurement, ops_per_iter: u64) -> BenchResult {
+    let median_ns = m.mean_nanos();
+    #[allow(clippy::cast_precision_loss)]
+    let ops_per_sec = if median_ns > 0.0 {
+        ops_per_iter as f64 / (median_ns / 1e9)
+    } else {
+        0.0
+    };
+    BenchResult {
+        name,
+        iterations: m.iterations,
+        median_ns,
+        ops_per_iter,
+        ops_per_sec,
+    }
+}
+
+fn window_operands(len: usize, bits: u32, seed: u64) -> (Vec<u64>, Vec<u64>) {
+    let mut rng = SplitMix64::seed_from_u64(seed);
+    let limit = (1u64 << bits) - 1;
+    let n = (0..len).map(|_| rng.range_u64(0, limit)).collect();
+    let s = (0..len).map(|_| rng.range_u64(0, limit)).collect();
+    (n, s)
+}
+
+/// The fabric-conv workload every regression run times: a 12×12×8 input
+/// through 8 filters of 3×3 at stride 1 (100 windows of 72 words × 8
+/// filters = 57 600 MACs per iteration).
+fn conv_case() -> (Layer, Tensor, LayerWeights) {
+    let mut rng = SplitMix64::seed_from_u64(0xC0);
+    let layer = Layer::conv("Conv", Shape::square(12, 8), 8, 3, 1);
+    let input = Tensor::from_fn(Shape::square(12, 8), |_, _, _| rng.range_u64(0, 15));
+    let weights = LayerWeights::generate(&layer, || rng.range_u64(0, 15));
+    (layer, input, weights)
+}
+
+/// Runs every bench. `quick` shrinks the measurement budget (fewer
+/// repetitions of a shorter window), not the workloads, so quick and
+/// full runs of the same build measure the same code paths.
+#[must_use]
+pub fn run(quick: bool, jobs: usize) -> Vec<BenchResult> {
+    let (budget, reps) = if quick {
+        (Duration::from_millis(60), 3)
+    } else {
+        (Duration::from_millis(200), 5)
+    };
+    let mut out = Vec::with_capacity(EXPECTED.len());
+
+    // Functional MAC units: one 72-word window (a 3×3×8 kernel), the
+    // inner loop of every fabric convolution.
+    let (n, s) = window_operands(72, 4, 0xBEEC);
+    let m = timing::measure_median(budget, reps, || DirectMac.inner_product(&n, &s));
+    out.push(result("functional_mac_direct", m, n.len() as u64));
+    // Per-design names come straight from EXPECTED, which lists the
+    // three MAC benches (then the three conv benches) in ALL order.
+    for (design, name) in Design::ALL.into_iter().zip(EXPECTED[1..4].iter()) {
+        let engine = engine_for(&AcceleratorConfig::new(design, 4, 4));
+        let m = timing::measure_median(budget, reps, || engine.inner_product(&n, &s));
+        out.push(result(name, m, n.len() as u64));
+    }
+
+    // Fabric convolution end to end: transport + tiles + OMACs.
+    let (layer, input, weights) = conv_case();
+    let e = layer.output_feature_size();
+    let macs = (e * e * 8 * 72) as u64;
+    for (design, name) in Design::ALL.into_iter().zip(EXPECTED[4..7].iter()) {
+        let fabric = FunctionalFabric::new(AcceleratorConfig::new(design, 4, 4));
+        let m = timing::measure_median(budget, reps, || {
+            fabric
+                .conv2d_with_jobs(&layer, &input, &weights, jobs)
+                // lint:allow(P002) the bench workload is shape-consistent by construction
+                .expect("bench conv workload is shape-consistent")
+        });
+        out.push(result(name, m, macs));
+    }
+
+    // Full quantized LeNet forward pass on the integer reference engine.
+    let net = zoo::lenet();
+    let precision = Precision::new(4);
+    let mut rng = SplitMix64::seed_from_u64(0x1E7);
+    let lenet_weights: Vec<LayerWeights> = net
+        .layers()
+        .iter()
+        .map(|l| LayerWeights::generate(l, || rng.range_u64(0, precision.max_value())))
+        .collect();
+    // lint:allow(P002) the zoo network always has at least one layer
+    let in_shape = net.layers().first().expect("lenet has layers").input;
+    let lenet_input = Tensor::from_fn(in_shape, |_, _, _| rng.range_u64(0, precision.max_value()));
+    let m = timing::measure_median(budget, reps, || {
+        forward(&net, &lenet_input, &lenet_weights, &DirectMac, precision)
+            // lint:allow(P002) zoo networks are shape-consistent by construction
+            .expect("lenet forward is shape-consistent")
+    });
+    out.push(result("forward_lenet_direct", m, 1));
+
+    // The serving simulator's event loop under the paper mix.
+    let workload = Workload::paper_mix();
+    let ctx = pixel_core::model::EvalContext::new();
+    let serve_config = ServeConfig::new(AcceleratorConfig::new(Design::Oo, 4, 16), 2.0, 400, 2026);
+    let m = timing::measure_median(budget, reps, || simulate(&workload, &ctx, &serve_config));
+    out.push(result("serve_simulate", m, serve_config.requests as u64));
+
+    out
+}
+
+/// Renders the results as a `BENCH_functional.json` document.
+#[must_use]
+pub fn to_json(results: &[BenchResult], quick: bool, jobs: usize) -> String {
+    let mut s = String::from("{\n");
+    s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
+    s.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    s.push_str(&format!("  \"jobs\": {jobs},\n"));
+    s.push_str("  \"benches\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"iterations\": {}, \"median_ns\": {:.1}, \"ops_per_iter\": {}, \"ops_per_sec\": {:.1}}}{}\n",
+            r.name,
+            r.iterations,
+            r.median_ns,
+            r.ops_per_iter,
+            r.ops_per_sec,
+            if i + 1 == results.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// A bench file parsed back for comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchFile {
+    /// `"full"` or `"quick"`.
+    pub mode: String,
+    /// Worker threads the run used.
+    pub jobs: u64,
+    /// Parsed bench entries.
+    pub benches: Vec<ParsedBench>,
+}
+
+/// One parsed entry of a bench file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedBench {
+    /// Bench key.
+    pub name: String,
+    /// Median wall time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Throughput at the median.
+    pub ops_per_sec: f64,
+}
+
+fn extract_str(text: &str, key: &str) -> Result<String, String> {
+    let pat = format!("\"{key}\":");
+    let at = text
+        .find(&pat)
+        .ok_or_else(|| format!("missing key {key:?}"))?;
+    let rest = text[at + pat.len()..].trim_start();
+    let rest = rest
+        .strip_prefix('"')
+        .ok_or_else(|| format!("key {key:?} is not a string"))?;
+    let end = rest
+        .find('"')
+        .ok_or_else(|| format!("unterminated string for key {key:?}"))?;
+    Ok(rest[..end].to_owned())
+}
+
+fn extract_num(text: &str, key: &str) -> Result<f64, String> {
+    let pat = format!("\"{key}\":");
+    let at = text
+        .find(&pat)
+        .ok_or_else(|| format!("missing key {key:?}"))?;
+    let rest = text[at + pat.len()..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end]
+        .parse::<f64>()
+        .map_err(|err| format!("key {key:?} is not a number: {err}"))
+}
+
+/// Parses a `BENCH_functional.json` document.
+///
+/// # Errors
+///
+/// Returns a message if the schema tag mismatches, any required key is
+/// absent or mistyped, or any of the [`EXPECTED`] benches is missing.
+pub fn parse(text: &str) -> Result<BenchFile, String> {
+    let schema = extract_str(text, "schema")?;
+    if schema != SCHEMA {
+        return Err(format!("unexpected schema {schema:?}, want {SCHEMA:?}"));
+    }
+    let mode = extract_str(text, "mode")?;
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    let jobs = extract_num(text, "jobs")? as u64;
+    let at = text
+        .find("\"benches\":")
+        .ok_or_else(|| "missing key \"benches\"".to_owned())?;
+    let body = &text[at..];
+    let open = body
+        .find('[')
+        .ok_or_else(|| "\"benches\" is not an array".to_owned())?;
+    let close = body
+        .rfind(']')
+        .ok_or_else(|| "unterminated \"benches\" array".to_owned())?;
+    let mut benches = Vec::new();
+    let mut rest = &body[open + 1..close];
+    while let Some(start) = rest.find('{') {
+        let end = rest[start..]
+            .find('}')
+            .ok_or_else(|| "unterminated bench object".to_owned())?
+            + start;
+        let obj = &rest[start..=end];
+        benches.push(ParsedBench {
+            name: extract_str(obj, "name")?,
+            median_ns: extract_num(obj, "median_ns")?,
+            ops_per_sec: extract_num(obj, "ops_per_sec")?,
+        });
+        rest = &rest[end + 1..];
+    }
+    for want in EXPECTED {
+        if !benches.iter().any(|b| b.name == want) {
+            return Err(format!("bench {want:?} missing from file"));
+        }
+    }
+    Ok(BenchFile {
+        mode,
+        jobs,
+        benches,
+    })
+}
+
+/// Renders an advisory comparison of two parsed bench files: per-bench
+/// ops/sec deltas of `new` relative to `old`, flagging slowdowns beyond
+/// `threshold` (e.g. `0.25` = 25 % slower) without failing anything.
+#[must_use]
+pub fn compare(old: &BenchFile, new: &BenchFile, threshold: f64) -> String {
+    let mut s = format!(
+        "bench comparison (old: {} mode, jobs {}; new: {} mode, jobs {})\n",
+        old.mode, old.jobs, new.mode, new.jobs
+    );
+    s.push_str(&format!(
+        "{:<24} {:>14} {:>14} {:>9}\n",
+        "bench", "old ops/s", "new ops/s", "delta"
+    ));
+    for entry in &new.benches {
+        let Some(base) = old.benches.iter().find(|b| b.name == entry.name) else {
+            s.push_str(&format!("{:<24} (new bench, no baseline)\n", entry.name));
+            continue;
+        };
+        let delta = if base.ops_per_sec > 0.0 {
+            entry.ops_per_sec / base.ops_per_sec - 1.0
+        } else {
+            0.0
+        };
+        let flag = if delta < -threshold {
+            "  << slower than baseline (advisory)"
+        } else {
+            ""
+        };
+        s.push_str(&format!(
+            "{:<24} {:>14.0} {:>14.0} {:>+8.1}%{}\n",
+            entry.name,
+            base.ops_per_sec,
+            entry.ops_per_sec,
+            delta * 100.0,
+            flag
+        ));
+    }
+    s
+}
+
+fn print_results(results: &[BenchResult]) {
+    for r in results {
+        let per_iter_ms = r.median_ns / 1e6;
+        println!(
+            "bench {:<24} {:>10.3} ms/iter  {:>14.0} ops/s  ({} iters)",
+            r.name, per_iter_ms, r.ops_per_sec, r.iterations
+        );
+    }
+}
+
+/// CLI for `reproduce bench`: runs the harness and writes the JSON
+/// artifact, or compares two existing artifacts.
+///
+/// ```text
+/// reproduce bench [--quick] [--jobs N] [--out FILE]
+/// reproduce bench --compare OLD NEW [--threshold PCT]
+/// ```
+///
+/// Returns a process exit code: comparison is advisory on slowdowns but
+/// exits nonzero on unreadable/malformed files or missing benches.
+#[must_use]
+pub fn run_cli(args: &[String]) -> u8 {
+    let mut quick = false;
+    let mut jobs = 1usize;
+    let mut out_path = String::from("BENCH_functional.json");
+    let mut compare_paths: Option<(String, String)> = None;
+    let mut threshold = 0.25f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--jobs" => {
+                let Some(value) = it.next() else {
+                    eprintln!("--jobs requires a worker count");
+                    return 2;
+                };
+                match value.parse::<usize>() {
+                    Ok(n) if n >= 1 => jobs = n,
+                    _ => {
+                        eprintln!("--jobs needs a positive integer, got {value:?}");
+                        return 2;
+                    }
+                }
+            }
+            "--out" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--out requires a file path");
+                    return 2;
+                };
+                out_path = path.clone();
+            }
+            "--compare" => {
+                let (Some(old), Some(new)) = (it.next(), it.next()) else {
+                    eprintln!("--compare requires OLD and NEW file paths");
+                    return 2;
+                };
+                compare_paths = Some((old.clone(), new.clone()));
+            }
+            "--threshold" => {
+                let Some(value) = it.next() else {
+                    eprintln!("--threshold requires a percentage");
+                    return 2;
+                };
+                match value.parse::<f64>() {
+                    Ok(p) if p > 0.0 => threshold = p / 100.0,
+                    _ => {
+                        eprintln!("--threshold needs a positive percentage, got {value:?}");
+                        return 2;
+                    }
+                }
+            }
+            other => {
+                eprintln!(
+                    "unknown bench argument {other:?}; usage: reproduce bench [--quick] [--jobs N] [--out FILE] | --compare OLD NEW [--threshold PCT]"
+                );
+                return 2;
+            }
+        }
+    }
+
+    if let Some((old_path, new_path)) = compare_paths {
+        let read = |path: &str| -> Result<BenchFile, String> {
+            let text = std::fs::read_to_string(path)
+                .map_err(|err| format!("cannot read {path}: {err}"))?;
+            parse(&text).map_err(|err| format!("{path}: {err}"))
+        };
+        match (read(&old_path), read(&new_path)) {
+            (Ok(old), Ok(new)) => {
+                print!("{}", compare(&old, &new, threshold));
+                0
+            }
+            (old, new) => {
+                for side in [old, new] {
+                    if let Err(err) = side {
+                        eprintln!("bench compare: {err}");
+                    }
+                }
+                1
+            }
+        }
+    } else {
+        let results = run(quick, jobs);
+        print_results(&results);
+        let json = to_json(&results, quick, jobs);
+        if let Err(err) = std::fs::write(&out_path, &json) {
+            eprintln!("cannot write {out_path}: {err}");
+            return 1;
+        }
+        println!("wrote {out_path}");
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_results() -> Vec<BenchResult> {
+        EXPECTED
+            .iter()
+            .enumerate()
+            .map(|(i, name)| BenchResult {
+                name,
+                iterations: 10 + i as u64,
+                median_ns: 1_000.0 * (i + 1) as f64,
+                ops_per_iter: 72,
+                ops_per_sec: 72.0e9 / (1_000.0 * (i + 1) as f64),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn json_round_trips_through_the_parser() {
+        let json = to_json(&fake_results(), false, 2);
+        let parsed = parse(&json).unwrap();
+        assert_eq!(parsed.mode, "full");
+        assert_eq!(parsed.jobs, 2);
+        assert_eq!(parsed.benches.len(), EXPECTED.len());
+        assert_eq!(parsed.benches[0].name, EXPECTED[0]);
+        assert!((parsed.benches[0].median_ns - 1_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_files() {
+        assert!(parse("{}").is_err());
+        assert!(parse("{\"schema\": \"pixel-bench/0\"}").is_err());
+        // Right schema but no benches.
+        let empty = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"mode\": \"full\", \"jobs\": 1, \"benches\": []}}"
+        );
+        assert!(parse(&empty).unwrap_err().contains("missing"));
+        // A bench entry without a median is a hard error.
+        let partial = format!(
+            "{{\"schema\": \"{SCHEMA}\", \"mode\": \"full\", \"jobs\": 1, \"benches\": [{{\"name\": \"functional_mac_direct\"}}]}}"
+        );
+        assert!(parse(&partial).is_err());
+    }
+
+    #[test]
+    fn comparison_flags_large_slowdowns_only() {
+        let json = to_json(&fake_results(), false, 1);
+        let old = parse(&json).unwrap();
+        let mut slower = old.clone();
+        slower.benches[0].ops_per_sec *= 0.5;
+        slower.benches[1].ops_per_sec *= 0.9;
+        let report = compare(&old, &slower, 0.25);
+        let lines: Vec<&str> = report.lines().collect();
+        assert!(lines[2].contains("slower than baseline"), "{report}");
+        assert!(!lines[3].contains("slower than baseline"), "{report}");
+    }
+
+    #[test]
+    fn throughput_scales_with_the_median() {
+        let m = timing::Measurement {
+            iterations: 5,
+            mean: Duration::from_millis(1),
+        };
+        let r = result("functional_mac_direct", m, 72);
+        assert!((r.median_ns - 1e6).abs() < 1.0);
+        assert!((r.ops_per_sec - 72_000.0).abs() < 1.0);
+    }
+}

@@ -59,6 +59,20 @@ pub fn measure<T>(budget: Duration, mut f: impl FnMut() -> T) -> Measurement {
     }
 }
 
+/// Runs [`measure`] `reps` times and returns the repetition with the
+/// median mean — robust against scheduler noise on loaded machines,
+/// which is what the `reproduce bench` regression harness records.
+///
+/// # Panics
+///
+/// Panics if `reps` is zero.
+pub fn measure_median<T>(budget: Duration, reps: usize, mut f: impl FnMut() -> T) -> Measurement {
+    assert!(reps > 0, "at least one repetition");
+    let mut runs: Vec<Measurement> = (0..reps).map(|_| measure(budget, &mut f)).collect();
+    runs.sort_by_key(|m| m.mean);
+    runs[runs.len() / 2]
+}
+
 /// Times `f` with the default 200 ms budget and prints one
 /// `name ... mean (N iters)` report line.
 pub fn bench<T>(name: &str, f: impl FnMut() -> T) -> Measurement {
@@ -88,6 +102,16 @@ mod tests {
             std::thread::sleep(Duration::from_millis(2));
         });
         assert!(m.mean >= Duration::from_millis(1), "mean {:?}", m.mean);
+    }
+
+    #[test]
+    fn median_of_reps_is_between_extremes() {
+        let mut delay = [4u64, 1, 2].into_iter().cycle();
+        let m = measure_median(Duration::from_millis(10), 3, || {
+            std::thread::sleep(Duration::from_millis(delay.next().unwrap()));
+        });
+        assert!(m.iterations >= 1);
+        assert!(m.mean >= Duration::from_millis(1));
     }
 
     #[test]

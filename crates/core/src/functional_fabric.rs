@@ -15,14 +15,29 @@ use pixel_dnn::inference::{LayerWeights, ShapeError};
 use pixel_dnn::layer::{Layer, LayerKind, Shape};
 use pixel_dnn::tensor::Tensor;
 use pixel_photonics::photodetector::Photodetector;
-use pixel_photonics::signal::PulseTrain;
-use pixel_photonics::wdm::{mux_tiles, BandPlan};
+use pixel_photonics::signal::{PulseTrain, WavelengthId, WdmSignal};
+use pixel_photonics::wdm::BandPlan;
 use pixel_units::Power;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A fabric of functional tiles executing convolutions filter-per-tile.
 pub struct FunctionalFabric {
     config: AcceleratorConfig,
     detector: Photodetector,
+    /// Words recovered by the receive-side photodetector across this
+    /// fabric's lifetime — the transport-fidelity witness: after a
+    /// convolution it must equal windows × window size, proving every
+    /// neuron word crossed the optical medium.
+    detected_words: AtomicU64,
+}
+
+/// Per-worker transport buffers, reused across every window of a
+/// convolution instead of allocating trains and word vectors per call.
+#[derive(Default)]
+struct TransportScratch {
+    train: PulseTrain,
+    signal: WdmSignal,
+    received: Vec<u64>,
 }
 
 impl std::fmt::Debug for FunctionalFabric {
@@ -40,7 +55,18 @@ impl FunctionalFabric {
         Self {
             config,
             detector: Photodetector::default(),
+            detected_words: AtomicU64::new(0),
         }
+    }
+
+    /// Total neuron words recovered by the receive-side detector so far.
+    ///
+    /// Every word of every window must cross serialize → mux → demux →
+    /// detect, so after `conv2d` this advances by exactly
+    /// `output positions × window size`.
+    #[must_use]
+    pub fn detected_words(&self) -> u64 {
+        self.detected_words.load(Ordering::Relaxed)
     }
 
     /// Executes a convolution layer end to end through the photonic
@@ -59,6 +85,30 @@ impl FunctionalFabric {
         layer: &Layer,
         input: &Tensor,
         weights: &LayerWeights,
+    ) -> Result<Tensor, ShapeError> {
+        self.conv2d_with_jobs(layer, input, weights, crate::sweep::default_jobs())
+    }
+
+    /// [`Self::conv2d`] with an explicit worker count: output rows are
+    /// split into contiguous chunks over `std::thread::scope` workers
+    /// (the [`crate::sweep::SweepEngine`] discipline), each with its own
+    /// tiles and transport scratch, so the result is bitwise identical
+    /// for every `jobs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the input tensor mismatches the layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-convolution layer or if operands exceed
+    /// the configured precision.
+    pub fn conv2d_with_jobs(
+        &self,
+        layer: &Layer,
+        input: &Tensor,
+        weights: &LayerWeights,
+        jobs: usize,
     ) -> Result<Tensor, ShapeError> {
         let LayerKind::Conv {
             filters,
@@ -83,18 +133,6 @@ impl FunctionalFabric {
         let e = layer.output_feature_size();
         let channels = layer.input.c;
         let window = kernel * kernel * channels;
-        let mut out = Tensor::zeros(Shape::square(e, filters));
-
-        // One tile per filter (round-robin beyond the physical count —
-        // time multiplexing, identical hardware).
-        let tiles: Vec<Tile> = (0..filters.min(self.config.tiles))
-            .map(|m| {
-                let mut tile = Tile::new(self.config, window);
-                let kern: Vec<u64> = kernel_of(weights, m, window).to_vec();
-                tile.load_weights(&kern);
-                tile
-            })
-            .collect();
 
         // The firing side groups window elements into per-wavelength
         // lanes: `lanes` words per firing round per firing tile.
@@ -106,36 +144,87 @@ impl FunctionalFabric {
             self.config.lanes,
         );
 
-        let mut neurons = vec![0u64; window];
-        for oh in 0..e {
-            for ow in 0..e {
-                gather_window(
-                    input,
-                    kernel,
-                    stride,
-                    padding,
-                    channels,
-                    oh,
-                    ow,
-                    &mut neurons,
-                );
-                let received = self.transport(&plan, &neurons, bits);
-                for m in 0..filters {
-                    let tile = &tiles[m % tiles.len()];
-                    let kern = kernel_of(weights, m, window);
-                    // The tile holding filter m%T time-multiplexes: load
-                    // check is against its resident filter; for the
-                    // multiplexed ones we compute through its engine with
-                    // streamed weights (same datapath).
-                    let value = if m < tiles.len() {
-                        tile.fire(&received)
-                    } else {
-                        crate::omac::engine_for(&self.config).inner_product(&received, kern)
-                    };
-                    out.set(oh, ow, m, value);
+        // Kernel slices resolved once, outside the window loops.
+        let kernels: Vec<&[u64]> = (0..filters)
+            .map(|m| kernel_of(weights, m, window))
+            .collect();
+
+        let mut out = Tensor::zeros(Shape::square(e, filters));
+        let row_len = e * filters;
+
+        // Computes output rows [row_start, row_start + rows) into `rows`
+        // (a contiguous slice of the output tensor). Tiles and transport
+        // scratch are per-worker: the OMAC engines carry interior
+        // activity tallies and must not be shared across threads.
+        let run_rows = |row_start: usize, rows: &mut [u64]| {
+            // One tile per filter (round-robin beyond the physical count —
+            // time multiplexing, identical hardware), built once per call
+            // rather than per window.
+            let tiles: Vec<Tile> = (0..filters.min(self.config.tiles))
+                .map(|m| {
+                    let mut tile = Tile::new(self.config, window);
+                    tile.load_weights(kernels[m]);
+                    tile
+                })
+                .collect();
+            let mut neurons = vec![0u64; window];
+            let mut scratch = TransportScratch::default();
+            for (r, row) in rows.chunks_mut(row_len).enumerate() {
+                let oh = row_start + r;
+                for ow in 0..e {
+                    gather_window(
+                        input,
+                        kernel,
+                        stride,
+                        padding,
+                        channels,
+                        oh,
+                        ow,
+                        &mut neurons,
+                    );
+                    self.transport_into(&plan, &neurons, bits, &mut scratch);
+                    for m in 0..filters {
+                        let tile = &tiles[m % tiles.len()];
+                        // The tile holding filter m%T time-multiplexes:
+                        // resident weights for its own filter, the same
+                        // datapath with streamed weights for the rest.
+                        let value = if m < tiles.len() {
+                            tile.fire(&scratch.received)
+                        } else {
+                            tile.fire_streamed(&scratch.received, kernels[m])
+                        };
+                        row[ow * filters + m] = value;
+                    }
                 }
             }
+        };
+
+        let jobs = jobs.clamp(1, e.max(1));
+        if jobs == 1 {
+            run_rows(0, out.data_mut());
+        } else {
+            // Contiguous row chunks, one worker each: concatenation of the
+            // chunk outputs restores row order deterministically, exactly
+            // as SweepEngine::map does for sweep points.
+            let rows_per_worker = e.div_ceil(jobs);
+            std::thread::scope(|scope| {
+                let mut handles = Vec::new();
+                for (w, chunk) in out
+                    .data_mut()
+                    .chunks_mut(rows_per_worker * row_len)
+                    .enumerate()
+                {
+                    let run = &run_rows;
+                    handles.push(scope.spawn(move || run(w * rows_per_worker, chunk)));
+                }
+                for handle in handles {
+                    handle
+                        .join()
+                        .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+                }
+            });
         }
+
         if pixel_obs::enabled() {
             pixel_obs::add("fabric/windows", (e * e) as u64);
             pixel_obs::add("fabric/mac_ops", (e * e * filters) as u64);
@@ -145,45 +234,53 @@ impl FunctionalFabric {
 
     /// Ships a window of neuron words across the MWSR medium and recovers
     /// it at the compute tile: serialize → mux on each firing tile's band
-    /// → demux → detect.
-    fn transport(&self, plan: &BandPlan, neurons: &[u64], bits: usize) -> Vec<u64> {
+    /// → demux → detect, looping extra firing rounds over the same bands
+    /// until *every* word has crossed the medium. The recovered words
+    /// land in `scratch.received`.
+    fn transport_into(
+        &self,
+        plan: &BandPlan,
+        neurons: &[u64],
+        bits: usize,
+        scratch: &mut TransportScratch,
+    ) {
         pixel_obs::add("fabric/transport_words", neurons.len() as u64);
-        let lanes = self.config.lanes;
-        let per_tile: Vec<Vec<PulseTrain>> = neurons
-            .chunks(lanes)
-            .take(plan.tiles())
-            .map(|chunk| {
-                chunk
-                    .iter()
-                    .map(|&w| PulseTrain::from_bits(w, bits))
-                    .collect()
-            })
-            .collect();
-        // lint:allow(P002) the mux plan is sized to the window by construction
-        let signal = mux_tiles(plan, &per_tile).expect("plan sized to the window");
-        let mut received = Vec::with_capacity(neurons.len());
-        'outer: for tile in 0..plan.tiles() {
-            // lint:allow(P002) tile ids come from the plan being iterated
-            for id in plan.tile_band(tile).expect("tile in plan") {
-                if received.len() == neurons.len() {
-                    break 'outer;
-                }
-                let train = signal.demux(id);
+        let capacity = plan.total_wavelengths();
+        let TransportScratch {
+            train,
+            signal,
+            received,
+        } = scratch;
+        received.clear();
+        let mut detected = 0u64;
+        // Words beyond the plan's wavelength capacity ride later firing
+        // rounds on the same bands (time multiplexing): word `i` of a
+        // round fires on wavelength `i`, i.e. lane `i % lanes` of firing
+        // tile `i / lanes`, every round.
+        for round in neurons.chunks(capacity) {
+            for (i, &w) in round.iter().enumerate() {
+                train.write_bits(w, bits);
+                #[allow(clippy::cast_possible_truncation)]
+                signal.set_channel(WavelengthId(i as u16), train);
+            }
+            for i in 0..round.len() {
+                #[allow(clippy::cast_possible_truncation)]
+                let id = WavelengthId(i as u16);
+                // lint:allow(P002) every id in the round was just written
+                let arrived = signal.channel(id).expect("channel written this round");
                 let word = self
                     .detector
-                    .detect_binary(&train, Power::from_microwatts(100.0))
+                    .detect_binary(arrived, Power::from_microwatts(100.0))
                     // lint:allow(P002) noiseless binary channel decodes losslessly
                     .expect("clean binary channel");
                 received.push(word);
+                detected += 1;
             }
         }
-        // Words beyond the plan's wavelength capacity ride later firing
-        // rounds on the same bands (time multiplexing).
-        for (i, &w) in neurons.iter().enumerate().skip(received.len()) {
-            debug_assert!(i >= received.len());
-            received.push(w);
+        self.detected_words.fetch_add(detected, Ordering::Relaxed);
+        if pixel_obs::enabled() {
+            pixel_obs::add("fabric/detected_words", detected);
         }
-        received
     }
 }
 
@@ -259,6 +356,59 @@ mod tests {
         let via_fabric = fabric.conv2d(&layer, &input, &weights).unwrap();
         let direct = conv2d(&layer, &input, &weights, &DirectMac).unwrap();
         assert_eq!(via_fabric, direct);
+    }
+
+    #[test]
+    fn transport_carries_every_word_when_window_exceeds_capacity() {
+        // 2 tiles × 4 lanes = 8 wavelengths, but a 3×3×2 window is 18
+        // words: transport must loop firing rounds, not bypass the medium.
+        let mut rng = SplitMix64::seed_from_u64(11);
+        let layer = Layer::conv("Conv", Shape::square(6, 2), 3, 3, 1);
+        let input = Tensor::from_fn(Shape::square(6, 2), |_, _, _| rng.range_u64(0, 15));
+        let weights = LayerWeights::generate(&layer, || rng.range_u64(0, 15));
+        for design in Design::ALL {
+            let config = AcceleratorConfig::new(design, 4, 4).with_tiles(2);
+            let window = 3 * 3 * 2;
+            assert!(
+                window > config.tiles * config.lanes,
+                "test must exercise multi-round transport"
+            );
+            let fabric = FunctionalFabric::new(config);
+            let via_fabric = fabric.conv2d(&layer, &input, &weights).unwrap();
+            let direct = conv2d(&layer, &input, &weights, &DirectMac).unwrap();
+            assert_eq!(via_fabric, direct, "{design}");
+            // Fidelity witness: every word of every window crossed
+            // serialize → mux → demux → detect.
+            let e = layer.output_feature_size();
+            assert_eq!(
+                fabric.detected_words(),
+                (e * e * window) as u64,
+                "{design}: words must not bypass the optical medium"
+            );
+        }
+    }
+
+    #[test]
+    fn row_parallel_conv_is_bitwise_identical_to_serial() {
+        let mut rng = SplitMix64::seed_from_u64(23);
+        let layer = Layer::conv("Conv", Shape::square(7, 3), 5, 3, 1);
+        let input = Tensor::from_fn(Shape::square(7, 3), |_, _, _| rng.range_u64(0, 15));
+        let weights = LayerWeights::generate(&layer, || rng.range_u64(0, 15));
+        for design in Design::ALL {
+            let fabric = FunctionalFabric::new(AcceleratorConfig::new(design, 4, 4));
+            let serial = fabric
+                .conv2d_with_jobs(&layer, &input, &weights, 1)
+                .unwrap();
+            let threaded = fabric
+                .conv2d_with_jobs(&layer, &input, &weights, 4)
+                .unwrap();
+            // More workers than rows must also clamp cleanly.
+            let oversubscribed = fabric
+                .conv2d_with_jobs(&layer, &input, &weights, 64)
+                .unwrap();
+            assert_eq!(serial, threaded, "{design}");
+            assert_eq!(serial, oversubscribed, "{design}");
+        }
     }
 
     #[test]

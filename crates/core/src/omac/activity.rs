@@ -31,6 +31,36 @@ pub struct StreamActivity {
     pub pairs: u64,
 }
 
+/// Measures the LSB-first serialization of a `bits`-wide word in closed
+/// form — identical to [`bit_stream_activity`] over the word's bits, but
+/// popcount-based so the hot MAC loops pay O(1) per stream.
+///
+/// # Panics
+///
+/// Panics if `bits` exceeds 64.
+#[must_use]
+pub fn word_stream_activity(word: u64, bits: u32) -> StreamActivity {
+    assert!(bits <= 64, "streams serialize at most 64 bits");
+    if bits == 0 {
+        return StreamActivity::default();
+    }
+    let mask = if bits == 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    };
+    let w = word & mask;
+    StreamActivity {
+        slots: u64::from(bits),
+        lit: u64::from(w.count_ones()),
+        // A toggle between slots j and j+1 is a differing adjacent bit
+        // pair: XOR against the shifted word, restricted to the bits−1
+        // interior boundaries.
+        toggles: u64::from(((w ^ (w >> 1)) & (mask >> 1)).count_ones()),
+        pairs: u64::from(bits) - 1,
+    }
+}
+
 /// Measures one stream of binary slots.
 pub fn bit_stream_activity(stream: impl Iterator<Item = bool>) -> StreamActivity {
     let mut out = StreamActivity::default();
@@ -232,6 +262,18 @@ mod tests {
         );
         let single = bit_stream_activity([true].into_iter());
         assert_eq!((single.slots, single.lit, single.pairs), (1, 1, 0));
+    }
+
+    #[test]
+    fn word_stream_matches_bitwise_measurement() {
+        for word in [0u64, 1, 0b1010, 0b1111, 0xDEAD_BEEF, u64::MAX] {
+            for bits in [1u32, 2, 4, 8, 31, 64] {
+                let closed = word_stream_activity(word, bits);
+                let walked = bit_stream_activity((0..bits).map(|j| (word >> j) & 1 == 1));
+                assert_eq!(closed, walked, "word {word:#x} bits {bits}");
+            }
+        }
+        assert_eq!(word_stream_activity(7, 0), StreamActivity::default());
     }
 
     #[test]

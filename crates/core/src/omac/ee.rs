@@ -1,10 +1,11 @@
 //! The all-electrical (EE) functional MAC: Stripes bit-serial hardware.
 
-use crate::omac::activity::{bit_stream_activity, ActivityCounter};
-use crate::omac::lane_chunks;
+use crate::omac::activity::{word_stream_activity, ActivityCounter};
+use crate::omac::fill_lane_chunk;
 use pixel_dnn::inference::MacEngine;
 use pixel_electronics::cla::Cla;
 use pixel_electronics::stripes::StripesMac;
+use std::cell::RefCell;
 
 /// Bit-true EE MAC unit: `lanes` parallel Stripes lanes feeding a wide
 /// output accumulator.
@@ -14,6 +15,8 @@ pub struct EeMac {
     lanes: usize,
     output_accumulator: Cla,
     activity: ActivityCounter,
+    /// Reused per-chunk operand buffers (neurons, synapses).
+    scratch: RefCell<(Vec<u64>, Vec<u64>)>,
 }
 
 impl EeMac {
@@ -31,6 +34,7 @@ impl EeMac {
             lanes,
             output_accumulator: Cla::new(64),
             activity: ActivityCounter::new(),
+            scratch: RefCell::new((Vec::new(), Vec::new())),
         }
     }
 
@@ -65,24 +69,29 @@ impl MacEngine for EeMac {
         let before_slots = self.activity.gated_slots();
         let before_toggles = self.activity.bit_toggles();
         let before_cla = self.activity.cla_ops();
+        assert_eq!(neurons.len(), synapses.len(), "operand length mismatch");
+        let mut scratch = self.scratch.borrow_mut();
+        let (nbuf, sbuf) = &mut *scratch;
         let mut acc = 0u64;
-        for (n, s) in lane_chunks(neurons, synapses, self.lanes) {
+        let mut start = 0;
+        while start < neurons.len() {
+            fill_lane_chunk(neurons, synapses, start, self.lanes, nbuf, sbuf);
             // Stripes walks each synapse word bit-serially: the gating
             // stream whose activity the energy model charges for.
-            for &synapse in &s {
-                self.activity.add_stream(&bit_stream_activity(
-                    (0..bits).map(|j| (synapse >> j) & 1 == 1),
-                ));
+            for &synapse in sbuf.iter() {
+                self.activity
+                    .add_stream(&word_stream_activity(synapse, bits));
             }
             let chunk = self
                 .stripes
-                .mac(&n, &s)
+                .mac(nbuf, sbuf)
                 // lint:allow(P002) operand widths validated by the caller precision check
                 .expect("operands validated by caller precision");
             let (sum, carry) = self.output_accumulator.add(acc, chunk.value, false);
             self.activity.add_cla_op();
             debug_assert!(!carry, "window accumulator overflow");
             acc = sum;
+            start += self.lanes;
         }
         if pixel_obs::enabled() {
             pixel_obs::add("omac/ee/mac_ops", neurons.len() as u64);

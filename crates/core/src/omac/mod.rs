@@ -71,25 +71,27 @@ pub fn engine_for(config: &AcceleratorConfig) -> Box<dyn MacEngine> {
     config.design.model().functional_engine(config)
 }
 
-/// Splits an arbitrary-length operand pair into `lanes`-wide chunks,
-/// zero-padding the tail — the scheduling every OMAC applies when a
-/// window is larger than its lane count.
-pub(crate) fn lane_chunks<'a>(
-    neurons: &'a [u64],
-    synapses: &'a [u64],
+/// Copies the `lanes`-wide chunk starting at `start` from both operand
+/// slices into the scratch buffers, zero-padding the tail — the
+/// scheduling every OMAC applies when a window is larger than its lane
+/// count, in a form that reuses per-engine scratch instead of
+/// materializing two fresh vectors per chunk.
+pub(crate) fn fill_lane_chunk(
+    neurons: &[u64],
+    synapses: &[u64],
+    start: usize,
     lanes: usize,
-) -> impl Iterator<Item = (Vec<u64>, Vec<u64>)> + 'a {
-    assert_eq!(neurons.len(), synapses.len(), "operand length mismatch");
-    neurons
-        .chunks(lanes)
-        .zip(synapses.chunks(lanes))
-        .map(move |(n, s)| {
-            let mut nv = n.to_vec();
-            let mut sv = s.to_vec();
-            nv.resize(lanes, 0);
-            sv.resize(lanes, 0);
-            (nv, sv)
-        })
+    nbuf: &mut Vec<u64>,
+    sbuf: &mut Vec<u64>,
+) {
+    debug_assert_eq!(neurons.len(), synapses.len(), "operand length mismatch");
+    let end = (start + lanes).min(neurons.len());
+    nbuf.clear();
+    nbuf.extend_from_slice(&neurons[start..end]);
+    nbuf.resize(lanes, 0);
+    sbuf.clear();
+    sbuf.extend_from_slice(&synapses[start..end]);
+    sbuf.resize(lanes, 0);
 }
 
 #[cfg(test)]
@@ -100,14 +102,16 @@ mod tests {
     use pixel_units::rng::SplitMix64;
 
     #[test]
-    fn lane_chunks_pads_tail() {
+    fn fill_lane_chunk_pads_tail() {
         let n = [1u64, 2, 3, 4, 5];
         let s = [6u64, 7, 8, 9, 10];
-        let chunks: Vec<_> = lane_chunks(&n, &s, 4).collect();
-        assert_eq!(chunks.len(), 2);
-        assert_eq!(chunks[0].0, vec![1, 2, 3, 4]);
-        assert_eq!(chunks[1].0, vec![5, 0, 0, 0]);
-        assert_eq!(chunks[1].1, vec![10, 0, 0, 0]);
+        let (mut nbuf, mut sbuf) = (vec![99u64; 2], Vec::new());
+        fill_lane_chunk(&n, &s, 0, 4, &mut nbuf, &mut sbuf);
+        assert_eq!(nbuf, vec![1, 2, 3, 4]);
+        assert_eq!(sbuf, vec![6, 7, 8, 9]);
+        fill_lane_chunk(&n, &s, 4, 4, &mut nbuf, &mut sbuf);
+        assert_eq!(nbuf, vec![5, 0, 0, 0]);
+        assert_eq!(sbuf, vec![10, 0, 0, 0]);
     }
 
     #[test]

@@ -9,13 +9,26 @@
 //! synapse.
 
 use crate::omac::activity::{bit_stream_activity, ActivityCounter};
-use crate::omac::lane_chunks;
+use crate::omac::fill_lane_chunk;
 use pixel_dnn::inference::MacEngine;
 use pixel_electronics::cla::Cla;
 use pixel_electronics::converter::SerialConverter;
 use pixel_electronics::shifter::BarrelShifter;
 use pixel_photonics::mrr::DoubleMrrFilter;
 use pixel_photonics::signal::PulseTrain;
+use std::cell::RefCell;
+
+/// Reused per-window buffers: operand chunks, launched lane trains, the
+/// gated drop-port train, and the quantized-level staging for the o/e
+/// converter.
+#[derive(Debug, Default)]
+struct OeScratch {
+    nbuf: Vec<u64>,
+    sbuf: Vec<u64>,
+    trains: Vec<PulseTrain>,
+    gated: PulseTrain,
+    levels: Vec<u32>,
+}
 
 /// Bit-true OE MAC unit.
 #[derive(Debug)]
@@ -27,6 +40,7 @@ pub struct OeMac {
     shifter: BarrelShifter,
     accumulator: Cla,
     activity: ActivityCounter,
+    scratch: RefCell<OeScratch>,
 }
 
 impl OeMac {
@@ -47,6 +61,7 @@ impl OeMac {
             shifter: BarrelShifter::new(64),
             accumulator: Cla::new(64),
             activity: ActivityCounter::new(),
+            scratch: RefCell::new(OeScratch::default()),
         }
     }
 
@@ -71,15 +86,32 @@ impl OeMac {
     /// One Stripes cycle for one lane: optically AND the neuron train
     /// against synapse bit `bit_index`, convert, and return the partial
     /// product already shifted into position.
+    #[cfg(test)]
     fn partial(&self, neuron: &PulseTrain, synapse: u64, bit_index: u32) -> u64 {
+        let mut scratch = self.scratch.borrow_mut();
+        let OeScratch { gated, levels, .. } = &mut *scratch;
+        self.partial_with(neuron, synapse, bit_index, gated, levels)
+    }
+
+    /// [`Self::partial`] against caller-held scratch, so the window loop
+    /// can run it without re-borrowing (or re-allocating) per cycle.
+    fn partial_with(
+        &self,
+        neuron: &PulseTrain,
+        synapse: u64,
+        bit_index: u32,
+        gated: &mut PulseTrain,
+        levels: &mut Vec<u32>,
+    ) -> u64 {
         let gate = (synapse >> bit_index) & 1 == 1;
-        let dropped = self.filter.and(neuron, gate);
-        self.activity.add_mrr_slots(dropped.len() as u64);
+        self.filter.and_into(neuron, gate, gated);
+        self.activity.add_mrr_slots(gated.len() as u64);
         self.activity
-            .add_stream(&bit_stream_activity(dropped.iter().map(|a| a > 0.5)));
+            .add_stream(&bit_stream_activity(gated.iter().map(|a| a > 0.5)));
+        gated.quantized_levels_into(levels);
         let word = self
             .converter
-            .decode(&dropped.quantized_levels())
+            .decode(levels)
             // lint:allow(P002) a noiseless binary optical train decodes losslessly
             .expect("binary optical train decodes losslessly");
         self.activity.add_oe_conversion();
@@ -92,23 +124,37 @@ impl MacEngine for OeMac {
         let before_mrr = self.activity.mrr_slots();
         let before_toggles = self.activity.bit_toggles();
         let before_conversions = self.activity.oe_conversions();
+        assert_eq!(neurons.len(), synapses.len(), "operand length mismatch");
+        let mut scratch = self.scratch.borrow_mut();
+        let OeScratch {
+            nbuf,
+            sbuf,
+            trains,
+            gated,
+            levels,
+        } = &mut *scratch;
         let mut acc = 0u64;
-        for (n_chunk, s_chunk) in lane_chunks(neurons, synapses, self.lanes) {
+        let mut start = 0;
+        while start < neurons.len() {
+            fill_lane_chunk(neurons, synapses, start, self.lanes, nbuf, sbuf);
             // Fire all lanes' neuron words as optical trains (one WDM λ each).
-            let trains: Vec<PulseTrain> = n_chunk
-                .iter()
-                .map(|&n| PulseTrain::from_bits(n, self.bits as usize))
-                .collect();
+            if trains.len() != self.lanes {
+                trains.resize_with(self.lanes, PulseTrain::new);
+            }
+            for (train, &n) in trains.iter_mut().zip(nbuf.iter()) {
+                train.write_bits(n, self.bits as usize);
+            }
             // p serial cycles over the synapse bits, as in STR.
             for bit in 0..self.bits {
-                for (train, &synapse) in trains.iter().zip(&s_chunk) {
-                    let p = self.partial(train, synapse, bit);
+                for (train, &synapse) in trains.iter().zip(sbuf.iter()) {
+                    let p = self.partial_with(train, synapse, bit, gated, levels);
                     let (sum, carry) = self.accumulator.add(acc, p, false);
                     self.activity.add_cla_op();
                     debug_assert!(!carry, "window accumulator overflow");
                     acc = sum;
                 }
             }
+            start += self.lanes;
         }
         if pixel_obs::enabled() {
             pixel_obs::add("omac/oe/mac_ops", neurons.len() as u64);

@@ -11,7 +11,7 @@
 //! final electrical accumulate combines wavelengths and window chunks.
 
 use crate::omac::activity::{bit_stream_activity, ActivityCounter};
-use crate::omac::lane_chunks;
+use crate::omac::fill_lane_chunk;
 use pixel_dnn::inference::MacEngine;
 use pixel_electronics::cla::Cla;
 use pixel_electronics::converter::AmplitudeConverter;
@@ -19,6 +19,16 @@ use pixel_photonics::constants::OPTICAL_CLOCK_HZ;
 use pixel_photonics::mrr::DoubleMrrFilter;
 use pixel_photonics::mzi::MziChain;
 use pixel_photonics::signal::PulseTrain;
+use std::cell::RefCell;
+
+/// Reused per-multiply buffers: the launched neuron train, one gated
+/// partial product per synapse bit, and the MZI-combined output.
+#[derive(Debug, Default)]
+struct MulScratch {
+    train: PulseTrain,
+    partials: Vec<PulseTrain>,
+    combined: PulseTrain,
+}
 
 /// Bit-true OO MAC unit.
 #[derive(Debug)]
@@ -30,6 +40,9 @@ pub struct OoMac {
     converter: AmplitudeConverter,
     accumulator: Cla,
     activity: ActivityCounter,
+    /// Reused per-chunk operand buffers (neurons, synapses).
+    chunks: RefCell<(Vec<u64>, Vec<u64>)>,
+    mul: RefCell<MulScratch>,
 }
 
 impl OoMac {
@@ -51,6 +64,8 @@ impl OoMac {
             converter: AmplitudeConverter::new(bits),
             accumulator: Cla::new(64),
             activity: ActivityCounter::new(),
+            chunks: RefCell::new((Vec::new(), Vec::new())),
+            mul: RefCell::new(MulScratch::default()),
         }
     }
 
@@ -93,24 +108,40 @@ impl OoMac {
     /// ```
     #[must_use]
     pub fn optical_multiply(&self, neuron: u64, synapse: u64) -> u64 {
-        let train = PulseTrain::from_bits(neuron, self.bits as usize);
-        let partials: Vec<PulseTrain> = (0..self.bits)
-            .map(|j| self.filter.and(&train, (synapse >> j) & 1 == 1))
-            .collect();
+        let mut mul = self.mul.borrow_mut();
+        self.multiply_with(neuron, synapse, &mut mul)
+    }
+
+    /// [`Self::optical_multiply`] against caller-held scratch, so the
+    /// window loop can run it without re-borrowing per MAC.
+    fn multiply_with(&self, neuron: u64, synapse: u64, bufs: &mut MulScratch) -> u64 {
+        let MulScratch {
+            train,
+            partials,
+            combined,
+        } = bufs;
+        let bits = self.bits as usize;
+        train.write_bits(neuron, bits);
+        if partials.len() != bits {
+            partials.resize_with(bits, PulseTrain::new);
+        }
+        for (j, partial) in partials.iter_mut().enumerate() {
+            self.filter
+                .and_into(train, (synapse >> j) & 1 == 1, partial);
+        }
         self.activity
             .add_mrr_slots(u64::from(self.bits) * u64::from(self.bits));
-        for partial in &partials {
+        for partial in partials.iter() {
             self.activity
                 .add_stream(&bit_stream_activity(partial.iter().map(|a| a > 0.5)));
         }
-        let combined = self.chain.accumulate(&partials);
+        self.chain.accumulate_into(partials, combined);
         self.activity.add_mzi_slots(combined.len() as u64);
-        let amplitudes: Vec<f64> = combined.iter().collect();
         self.activity
-            .add_comparator_decisions(amplitudes.len() as u64);
+            .add_comparator_decisions(combined.len() as u64);
         self.activity.add_oe_conversion();
         self.converter
-            .decode(&amplitudes)
+            .decode(combined.amplitudes())
             // lint:allow(P002) amplitude levels bounded by bits-per-lane accumulation
             .expect("amplitude levels bounded by bits per lane")
     }
@@ -121,15 +152,22 @@ impl MacEngine for OoMac {
         let before_mrr = self.activity.mrr_slots();
         let before_mzi = self.activity.mzi_slots();
         let before_toggles = self.activity.bit_toggles();
+        assert_eq!(neurons.len(), synapses.len(), "operand length mismatch");
+        let mut chunks = self.chunks.borrow_mut();
+        let (nbuf, sbuf) = &mut *chunks;
+        let mut mul = self.mul.borrow_mut();
         let mut acc = 0u64;
-        for (n_chunk, s_chunk) in lane_chunks(neurons, synapses, self.lanes) {
-            for (&n, &s) in n_chunk.iter().zip(&s_chunk) {
-                let product = self.optical_multiply(n, s);
+        let mut start = 0;
+        while start < neurons.len() {
+            fill_lane_chunk(neurons, synapses, start, self.lanes, nbuf, sbuf);
+            for (&n, &s) in nbuf.iter().zip(sbuf.iter()) {
+                let product = self.multiply_with(n, s, &mut mul);
                 let (sum, carry) = self.accumulator.add(acc, product, false);
                 self.activity.add_cla_op();
                 debug_assert!(!carry, "window accumulator overflow");
                 acc = sum;
             }
+            start += self.lanes;
         }
         if pixel_obs::enabled() {
             pixel_obs::add("omac/oo/mac_ops", neurons.len() as u64);

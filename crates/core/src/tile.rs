@@ -15,6 +15,10 @@ use pixel_electronics::register::RegisterFile;
 pub struct Tile {
     config: AcceleratorConfig,
     weights: RegisterFile,
+    /// Register-file contents read back after the last load, so the hot
+    /// fire path hands the engine a slice instead of re-reading (and
+    /// re-allocating) the RF word-by-word per window.
+    mirror: Vec<u64>,
     engine: Box<dyn MacEngine>,
 }
 
@@ -36,6 +40,7 @@ impl Tile {
         Self {
             config,
             weights: RegisterFile::new(filter_size, width),
+            mirror: vec![0; filter_size],
             engine: engine_for(&config),
         }
     }
@@ -54,6 +59,11 @@ impl Tile {
     /// Panics if more weights than the RF holds are supplied.
     pub fn load_weights(&mut self, weights: &[u64]) {
         self.weights.load(weights);
+        // Mirror what the RF actually stores (its registers mask to the
+        // configured width), not what the caller supplied.
+        for (i, slot) in self.mirror.iter_mut().enumerate() {
+            *slot = self.weights.read(i);
+        }
     }
 
     /// Number of weights stored.
@@ -76,8 +86,25 @@ impl Tile {
             neurons.len(),
             self.weights.len()
         );
-        let synapses: Vec<u64> = (0..neurons.len()).map(|i| self.weights.read(i)).collect();
-        self.engine.inner_product(neurons, &synapses)
+        self.engine
+            .inner_product(neurons, &self.mirror[..neurons.len()])
+    }
+
+    /// Computes one window against *streamed* weights instead of the
+    /// resident filter — the time-multiplexing path when a fabric maps
+    /// more filters than physical tiles onto the same datapath.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand lengths differ.
+    #[must_use]
+    pub fn fire_streamed(&self, neurons: &[u64], weights: &[u64]) -> u64 {
+        assert_eq!(
+            neurons.len(),
+            weights.len(),
+            "streamed weights must match the fired window"
+        );
+        self.engine.inner_product(neurons, weights)
     }
 
     /// The MAC engine's name (design identification).
@@ -109,6 +136,24 @@ mod tests {
         let mut tile = Tile::new(AcceleratorConfig::new(Design::Oe, 4, 8), 4);
         tile.load_weights(&[9, 9, 9, 9]);
         assert_eq!(tile.fire(&[1, 1]), 18);
+    }
+
+    #[test]
+    fn streamed_weights_bypass_the_register_file() {
+        let mut tile = Tile::new(AcceleratorConfig::new(Design::Oo, 4, 8), 4);
+        tile.load_weights(&[9, 9, 9, 9]);
+        assert_eq!(tile.fire_streamed(&[1, 2, 3, 4], &[5, 6, 7, 8]), 70);
+        // The resident filter is untouched.
+        assert_eq!(tile.fire(&[1, 1, 1, 1]), 36);
+    }
+
+    #[test]
+    fn mirror_reflects_register_width_masking() {
+        // 8-bit lanes → 8-bit registers: a 9-bit weight is masked on load,
+        // and fire must see the masked value the RF stores.
+        let mut tile = Tile::new(AcceleratorConfig::new(Design::Ee, 4, 8), 2);
+        tile.load_weights(&[0x1FF, 1]);
+        assert_eq!(tile.fire(&[1, 0]), 0xFF);
     }
 
     #[test]

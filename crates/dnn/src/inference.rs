@@ -217,7 +217,9 @@ pub fn fully_connected(
         // lint:allow(P003) caller contract: fully_connected dispatches on LayerKind::Fc
         panic!("fully_connected called on a non-FC layer");
     };
-    let flat = input.to_flat();
+    // FC consumes the activations in flat HWC order whatever the input
+    // shape — borrow the backing data rather than flattening a copy.
+    let flat = input.data();
     if flat.len() != layer.input.elements() {
         return Err(ShapeError {
             layer: layer.name.clone(),
@@ -226,9 +228,9 @@ pub fn fully_connected(
         });
     }
     let values: Vec<u64> = (0..outputs)
-        .map(|o| engine.inner_product(&flat, weights.fc_row(o)))
+        .map(|o| engine.inner_product(flat, weights.fc_row(o)))
         .collect();
-    Ok(Tensor::from_flat(&values))
+    Ok(Tensor::from_flat_vec(values))
 }
 
 /// Executes one pooling layer.
@@ -255,6 +257,16 @@ pub fn pool(layer: &Layer, input: &Tensor) -> Result<Tensor, ShapeError> {
     }
     let e = layer.output_feature_size();
     let c_count = layer.input.c;
+    // A kernel/stride that overhangs the input would index out of bounds
+    // below (pooling has no zero padding): the last window must fit.
+    let needed = (e - 1) * stride + kernel;
+    if needed > layer.input.h || needed > layer.input.w {
+        return Err(ShapeError {
+            layer: layer.name.clone(),
+            got: layer.input,
+            want: Shape::new(needed, needed, c_count),
+        });
+    }
     let mut out = Tensor::zeros(Shape::square(e, c_count));
     for oh in 0..e {
         for ow in 0..e {
@@ -321,10 +333,8 @@ pub fn forward(
                 t
             }
             LayerKind::Fc { .. } => {
-                // FC layers accept any shape with the right element count;
-                // reshape explicitly.
-                let flat = Tensor::from_flat(&current.to_flat());
-                let mut t = fully_connected(layer, &flat, w, engine)?;
+                // FC layers accept any shape with the right element count.
+                let mut t = fully_connected(layer, &current, w, engine)?;
                 precision.requantize(&mut t);
                 t
             }
@@ -395,6 +405,29 @@ mod tests {
         let avg_layer = Layer::pool("p", Shape::square(2, 1), 2, 2, PoolKind::Average);
         assert_eq!(pool(&max_layer, &input).unwrap().get(0, 0, 0), 3);
         assert_eq!(pool(&avg_layer, &input).unwrap().get(0, 0, 0), 1); // (0+1+2+3)/4
+    }
+
+    #[test]
+    fn pool_overhang_is_an_error_not_a_panic() {
+        // Kernel larger than the input: output_feature_size saturates to 1
+        // and the window would read past the edge.
+        let input = Tensor::from_fn(Shape::square(2, 1), |_, _, _| 1);
+        let layer = Layer::pool("p", Shape::square(2, 1), 3, 1, PoolKind::Max);
+        let err = pool(&layer, &input).unwrap_err();
+        assert_eq!(err.layer, "p");
+        assert_eq!(err.want, Shape::new(3, 3, 1));
+
+        // Stride overhang: e=2 windows of 2 need 3 rows, input has... 4 — ok;
+        // kernel 3 stride 2 on 4: e=(4-3+2)/2=1, needs 3 ≤ 4 — ok. Kernel 2
+        // stride 3 on 4: e=(4-2+3)/3=1, needs 2 ≤ 4 — ok. Kernel 4 stride 3
+        // on 5: e=(5-4+3)/3=1 fits; on 3: e=1, needs 4 > 3 — error.
+        let small = Tensor::zeros(Shape::square(3, 1));
+        let overhang = Layer::pool("q", Shape::square(3, 1), 4, 3, PoolKind::Average);
+        assert!(pool(&overhang, &small).is_err());
+
+        // A fitting pool still works.
+        let fit = Layer::pool("r", Shape::square(2, 1), 2, 2, PoolKind::Max);
+        assert_eq!(pool(&fit, &input).unwrap().get(0, 0, 0), 1);
     }
 
     #[test]

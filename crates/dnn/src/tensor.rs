@@ -41,9 +41,16 @@ impl Tensor {
     /// Creates a flat tensor `[1, 1, n]` from a slice.
     #[must_use]
     pub fn from_flat(values: &[u64]) -> Self {
+        Self::from_flat_vec(values.to_vec())
+    }
+
+    /// Creates a flat tensor `[1, 1, n]` taking ownership of the values
+    /// (no copy).
+    #[must_use]
+    pub fn from_flat_vec(values: Vec<u64>) -> Self {
         Self {
             shape: Shape::flat(values.len()),
-            data: values.to_vec(),
+            data: values,
         }
     }
 
@@ -57,6 +64,14 @@ impl Tensor {
     #[must_use]
     pub fn data(&self) -> &[u64] {
         &self.data
+    }
+
+    /// Mutable raw data in HWC order. Rows are contiguous (`w·c` elements
+    /// per row), so row-parallel writers can split this with
+    /// `chunks_mut` without overlapping.
+    #[must_use]
+    pub fn data_mut(&mut self) -> &mut [u64] {
+        &mut self.data
     }
 
     fn index(&self, h: usize, w: usize, c: usize) -> usize {

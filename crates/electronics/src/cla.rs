@@ -57,7 +57,10 @@ impl Cla {
 
     /// Bit-true addition: returns `(sum, carry_out)` with the sum wrapped
     /// to the adder width, computed structurally through generate/propagate
-    /// lookahead rather than native addition.
+    /// lookahead rather than native addition. The carries come from a
+    /// parallel-prefix (Kogge–Stone) combination of the per-bit generate
+    /// and propagate signals — the lookahead tree a hardware CLA builds,
+    /// in `⌈log₂ n⌉` doubling steps instead of a bit-serial ripple.
     ///
     /// # Examples
     ///
@@ -73,20 +76,38 @@ impl Cla {
         let mask = self.mask();
         let a = a & mask;
         let b = b & mask;
-        let mut sum = 0u64;
-        let mut carry = carry_in;
-        for i in 0..self.width {
-            let ai = (a >> i) & 1 == 1;
-            let bi = (b >> i) & 1 == 1;
-            let generate = ai && bi;
-            let propagate = ai ^ bi;
-            let s = propagate ^ carry;
-            if s {
-                sum |= 1 << i;
-            }
-            carry = generate || (propagate && carry);
+        // Per-bit generate/propagate, then the prefix tree: after step k,
+        // `g` holds "carry generated out of bits [i−2ᵏ+1 ..= i]" and `p`
+        // holds "carry propagates across bits [0 ..= i]" (ones shifted in
+        // keep the truncated low windows propagating).
+        let p0 = a ^ b;
+        let mut g = a & b;
+        let mut p = p0;
+        // Six fixed doubling steps cover any width ≤ 64; once a bit's
+        // window spans [0..=i] further combining is idempotent, so the
+        // straight-line form stays exact for narrow adders too.
+        g |= p & (g << 1);
+        p &= (p << 1) | 0x1;
+        g |= p & (g << 2);
+        p &= (p << 2) | 0x3;
+        g |= p & (g << 4);
+        p &= (p << 4) | 0xF;
+        g |= p & (g << 8);
+        p &= (p << 8) | 0xFF;
+        g |= p & (g << 16);
+        p &= (p << 16) | 0xFFFF;
+        g |= p & (g << 32);
+        p &= (p << 32) | 0xFFFF_FFFF;
+        // Carry into bit i is G over [0..=i−1] plus carry-in propagated
+        // across [0..=i−1]; bit 0 receives the carry-in itself.
+        let mut carries = g << 1;
+        if carry_in {
+            carries |= (p << 1) | 1;
         }
-        (sum, carry)
+        let sum = (p0 ^ carries) & mask;
+        let msb = self.width - 1;
+        let carry_out = (g >> msb) & 1 == 1 || (carry_in && (p >> msb) & 1 == 1);
+        (sum, carry_out)
     }
 
     /// Bit mask covering the adder width.

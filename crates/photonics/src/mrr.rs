@@ -132,6 +132,17 @@ impl DoubleMrrFilter {
         self.route(neuron, MrrState::from_bit(synapse_bit)).drop
     }
 
+    /// [`Self::and`] into a reused output train: the drop port either
+    /// mirrors the neuron train (cross state) or stays dark for its full
+    /// length (bar state), so the gate needs no fresh allocation.
+    pub fn and_into(&self, neuron: &PulseTrain, synapse_bit: bool, out: &mut PulseTrain) {
+        if synapse_bit {
+            out.copy_from(neuron);
+        } else {
+            out.set_dark(neuron.len());
+        }
+    }
+
     /// Drive energy to stream `bits` bit-slots through the filter for
     /// `cycles` cycles (the paper's worked example multiplies MRR count ×
     /// 500 fJ × bits × cycles).
@@ -233,6 +244,17 @@ mod tests {
         let out = f.route(&input, MrrState::Cross);
         assert_eq!(out.through.to_bits(), Some(0));
         assert_eq!(out.drop.to_bits(), Some(0b1010));
+    }
+
+    #[test]
+    fn and_into_matches_and() {
+        let f = DoubleMrrFilter::default();
+        let neuron = PulseTrain::from_bits(0b1010, 4);
+        let mut out = PulseTrain::from_bits(0b1, 1); // stale scratch
+        for gate in [true, false] {
+            f.and_into(&neuron, gate, &mut out);
+            assert_eq!(out, f.and(&neuron, gate), "gate={gate}");
+        }
     }
 
     #[test]

@@ -254,18 +254,29 @@ impl MziChain {
     /// Panics if more inputs than stages are supplied.
     #[must_use]
     pub fn accumulate(&self, inputs: &[PulseTrain]) -> PulseTrain {
+        let mut out = PulseTrain::new();
+        self.accumulate_into(inputs, &mut out);
+        out
+    }
+
+    /// [`Self::accumulate`] into a reused output train (cleared first):
+    /// slot-by-slot amplitude addition in stage order, so the result is
+    /// bitwise identical to the allocating form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more inputs than stages are supplied.
+    pub fn accumulate_into(&self, inputs: &[PulseTrain], out: &mut PulseTrain) {
         assert!(
             inputs.len() <= self.stages,
             "chain has {} stages but {} inputs were supplied",
             self.stages,
             inputs.len()
         );
-        inputs
-            .iter()
-            .enumerate()
-            .fold(PulseTrain::new(), |acc, (k, train)| {
-                acc.superpose(&train.delayed(k))
-            })
+        out.set_dark(0);
+        for (k, train) in inputs.iter().enumerate() {
+            out.add_shifted(train, k);
+        }
     }
 
     /// Modulation energy for routing trains with `total_pulse_slots` slots
@@ -387,6 +398,20 @@ mod tests {
         let out = chain.accumulate(&inputs);
         assert_eq!(out.peak_level(), 3);
         assert_eq!(out.positional_value(), 7 + 14 + 28);
+    }
+
+    #[test]
+    fn accumulate_into_matches_allocating_form() {
+        let chain = MziChain::delay_matched(4, 10.0e9);
+        let inputs: Vec<_> = [3u64, 1, 0, 1]
+            .iter()
+            .map(|&v| PulseTrain::from_bits(v, 4))
+            .collect();
+        let mut out = PulseTrain::from_bits(0b1111, 4); // stale scratch
+        chain.accumulate_into(&inputs, &mut out);
+        assert_eq!(out, chain.accumulate(&inputs));
+        chain.accumulate_into(&[], &mut out);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -75,6 +75,46 @@ impl PulseTrain {
         Self { slots }
     }
 
+    /// Re-launches the low `bits` bits of `value` LSB-first into this
+    /// train, reusing its slot storage (the in-place counterpart of
+    /// [`Self::from_bits`] for per-window scratch buffers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits > 64`.
+    pub fn write_bits(&mut self, value: u64, bits: usize) {
+        assert!(bits <= 64, "at most 64 bits per word");
+        self.slots.clear();
+        self.slots
+            .extend((0..bits).map(|i| if (value >> i) & 1 == 1 { 1.0 } else { 0.0 }));
+    }
+
+    /// Turns this train into `len` dark slots, reusing its storage (the
+    /// in-place counterpart of [`Self::dark`]).
+    pub fn set_dark(&mut self, len: usize) {
+        self.slots.clear();
+        self.slots.resize(len, 0.0);
+    }
+
+    /// Copies another train's slots into this one, reusing storage.
+    pub fn copy_from(&mut self, other: &Self) {
+        self.slots.clear();
+        self.slots.extend_from_slice(&other.slots);
+    }
+
+    /// Superposes `other`, delayed by `shift` slots, onto this train in
+    /// place — the buffer-reuse form of `self.superpose(&other.delayed(shift))`,
+    /// growing the train with dark slots as needed.
+    pub fn add_shifted(&mut self, other: &Self, shift: usize) {
+        let needed = shift + other.slots.len();
+        if self.slots.len() < needed {
+            self.slots.resize(needed, 0.0);
+        }
+        for (t, &a) in other.slots.iter().enumerate() {
+            self.slots[t + shift] += a;
+        }
+    }
+
     /// Number of time slots in the train.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -96,6 +136,12 @@ impl PulseTrain {
     /// Iterates over slot amplitudes.
     pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
         self.slots.iter().copied()
+    }
+
+    /// The raw slot amplitudes in time order.
+    #[must_use]
+    pub fn amplitudes(&self) -> &[f64] {
+        &self.slots
     }
 
     /// Total slot amplitude of the train (sum of slot amplitudes — a
@@ -147,16 +193,21 @@ impl PulseTrain {
     /// comparator-ladder o/e converter would resolve it.
     #[must_use]
     pub fn quantized_levels(&self) -> Vec<u32> {
-        self.slots
-            .iter()
-            .map(|a| {
-                debug_assert!(*a >= -1e-9, "negative optical power");
-                #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-                {
-                    a.round().max(0.0) as u32
-                }
-            })
-            .collect()
+        let mut out = Vec::new();
+        self.quantized_levels_into(&mut out);
+        out
+    }
+
+    /// [`Self::quantized_levels`] into a reused buffer (cleared first).
+    pub fn quantized_levels_into(&self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend(self.slots.iter().map(|a| {
+            debug_assert!(*a >= -1e-9, "negative optical power");
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            {
+                a.round().max(0.0) as u32
+            }
+        }));
     }
 
     /// Interprets the train as a binary word (each slot must round to 0/1),
@@ -232,6 +283,25 @@ impl WdmSignal {
     #[must_use]
     pub fn demux(&self, id: WavelengthId) -> PulseTrain {
         self.channels.get(&id).cloned().unwrap_or_default()
+    }
+
+    /// Borrows channel `id` without cloning (`None` when the wavelength
+    /// is dark) — the receive-side counterpart of [`Self::set_channel`]
+    /// for allocation-free transport loops.
+    #[must_use]
+    pub fn channel(&self, id: WavelengthId) -> Option<&PulseTrain> {
+        self.channels.get(&id)
+    }
+
+    /// Overwrites channel `id` with a copy of `train`, reusing the slot
+    /// storage already allocated on that wavelength. Unlike [`Self::mux`]
+    /// this *replaces* rather than superposes — the refresh a firing tile
+    /// performs between rounds on its own band.
+    pub fn set_channel(&mut self, id: WavelengthId, train: &PulseTrain) {
+        self.channels
+            .entry(id)
+            .and_modify(|existing| existing.copy_from(train))
+            .or_insert_with(|| train.clone());
     }
 
     /// Number of active wavelength channels.
@@ -351,5 +421,49 @@ mod tests {
     #[test]
     fn wavelength_display() {
         assert_eq!(format!("{}", WavelengthId(5)), "λ5");
+    }
+
+    #[test]
+    fn in_place_writers_match_constructors() {
+        let mut t = PulseTrain::from_bits(0b111, 3);
+        t.write_bits(0b1011, 4);
+        assert_eq!(t, PulseTrain::from_bits(0b1011, 4));
+        t.set_dark(2);
+        assert_eq!(t, PulseTrain::dark(2));
+        t.copy_from(&PulseTrain::from_bits(0b01, 2));
+        assert_eq!(t.to_bits(), Some(1));
+    }
+
+    #[test]
+    fn add_shifted_matches_superpose_of_delayed() {
+        let a = PulseTrain::from_bits(0b101, 3);
+        let b = PulseTrain::from_bits(0b11, 2);
+        let reference = a.superpose(&b.delayed(2));
+        let mut acc = PulseTrain::new();
+        acc.add_shifted(&a, 0);
+        acc.add_shifted(&b, 2);
+        assert_eq!(acc, reference);
+        assert_eq!(acc.amplitudes().len(), 4);
+    }
+
+    #[test]
+    fn quantized_levels_into_reuses_buffer() {
+        let t = PulseTrain::from_amplitudes(vec![0.96, 2.04, 0.02]);
+        let mut buf = vec![9u32; 8];
+        t.quantized_levels_into(&mut buf);
+        assert_eq!(buf, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn set_channel_replaces_and_channel_borrows() {
+        let mut s = WdmSignal::new();
+        s.set_channel(WavelengthId(2), &PulseTrain::from_bits(0b1, 2));
+        s.set_channel(WavelengthId(2), &PulseTrain::from_bits(0b10, 2));
+        assert_eq!(s.channel_count(), 1);
+        assert_eq!(
+            s.channel(WavelengthId(2)).and_then(PulseTrain::to_bits),
+            Some(2)
+        );
+        assert!(s.channel(WavelengthId(0)).is_none());
     }
 }

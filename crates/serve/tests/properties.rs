@@ -125,6 +125,72 @@ fn histogram_percentiles_track_the_sorted_reference() {
     }
 }
 
+/// Below `2^(sub_bits+1)` every bucket is one unit wide, so the
+/// histogram's nearest-rank selection must agree with the sorted
+/// reference *exactly* — any off-by-one in the rank computation shows
+/// up undamped by quantization. Boundary quantiles `q = k/n` sit right
+/// on the `ceil` edge of the rank rule and are the cases most likely
+/// to break.
+#[test]
+fn percentile_rank_selection_is_exact_in_unit_buckets() {
+    let limit = 1u64 << (DEFAULT_SUB_BITS + 1);
+    for seed in 0..4u64 {
+        let mut rng = SplitMix64::seed_from_u64(0x9e7c ^ seed);
+        // Power-of-two counts make q = k/n representable exactly in
+        // binary floating point, so ceil(q·n) lands on the boundary
+        // with no rounding slack.
+        let n = 1usize << (4 + seed % 4);
+        let mut hist = LatencyHistogram::new(DEFAULT_SUB_BITS);
+        let mut values: Vec<u64> = (0..n).map(|_| rng.next_u64() % limit).collect();
+        for &v in &values {
+            hist.record(v);
+        }
+        values.sort_unstable();
+        #[allow(clippy::cast_precision_loss)]
+        for k in 0..=n {
+            let q = k as f64 / n as f64;
+            let expected = exact_percentile(&values, q);
+            assert_eq!(
+                hist.percentile(q),
+                expected,
+                "seed {seed} n {n} boundary q {q}"
+            );
+            // Nudged just past the boundary the rank must step to the
+            // next order statistic (same one for the k = n endpoint).
+            let nudged = (q + 1e-9).min(1.0);
+            assert_eq!(
+                hist.percentile(nudged),
+                exact_percentile(&values, nudged),
+                "seed {seed} n {n} nudged q {nudged}"
+            );
+        }
+    }
+}
+
+/// Degenerate and endpoint cases: a single sample answers that sample
+/// at every quantile, and q = 0 / q = 1 pin to the recorded extremes
+/// even when the distribution spans coarse buckets.
+#[test]
+fn percentile_endpoints_pin_to_recorded_extremes() {
+    for value in [0u64, 1, 255, 256, 12_345, 1 << 40, u64::MAX] {
+        let mut hist = LatencyHistogram::new(DEFAULT_SUB_BITS);
+        hist.record(value);
+        for q in [0.0, 0.25, 0.5, 0.75, 0.999, 1.0] {
+            assert_eq!(hist.percentile(q), value, "single sample {value} q {q}");
+        }
+    }
+    let mut rng = SplitMix64::seed_from_u64(0xf1f0);
+    let mut hist = LatencyHistogram::new(DEFAULT_SUB_BITS);
+    let values: Vec<u64> = (0..500)
+        .map(|_| rng.next_u64() >> (rng.next_u64() % 48))
+        .collect();
+    for &v in &values {
+        hist.record(v);
+    }
+    assert_eq!(hist.percentile(0.0), *values.iter().min().unwrap());
+    assert_eq!(hist.percentile(1.0), *values.iter().max().unwrap());
+}
+
 #[test]
 fn simulation_conserves_requests_across_policies_and_loads() {
     let workload = Workload::paper_mix();
