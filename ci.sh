@@ -32,12 +32,15 @@ pub fn smoke() {
 pub fn smoke_energy(raw_energy: f64) -> f64 {
     raw_energy
 }
+pub fn smoke_metrics() {
+    pixel_obs::add("Bad/Name", 1);
+}
 EOF
 if ./target/release/reproduce lint --deny > /tmp/lint_smoke_out 2>&1; then
   echo "lint failed to flag the seeded violations" >&2
   exit 1
 fi
-for rule in D001 A001 P001 U001; do
+for rule in D001 A001 P001 U001 O001; do
   grep -q "$rule" /tmp/lint_smoke_out || { echo "lint missed $rule" >&2; exit 1; }
 done
 rm -f "$smoke"
@@ -52,7 +55,7 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 echo "== reproduce smoke"
 out=$(./target/release/reproduce table1 --profile)
 echo "$out" | grep -q "== profile" || { echo "profile table missing" >&2; exit 1; }
-echo "$out" | grep -q "dnn/analysis/layers" || { echo "expected counter missing" >&2; exit 1; }
+echo "$out" | grep -q "dnn.analysis.layers" || { echo "expected counter missing" >&2; exit 1; }
 ./target/release/reproduce --list > /dev/null
 serve_out=$(./target/release/reproduce serve --jobs 2)
 echo "$serve_out" | grep -q "saturation knee" || { echo "serve knee line missing" >&2; exit 1; }
@@ -60,6 +63,22 @@ if ./target/release/reproduce no-such-artifact 2> /dev/null; then
   echo "unknown artifact should fail" >&2
   exit 1
 fi
+
+echo "== flightrec smoke"
+# The flight-recorder artifact with the machine-readable metrics stream:
+# every emitted line must be flat JSON with a schema tag, validated line
+# by line by the same parser the trace sink uses (checkjsonl exits
+# non-zero on the first malformed line, failing the build).
+# Captured, not piped: grep -q closing a pipe early would SIGPIPE the
+# binary before the post-run --metrics write.
+fr_out=$(./target/release/reproduce flightrec --quick --metrics /tmp/flightrec_metrics.jsonl)
+echo "$fr_out" | grep -q "latency decomposition" || { echo "flightrec decomposition missing" >&2; exit 1; }
+./target/release/reproduce checkjsonl /tmp/flightrec_metrics.jsonl
+grep -q '"schema":"pixel.serve.event"' /tmp/flightrec_metrics.jsonl \
+  || { echo "flightrec metrics missing event lines" >&2; exit 1; }
+grep -q '"schema":"pixel.serve.window"' /tmp/flightrec_metrics.jsonl \
+  || { echo "flightrec metrics missing window lines" >&2; exit 1; }
+rm -f /tmp/flightrec_metrics.jsonl
 
 echo "== bench"
 # Smoke the perf harness: quick mode must produce a well-formed

@@ -5,14 +5,23 @@
 //! ```text
 //! reproduce [FLAGS] [ARTIFACT...]
 //!
-//! ARTIFACT   table1|table2|fig4..fig10|power|ablation|...|all (default: all)
-//! --list     print the artifact keys and exit
-//! --jobs N   sweep worker threads (default: available parallelism)
-//! --seed S   override the pinned seeds of the stochastic artifacts
-//!            (noise, audit, serve); default keeps the pinned outputs
-//! --profile  record spans/counters and print a profile table at the end
-//! --trace F  stream span/counter events to F as JSON lines
+//! ARTIFACT    table1|table2|fig4..fig10|power|ablation|...|all (default: all)
+//! --list      print the artifact keys and exit
+//! --jobs N    sweep worker threads (default: available parallelism)
+//! --seed S    override the pinned seeds of the stochastic artifacts
+//!             (noise, audit, serve, flightrec); default keeps the
+//!             pinned outputs
+//! --quick     smoke-test request counts (outputs not snapshot-pinned)
+//! --profile   record spans/counters and print a profile table at the end
+//! --trace F   stream span/counter events to F as JSON lines
+//! --metrics F write the run's machine-readable JSONL metrics (emitted
+//!             by the serve and flightrec artifacts) to F
+//! --flame F   write collapsed span stacks (flamegraph format) to F
 //! ```
+//!
+//! `reproduce checkjsonl FILE` validates a JSONL metrics/trace file line
+//! by line (flat JSON, non-empty, schema-tagged) and fails on the first
+//! malformed line.
 //!
 //! `reproduce lint [ARGS...]` forwards to the `pixel-lint` static
 //! analyzer (see `reproduce lint --help`).
@@ -28,7 +37,7 @@ use std::process::ExitCode;
 /// One reproducible artifact: key, title, renderer.
 type Artifact = (&'static str, &'static str, fn() -> String);
 
-const ARTIFACTS: [Artifact; 19] = [
+const ARTIFACTS: [Artifact; 20] = [
     (
         "table1",
         "Table I — VGG16 computations [millions]",
@@ -124,7 +133,45 @@ const ARTIFACTS: [Artifact; 19] = [
         "Extension — inference-serving saturation sweep (load × design)",
         pixel_bench::serve,
     ),
+    (
+        "flightrec",
+        "Extension — flight-recorder deep dive on one serving run (OO near the knee)",
+        pixel_bench::flightrec,
+    ),
 ];
+
+/// Validates a JSONL file: every line must parse as a flat JSON object
+/// carrying a non-empty `schema` tag. Returns a process exit status.
+fn check_jsonl(path: &str) -> u8 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(err) => {
+            eprintln!("checkjsonl: cannot read {path:?}: {err}");
+            return 1;
+        }
+    };
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        let Some(fields) = pixel_obs::parse_flat_object(line) else {
+            eprintln!(
+                "checkjsonl: {path}:{}: malformed JSON object: {line}",
+                i + 1
+            );
+            return 1;
+        };
+        if !fields.iter().any(|(k, v)| k == "schema" && !v.is_empty()) {
+            eprintln!("checkjsonl: {path}:{}: missing schema tag: {line}", i + 1);
+            return 1;
+        }
+        lines += 1;
+    }
+    if lines == 0 {
+        eprintln!("checkjsonl: {path} holds no JSONL lines");
+        return 1;
+    }
+    println!("checkjsonl: {path}: {lines} schema-tagged JSONL line(s) OK");
+    0
+}
 
 fn print_artifact(key: &str, title: &str, render: fn() -> String) {
     println!("== {key}: {title}");
@@ -157,9 +204,19 @@ fn main() -> ExitCode {
         if forwarded.first().is_some_and(|a| a == "bench") {
             return ExitCode::from(pixel_bench::perf::run_cli(&forwarded[1..]));
         }
+        // `reproduce checkjsonl FILE` validates a JSONL artifact.
+        if forwarded.first().is_some_and(|a| a == "checkjsonl") {
+            let [path] = &forwarded[1..] else {
+                eprintln!("usage: reproduce checkjsonl FILE");
+                return ExitCode::FAILURE;
+            };
+            return ExitCode::from(check_jsonl(path));
+        }
     }
     let mut profile = false;
     let mut trace_path: Option<String> = None;
+    let mut metrics_path: Option<String> = None;
+    let mut flame_path: Option<String> = None;
     let mut keys: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -202,9 +259,24 @@ fn main() -> ExitCode {
                 };
                 trace_path = Some(path);
             }
+            "--metrics" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--metrics requires a file path");
+                    return ExitCode::FAILURE;
+                };
+                metrics_path = Some(path);
+            }
+            "--flame" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--flame requires a file path");
+                    return ExitCode::FAILURE;
+                };
+                flame_path = Some(path);
+            }
+            "--quick" => pixel_bench::opts::set_quick(true),
             flag if flag.starts_with("--") => {
                 eprintln!(
-                    "unknown flag {flag:?}; valid flags: --list --jobs <n> --seed <u64> --profile --trace <file>"
+                    "unknown flag {flag:?}; valid flags: --list --jobs <n> --seed <u64> --quick --profile --trace <file> --metrics <file> --flame <file>"
                 );
                 return ExitCode::FAILURE;
             }
@@ -229,7 +301,7 @@ fn main() -> ExitCode {
         }
     }
 
-    if profile || trace_path.is_some() {
+    if profile || trace_path.is_some() || flame_path.is_some() {
         pixel_obs::enable();
     }
     if let Some(path) = &trace_path {
@@ -250,6 +322,25 @@ fn main() -> ExitCode {
     }
 
     pixel_obs::finish_trace();
+    if let Some(path) = &metrics_path {
+        let jsonl = pixel_bench::opts::take_metrics();
+        if jsonl.is_empty() {
+            eprintln!(
+                "--metrics: the selected artifacts emitted no metrics (serve and flightrec do)"
+            );
+        }
+        if let Err(err) = std::fs::write(path, jsonl) {
+            eprintln!("cannot write metrics file {path:?}: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if let Some(path) = &flame_path {
+        let stacks = pixel_obs::SpanNode::build(&pixel_obs::snapshot()).collapsed_stacks();
+        if let Err(err) = std::fs::write(path, stacks) {
+            eprintln!("cannot write flame file {path:?}: {err}");
+            return ExitCode::FAILURE;
+        }
+    }
     if profile {
         println!("== profile");
         print!("{}", pixel_obs::profile_table());
@@ -257,10 +348,10 @@ fn main() -> ExitCode {
         let count = |name: &str| snap.counter(name).unwrap_or(0);
         println!(
             "eval cache: {} hits / {} misses; network-counts cache: {} hits / {} misses ({} sweep workers)",
-            count("eval/cache_hit"),
-            count("eval/cache_miss"),
-            count("eval/counts_hit"),
-            count("eval/counts_miss"),
+            count("eval.cache_hit"),
+            count("eval.cache_miss"),
+            count("eval.counts_hit"),
+            count("eval.counts_miss"),
             pixel_core::sweep::default_jobs(),
         );
     }

@@ -5,6 +5,7 @@
 //! generator functions here, which wrap `pixel_core::dse` with the exact
 //! parameter grids the paper uses.
 
+pub mod opts;
 pub mod perf;
 pub mod timing;
 
@@ -328,7 +329,104 @@ pub fn serve() -> String {
     let workload = Workload::paper_mix();
     let spec = SweepSpec::artifact(pixel_core::seed::artifact_seed("serve", 2026));
     let curves = saturation_sweep(&SweepEngine::with_default_jobs(), &workload, &spec);
+    opts::record_metrics(&pixel_serve::metrics_jsonl(&workload, &spec, &curves));
     render_curves(&workload, &spec, &curves)
+}
+
+/// One row of the flightrec latency-decomposition table.
+fn breakdown_row(label: &str, b: &pixel_serve::LatencyBreakdown) -> String {
+    #[allow(clippy::cast_precision_loss)]
+    let ms = |ns: u64| ns as f64 / 1e6;
+    format!(
+        "{label:<22} | {:>6} | {:>8.3} {:>8.3} {:>8.3} | {:>8.3} {:>8.3} {:>8.3}\n",
+        b.count(),
+        ms(b.wait.percentile(0.50)),
+        ms(b.wait.percentile(0.95)),
+        ms(b.wait.percentile(0.99)),
+        ms(b.service.percentile(0.50)),
+        ms(b.service.percentile(0.95)),
+        ms(b.service.percentile(0.99)),
+    )
+}
+
+/// Extension artifact: flight-recorder deep dive on one serving run —
+/// the OO fabric near its saturation knee — with the full event-count
+/// ledger, the windowed trajectory (throughput, queue depth, busy
+/// fraction, integrated power), the queue-wait vs service-time latency
+/// decomposition per tenant and per network, and the last buffered
+/// lifecycle events. Everything runs on the virtual clock, so the
+/// rendering is bitwise reproducible.
+#[must_use]
+pub fn flightrec() -> String {
+    let _span = pixel_obs::span("flightrec");
+    use pixel_core::config::{AcceleratorConfig, Design};
+    use pixel_core::model::EvalContext;
+    use pixel_serve::saturation::reference_capacity;
+    use pixel_serve::{simulate_with_flightrec, ServeConfig, Workload};
+
+    let workload = Workload::paper_mix();
+    let ctx = EvalContext::new();
+    let accel = AcceleratorConfig::new(Design::Oo, 4, 16);
+    let requests = if opts::quick() { 400 } else { 3000 };
+    let capacity = reference_capacity(&ctx, &workload, &accel, 8);
+    let seed = pixel_core::seed::artifact_seed("flightrec", 2026);
+    let config = ServeConfig::new(accel, capacity * 0.85, requests, seed);
+    let (report, flight) = simulate_with_flightrec(&workload, &ctx, &config, 4096);
+
+    // The machine-readable twin of this artifact: the buffered event
+    // ring plus the windowed series, drained by `reproduce --metrics`.
+    opts::record_metrics(&flight.recorder.to_jsonl());
+    opts::record_metrics(&report.windows.to_jsonl(""));
+
+    let static_power = accel.design.model().static_power(&accel);
+    let static_w = (static_power.laser_wall_plug + static_power.thermal_tuning).value();
+
+    let mut s = format!(
+        "OO (4 lanes, 16 bits/lane) | offered {:.1} inf/s (0.85 x capacity {:.1}) | {} requests | seed {}\n",
+        config.rate_hz, capacity, requests, seed,
+    );
+    let c = flight.recorder.counts();
+    s.push_str(&format!(
+        "events: {} total | arrive {} enqueue {} shed {} batch_formed {} service_start {} service_end {}\n",
+        flight.recorder.total(),
+        c[0],
+        c[1],
+        c[2],
+        c[3],
+        c[4],
+        c[5],
+    ));
+    s.push_str(&format!(
+        "ring: last {} of {} buffered ({} evicted)\n",
+        flight.recorder.events().len(),
+        flight.recorder.capacity(),
+        flight.recorder.dropped(),
+    ));
+
+    s.push_str("\n-- windowed trajectory --\n");
+    s.push_str(&report.windows.render(static_w));
+
+    s.push_str("\n-- latency decomposition [ms] --\n");
+    s.push_str(&format!(
+        "{:<22} | {:>6} | {:>8} {:>8} {:>8} | {:>8} {:>8} {:>8}\n",
+        "population", "count", "wait p50", "p95", "p99", "svc p50", "p95", "p99"
+    ));
+    s.push_str(&breakdown_row("overall", &flight.overall));
+    for (tenant, b) in workload.tenants().iter().zip(&flight.tenants) {
+        s.push_str(&breakdown_row(&format!("tenant {}", tenant.name), b));
+    }
+    for (net, b) in workload.networks().iter().zip(&flight.networks) {
+        s.push_str(&breakdown_row(&format!("net {}", net.name()), b));
+    }
+
+    s.push_str("\n-- last events --\n");
+    let events = flight.recorder.events();
+    let tail = events.len().saturating_sub(12);
+    for event in events.iter().skip(tail) {
+        s.push_str(&event.describe());
+        s.push('\n');
+    }
+    s
 }
 
 /// Extension artifact: photonic weight pre-load vs compute cost.

@@ -1,0 +1,64 @@
+//! Run-scoped options and side-channel buffers shared between the
+//! artifact generators and the `reproduce` CLI.
+//!
+//! The artifact registry is a table of plain `fn() -> String` renderers,
+//! so flags that change *how* an artifact renders (`--quick`) or make it
+//! emit a second machine-readable stream (`--metrics`) cannot be passed
+//! as arguments. This module holds that state as process globals: a
+//! quick-mode flag the generators consult and an accumulating JSONL
+//! metrics buffer ([`record_metrics`]) the CLI drains once after the run
+//! ([`take_metrics`]).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+static QUICK: AtomicBool = AtomicBool::new(false);
+static METRICS: Mutex<String> = Mutex::new(String::new());
+
+/// The metrics buffer, recovering from poisoning (a panicking artifact
+/// thread cannot corrupt an append-only string).
+fn lock_metrics() -> MutexGuard<'static, String> {
+    METRICS.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Switches the artifact generators into quick mode: smoke-test request
+/// counts instead of the pinned artifact grids. Quick outputs are **not**
+/// comparable to the snapshot files.
+pub fn set_quick(quick: bool) {
+    QUICK.store(quick, Ordering::Relaxed);
+}
+
+/// Whether quick mode is on.
+#[must_use]
+pub fn quick() -> bool {
+    QUICK.load(Ordering::Relaxed)
+}
+
+/// Appends a chunk of newline-terminated JSONL to the run's metrics
+/// buffer.
+pub fn record_metrics(jsonl: &str) {
+    lock_metrics().push_str(jsonl);
+}
+
+/// Drains and returns the metrics buffer (what `--metrics <file>`
+/// writes).
+#[must_use]
+pub fn take_metrics() -> String {
+    std::mem::take(&mut *lock_metrics())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn metrics_buffer_accumulates_and_drains() {
+        // Serialize against other tests in this binary via the buffer
+        // itself: drain first, then check round-trip.
+        let _ = take_metrics();
+        record_metrics("{\"a\":1}\n");
+        record_metrics("{\"b\":2}\n");
+        assert_eq!(take_metrics(), "{\"a\":1}\n{\"b\":2}\n");
+        assert_eq!(take_metrics(), "");
+    }
+}

@@ -1,0 +1,49 @@
+//! The machine-readable JSONL metrics stream (`reproduce --metrics`)
+//! must be bitwise identical across repeated runs and sweep worker
+//! counts: every value lives on the virtual clock, so no wall-clock
+//! timestamp or thread interleaving may reach the output.
+//!
+//! This lives in its own integration-test binary (not alongside the
+//! snapshot test) because `set_default_jobs` and the metrics buffer are
+//! process globals.
+
+use pixel_core::sweep::set_default_jobs;
+
+/// Renders the two metrics-emitting artifacts and drains the buffer.
+fn metrics_run() -> String {
+    let _ = pixel_bench::opts::take_metrics();
+    let _ = pixel_bench::serve();
+    let _ = pixel_bench::flightrec();
+    pixel_bench::opts::take_metrics()
+}
+
+#[test]
+fn metrics_jsonl_is_bitwise_stable_across_jobs_and_runs() {
+    set_default_jobs(Some(1));
+    let first = metrics_run();
+    let repeat = metrics_run();
+    set_default_jobs(Some(4));
+    let parallel = metrics_run();
+    set_default_jobs(None);
+
+    assert!(!first.is_empty());
+    assert_eq!(first, repeat, "repeated --jobs 1 run diverged");
+    assert_eq!(first, parallel, "--jobs 4 diverged from --jobs 1");
+
+    // Every line is flat JSON under the pixel.serve.* schema family and
+    // carries no wall-clock field.
+    for line in first.lines() {
+        let fields = pixel_obs::parse_flat_object(line)
+            .unwrap_or_else(|| panic!("malformed JSONL line: {line}"));
+        assert!(
+            fields
+                .iter()
+                .any(|(k, v)| k == "schema" && v.starts_with("pixel.serve.")),
+            "untagged line: {line}"
+        );
+        assert!(
+            !fields.iter().any(|(k, _)| k == "wall_ms" || k == "t_us"),
+            "wall-clock field leaked: {line}"
+        );
+    }
+}

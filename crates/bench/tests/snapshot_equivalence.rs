@@ -13,7 +13,7 @@ use pixel_core::sweep::set_default_jobs;
 /// Artifact key, renderer, and its pinned pre-refactor output.
 type Snapshot = (&'static str, fn() -> String, &'static str);
 
-const SNAPSHOTS: [Snapshot; 10] = [
+const SNAPSHOTS: [Snapshot; 11] = [
     (
         "table1",
         pixel_bench::table1,
@@ -63,6 +63,11 @@ const SNAPSHOTS: [Snapshot; 10] = [
         "serve",
         pixel_bench::serve,
         include_str!("snapshots/serve.txt"),
+    ),
+    (
+        "flightrec",
+        pixel_bench::flightrec,
+        include_str!("snapshots/flightrec.txt"),
     ),
 ];
 

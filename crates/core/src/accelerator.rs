@@ -97,7 +97,7 @@ impl Accelerator {
     /// Evaluates a network with an explicit FC op-count convention.
     #[must_use]
     pub fn evaluate_with(&self, network: &Network, convention: FcCountConvention) -> NetworkReport {
-        pixel_obs::add("dse/model_evals", 1);
+        pixel_obs::add("dse.model_evals", 1);
         let layers = analyze_network(network, convention)
             .into_iter()
             .map(|counts| LayerReport {

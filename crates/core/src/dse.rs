@@ -55,7 +55,7 @@ pub fn fig4_energy_per_bit_with(
         .collect();
     engine.map(&points, |ctx, &(design, lanes, bits)| {
         let _span = pixel_obs::span(design.label());
-        pixel_obs::add("dse/design_points", 1);
+        pixel_obs::add("dse.design_points", 1);
         let cfg = AcceleratorConfig::new(design, lanes, bits);
         EnergyPerBitPoint {
             design,
@@ -106,7 +106,7 @@ pub fn fig5_component_energy_with(
         .collect();
     engine.map(&points, |ctx, &(net, design, bits)| {
         let _span = pixel_obs::span(design.label());
-        pixel_obs::add("dse/design_points", 1);
+        pixel_obs::add("dse.design_points", 1);
         let report = ctx.evaluate(&AcceleratorConfig::new(design, 4, bits), net);
         ComponentEnergyBar {
             network: net.name().to_owned(),
@@ -143,7 +143,7 @@ pub fn fig6_area_with(engine: &SweepEngine, lanes_sweep: &[usize]) -> Vec<AreaPo
         .collect();
     engine.map(&points, |_ctx, &(design, lanes)| {
         let _span = pixel_obs::span(design.label());
-        pixel_obs::add("dse/design_points", 1);
+        pixel_obs::add("dse.design_points", 1);
         let cfg = AcceleratorConfig::new(design, lanes, 4);
         AreaPoint {
             design,
@@ -220,7 +220,7 @@ fn normalized_sweep(
         Design::ALL
             .map(|design| {
                 let _span = pixel_obs::span(design.label());
-                pixel_obs::add("dse/design_points", 1);
+                pixel_obs::add("dse.design_points", 1);
                 let value = metric(ctx, &AcceleratorConfig::new(design, lanes, bits), net);
                 NormalizedPoint {
                     network: net.name().to_owned(),
@@ -264,7 +264,7 @@ pub fn fig8_latency_geomean_with(
         .collect();
     engine.map(&points, |ctx, &(design, bits)| {
         let _span = pixel_obs::span(design.label());
-        pixel_obs::add("dse/design_points", 1);
+        pixel_obs::add("dse.design_points", 1);
         let cfg = AcceleratorConfig::new(design, 8, bits);
         let latencies: Vec<f64> = networks
             .iter()
@@ -301,7 +301,7 @@ pub fn fig9_zfnet_layer_latency_with(engine: &SweepEngine) -> Vec<LayerLatencyPo
     let net = zoo::zfnet();
     let groups = engine.map(&Design::ALL, |ctx, &design| {
         let _span = pixel_obs::span(design.label());
-        pixel_obs::add("dse/design_points", 1);
+        pixel_obs::add("dse.design_points", 1);
         let report = ctx.evaluate(&AcceleratorConfig::new(design, 8, 8), &net);
         report
             .layers
@@ -344,7 +344,7 @@ pub fn table2_breakdown_with(engine: &SweepEngine) -> Vec<TableIiRow> {
         .collect();
     engine.map(&points, |ctx, &(net, design)| {
         let _span = pixel_obs::span(design.label());
-        pixel_obs::add("dse/design_points", 1);
+        pixel_obs::add("dse.design_points", 1);
         let report = ctx.evaluate(&AcceleratorConfig::new(design, 4, 16), net);
         TableIiRow {
             network: net.name().to_owned(),
@@ -368,7 +368,7 @@ pub fn headline_edp_improvements_with(engine: &SweepEngine) -> (f64, f64) {
     let networks = zoo::all_networks();
     let edps = engine.map(&Design::ALL, |ctx, &design| {
         let _span = pixel_obs::span(design.label());
-        pixel_obs::add("dse/design_points", 1);
+        pixel_obs::add("dse.design_points", 1);
         let cfg = AcceleratorConfig::new(design, 4, 16);
         let values: Vec<f64> = networks
             .iter()

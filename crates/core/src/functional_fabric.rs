@@ -129,6 +129,7 @@ impl FunctionalFabric {
         }
 
         let _span = pixel_obs::span("fabric_conv2d");
+        let setup_span = pixel_obs::span("plan");
         let bits = self.config.bits_per_lane as usize;
         let e = layer.output_feature_size();
         let channels = layer.input.c;
@@ -148,6 +149,7 @@ impl FunctionalFabric {
         let kernels: Vec<&[u64]> = (0..filters)
             .map(|m| kernel_of(weights, m, window))
             .collect();
+        drop(setup_span);
 
         let mut out = Tensor::zeros(Shape::square(e, filters));
         let row_len = e * filters;
@@ -199,6 +201,12 @@ impl FunctionalFabric {
             }
         };
 
+        // Phase-level child span: under the parent this aggregates as
+        // `fabric_conv2d/rows`, so the profile tree separates window
+        // compute from band planning. Worker threads carry fresh scope
+        // stacks, so their spans name the full path explicitly (the
+        // `sweep/worker` idiom).
+        let rows_span = pixel_obs::span("rows");
         let jobs = jobs.clamp(1, e.max(1));
         if jobs == 1 {
             run_rows(0, out.data_mut());
@@ -215,7 +223,10 @@ impl FunctionalFabric {
                     .enumerate()
                 {
                     let run = &run_rows;
-                    handles.push(scope.spawn(move || run(w * rows_per_worker, chunk)));
+                    handles.push(scope.spawn(move || {
+                        let _worker = pixel_obs::span("fabric_conv2d/rows/worker");
+                        run(w * rows_per_worker, chunk);
+                    }));
                 }
                 for handle in handles {
                     handle
@@ -224,10 +235,11 @@ impl FunctionalFabric {
                 }
             });
         }
+        drop(rows_span);
 
         if pixel_obs::enabled() {
-            pixel_obs::add("fabric/windows", (e * e) as u64);
-            pixel_obs::add("fabric/mac_ops", (e * e * filters) as u64);
+            pixel_obs::add("fabric.windows", (e * e) as u64);
+            pixel_obs::add("fabric.mac_ops", (e * e * filters) as u64);
         }
         Ok(out)
     }
@@ -244,7 +256,7 @@ impl FunctionalFabric {
         bits: usize,
         scratch: &mut TransportScratch,
     ) {
-        pixel_obs::add("fabric/transport_words", neurons.len() as u64);
+        pixel_obs::add("fabric.transport_words", neurons.len() as u64);
         let capacity = plan.total_wavelengths();
         let TransportScratch {
             train,
@@ -279,7 +291,7 @@ impl FunctionalFabric {
         }
         self.detected_words.fetch_add(detected, Ordering::Relaxed);
         if pixel_obs::enabled() {
-            pixel_obs::add("fabric/detected_words", detected);
+            pixel_obs::add("fabric.detected_words", detected);
         }
     }
 }

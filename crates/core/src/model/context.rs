@@ -6,8 +6,8 @@
 //! the §IV-B op counts depend only on the network. [`EvalContext`]
 //! caches both behind mutex-protected maps, so a sweep that visits the
 //! same configuration or network twice pays the derivation once. Cache
-//! traffic is counted through `pixel-obs` (`eval/cache_hit`,
-//! `eval/cache_miss`, `eval/counts_hit`, `eval/counts_miss`); the
+//! traffic is counted through `pixel-obs` (`eval.cache_hit`,
+//! `eval.cache_miss`, `eval.counts_hit`, `eval.counts_miss`); the
 //! `reproduce --profile` run surfaces the totals.
 //!
 //! The context is `Sync`: the parallel sweep executor in
@@ -115,10 +115,10 @@ impl EvalContext {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(hit) = cache.get(&key) {
-            pixel_obs::add("eval/cache_hit", 1);
+            pixel_obs::add("eval.cache_hit", 1);
             return *hit;
         }
-        pixel_obs::add("eval/cache_miss", 1);
+        pixel_obs::add("eval.cache_miss", 1);
         let model = config.design.model();
         let value = Derived {
             ops: model.operation_energies(config, &self.overrides),
@@ -156,10 +156,10 @@ impl EvalContext {
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(hit) = cache.get(&key) {
-            pixel_obs::add("eval/counts_hit", 1);
+            pixel_obs::add("eval.counts_hit", 1);
             return Arc::clone(hit);
         }
-        pixel_obs::add("eval/counts_miss", 1);
+        pixel_obs::add("eval.counts_miss", 1);
         let counts = Arc::new(analyze_network(network, convention));
         cache.insert(key, Arc::clone(&counts));
         counts
@@ -180,7 +180,7 @@ impl EvalContext {
         network: &Network,
         convention: FcCountConvention,
     ) -> NetworkReport {
-        pixel_obs::add("dse/model_evals", 1);
+        pixel_obs::add("dse.model_evals", 1);
         let derived = self.derived(config);
         let layers = self
             .network_counts(network, convention)

@@ -94,16 +94,16 @@ impl MacEngine for EeMac {
             start += self.lanes;
         }
         if pixel_obs::enabled() {
-            pixel_obs::add("omac/ee/mac_ops", neurons.len() as u64);
+            pixel_obs::add("omac.ee.mac_ops", neurons.len() as u64);
             pixel_obs::add(
-                "omac/ee/serial_slots",
+                "omac.ee.serial_slots",
                 self.activity.gated_slots() - before_slots,
             );
             pixel_obs::add(
-                "omac/ee/bit_toggles",
+                "omac.ee.bit_toggles",
                 self.activity.bit_toggles() - before_toggles,
             );
-            pixel_obs::add("omac/ee/cla_ops", self.activity.cla_ops() - before_cla);
+            pixel_obs::add("omac.ee.cla_ops", self.activity.cla_ops() - before_cla);
         }
         acc
     }

@@ -157,14 +157,14 @@ impl MacEngine for OeMac {
             start += self.lanes;
         }
         if pixel_obs::enabled() {
-            pixel_obs::add("omac/oe/mac_ops", neurons.len() as u64);
-            pixel_obs::add("omac/oe/mrr_slots", self.activity.mrr_slots() - before_mrr);
+            pixel_obs::add("omac.oe.mac_ops", neurons.len() as u64);
+            pixel_obs::add("omac.oe.mrr_slots", self.activity.mrr_slots() - before_mrr);
             pixel_obs::add(
-                "omac/oe/bit_toggles",
+                "omac.oe.bit_toggles",
                 self.activity.bit_toggles() - before_toggles,
             );
             pixel_obs::add(
-                "omac/oe/oe_conversions",
+                "omac.oe.oe_conversions",
                 self.activity.oe_conversions() - before_conversions,
             );
         }

@@ -170,11 +170,11 @@ impl MacEngine for OoMac {
             start += self.lanes;
         }
         if pixel_obs::enabled() {
-            pixel_obs::add("omac/oo/mac_ops", neurons.len() as u64);
-            pixel_obs::add("omac/oo/mrr_slots", self.activity.mrr_slots() - before_mrr);
-            pixel_obs::add("omac/oo/mzi_slots", self.activity.mzi_slots() - before_mzi);
+            pixel_obs::add("omac.oo.mac_ops", neurons.len() as u64);
+            pixel_obs::add("omac.oo.mrr_slots", self.activity.mrr_slots() - before_mrr);
+            pixel_obs::add("omac.oo.mzi_slots", self.activity.mzi_slots() - before_mzi);
             pixel_obs::add(
-                "omac/oo/bit_toggles",
+                "omac.oo.bit_toggles",
                 self.activity.bit_toggles() - before_toggles,
             );
         }

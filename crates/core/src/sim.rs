@@ -128,17 +128,17 @@ pub fn simulate_layer(config: &AcceleratorConfig, sim: &SimConfig, layer: &Layer
     let utilization = busy_tile_cycles as f64 / (tiles * cycles) as f64;
 
     if pixel_obs::enabled() {
-        pixel_obs::add("sim/layers", 1);
-        pixel_obs::add("sim/chunks_issued", chunks);
+        pixel_obs::add("sim.layers", 1);
+        pixel_obs::add("sim.chunks_issued", chunks);
         pixel_obs::add(
-            "sim/reload_stall_cycles",
+            "sim.reload_stall_cycles",
             switches_per_tile * sim.window_switch_stall,
         );
         pixel_obs::add(
-            "sim/issue_bound_layers",
+            "sim.issue_bound_layers",
             u64::from(issue_bound_cycles > service_bound),
         );
-        pixel_obs::gauge("sim/last_utilization", utilization.min(1.0));
+        pixel_obs::gauge("sim.last_utilization", utilization.min(1.0));
     }
 
     SimResult {

@@ -15,8 +15,8 @@
 //! environment variable, and finally [`std::thread::available_parallelism`].
 //!
 //! Observability: each worker runs under a `sweep/worker` span,
-//! `sweep/points` counts evaluated points, and the shared context
-//! counts its `eval/cache_hit` / `eval/cache_miss` traffic.
+//! `sweep.points` counts evaluated points, and the shared context
+//! counts its `eval.cache_hit` / `eval.cache_miss` traffic.
 
 use crate::model::EvalContext;
 use crate::overrides::ModelOverrides;
@@ -124,9 +124,9 @@ impl SweepEngine {
         F: Fn(&EvalContext, &P) -> R + Sync,
     {
         let _span = pixel_obs::span("sweep");
-        pixel_obs::add("sweep/points", points.len() as u64);
+        pixel_obs::add("sweep.points", points.len() as u64);
         let jobs = self.jobs().min(points.len()).max(1);
-        pixel_obs::gauge("sweep/jobs", {
+        pixel_obs::gauge("sweep.jobs", {
             #[allow(clippy::cast_precision_loss)]
             let j = jobs as f64;
             j

@@ -131,12 +131,12 @@ pub fn analyze_network(network: &Network, convention: FcCountConvention) -> Vec<
         .map(|l| analyze_layer(l, convention))
         .collect();
     if pixel_obs::enabled() {
-        pixel_obs::add("dnn/analysis/networks", 1);
-        pixel_obs::add("dnn/analysis/layers", counts.len() as u64);
-        pixel_obs::add("dnn/analysis/mvm_ops", counts.iter().map(|c| c.mvm).sum());
-        pixel_obs::add("dnn/analysis/mul_ops", counts.iter().map(|c| c.mul).sum());
-        pixel_obs::add("dnn/analysis/add_ops", counts.iter().map(|c| c.add).sum());
-        pixel_obs::add("dnn/analysis/act_ops", counts.iter().map(|c| c.act).sum());
+        pixel_obs::add("dnn.analysis.networks", 1);
+        pixel_obs::add("dnn.analysis.layers", counts.len() as u64);
+        pixel_obs::add("dnn.analysis.mvm_ops", counts.iter().map(|c| c.mvm).sum());
+        pixel_obs::add("dnn.analysis.mul_ops", counts.iter().map(|c| c.mul).sum());
+        pixel_obs::add("dnn.analysis.add_ops", counts.iter().map(|c| c.add).sum());
+        pixel_obs::add("dnn.analysis.act_ops", counts.iter().map(|c| c.act).sum());
     }
     counts
 }

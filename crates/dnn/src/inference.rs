@@ -325,7 +325,7 @@ pub fn forward(
     let mut current = input.clone();
     for (layer, w) in network.layers().iter().zip(weights) {
         let _layer_span = pixel_obs::span(&layer.name);
-        pixel_obs::add("dnn/forward/layers", 1);
+        pixel_obs::add("dnn.forward.layers", 1);
         current = match layer.kind {
             LayerKind::Conv { .. } => {
                 let mut t = conv2d(layer, &current, w, engine)?;

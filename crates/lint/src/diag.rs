@@ -35,7 +35,7 @@ pub struct RuleInfo {
 }
 
 /// Every rule the analyzer knows, in report order.
-pub const RULES: [RuleInfo; 11] = [
+pub const RULES: [RuleInfo; 12] = [
     RuleInfo {
         id: "D001",
         summary: "no SystemTime / Instant::now outside crates/obs and crates/bench/src/timing.rs",
@@ -63,6 +63,10 @@ pub const RULES: [RuleInfo; 11] = [
     RuleInfo {
         id: "U001",
         summary: "public fns in core/electronics/photonics with quantity-named params or returns must use pixel-units types, not bare f64",
+    },
+    RuleInfo {
+        id: "O001",
+        summary: "metric names passed to pixel_obs::{add,gauge,observe} must be lowercase dot-namespaced (crate.subsystem.metric)",
     },
     RuleInfo {
         id: "P001",

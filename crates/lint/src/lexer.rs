@@ -8,8 +8,11 @@
 //! * line comments, nested block comments and doc comments are stripped
 //!   (so an `unwrap()` mentioned in prose never fires a rule), but
 //!   `lint:allow(...)` suppression markers inside them are collected;
-//! * string literals (plain, raw, byte, byte-raw) and char literals are
-//!   skipped, with lifetimes disambiguated from char literals;
+//! * plain `"..."` string literals become [`TokenKind::Str`] tokens
+//!   whose text keeps the surrounding quotes (so they can never collide
+//!   with ident/punct matching); raw, byte and byte-raw strings and char
+//!   literals are skipped, with lifetimes disambiguated from char
+//!   literals;
 //! * numbers keep enough shape to know whether they are float literals;
 //! * the multi-char operators rules care about (`::`, `==`, `!=`, `->`,
 //!   `=>`, `..`) are single tokens.
@@ -30,6 +33,11 @@ pub enum TokenKind {
     Punct,
     /// A lifetime such as `'a` (kept distinct so type scans stay simple).
     Lifetime,
+    /// A plain `"..."` string literal. The token text **includes** the
+    /// surrounding quotes, so a `Str` can never be mistaken for an
+    /// identifier or operator by text equality. Raw/byte strings do not
+    /// produce tokens.
+    Str,
 }
 
 /// One scanned token with its 1-based source line.
@@ -171,7 +179,14 @@ pub fn scan(src: &str) -> Scan {
                 scan_suppression(&text, start_line, &mut suppressions);
             }
         } else if c == '"' {
+            let start = i;
+            let start_line = line;
             i = skip_string(&chars, i, &mut line);
+            tokens.push(Token {
+                line: start_line,
+                text: chars[start..i.min(n)].iter().collect(),
+                kind: TokenKind::Str,
+            });
         } else if c == '\'' {
             // Char literal or lifetime.
             if at(i + 1) == '\\' {
@@ -433,10 +448,30 @@ mod tests {
 
     #[test]
     fn strips_comments_and_strings() {
+        // Strings survive as single quoted `Str` tokens; comments (and
+        // the unwrap() they mention) vanish entirely.
         let src = "let x = \"unwrap()\"; // unwrap()\n/* unwrap() */ let y = 1;";
         let t = texts(src);
         assert!(!t.contains(&"unwrap".to_owned()), "{t:?}");
-        assert_eq!(t, ["let", "x", "=", ";", "let", "y", "=", "1", ";"]);
+        assert_eq!(
+            t,
+            [
+                "let",
+                "x",
+                "=",
+                "\"unwrap()\"",
+                ";",
+                "let",
+                "y",
+                "=",
+                "1",
+                ";"
+            ]
+        );
+        let s = scan(src);
+        let lit = s.tokens.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+        assert_eq!(lit.text, "\"unwrap()\"");
+        assert_eq!(lit.line, 1);
     }
 
     #[test]

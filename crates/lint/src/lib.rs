@@ -19,6 +19,10 @@
 //!   (`*_energy`, `*_area`, `*_ns`, ...) must carry `pixel-units`
 //!   newtypes, not bare `f64` (`U001`) — the discipline DSENT imposes
 //!   on its technology models.
+//! * **O-rules (observability hygiene)** — metric names handed to the
+//!   `pixel_obs` recording functions must follow the lowercase
+//!   dot-namespaced `crate.subsystem.metric` scheme (`O001`), so the
+//!   profile tables, traces, and OpenMetrics exposition stay uniform.
 //! * **P-rules (panic hygiene)** — non-test library code must not
 //!   `unwrap()` / `expect()` / `panic!` (`P001`–`P003`) unless the line
 //!   carries a justified `// lint:allow(P001) reason` suppression.

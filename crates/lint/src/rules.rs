@@ -1,5 +1,6 @@
-//! The rule set: determinism (D), architecture (A), unit hygiene (U) and
-//! panic hygiene (P) checks over one file's token stream.
+//! The rule set: determinism (D), architecture (A), unit hygiene (U),
+//! observability hygiene (O) and panic hygiene (P) checks over one
+//! file's token stream.
 //!
 //! Every rule has a stable ID (see [`crate::diag::RULES`]) and reports
 //! `file:line` findings. Rules are token-level heuristics, not type
@@ -44,6 +45,10 @@ const U001_SUFFIXES: [&str; 10] = [
 ];
 /// Bare quantity names that count the same as the suffixes.
 const U001_BARE: [&str; 4] = ["energy", "area", "latency", "power"];
+
+/// Metric-recording free functions whose first argument is a metric
+/// name (span paths are slash-separated by design and stay exempt).
+const O001_FNS: [&str; 3] = ["add", "gauge", "observe"];
 
 fn has_prefix(rel: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| rel.starts_with(p))
@@ -399,6 +404,57 @@ fn check_u001_params(ctx: &mut Ctx<'_>, fn_name: &str, open: usize, close: usize
     }
 }
 
+/// True for a conforming dot-namespaced metric name: non-empty
+/// `[a-z0-9_]` segments separated by single dots
+/// (`crate.subsystem.metric`).
+fn is_metric_name(name: &str) -> bool {
+    !name.is_empty()
+        && name.split('.').all(|seg| {
+            !seg.is_empty()
+                && seg
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_')
+        })
+}
+
+/// O001 — metric names handed to `pixel_obs::{add,gauge,observe}` must
+/// follow the lowercase dot-namespaced scheme. Only literal first
+/// arguments are checked (a computed name is the caller's problem);
+/// test code may name metrics freely.
+fn check_o001(ctx: &mut Ctx<'_>) {
+    for i in 2..ctx.toks().len() {
+        let t = &ctx.toks()[i];
+        if t.kind != TokenKind::Ident
+            || !O001_FNS.contains(&t.text.as_str())
+            || ctx.text(i - 1) != "::"
+            || ctx.text(i - 2) != "pixel_obs"
+            || ctx.text(i + 1) != "("
+            || ctx.kind(i + 2) != Some(TokenKind::Str)
+        {
+            continue;
+        }
+        let Some(lit) = ctx.toks().get(i + 2) else {
+            continue;
+        };
+        let (line, quoted) = (lit.line, lit.text.clone());
+        if ctx.in_test(line) {
+            continue;
+        }
+        let name = quoted
+            .strip_prefix('"')
+            .and_then(|s| s.strip_suffix('"'))
+            .unwrap_or(&quoted);
+        if !is_metric_name(name) {
+            let fun = t.text.clone();
+            ctx.emit(
+                "O001",
+                line,
+                format!("metric name {quoted} passed to pixel_obs::{fun} is not lowercase dot-namespaced (want e.g. `serve.arrivals`)"),
+            );
+        }
+    }
+}
+
 /// P001/P002/P003 — panic hygiene in non-test library code.
 fn check_panics(ctx: &mut Ctx<'_>) {
     if !is_library_src(ctx.rel) {
@@ -471,6 +527,7 @@ pub fn analyze_scan(rel: &str, scan: &Scan) -> Vec<Finding> {
     check_a001(&mut ctx);
     check_a002(&mut ctx);
     check_u001(&mut ctx);
+    check_o001(&mut ctx);
     check_panics(&mut ctx);
     check_x001(&mut ctx);
 

@@ -167,6 +167,43 @@ fn u001_allows_typed_quantities_private_fns_and_other_crates() {
     );
 }
 
+// ----------------------------------------------------------------- O001
+
+#[test]
+fn o001_fires_on_non_dot_namespaced_metric_names() {
+    let slash = "fn f() { pixel_obs::add(\"Bad/Name\", 1); }\n";
+    assert_eq!(rules(LIB, slash), ["O001"]);
+    let upper = "fn f() { pixel_obs::gauge(\"serve.Utilization\", 0.5); }\n";
+    assert_eq!(rules(LIB, upper), ["O001"]);
+    let empty_seg = "fn f() { pixel_obs::observe(\"serve..batch\", 4.0); }\n";
+    assert_eq!(rules(LIB, empty_seg), ["O001"]);
+    let dash = "fn f() { pixel_obs::add(\"latency-ms\", 1); }\n";
+    assert_eq!(rules(LIB, dash), ["O001"]);
+}
+
+#[test]
+fn o001_allows_dot_namespaced_names_dynamic_names_and_tests() {
+    let good = "fn f() { pixel_obs::add(\"serve.arrivals\", 1); pixel_obs::observe(\"serve.batch_size\", 4.0); }\n";
+    assert_eq!(rules(LIB, good), Vec::<&str>::new());
+    // Computed names and Registry method calls are out of scope.
+    let dynamic = "fn f(n: &str) { pixel_obs::add(n, 1); }\n";
+    assert_eq!(rules(LIB, dynamic), Vec::<&str>::new());
+    let method = "fn f(r: &Registry) { r.add(\"Bad/Name\", 1); }\n";
+    assert_eq!(rules(LIB, method), Vec::<&str>::new());
+    // Span paths are slash-separated by design.
+    let span = "fn f() { let _s = pixel_obs::span(\"serve/sim\"); }\n";
+    assert_eq!(rules(LIB, span), Vec::<&str>::new());
+    // Tests may name metrics freely.
+    let in_test = "fn f() { pixel_obs::add(\"Bad/Name\", 1); }\n";
+    assert_eq!(rules("crates/obs/tests/t.rs", in_test), Vec::<&str>::new());
+}
+
+#[test]
+fn o001_accepts_a_suppression() {
+    let src = "fn f() {\n    // lint:allow(O001) legacy dashboard key\n    pixel_obs::add(\"legacy/key\", 1);\n}\n";
+    assert_eq!(rules(LIB, src), Vec::<&str>::new());
+}
+
 // ----------------------------------------------------------------- P-rules
 
 #[test]

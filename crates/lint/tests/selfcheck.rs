@@ -45,7 +45,8 @@ fn every_rule_id_is_documented_and_unique() {
         assert!(!rule.summary.is_empty(), "{} lacks a summary", rule.id);
     }
     for family in [
-        "D001", "D002", "D003", "D004", "A001", "A002", "U001", "P001", "P002", "P003", "X001",
+        "D001", "D002", "D003", "D004", "A001", "A002", "U001", "O001", "P001", "P002", "P003",
+        "X001",
     ] {
         assert!(seen.contains(family), "missing rule {family}");
     }

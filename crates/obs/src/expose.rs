@@ -1,0 +1,116 @@
+//! OpenMetrics-style plain-text exposition of a [`Snapshot`].
+//!
+//! This is the format a future `pixel-served` daemon will return from
+//! `/metrics`: one `# TYPE` comment per family, `snake_case` names under
+//! a `pixel_` namespace, counters with the `_total` suffix, histograms
+//! and spans exposed as summaries (`_count`/`_sum`), terminated by
+//! `# EOF`. Only the subset of the OpenMetrics text format the registry
+//! can populate is emitted — no labels, no exemplars — and the output
+//! order is the snapshot's deterministic lexicographic order, so the
+//! rendering is stable byte for byte (a unit test pins it).
+
+use crate::registry::Snapshot;
+use std::fmt::Write as _;
+
+/// Maps a dot-namespaced metric name (`serve.queue.depth`) onto an
+/// OpenMetrics-safe identifier (`pixel_serve_queue_depth`): lowercased,
+/// every character outside `[a-z0-9_]` replaced by `_`, `pixel_`
+/// prefixed.
+#[must_use]
+pub fn sanitize_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("pixel_");
+    for c in name.chars() {
+        let c = c.to_ascii_lowercase();
+        if c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders the snapshot as OpenMetrics-style plain text.
+#[must_use]
+pub fn render_text(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let id = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {id} counter");
+        let _ = writeln!(out, "{id}_total {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let id = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {id} gauge");
+        let _ = writeln!(out, "{id} {value}");
+    }
+    for (name, h) in &snapshot.histograms {
+        let id = sanitize_name(name);
+        let _ = writeln!(out, "# TYPE {id} summary");
+        let _ = writeln!(out, "{id}_count {}", h.count);
+        let _ = writeln!(out, "{id}_sum {}", h.sum);
+    }
+    for (path, s) in &snapshot.spans {
+        let id = sanitize_name(&format!("span.{path}"));
+        let _ = writeln!(out, "# TYPE {id} summary");
+        let _ = writeln!(out, "{id}_count {}", s.count);
+        let _ = writeln!(out, "{id}_sum {}", s.total.as_secs_f64());
+    }
+    out.push_str("# EOF\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use std::time::Duration;
+
+    #[test]
+    fn sanitize_maps_dots_and_slashes_to_underscores() {
+        assert_eq!(
+            sanitize_name("serve.queue.depth"),
+            "pixel_serve_queue_depth"
+        );
+        assert_eq!(sanitize_name("dse/fig4"), "pixel_dse_fig4");
+        assert_eq!(sanitize_name("Mixed-Case"), "pixel_mixed_case");
+    }
+
+    #[test]
+    fn exposition_format_is_pinned() {
+        let r = Registry::new();
+        r.enable();
+        r.add("serve.arrivals", 400);
+        r.add("fabric.windows", 108);
+        r.gauge("serve.utilization", 0.875);
+        r.observe("serve.batch_size", 4.0);
+        r.observe("serve.batch_size", 2.0);
+        r.record_span("reproduce", Duration::from_micros(3_500));
+        r.record_span("reproduce/serve", Duration::from_micros(1_200));
+        let expected = "\
+# TYPE pixel_fabric_windows counter
+pixel_fabric_windows_total 108
+# TYPE pixel_serve_arrivals counter
+pixel_serve_arrivals_total 400
+# TYPE pixel_serve_utilization gauge
+pixel_serve_utilization 0.875
+# TYPE pixel_serve_batch_size summary
+pixel_serve_batch_size_count 2
+pixel_serve_batch_size_sum 6
+# TYPE pixel_span_reproduce summary
+pixel_span_reproduce_count 1
+pixel_span_reproduce_sum 0.0035
+# TYPE pixel_span_reproduce_serve summary
+pixel_span_reproduce_serve_count 1
+pixel_span_reproduce_serve_sum 0.0012
+# EOF
+";
+        assert_eq!(render_text(&r.snapshot()), expected);
+    }
+
+    #[test]
+    fn empty_snapshot_is_just_eof() {
+        assert_eq!(render_text(&Snapshot::default()), "# EOF\n");
+    }
+}

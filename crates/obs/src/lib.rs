@@ -19,13 +19,17 @@
 //! sink ([`install_trace`]) streams `span_begin`/`span_end` events as
 //! JSONL and, on [`finish_trace`], appends one line per counter/gauge.
 
+pub mod expose;
 pub mod profile;
 pub mod registry;
 pub mod sink;
 pub mod span;
+pub mod tree;
 
 pub use registry::{HistogramStats, Registry, Snapshot, SpanStats};
+pub use sink::{escape_json, parse_flat_object};
 pub use span::SpanGuard;
+pub use tree::SpanNode;
 
 use std::io::Write;
 use std::sync::OnceLock;
@@ -96,7 +100,25 @@ pub fn install_trace(writer: Box<dyn Write + Send>) {
     global().install_trace(writer);
 }
 
+/// Whether the global registry has a trace sink installed.
+#[must_use]
+pub fn has_trace() -> bool {
+    global().has_trace()
+}
+
+/// Streams one caller-formatted flat-JSON event line to the global
+/// trace sink (no-op while disabled or without a sink).
+pub fn trace_event(line: &str) {
+    global().trace_event(line);
+}
+
 /// Finishes (snapshot + flush + remove) the global trace sink.
 pub fn finish_trace() {
     global().finish_trace();
+}
+
+/// Renders the global registry as OpenMetrics-style plain text.
+#[must_use]
+pub fn render_text() -> String {
+    expose::render_text(&global().snapshot())
 }

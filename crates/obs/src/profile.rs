@@ -27,28 +27,15 @@ fn format_duration(d: Duration) -> String {
     }
 }
 
-/// Renders the snapshot as a profile table: spans first (call-tree
-/// order by path), then counters, gauges, and histograms. Sections with
-/// no data are omitted; an entirely empty snapshot renders a stub line.
+/// Renders the snapshot as a profile table: spans first (as an indented
+/// call tree with self-vs-total time), then counters, gauges, and
+/// histograms. Sections with no data are omitted; an entirely empty
+/// snapshot renders a stub line.
 #[must_use]
 pub fn profile_table(snapshot: &Snapshot) -> String {
     let mut out = String::new();
     if !snapshot.spans.is_empty() {
-        let _ = writeln!(
-            out,
-            "{:<40} | {:>8} {:>12} {:>12} {:>12}",
-            "span", "count", "total", "mean", "max"
-        );
-        for (path, s) in &snapshot.spans {
-            let _ = writeln!(
-                out,
-                "{path:<40} | {:>8} {:>12} {:>12} {:>12}",
-                s.count,
-                format_duration(s.total),
-                format_duration(s.mean()),
-                format_duration(s.max),
-            );
-        }
+        out.push_str(&crate::tree::render_span_tree(snapshot, format_duration));
     }
     if !snapshot.counters.is_empty() {
         if !out.is_empty() {

@@ -282,10 +282,38 @@ impl Registry {
     }
 
     /// Installs a JSONL trace sink; span begin/end events stream to it
-    /// live. Replaces (and finishes) any previous sink.
+    /// live. Any previously installed sink is flushed before being
+    /// replaced, so its writer sees every event streamed up to the
+    /// handover (it does *not* get the final snapshot lines that
+    /// [`Registry::finish_trace`] emits).
     pub fn install_trace(&self, writer: Box<dyn Write + Send>) {
         let mut trace = lock_unpoisoned(&self.trace);
+        if let Some(mut old) = trace.take() {
+            old.flush();
+        }
         *trace = Some(TraceSink::new(writer));
+    }
+
+    /// True when a JSONL trace sink is currently installed.
+    #[must_use]
+    pub fn has_trace(&self) -> bool {
+        lock_unpoisoned(&self.trace).is_some()
+    }
+
+    /// Streams one caller-formatted event line to the installed trace
+    /// sink. The line must be a complete flat JSON object (the sink
+    /// appends the newline); instrumented domains use this to spill
+    /// their own typed events — e.g. the serving simulator's
+    /// virtual-time request lifecycle — into the same JSONL stream as
+    /// the span events. No-op while disabled or without a sink.
+    pub fn trace_event(&self, line: &str) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut trace = lock_unpoisoned(&self.trace);
+        if let Some(sink) = trace.as_mut() {
+            sink.write_line(line);
+        }
     }
 
     /// Emits a final counter/gauge snapshot into the trace and removes

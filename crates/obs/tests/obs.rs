@@ -163,27 +163,99 @@ fn profile_table_format_is_pinned() {
     r.record_span("reproduce", Duration::from_micros(3500));
     r.record_span("reproduce/table1", Duration::from_micros(1200));
     r.record_span("reproduce/table1", Duration::from_micros(1800));
-    r.add("dnn/analysis/layers", 16);
-    r.add("dse/model_evals", 3);
-    r.gauge("sim/last_utilization", 0.875);
+    r.add("dnn.analysis.layers", 16);
+    r.add("dse.model_evals", 3);
+    r.gauge("sim.last_utilization", 0.875);
     r.observe("latency_ms", 2.0);
     r.observe("latency_ms", 4.0);
     let expected = "\
-span                                     |    count        total         mean          max
-reproduce                                |        1      3.50 ms      3.50 ms      3.50 ms
-reproduce/table1                         |        2      3.00 ms      1.50 ms      1.80 ms
+span                                     |    count        total         self          max
+reproduce                                |        1      3.50 ms    500.00 us      3.50 ms
+  table1                                 |        2      3.00 ms      3.00 ms      1.80 ms
 
 counter                                  |            value
-dnn/analysis/layers                      |               16
-dse/model_evals                          |                3
+dnn.analysis.layers                      |               16
+dse.model_evals                          |                3
 
 gauge                                    |            value
-sim/last_utilization                     |           0.8750
+sim.last_utilization                     |           0.8750
 
 histogram                                |    count         mean          min          max
 latency_ms                               |        2        3.000        2.000        4.000
 ";
     assert_eq!(profile_table(&r.snapshot()), expected);
+}
+
+#[test]
+fn escaping_survives_hostile_span_names_in_traces() {
+    // Quotes, backslashes, and control characters in span names must
+    // come back intact through the JSONL escape/parse round trip.
+    let hostile = "evil \"quoted\\path\"\twith\nnewline\u{1}";
+    let r = Registry::new();
+    r.enable();
+    let buffer = SharedBuffer::default();
+    r.install_trace(Box::new(buffer.clone()));
+    {
+        let _span = SpanGuard::enter(&r, hostile);
+    }
+    r.add(hostile, 7);
+    r.finish_trace();
+    let bytes = buffer.0.lock().unwrap().clone();
+    let text = String::from_utf8(bytes).unwrap();
+    assert_eq!(text.lines().count(), 3, "begin, end, counter:\n{text}");
+    for line in text.lines() {
+        let fields =
+            parse_flat_object(line).unwrap_or_else(|| panic!("unparseable JSONL line: {line}"));
+        let value = fields
+            .iter()
+            .find(|(k, _)| k == "path" || k == "name")
+            .map(|(_, v)| v.clone())
+            .expect("a path or name field");
+        // The parser returns the raw (still-escaped) string body: it
+        // must match the canonical escape of the hostile name exactly.
+        assert_eq!(
+            value,
+            pixel_obs::escape_json(hostile),
+            "lossy escape in {line}"
+        );
+        // The escaped line itself holds no raw control bytes.
+        assert!(line.chars().all(|c| c >= ' '), "raw control char: {line:?}");
+    }
+}
+
+#[test]
+fn reinstalling_a_trace_sink_splits_the_stream_cleanly() {
+    // A second install_trace must flush the first sink and route every
+    // later event to the new one — nothing lost, nothing duplicated.
+    let r = Registry::new();
+    r.enable();
+    let first = SharedBuffer::default();
+    let second = SharedBuffer::default();
+    r.install_trace(Box::new(first.clone()));
+    {
+        let _span = SpanGuard::enter(&r, "early");
+    }
+    r.install_trace(Box::new(second.clone()));
+    {
+        let _span = SpanGuard::enter(&r, "late");
+    }
+    r.add("c", 1);
+    r.finish_trace();
+
+    let first_text = String::from_utf8(first.0.lock().unwrap().clone()).unwrap();
+    let second_text = String::from_utf8(second.0.lock().unwrap().clone()).unwrap();
+    // First sink: exactly the events before the handover, flushed.
+    assert_eq!(first_text.lines().count(), 2);
+    assert!(first_text.contains("\"path\":\"early\""));
+    assert!(!first_text.contains("late"));
+    // Second sink: the later span plus the finish_trace snapshot.
+    assert_eq!(second_text.lines().count(), 3);
+    assert!(second_text.contains("\"path\":\"late\""));
+    assert!(second_text.contains("\"event\":\"counter\""));
+    assert!(!second_text.contains("early"));
+    for line in first_text.lines().chain(second_text.lines()) {
+        assert!(parse_flat_object(line).is_some(), "bad JSONL: {line}");
+    }
 }
 
 #[test]

@@ -1,0 +1,468 @@
+//! Request-lifecycle events, the bounded flight recorder, and the
+//! per-tenant / per-network latency decomposition.
+//!
+//! Every request flowing through the serving simulator emits typed,
+//! virtual-time-stamped [`ServeEvent`]s — arrive, enqueue, shed, batch
+//! formed, service start, service end — attributed to its tenant,
+//! network, and batch. A [`FlightRecorder`] keeps the last `capacity`
+//! events in a ring (evicting the oldest, like an aircraft flight
+//! recorder) while counting every event it ever saw, so post-mortems of
+//! a saturated run see the final moments in full detail without the
+//! simulator ever allocating proportionally to the request count. With
+//! a JSONL trace sink installed the full stream can additionally be
+//! spilled to disk through `pixel-obs`.
+//!
+//! [`LatencyBreakdown`] splits each request's sojourn into queue wait
+//! and service time as integer-nanosecond HDR histograms. Because
+//! histogram [`merge`](LatencyHistogram::merge) is exact, the per-tenant
+//! (and per-network) sojourn histograms recombine bitwise into the
+//! aggregate latency histogram — an invariant the test suite pins.
+
+use crate::percentile::LatencyHistogram;
+use std::collections::VecDeque;
+
+/// Number of distinct [`ServeEvent`] kinds.
+pub const EVENT_KINDS: usize = 6;
+
+/// One virtual-time-stamped request-lifecycle event.
+///
+/// All timestamps are integer nanoseconds on the simulation clock —
+/// never wall time — so event streams are bitwise reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeEvent {
+    /// A request arrived at the admission queue.
+    Arrive {
+        /// Virtual timestamp \[ns\].
+        t_ns: u64,
+        /// Request id (arrival sequence number).
+        id: u64,
+        /// Tenant index.
+        tenant: usize,
+        /// Network index.
+        network: usize,
+    },
+    /// The request was admitted; `depth` is the queue depth after.
+    Enqueue {
+        /// Virtual timestamp \[ns\].
+        t_ns: u64,
+        /// Request id.
+        id: u64,
+        /// Queue depth after admission.
+        depth: usize,
+    },
+    /// A request was shed by the admission policy (the arriving request
+    /// under drop-newest, the evicted head under drop-oldest).
+    Shed {
+        /// Virtual timestamp \[ns\].
+        t_ns: u64,
+        /// Id of the shed request.
+        id: u64,
+        /// Tenant index of the shed request.
+        tenant: usize,
+        /// Network index of the shed request.
+        network: usize,
+    },
+    /// The batching policy formed a batch from the queue head.
+    BatchFormed {
+        /// Virtual timestamp \[ns\].
+        t_ns: u64,
+        /// Batch sequence number.
+        batch: u64,
+        /// Network index the batch runs.
+        network: usize,
+        /// Requests in the batch.
+        size: usize,
+    },
+    /// The fabric started serving a batch.
+    ServiceStart {
+        /// Virtual timestamp \[ns\].
+        t_ns: u64,
+        /// Batch sequence number.
+        batch: u64,
+    },
+    /// The fabric finished a batch; its requests completed.
+    ServiceEnd {
+        /// Virtual timestamp \[ns\].
+        t_ns: u64,
+        /// Batch sequence number.
+        batch: u64,
+        /// Requests completed with the batch.
+        size: usize,
+    },
+}
+
+impl ServeEvent {
+    /// The event's virtual timestamp \[ns\].
+    #[must_use]
+    pub fn t_ns(&self) -> u64 {
+        match *self {
+            Self::Arrive { t_ns, .. }
+            | Self::Enqueue { t_ns, .. }
+            | Self::Shed { t_ns, .. }
+            | Self::BatchFormed { t_ns, .. }
+            | Self::ServiceStart { t_ns, .. }
+            | Self::ServiceEnd { t_ns, .. } => t_ns,
+        }
+    }
+
+    /// Stable snake-case kind tag (also the JSONL `kind` field).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Arrive { .. } => "arrive",
+            Self::Enqueue { .. } => "enqueue",
+            Self::Shed { .. } => "shed",
+            Self::BatchFormed { .. } => "batch_formed",
+            Self::ServiceStart { .. } => "service_start",
+            Self::ServiceEnd { .. } => "service_end",
+        }
+    }
+
+    /// Index of this kind in [`FlightRecorder::counts`] order.
+    #[must_use]
+    pub fn kind_index(&self) -> usize {
+        match self {
+            Self::Arrive { .. } => 0,
+            Self::Enqueue { .. } => 1,
+            Self::Shed { .. } => 2,
+            Self::BatchFormed { .. } => 3,
+            Self::ServiceStart { .. } => 4,
+            Self::ServiceEnd { .. } => 5,
+        }
+    }
+
+    /// The event as one flat JSON object tagged
+    /// `"schema":"pixel.serve.event"` (no trailing newline).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let head = format!(
+            "{{\"schema\":\"pixel.serve.event\",\"kind\":\"{}\",\"t_ns\":{}",
+            self.kind(),
+            self.t_ns()
+        );
+        match *self {
+            Self::Arrive {
+                id,
+                tenant,
+                network,
+                ..
+            }
+            | Self::Shed {
+                id,
+                tenant,
+                network,
+                ..
+            } => {
+                format!("{head},\"id\":{id},\"tenant\":{tenant},\"network\":{network}}}")
+            }
+            Self::Enqueue { id, depth, .. } => {
+                format!("{head},\"id\":{id},\"depth\":{depth}}}")
+            }
+            Self::BatchFormed {
+                batch,
+                network,
+                size,
+                ..
+            } => {
+                format!("{head},\"batch\":{batch},\"network\":{network},\"size\":{size}}}")
+            }
+            Self::ServiceStart { batch, .. } => format!("{head},\"batch\":{batch}}}"),
+            Self::ServiceEnd { batch, size, .. } => {
+                format!("{head},\"batch\":{batch},\"size\":{size}}}")
+            }
+        }
+    }
+
+    /// A one-line human rendering used by the flightrec artifact.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        let t_ms = {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.t_ns() as f64 / 1e6
+            }
+        };
+        let detail = match *self {
+            Self::Arrive {
+                id,
+                tenant,
+                network,
+                ..
+            } => format!("req {id} tenant {tenant} net {network}"),
+            Self::Enqueue { id, depth, .. } => format!("req {id} depth {depth}"),
+            Self::Shed {
+                id,
+                tenant,
+                network,
+                ..
+            } => format!("req {id} tenant {tenant} net {network}"),
+            Self::BatchFormed {
+                batch,
+                network,
+                size,
+                ..
+            } => format!("batch {batch} net {network} size {size}"),
+            Self::ServiceStart { batch, .. } => format!("batch {batch}"),
+            Self::ServiceEnd { batch, size, .. } => format!("batch {batch} size {size}"),
+        };
+        format!("{t_ms:>12.3} ms  {:<13} {detail}", self.kind())
+    }
+}
+
+/// A bounded ring of the most recent [`ServeEvent`]s plus lossless
+/// per-kind counts.
+///
+/// Capacity 0 is the count-only mode the plain `simulate` entry point
+/// uses: events are tallied (and spilled to a trace sink if one is
+/// active) but never buffered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightRecorder {
+    capacity: usize,
+    ring: VecDeque<ServeEvent>,
+    counts: [u64; EVENT_KINDS],
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping at most `capacity` events.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            ring: VecDeque::with_capacity(capacity.min(4096)),
+            counts: [0; EVENT_KINDS],
+            dropped: 0,
+        }
+    }
+
+    /// Records one event, evicting the oldest buffered event when full.
+    pub fn record(&mut self, event: ServeEvent) {
+        self.counts[event.kind_index()] += 1;
+        if self.capacity == 0 {
+            self.dropped += 1;
+            return;
+        }
+        if self.ring.len() == self.capacity {
+            self.ring.pop_front();
+            self.dropped += 1;
+        }
+        self.ring.push_back(event);
+    }
+
+    /// The buffered (most recent) events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> &VecDeque<ServeEvent> {
+        &self.ring
+    }
+
+    /// Ring capacity this recorder was built with.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Lossless per-kind event totals, in [`ServeEvent::kind_index`]
+    /// order (arrive, enqueue, shed, `batch_formed`, `service_start`,
+    /// `service_end`).
+    #[must_use]
+    pub fn counts(&self) -> &[u64; EVENT_KINDS] {
+        &self.counts
+    }
+
+    /// Total events ever recorded.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Events that fell out of (or never entered) the ring.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// The buffered events as JSONL (one `pixel.serve.event` object per
+    /// line).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut s = String::new();
+        for event in &self.ring {
+            s.push_str(&event.to_json());
+            s.push('\n');
+        }
+        s
+    }
+}
+
+/// Queue-wait / service-time / sojourn decomposition of a request
+/// population, as exact-merge HDR histograms (integer nanoseconds).
+///
+/// For every request the three recorded values satisfy
+/// `wait_ns + service_ns == sojourn_ns` exactly, so breakdowns for
+/// disjoint populations (tenants, networks) merge back into the
+/// aggregate bitwise.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LatencyBreakdown {
+    /// Time from arrival to batch service start.
+    pub wait: LatencyHistogram,
+    /// Time from service start to completion.
+    pub service: LatencyHistogram,
+    /// End-to-end time from arrival to completion.
+    pub sojourn: LatencyHistogram,
+}
+
+impl LatencyBreakdown {
+    /// Records one request's decomposition; the sojourn is the exact
+    /// integer sum of the parts.
+    pub fn record(&mut self, wait_ns: u64, service_ns: u64) {
+        self.wait.record(wait_ns);
+        self.service.record(service_ns);
+        self.sojourn.record(wait_ns + service_ns);
+    }
+
+    /// Folds `other` into `self` histogram-by-histogram.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the histograms' `sub_bits` differ.
+    pub fn merge(&mut self, other: &Self) {
+        self.wait.merge(&other.wait);
+        self.service.merge(&other.service);
+        self.sojourn.merge(&other.sojourn);
+    }
+
+    /// Requests recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.sojourn.count()
+    }
+}
+
+/// Everything the instrumented simulation gathered beyond the report:
+/// the event ring and the full latency decomposition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightData {
+    /// Bounded event ring plus lossless per-kind counts.
+    pub recorder: FlightRecorder,
+    /// Aggregate wait/service/sojourn decomposition.
+    pub overall: LatencyBreakdown,
+    /// Per-tenant decompositions, indexed like `Workload::tenants`.
+    pub tenants: Vec<LatencyBreakdown>,
+    /// Per-network decompositions, indexed like `Workload::networks`.
+    pub networks: Vec<LatencyBreakdown>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_events() -> Vec<ServeEvent> {
+        vec![
+            ServeEvent::Arrive {
+                t_ns: 10,
+                id: 0,
+                tenant: 1,
+                network: 4,
+            },
+            ServeEvent::Enqueue {
+                t_ns: 10,
+                id: 0,
+                depth: 1,
+            },
+            ServeEvent::BatchFormed {
+                t_ns: 20,
+                batch: 0,
+                network: 4,
+                size: 1,
+            },
+            ServeEvent::ServiceStart { t_ns: 20, batch: 0 },
+            ServeEvent::Shed {
+                t_ns: 25,
+                id: 1,
+                tenant: 0,
+                network: 2,
+            },
+            ServeEvent::ServiceEnd {
+                t_ns: 90,
+                batch: 0,
+                size: 1,
+            },
+        ]
+    }
+
+    #[test]
+    fn ring_evicts_oldest_but_counts_everything() {
+        let mut rec = FlightRecorder::new(3);
+        for event in sample_events() {
+            rec.record(event);
+        }
+        assert_eq!(rec.total(), 6);
+        assert_eq!(rec.events().len(), 3);
+        assert_eq!(rec.dropped(), 3);
+        assert_eq!(rec.events()[0].kind(), "service_start");
+        assert_eq!(rec.events()[2].kind(), "service_end");
+        assert_eq!(rec.counts(), &[1, 1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn capacity_zero_counts_only() {
+        let mut rec = FlightRecorder::new(0);
+        for event in sample_events() {
+            rec.record(event);
+        }
+        assert_eq!(rec.total(), 6);
+        assert!(rec.events().is_empty());
+        assert_eq!(rec.dropped(), 6);
+    }
+
+    #[test]
+    fn events_serialize_as_tagged_flat_json() {
+        for event in sample_events() {
+            let json = event.to_json();
+            let fields = pixel_obs::parse_flat_object(&json).expect("flat JSON");
+            let get = |k: &str| {
+                fields
+                    .iter()
+                    .find(|(key, _)| key == k)
+                    .map(|(_, v)| v.clone())
+            };
+            assert_eq!(get("schema").as_deref(), Some("pixel.serve.event"));
+            assert_eq!(get("kind").as_deref(), Some(event.kind()));
+            assert_eq!(
+                get("t_ns").as_deref(),
+                Some(event.t_ns().to_string().as_str())
+            );
+        }
+    }
+
+    #[test]
+    fn breakdown_parts_sum_to_sojourn() {
+        let mut b = LatencyBreakdown::default();
+        b.record(100, 900);
+        b.record(0, 450);
+        b.record(7, 13);
+        assert_eq!(b.count(), 3);
+        assert_eq!(b.wait.sum() + b.service.sum(), b.sojourn.sum());
+        assert_eq!(b.sojourn.max(), 1000);
+    }
+
+    #[test]
+    fn breakdown_merge_is_exact() {
+        let mut a = LatencyBreakdown::default();
+        let mut b = LatencyBreakdown::default();
+        let mut whole = LatencyBreakdown::default();
+        for (i, (w, s)) in [(5u64, 10u64), (100, 3), (42, 42), (0, 1)]
+            .iter()
+            .enumerate()
+        {
+            if i % 2 == 0 {
+                a.record(*w, *s);
+            } else {
+                b.record(*w, *s);
+            }
+            whole.record(*w, *s);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+}

@@ -25,26 +25,39 @@
 //!   formula is duplicated here.
 //! * [`percentile`] — an integer-only log-linear latency histogram
 //!   (HDR-style) whose percentiles are bitwise deterministic across
-//!   platforms and worker counts.
+//!   platforms and worker counts, with exact bucket-wise
+//!   [`LatencyHistogram::merge`].
+//! * [`flightrec`] — typed, virtual-time-stamped request-lifecycle
+//!   events in a bounded ring (the flight recorder), plus the
+//!   queue-wait vs service-time latency decomposition per tenant and
+//!   per network.
+//! * [`window`] — windowed time-series metrics (throughput, queue
+//!   occupancy, shed rate, batch sizes, integrated power) on a
+//!   self-coarsening virtual-time grid.
 //! * [`saturation`] — sweeps offered load × design through
 //!   [`pixel_core::sweep::SweepEngine`] and locates each design's
-//!   saturation knee.
+//!   saturation knee; [`saturation::metrics_jsonl`] exports the sweep
+//!   as schema-tagged JSONL.
 //!
 //! Everything is deterministic: one `u64` seed fixes the entire run, and
 //! the artifact output is bitwise identical at any `--jobs` level.
 
 pub mod arrivals;
 pub mod batching;
+pub mod flightrec;
 pub mod percentile;
 pub mod queue;
 pub mod report;
 pub mod saturation;
 pub mod sim;
+pub mod window;
 
 pub use arrivals::{Request, RequestSource, Tenant, Workload};
 pub use batching::BatchPolicy;
+pub use flightrec::{FlightData, FlightRecorder, LatencyBreakdown, ServeEvent};
 pub use percentile::LatencyHistogram;
 pub use queue::{AdmissionQueue, ShedPolicy};
-pub use report::{LatencyPercentiles, ServeReport, TenantStats};
-pub use saturation::{saturation_sweep, DesignCurve, SweepSpec};
-pub use sim::{simulate, ServeConfig};
+pub use report::{LatencyPercentiles, NetworkStats, ServeReport, TenantStats};
+pub use saturation::{metrics_jsonl, saturation_sweep, DesignCurve, SweepSpec};
+pub use sim::{simulate, simulate_with_flightrec, ServeConfig};
+pub use window::{WindowBin, WindowSeries};

@@ -19,7 +19,11 @@
 pub const DEFAULT_SUB_BITS: u32 = 7;
 
 /// Log-linear histogram over `u64` values (nanoseconds, by convention).
-#[derive(Debug, Clone)]
+///
+/// Equality is structural (same `sub_bits`, same bucket counts, same
+/// min/max/sum), which makes "merge of parts == histogram of the whole"
+/// a directly testable invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LatencyHistogram {
     sub_bits: u32,
     counts: Vec<u64>,
@@ -107,10 +111,53 @@ impl LatencyHistogram {
         self.sum += u128::from(value);
     }
 
+    /// Folds `other` into `self`, bucket by bucket. The result is
+    /// bitwise identical to a histogram that recorded both value
+    /// sequences directly (the property tests pin merge-of-two against
+    /// histogram-of-concatenation for count, sum, and every rank query),
+    /// which is what lets per-tenant latency decompositions reconstruct
+    /// the aggregate histogram exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two histograms use different `sub_bits` (their
+    /// buckets would not line up).
+    pub fn merge(&mut self, other: &Self) {
+        assert_eq!(
+            self.sub_bits, other.sub_bits,
+            "cannot merge histograms with different sub_bits"
+        );
+        if other.total == 0 {
+            return;
+        }
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, &src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.total += other.total;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.sum += other.sum;
+    }
+
+    /// The linear resolution this histogram was built with.
+    #[must_use]
+    pub fn sub_bits(&self) -> u32 {
+        self.sub_bits
+    }
+
     /// Number of recorded values.
     #[must_use]
     pub fn count(&self) -> u64 {
         self.total
+    }
+
+    /// Exact sum of all recorded values.
+    #[must_use]
+    pub fn sum(&self) -> u128 {
+        self.sum
     }
 
     /// Smallest recorded value (0 when empty).

@@ -1,5 +1,6 @@
 //! Serving metrics: what one simulation run reports.
 
+use crate::window::WindowSeries;
 use pixel_core::config::AcceleratorConfig;
 use pixel_units::{Energy, Time};
 
@@ -18,7 +19,7 @@ pub struct LatencyPercentiles {
     pub max: Time,
 }
 
-/// Per-tenant completion accounting.
+/// Per-tenant completion accounting and latency decomposition.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TenantStats {
     /// Tenant name.
@@ -27,6 +28,23 @@ pub struct TenantStats {
     pub completed: u64,
     /// 95th-percentile sojourn time of this tenant's requests.
     pub p95: Time,
+    /// Queue-wait percentiles (arrival → batch service start).
+    pub wait: LatencyPercentiles,
+    /// Service-time percentiles (service start → completion).
+    pub service: LatencyPercentiles,
+}
+
+/// Per-network completion accounting and latency decomposition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkStats {
+    /// Network name.
+    pub name: String,
+    /// Completed requests that ran this network.
+    pub completed: u64,
+    /// Queue-wait percentiles (arrival → batch service start).
+    pub wait: LatencyPercentiles,
+    /// Service-time percentiles (service start → completion).
+    pub service: LatencyPercentiles,
 }
 
 /// Everything one serving simulation measures.
@@ -48,6 +66,12 @@ pub struct ServeReport {
     pub dropped: u64,
     /// Sojourn-time percentiles of completed requests.
     pub latency: LatencyPercentiles,
+    /// Queue-wait percentiles: time from arrival to batch service
+    /// start. Per-request, wait + service equals the sojourn exactly.
+    pub queue_wait: LatencyPercentiles,
+    /// Service-time percentiles: time from batch service start to
+    /// completion.
+    pub service: LatencyPercentiles,
     /// Mean dispatched batch size.
     pub mean_batch: f64,
     /// Time-weighted mean queue depth.
@@ -65,6 +89,10 @@ pub struct ServeReport {
     pub energy_per_inference: Energy,
     /// Per-tenant completions, in workload tenant order.
     pub tenants: Vec<TenantStats>,
+    /// Per-network completions, in workload network order.
+    pub networks: Vec<NetworkStats>,
+    /// Windowed time-series metrics on the virtual-time grid.
+    pub windows: WindowSeries,
 }
 
 impl ServeReport {

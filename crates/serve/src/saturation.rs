@@ -174,6 +174,7 @@ pub fn saturation_sweep(
             rate_hz: capacity * load,
             requests: spec.requests,
             seed: spec.seed,
+            window_bins: 64,
         };
         simulate(workload, ctx, &config)
     });
@@ -262,6 +263,50 @@ pub fn render_curves(workload: &Workload, spec: &SweepSpec, curves: &[DesignCurv
     s
 }
 
+/// Renders the sweep as machine-readable JSONL: one `pixel.serve.meta`
+/// header, one `pixel.serve.point` object per measured point, and that
+/// point's windowed time series as `pixel.serve.window` lines tagged
+/// with the design and load. Every value lives on the virtual clock, so
+/// the stream is bitwise identical across runs and `--jobs` levels.
+#[must_use]
+pub fn metrics_jsonl(workload: &Workload, spec: &SweepSpec, curves: &[DesignCurve]) -> String {
+    let mut s = format!(
+        "{{\"schema\":\"pixel.serve.meta\",\"policy\":\"{}\",\"queue\":{},\"shed\":\"{}\",\"requests\":{},\"seed\":{},\"tenants\":{},\"networks\":{}}}\n",
+        spec.policy.label(),
+        spec.queue_capacity,
+        spec.shed.label(),
+        spec.requests,
+        spec.seed,
+        workload.tenants().len(),
+        workload.networks().len(),
+    );
+    for curve in curves {
+        for point in &curve.points {
+            let r = &point.report;
+            s.push_str(&format!(
+                "{{\"schema\":\"pixel.serve.point\",\"design\":\"{}\",\"load\":{},\"offered_hz\":{},\"achieved_hz\":{},\"completed\":{},\"dropped\":{},\"p50_ms\":{},\"p95_ms\":{},\"p99_ms\":{},\"wait_p99_ms\":{},\"service_p99_ms\":{},\"mean_batch\":{},\"utilization\":{},\"energy_per_inf_mj\":{}}}\n",
+                curve.design,
+                point.load,
+                r.offered_hz,
+                r.achieved_hz,
+                r.completed,
+                r.dropped,
+                r.latency.p50.as_millis(),
+                r.latency.p95.as_millis(),
+                r.latency.p99.as_millis(),
+                r.queue_wait.p99.as_millis(),
+                r.service.p99.as_millis(),
+                r.mean_batch,
+                r.utilization,
+                r.energy_per_inference.as_millijoules(),
+            ));
+            let tags = format!("\"design\":\"{}\",\"load\":{},", curve.design, point.load);
+            s.push_str(&r.windows.to_jsonl(&tags));
+        }
+    }
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -335,6 +380,26 @@ mod tests {
                 assert!(a.p95 <= b.p95, "{} p95", curve.design);
                 assert!(a.p99 <= b.p99, "{} p99", curve.design);
             }
+        }
+    }
+
+    #[test]
+    fn metrics_jsonl_is_schema_tagged_flat_json() {
+        let workload = Workload::paper_mix();
+        let engine = SweepEngine::new(2);
+        let spec = small_spec();
+        let curves = saturation_sweep(&engine, &workload, &spec);
+        let jsonl = metrics_jsonl(&workload, &spec, &curves);
+        // Meta line + one point line per measurement + window lines.
+        assert!(jsonl.lines().count() > 3 * spec.loads.len());
+        for line in jsonl.lines() {
+            let fields = pixel_obs::parse_flat_object(line).expect("flat JSON");
+            assert!(
+                fields
+                    .iter()
+                    .any(|(k, v)| k == "schema" && v.starts_with("pixel.serve.")),
+                "untagged line: {line}"
+            );
         }
     }
 

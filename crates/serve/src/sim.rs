@@ -11,15 +11,23 @@
 //! comparable by construction.
 //!
 //! Instrumentation: the run executes under a `serve/sim` span and
-//! counts `serve/arrivals`, `serve/admitted`, `serve/shed`,
-//! `serve/dispatches` and `serve/completions`; dispatched batch sizes
-//! feed the `serve/batch_size` histogram.
+//! counts `serve.arrivals`, `serve.admitted`, `serve.shed`,
+//! `serve.dispatches` and `serve.completions`; dispatched batch sizes
+//! feed the `serve.batch_size` histogram. Beyond the flat counters,
+//! every request emits typed lifecycle events
+//! ([`crate::flightrec::ServeEvent`]) into a bounded
+//! [`FlightRecorder`] — and through the `pixel-obs` trace sink when one
+//! is installed — while a [`WindowSeries`] folds the run into
+//! fixed-virtual-time-grid bins and a [`LatencyBreakdown`] splits every
+//! sojourn into queue wait and service time per tenant and per network.
 
 use crate::arrivals::{Request, RequestSource, Workload};
 use crate::batching::{BatchPolicy, Decision};
+use crate::flightrec::{FlightData, FlightRecorder, LatencyBreakdown, ServeEvent};
 use crate::percentile::LatencyHistogram;
 use crate::queue::{AdmissionQueue, ShedPolicy};
-use crate::report::{LatencyPercentiles, ServeReport, TenantStats};
+use crate::report::{LatencyPercentiles, NetworkStats, ServeReport, TenantStats};
+use crate::window::WindowSeries;
 use pixel_core::config::AcceleratorConfig;
 use pixel_core::model::EvalContext;
 use pixel_core::throughput;
@@ -42,11 +50,15 @@ pub struct ServeConfig {
     pub requests: usize,
     /// Seed of the arrival process.
     pub seed: u64,
+    /// Nominal bin count of the windowed time-series grid (the grid
+    /// coarsens beyond the expected makespan, never past `2×` this).
+    pub window_bins: usize,
 }
 
 impl ServeConfig {
     /// A serving setup with the defaults the artifact sweep uses:
-    /// dynamic batching up to 8, a 256-deep drop-newest queue.
+    /// dynamic batching up to 8, a 256-deep drop-newest queue, a
+    /// 64-bin metrics grid.
     #[must_use]
     pub fn new(accel: AcceleratorConfig, rate_hz: f64, requests: usize, seed: u64) -> Self {
         Self {
@@ -60,6 +72,7 @@ impl ServeConfig {
             rate_hz,
             requests,
             seed,
+            window_bins: 64,
         }
     }
 }
@@ -95,9 +108,17 @@ impl ServiceModel {
     }
 }
 
+/// Virtual seconds → integer nanoseconds (round-to-nearest, monotone).
+#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+fn ns(t: f64) -> u64 {
+    (t * 1e9).round() as u64
+}
+
 /// The in-flight batch.
 struct InFlight {
     completes_at: f64,
+    started_at: f64,
+    id: u64,
     batch: Vec<Request>,
 }
 
@@ -108,43 +129,111 @@ struct SimState<'a> {
     server: Option<InFlight>,
     service: &'a ServiceModel,
     policy: BatchPolicy,
-    latencies: LatencyHistogram,
-    tenant_latencies: Vec<LatencyHistogram>,
+    overall: LatencyBreakdown,
+    tenant_lat: Vec<LatencyBreakdown>,
+    network_lat: Vec<LatencyBreakdown>,
     tenant_completed: Vec<u64>,
+    network_completed: Vec<u64>,
     completed: u64,
     shed: u64,
     dispatches: u64,
+    batch_seq: u64,
     batched_total: u64,
     busy_time: f64,
     dynamic_energy: Energy,
     last_completion: f64,
+    recorder: FlightRecorder,
+    spill: bool,
+    windows: WindowSeries,
 }
 
 impl SimState<'_> {
+    /// Records one lifecycle event in the flight recorder and, when a
+    /// trace sink is active, spills it as JSONL.
+    fn emit(&mut self, event: ServeEvent) {
+        if self.spill {
+            pixel_obs::trace_event(&event.to_json());
+        }
+        self.recorder.record(event);
+    }
+
     fn admit(&mut self, request: Request) {
         self.clock = self.clock.max(request.arrival);
-        pixel_obs::add("serve/arrivals", 1);
-        if self.queue.offer(request.arrival, request).is_some() {
-            pixel_obs::add("serve/shed", 1);
-            self.shed += 1;
-        } else {
-            pixel_obs::add("serve/admitted", 1);
+        pixel_obs::add("serve.arrivals", 1);
+        self.windows.count_arrival(self.clock);
+        self.emit(ServeEvent::Arrive {
+            t_ns: ns(self.clock),
+            id: request.id,
+            tenant: request.tenant,
+            network: request.network,
+        });
+        match self.queue.offer(request.arrival, request) {
+            Some(victim) => {
+                pixel_obs::add("serve.shed", 1);
+                self.windows.count_shed(self.clock);
+                self.shed += 1;
+                self.emit(ServeEvent::Shed {
+                    t_ns: ns(self.clock),
+                    id: victim.id,
+                    tenant: victim.tenant,
+                    network: victim.network,
+                });
+                if victim.id != request.id {
+                    // Drop-oldest: the newcomer took the evicted head's
+                    // place.
+                    pixel_obs::add("serve.admitted", 1);
+                    self.emit(ServeEvent::Enqueue {
+                        t_ns: ns(self.clock),
+                        id: request.id,
+                        depth: self.queue.depth(),
+                    });
+                }
+            }
+            None => {
+                pixel_obs::add("serve.admitted", 1);
+                self.emit(ServeEvent::Enqueue {
+                    t_ns: ns(self.clock),
+                    id: request.id,
+                    depth: self.queue.depth(),
+                });
+            }
         }
+        self.windows.set_depth(self.clock, self.queue.depth());
     }
 
     fn dispatch(&mut self) {
         let batch = self.queue.take_batch(self.clock, self.policy.max_batch());
         assert!(!batch.is_empty(), "dispatch on an empty queue");
         let (latency, energy) = self.service.batch(batch[0].network, batch.len());
-        pixel_obs::add("serve/dispatches", 1);
+        pixel_obs::add("serve.dispatches", 1);
         #[allow(clippy::cast_precision_loss)]
-        pixel_obs::observe("serve/batch_size", batch.len() as f64);
+        pixel_obs::observe("serve.batch_size", batch.len() as f64);
+        let id = self.batch_seq;
+        self.batch_seq += 1;
         self.dispatches += 1;
         self.batched_total += batch.len() as u64;
         self.busy_time += latency.value();
         self.dynamic_energy += energy;
+        let completes_at = self.clock + latency.value();
+        self.windows.count_dispatch(self.clock, batch.len() as u64);
+        self.windows.set_depth(self.clock, self.queue.depth());
+        self.windows.add_busy(self.clock, completes_at);
+        self.windows
+            .add_energy(self.clock, completes_at, energy.value());
+        self.emit(ServeEvent::BatchFormed {
+            t_ns: ns(self.clock),
+            batch: id,
+            network: batch[0].network,
+            size: batch.len(),
+        });
+        self.emit(ServeEvent::ServiceStart {
+            t_ns: ns(self.clock),
+            batch: id,
+        });
         self.server = Some(InFlight {
-            completes_at: self.clock + latency.value(),
+            completes_at,
+            started_at: self.clock,
+            id,
             batch,
         });
     }
@@ -154,16 +243,29 @@ impl SimState<'_> {
         let flight = self.server.take().expect("completion without a batch");
         self.clock = flight.completes_at;
         self.last_completion = flight.completes_at;
+        self.windows
+            .count_completions(flight.completes_at, flight.batch.len() as u64);
+        self.emit(ServeEvent::ServiceEnd {
+            t_ns: ns(flight.completes_at),
+            batch: flight.id,
+            size: flight.batch.len(),
+        });
         for request in &flight.batch {
-            let sojourn = flight.completes_at - request.arrival;
-            // Integer nanoseconds: deterministic bucketing, ns resolution.
-            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-            let ns = (sojourn * 1e9).round() as u64;
-            self.latencies.record(ns);
-            self.tenant_latencies[request.tenant].record(ns);
+            // Integer nanoseconds: deterministic bucketing, ns
+            // resolution. The sojourn rounds the float difference
+            // directly, and the split is exact by construction:
+            // rounding is monotone (started_at ≤ completes_at), so
+            // wait_ns ≤ sojourn_ns and wait + service == sojourn.
+            let sojourn_ns = ns(flight.completes_at - request.arrival);
+            let wait_ns = ns(flight.started_at - request.arrival);
+            let service_ns = sojourn_ns - wait_ns;
+            self.overall.record(wait_ns, service_ns);
+            self.tenant_lat[request.tenant].record(wait_ns, service_ns);
+            self.network_lat[request.network].record(wait_ns, service_ns);
             self.tenant_completed[request.tenant] += 1;
+            self.network_completed[request.network] += 1;
             self.completed += 1;
-            pixel_obs::add("serve/completions", 1);
+            pixel_obs::add("serve.completions", 1);
         }
     }
 }
@@ -194,6 +296,10 @@ fn percentiles(histogram: &LatencyHistogram) -> LatencyPercentiles {
 /// Runs one serving simulation to completion (all arrivals generated,
 /// queue drained, last batch finished) and reports the measurements.
 ///
+/// Equivalent to [`simulate_with_flightrec`] with a zero-capacity event
+/// ring (events are still counted and spilled to an installed trace
+/// sink, never buffered).
+///
 /// Deterministic: the report is a pure function of `(workload, the
 /// context's overrides, config)` — bitwise identical across runs,
 /// machines, and sweep worker counts.
@@ -203,28 +309,58 @@ fn percentiles(histogram: &LatencyHistogram) -> LatencyPercentiles {
 /// Panics if `config.requests` is zero.
 #[must_use]
 pub fn simulate(workload: &Workload, ctx: &EvalContext, config: &ServeConfig) -> ServeReport {
+    simulate_with_flightrec(workload, ctx, config, 0).0
+}
+
+/// Runs one serving simulation with a `event_capacity`-deep flight
+/// recorder and returns the report together with the recorded
+/// [`FlightData`] (event ring, per-kind counts, and the full
+/// wait/service latency decomposition).
+///
+/// # Panics
+///
+/// Panics if `config.requests` is zero.
+#[must_use]
+pub fn simulate_with_flightrec(
+    workload: &Workload,
+    ctx: &EvalContext,
+    config: &ServeConfig,
+    event_capacity: usize,
+) -> (ServeReport, FlightData) {
     let _span = pixel_obs::span("serve/sim");
     assert!(config.requests > 0, "need at least one request");
     let service = ServiceModel::new(ctx, workload, &config.accel);
     let mut source =
         RequestSource::new(workload, config.rate_hz, config.requests, config.seed).peekable();
     let tenants = workload.tenants().len();
+    let networks = workload.networks().len();
+    let window_bins = config.window_bins.max(2);
+    #[allow(clippy::cast_precision_loss)]
+    let expected_makespan = config.requests as f64 / config.rate_hz;
+    #[allow(clippy::cast_precision_loss)]
+    let base_width = (expected_makespan / window_bins as f64).max(1e-9);
     let mut state = SimState {
         clock: 0.0,
         queue: AdmissionQueue::new(config.queue_capacity, config.shed),
         server: None,
         service: &service,
         policy: config.policy,
-        latencies: LatencyHistogram::default(),
-        tenant_latencies: (0..tenants).map(|_| LatencyHistogram::default()).collect(),
+        overall: LatencyBreakdown::default(),
+        tenant_lat: vec![LatencyBreakdown::default(); tenants],
+        network_lat: vec![LatencyBreakdown::default(); networks],
         tenant_completed: vec![0; tenants],
+        network_completed: vec![0; networks],
         completed: 0,
         shed: 0,
         dispatches: 0,
+        batch_seq: 0,
         batched_total: 0,
         busy_time: 0.0,
         dynamic_energy: Energy::ZERO,
         last_completion: 0.0,
+        recorder: FlightRecorder::new(event_capacity),
+        spill: pixel_obs::enabled() && pixel_obs::has_trace(),
+        windows: WindowSeries::new(base_width, window_bins * 2),
     };
 
     loop {
@@ -270,6 +406,7 @@ pub fn simulate(workload: &Workload, ctx: &EvalContext, config: &ServeConfig) ->
     }
 
     let makespan = state.last_completion.max(state.clock);
+    state.windows.finish(makespan);
     let arrivals = config.requests as u64;
     #[allow(clippy::cast_precision_loss)]
     let achieved_hz = if makespan > 0.0 {
@@ -298,11 +435,24 @@ pub fn simulate(workload: &Workload, ctx: &EvalContext, config: &ServeConfig) ->
         .map(|(t, tenant)| TenantStats {
             name: tenant.name.clone(),
             completed: state.tenant_completed[t],
-            p95: percentiles(&state.tenant_latencies[t]).p95,
+            p95: percentiles(&state.tenant_lat[t].sojourn).p95,
+            wait: percentiles(&state.tenant_lat[t].wait),
+            service: percentiles(&state.tenant_lat[t].service),
         })
         .collect();
-    pixel_obs::gauge("serve/utilization", state.busy_time / makespan.max(1e-30));
-    ServeReport {
+    let network_stats = workload
+        .networks()
+        .iter()
+        .enumerate()
+        .map(|(n, net)| NetworkStats {
+            name: net.name().to_owned(),
+            completed: state.network_completed[n],
+            wait: percentiles(&state.network_lat[n].wait),
+            service: percentiles(&state.network_lat[n].service),
+        })
+        .collect();
+    pixel_obs::gauge("serve.utilization", state.busy_time / makespan.max(1e-30));
+    let report = ServeReport {
         config: config.accel,
         policy: config.policy.label(),
         offered_hz: config.rate_hz,
@@ -310,7 +460,9 @@ pub fn simulate(workload: &Workload, ctx: &EvalContext, config: &ServeConfig) ->
         arrivals,
         completed: state.completed,
         dropped: state.shed,
-        latency: percentiles(&state.latencies),
+        latency: percentiles(&state.overall.sojourn),
+        queue_wait: percentiles(&state.overall.wait),
+        service: percentiles(&state.overall.service),
         mean_batch,
         mean_queue_depth: state.queue.mean_depth(makespan),
         max_queue_depth: state.queue.max_depth(),
@@ -319,7 +471,16 @@ pub fn simulate(workload: &Workload, ctx: &EvalContext, config: &ServeConfig) ->
         total_energy,
         energy_per_inference,
         tenants: tenant_stats,
-    }
+        networks: network_stats,
+        windows: state.windows.clone(),
+    };
+    let data = FlightData {
+        recorder: state.recorder,
+        overall: state.overall,
+        tenants: state.tenant_lat,
+        networks: state.network_lat,
+    };
+    (report, data)
 }
 
 #[cfg(test)]
@@ -373,6 +534,8 @@ mod tests {
             "p50 {p50} outside [{lo}, {hi}]"
         );
         assert_eq!(report.dropped, 0);
+        // Uncontended: queue wait is negligible next to service time.
+        assert!(report.queue_wait.p50 <= report.service.p50);
     }
 
     #[test]
@@ -388,6 +551,9 @@ mod tests {
         assert!(crushed.achieved_hz < crushed.offered_hz * 0.5);
         assert!(crushed.latency.p99 >= light.latency.p99);
         assert!(crushed.mean_batch > light.mean_batch);
+        // Under overload the sojourn is dominated by queueing, not
+        // service: the decomposition must show it.
+        assert!(crushed.queue_wait.p50 > crushed.service.p50);
     }
 
     #[test]
@@ -459,5 +625,59 @@ mod tests {
             simulate(&workload, &ctx, &config)
         };
         assert_ne!(a.latency, c.latency, "different seed, different trace");
+    }
+
+    #[test]
+    fn flightrec_event_stream_is_conserved() {
+        let workload = Workload::paper_mix();
+        let ctx = EvalContext::new();
+        let (report, data) = simulate_with_flightrec(&workload, &ctx, &base_config(1_000.0), 128);
+        let [arrive, enqueue, shed, formed, started, ended] = *data.recorder.counts();
+        assert_eq!(arrive, report.arrivals);
+        assert_eq!(shed, report.dropped);
+        assert_eq!(enqueue + shed, report.arrivals);
+        assert_eq!(formed, started);
+        assert_eq!(started, ended);
+        // The ring keeps only the tail but the counts are lossless.
+        assert_eq!(data.recorder.events().len(), 128);
+        assert_eq!(data.recorder.total(), data.recorder.dropped() + 128);
+        // Virtual timestamps never regress within the buffered tail.
+        let events = data.recorder.events();
+        for pair in events.iter().zip(events.iter().skip(1)) {
+            assert!(pair.0.t_ns() <= pair.1.t_ns());
+        }
+        // Decomposition totals match the report.
+        assert_eq!(data.overall.count(), report.completed);
+        assert_eq!(
+            data.overall.wait.sum() + data.overall.service.sum(),
+            data.overall.sojourn.sum()
+        );
+    }
+
+    #[test]
+    fn flightrec_does_not_perturb_the_report() {
+        let workload = Workload::paper_mix();
+        let ctx = EvalContext::new();
+        let plain = simulate(&workload, &ctx, &base_config(800.0));
+        let (recorded, _) = simulate_with_flightrec(&workload, &ctx, &base_config(800.0), 4096);
+        assert_eq!(plain, recorded);
+    }
+
+    #[test]
+    fn window_series_accounts_for_every_request() {
+        let workload = Workload::paper_mix();
+        let ctx = EvalContext::new();
+        let report = simulate(&workload, &ctx, &base_config(2.0));
+        let arrivals: u64 = report.windows.bins().iter().map(|b| b.arrivals).sum();
+        let completions: u64 = report.windows.bins().iter().map(|b| b.completions).sum();
+        let shed: u64 = report.windows.bins().iter().map(|b| b.shed).sum();
+        assert_eq!(arrivals, report.arrivals);
+        assert_eq!(completions, report.completed);
+        assert_eq!(shed, report.dropped);
+        let busy: f64 = report.windows.bins().iter().map(|b| b.busy).sum();
+        assert!(
+            (busy - report.utilization * report.makespan.value()).abs()
+                < 1e-6 * report.makespan.value().max(1.0)
+        );
     }
 }

@@ -1,7 +1,9 @@
 //! Property tests for the serving simulator: queue invariants under
 //! randomized traffic, the histogram percentile estimator against a
-//! sorted reference, and bitwise determinism of the full saturation
-//! sweep across worker counts and repeated runs.
+//! sorted reference, exact histogram merging (merge-of-two must equal
+//! the histogram of the concatenated stream), the latency decomposition
+//! recombining bitwise into the aggregate, and bitwise determinism of
+//! the full saturation sweep across worker counts and repeated runs.
 
 use pixel_core::config::{AcceleratorConfig, Design};
 use pixel_core::model::EvalContext;
@@ -10,7 +12,8 @@ use pixel_serve::arrivals::{Request, Workload};
 use pixel_serve::percentile::{exact_percentile, LatencyHistogram, DEFAULT_SUB_BITS};
 use pixel_serve::queue::{AdmissionQueue, ShedPolicy};
 use pixel_serve::saturation::{render_curves, saturation_sweep, SweepSpec};
-use pixel_serve::sim::{simulate, ServeConfig};
+use pixel_serve::sim::{simulate, simulate_with_flightrec, ServeConfig};
+use pixel_serve::LatencyBreakdown;
 use pixel_units::rng::SplitMix64;
 
 /// Replays a random offer/take trace against the queue and checks the
@@ -189,6 +192,139 @@ fn percentile_endpoints_pin_to_recorded_extremes() {
     }
     assert_eq!(hist.percentile(0.0), *values.iter().min().unwrap());
     assert_eq!(hist.percentile(1.0), *values.iter().max().unwrap());
+}
+
+/// Log-uniform values spanning ~12 orders of magnitude, the way
+/// latencies do (nanoseconds to minutes).
+fn latency_like_values(rng: &mut SplitMix64, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            let magnitude = rng.next_u64() % 41;
+            rng.next_u64() % (1u64 << magnitude).max(1)
+        })
+        .collect()
+}
+
+fn histogram_of(values: &[u64]) -> LatencyHistogram {
+    let mut h = LatencyHistogram::default();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// The rank grid the merge properties are checked against.
+const RANKS: [f64; 11] = [
+    0.0, 0.001, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.999, 1.0,
+];
+
+#[test]
+fn merge_of_two_equals_histogram_of_concatenation() {
+    for seed in [1u64, 7, 42, 2026, 0xdead_beef] {
+        let mut rng = SplitMix64::seed_from_u64(seed);
+        let a = latency_like_values(&mut rng, 500);
+        let b = latency_like_values(&mut rng, 313);
+        let concat: Vec<u64> = a.iter().chain(&b).copied().collect();
+
+        let mut merged = histogram_of(&a);
+        merged.merge(&histogram_of(&b));
+        let whole = histogram_of(&concat);
+
+        // Structural equality pins every bucket plus count/min/max/sum.
+        assert_eq!(merged, whole, "seed {seed}");
+        assert_eq!(merged.count(), whole.count());
+        assert_eq!(merged.sum(), whole.sum());
+        // Every rank query answers identically.
+        for q in RANKS {
+            assert_eq!(
+                merged.percentile(q),
+                whole.percentile(q),
+                "seed {seed} rank {q}"
+            );
+        }
+    }
+}
+
+#[test]
+fn merge_with_empty_is_identity_in_both_directions() {
+    let mut rng = SplitMix64::seed_from_u64(99);
+    let full = histogram_of(&latency_like_values(&mut rng, 64));
+
+    let mut left = full.clone();
+    left.merge(&LatencyHistogram::default());
+    assert_eq!(left, full);
+
+    let mut right = LatencyHistogram::default();
+    right.merge(&full);
+    assert_eq!(right, full);
+}
+
+#[test]
+fn self_merge_doubles_multiplicities_without_moving_ranks() {
+    let mut rng = SplitMix64::seed_from_u64(5);
+    let sample = latency_like_values(&mut rng, 128);
+    let one = histogram_of(&sample);
+    let doubled: Vec<u64> = sample.iter().chain(&sample).copied().collect();
+    let mut merged = one.clone();
+    merged.merge(&one);
+    assert_eq!(merged, histogram_of(&doubled));
+    for q in RANKS {
+        assert_eq!(merged.percentile(q), one.percentile(q), "rank {q}");
+    }
+}
+
+#[test]
+#[should_panic(expected = "sub_bits")]
+fn merge_rejects_mismatched_resolutions() {
+    let mut a = LatencyHistogram::new(7);
+    a.record(1);
+    let mut b = LatencyHistogram::new(8);
+    b.record(1);
+    a.merge(&b);
+}
+
+/// The acceptance bar for the latency decomposition: merging the
+/// per-tenant (and per-network) breakdowns of an overloaded run must
+/// reconstruct the aggregate breakdown *bitwise*, and wait + service
+/// must sum to the sojourn exactly in integer nanoseconds.
+#[test]
+fn per_population_breakdowns_recombine_into_the_aggregate() {
+    let workload = Workload::paper_mix();
+    let ctx = EvalContext::new();
+    let accel = AcceleratorConfig::new(Design::Oo, 4, 16);
+    // Offered well past the OO fabric's capacity so the run sheds:
+    // shed requests must not leak into any latency histogram.
+    let config = ServeConfig::new(accel, 20.0, 600, 7);
+    let (report, flight) = simulate_with_flightrec(&workload, &ctx, &config, 256);
+    assert!(report.dropped > 0, "want an overloaded run");
+    assert!(report.completed > 0);
+
+    let mut from_tenants = LatencyBreakdown::default();
+    for b in &flight.tenants {
+        from_tenants.merge(b);
+    }
+    assert_eq!(from_tenants, flight.overall, "tenant merge diverged");
+
+    let mut from_networks = LatencyBreakdown::default();
+    for b in &flight.networks {
+        from_networks.merge(b);
+    }
+    assert_eq!(from_networks, flight.overall, "network merge diverged");
+
+    // Count and integer-sum identities of the decomposition.
+    assert_eq!(flight.overall.count(), report.completed);
+    assert_eq!(
+        flight.overall.wait.sum() + flight.overall.service.sum(),
+        flight.overall.sojourn.sum(),
+    );
+    // The recombined rank queries agree with the aggregate everywhere.
+    for q in RANKS {
+        assert_eq!(
+            from_tenants.sojourn.percentile(q),
+            flight.overall.sojourn.percentile(q),
+            "rank {q}"
+        );
+    }
 }
 
 #[test]

@@ -44,17 +44,17 @@ fn global_registry_observes_the_instrumented_stack() {
     let snap = pixel::obs::snapshot();
 
     for counter in [
-        "fabric/windows",
-        "fabric/mac_ops",
-        "fabric/transport_words",
-        "omac/ee/mac_ops",
-        "omac/ee/bit_toggles",
-        "omac/oe/mac_ops",
-        "omac/oe/mrr_slots",
-        "omac/oo/mac_ops",
-        "omac/oo/mzi_slots",
-        "dse/model_evals",
-        "dnn/analysis/layers",
+        "fabric.windows",
+        "fabric.mac_ops",
+        "fabric.transport_words",
+        "omac.ee.mac_ops",
+        "omac.ee.bit_toggles",
+        "omac.oe.mac_ops",
+        "omac.oe.mrr_slots",
+        "omac.oo.mac_ops",
+        "omac.oo.mzi_slots",
+        "dse.model_evals",
+        "dnn.analysis.layers",
     ] {
         assert!(
             snap.counter(counter).is_some_and(|v| v > 0),
@@ -63,8 +63,16 @@ fn global_registry_observes_the_instrumented_stack() {
         );
     }
     // Three designs × one conv each, 6×6 output → 36 windows per design.
-    assert_eq!(snap.counter("fabric/windows"), Some(108));
+    assert_eq!(snap.counter("fabric.windows"), Some(108));
     assert!(snap.span("fabric_conv2d").is_some_and(|s| s.count == 3));
+    // The bit-true path is span-*nested*: phase children aggregate under
+    // the conv parent in the span tree.
+    assert!(snap
+        .span("fabric_conv2d/plan")
+        .is_some_and(|s| s.count == 3));
+    assert!(snap
+        .span("fabric_conv2d/rows")
+        .is_some_and(|s| s.count == 3));
     // Analysis ran under the accelerator evaluation.
     assert!(snap.span("analyze").is_some());
 
@@ -72,7 +80,7 @@ fn global_registry_observes_the_instrumented_stack() {
     pixel::obs::disable();
     run_fabric_conv();
     let frozen = pixel::obs::snapshot();
-    assert_eq!(frozen.counter("fabric/windows"), Some(108));
+    assert_eq!(frozen.counter("fabric.windows"), Some(108));
     pixel::obs::reset();
     assert!(pixel::obs::snapshot().counters.is_empty());
 }
