@@ -46,6 +46,26 @@ done
 rm -f "$smoke"
 trap - EXIT
 
+# Serving policy code must never read wall-clock time directly — the
+# vetted clock adapter (crates/serve/src/clock.rs, D001-exempt) is the
+# only sanctioned boundary. Seed an unvetted read into the policy tree
+# and assert D001 refuses it.
+smoke=crates/serve/src/policy_clock_smoke_tmp.rs
+trap 'rm -f "$smoke"' EXIT
+cat > "$smoke" <<'EOF'
+pub fn sneaky_policy_deadline() -> std::time::Instant {
+    std::time::Instant::now()
+}
+EOF
+if ./target/release/reproduce lint --deny > /tmp/lint_serve_smoke 2>&1; then
+  echo "lint failed to flag a wall-clock read in serve policy code" >&2
+  exit 1
+fi
+grep -q "D001" /tmp/lint_serve_smoke \
+  || { echo "lint missed D001 in serve policy code" >&2; exit 1; }
+rm -f "$smoke"
+trap - EXIT
+
 echo "== clippy"
 cargo clippy --all-targets --workspace -- -D warnings
 
@@ -79,6 +99,46 @@ grep -q '"schema":"pixel.serve.event"' /tmp/flightrec_metrics.jsonl \
 grep -q '"schema":"pixel.serve.window"' /tmp/flightrec_metrics.jsonl \
   || { echo "flightrec metrics missing window lines" >&2; exit 1; }
 rm -f /tmp/flightrec_metrics.jsonl
+
+echo "== pixel-served smoke"
+# Start the live daemon on a free loopback port, run a short
+# closed-loop burst through the load generator, and validate the
+# emitted pixel.serve.* JSONL with the same checker as every other
+# metrics artifact.
+./target/release/pixel-served serve --rate 50 --requests 60 --seed 7 --scale 0.02 \
+  --metrics /tmp/served_metrics.jsonl > /tmp/served_stdout.txt &
+served_pid=$!
+for _ in $(seq 1 50); do
+  grep -q "listening on" /tmp/served_stdout.txt 2> /dev/null && break
+  sleep 0.1
+done
+served_port=$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' /tmp/served_stdout.txt)
+if [ -z "$served_port" ]; then
+  echo "pixel-served did not report a listening port" >&2
+  kill "$served_pid" 2> /dev/null || true
+  exit 1
+fi
+load_out=$(./target/release/pixel-served load --port "$served_port" \
+  --rate 50 --requests 60 --seed 7)
+echo "$load_out" | grep -q "daemon stats" \
+  || { echo "loadgen missing the daemon stats frame" >&2; exit 1; }
+wait "$served_pid"
+./target/release/reproduce checkjsonl /tmp/served_metrics.jsonl
+grep -q '"schema":"pixel.serve.stats"' /tmp/served_metrics.jsonl \
+  || { echo "live metrics missing the stats line" >&2; exit 1; }
+grep -q '"schema":"pixel.serve.window"' /tmp/served_metrics.jsonl \
+  || { echo "live metrics missing window lines" >&2; exit 1; }
+grep -q '"mode":"live"' /tmp/served_metrics.jsonl \
+  || { echo "live metrics missing the live-mode tag" >&2; exit 1; }
+rm -f /tmp/served_metrics.jsonl /tmp/served_stdout.txt
+
+echo "== oracle"
+# The live daemon must match the simulator's predicted saturation knee
+# and queue-wait/service split within the tolerances documented in
+# DESIGN.md section 12 (oracle exits non-zero on any breach).
+oracle_out=$(./target/release/reproduce oracle --quick)
+echo "$oracle_out" | grep -q "^oracle: PASS" \
+  || { echo "oracle did not pass:"; echo "$oracle_out"; exit 1; } >&2
 
 echo "== bench"
 # Smoke the perf harness: quick mode must produce a well-formed

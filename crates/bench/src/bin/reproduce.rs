@@ -30,6 +30,11 @@
 //! paths and writes a `BENCH_functional.json` regression artifact;
 //! `reproduce bench --compare OLD NEW` diffs two such artifacts.
 //!
+//! `reproduce oracle [--quick] [--seed N]` runs the live `pixel-served`
+//! daemon against the simulator's prediction and fails on any tolerance
+//! breach (wall-clock dependent, so a CI gate rather than a snapshot
+//! artifact — see DESIGN.md §12).
+//!
 //! With no artifact (or `all`) every artifact is printed in paper order.
 
 use std::process::ExitCode;
@@ -203,6 +208,10 @@ fn main() -> ExitCode {
         // `reproduce bench [...]` likewise forwards to the perf harness.
         if forwarded.first().is_some_and(|a| a == "bench") {
             return ExitCode::from(pixel_bench::perf::run_cli(&forwarded[1..]));
+        }
+        // `reproduce oracle [...]` runs the simulator-vs-daemon check.
+        if forwarded.first().is_some_and(|a| a == "oracle") {
+            return ExitCode::from(pixel_serve::oracle::run_cli(&forwarded[1..]));
         }
         // `reproduce checkjsonl FILE` validates a JSONL artifact.
         if forwarded.first().is_some_and(|a| a == "checkjsonl") {

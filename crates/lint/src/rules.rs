@@ -14,7 +14,13 @@ use crate::lexer::{Scan, Token, TokenKind};
 /// Paths where wall-clock time is sanctioned (the observability layer
 /// and the bench timer are *about* wall-clock time).
 const D001_EXEMPT_PREFIXES: [&str; 1] = ["crates/obs/src/"];
-const D001_EXEMPT_FILES: [&str; 1] = ["crates/bench/src/timing.rs"];
+const D001_EXEMPT_FILES: [&str; 2] = [
+    "crates/bench/src/timing.rs",
+    // The vetted clock adapter: the single place `crates/serve` is
+    // allowed to read wall-clock time. Policy code gets instants fed
+    // through `Clock`, never reads them.
+    "crates/serve/src/clock.rs",
+];
 
 /// Artifact / report / serve paths whose output must not depend on hash
 /// iteration order.
@@ -22,11 +28,12 @@ const D002_PREFIXES: [&str; 3] = ["crates/serve/src/", "crates/bench/src/", "cra
 const D002_FILES: [&str; 2] = ["crates/core/src/report.rs", "crates/core/src/dse.rs"];
 
 /// Entry points sanctioned to read the process environment.
-const D004_EXEMPT_FILES: [&str; 4] = [
+const D004_EXEMPT_FILES: [&str; 5] = [
     "crates/core/src/sweep.rs",
     "crates/bench/src/bin/reproduce.rs",
     "crates/lint/src/cli.rs",
     "crates/lint/src/main.rs",
+    "crates/serve/src/bin/served.rs",
 ];
 
 /// Backend modules allowed to match on `Design`.

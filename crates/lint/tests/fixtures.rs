@@ -32,6 +32,16 @@ fn d001_allows_obs_bench_timing_and_test_code() {
     assert_eq!(rules("examples/demo.rs", src), Vec::<&str>::new());
 }
 
+#[test]
+fn d001_exempts_only_the_vetted_serve_clock_adapter() {
+    // The daemon's clock adapter is the single sanctioned wall-clock
+    // boundary inside crates/serve; policy modules stay banned.
+    let src = "pub fn t() { let _ = std::time::Instant::now(); }\n";
+    assert_eq!(rules("crates/serve/src/clock.rs", src), Vec::<&str>::new());
+    assert_eq!(rules("crates/serve/src/machine.rs", src), ["D001"]);
+    assert_eq!(rules("crates/serve/src/daemon.rs", src), ["D001"]);
+}
+
 // ----------------------------------------------------------------- D002
 
 #[test]
@@ -86,6 +96,10 @@ fn d004_allows_env_in_sweep_and_cli_entry_points() {
     assert_eq!(rules("crates/core/src/sweep.rs", src), Vec::<&str>::new());
     assert_eq!(
         rules("crates/bench/src/bin/reproduce.rs", src),
+        Vec::<&str>::new()
+    );
+    assert_eq!(
+        rules("crates/serve/src/bin/served.rs", src),
         Vec::<&str>::new()
     );
 }

@@ -19,6 +19,7 @@ use pixel_dnn::mix::NetworkMix;
 use pixel_dnn::network::Network;
 use pixel_dnn::zoo;
 use pixel_units::rng::SplitMix64;
+use pixel_units::{Time, VirtInstant};
 
 /// One inference request.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,8 +30,9 @@ pub struct Request {
     pub tenant: usize,
     /// Index into [`Workload::networks`].
     pub network: usize,
-    /// Arrival time \[s\] since simulation start.
-    pub arrival: f64,
+    /// Arrival instant on the serving clock (virtual in the simulator,
+    /// monotonic in the daemon).
+    pub arrival: VirtInstant,
 }
 
 /// One tenant: a share of the offered traffic and its network blend.
@@ -159,7 +161,7 @@ pub struct RequestSource<'a> {
     workload: &'a Workload,
     rate_hz: f64,
     remaining: usize,
-    clock: f64,
+    clock: VirtInstant,
     next_id: u64,
     rng: SplitMix64,
 }
@@ -181,7 +183,7 @@ impl<'a> RequestSource<'a> {
             workload,
             rate_hz,
             remaining: count,
-            clock: 0.0,
+            clock: VirtInstant::EPOCH,
             next_id: 0,
             rng: SplitMix64::seed_from_u64(seed),
         }
@@ -200,7 +202,7 @@ impl Iterator for RequestSource<'_> {
         // everything after it) is rate-independent.
         let u = self.rng.next_f64();
         let gap = -(1.0 - u).ln() / self.rate_hz;
-        self.clock += gap;
+        self.clock += Time::new(gap);
         let (tenant, network) = self.workload.sample(&mut self.rng);
         let request = Request {
             id: self.next_id,
@@ -235,7 +237,7 @@ mod tests {
         assert_eq!(requests.len(), 20_000);
         assert!(requests.windows(2).all(|p| p[0].arrival <= p[1].arrival));
         assert!(requests.windows(2).all(|p| p[0].id + 1 == p[1].id));
-        let mean_gap = requests.last().unwrap().arrival / 20_000.0;
+        let mean_gap = requests.last().unwrap().arrival.as_secs() / 20_000.0;
         assert!((mean_gap - 0.01).abs() < 0.001, "mean gap {mean_gap}");
     }
 
@@ -246,7 +248,7 @@ mod tests {
         let fast: Vec<Request> = RequestSource::new(&w, 40.0, 500, 3).collect();
         for (a, b) in slow.iter().zip(&fast) {
             assert_eq!((a.tenant, a.network), (b.tenant, b.network));
-            assert!((a.arrival / 4.0 - b.arrival).abs() < 1e-12);
+            assert!((a.arrival.as_secs() / 4.0 - b.arrival.as_secs()).abs() < 1e-12);
         }
     }
 

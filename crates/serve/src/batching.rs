@@ -15,7 +15,7 @@
 //!   latency monotone in offered load.
 
 use crate::queue::AdmissionQueue;
-use pixel_units::Time;
+use pixel_units::{Time, VirtInstant};
 
 /// A batch-formation policy.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,9 +40,9 @@ pub enum BatchPolicy {
 pub enum Decision {
     /// Form and dispatch a batch now.
     Dispatch,
-    /// Hold until this absolute time \[s\], unless an arrival or a full
-    /// batch triggers an earlier decision.
-    HoldUntil(f64),
+    /// Hold until this instant, unless an arrival or a full batch
+    /// triggers an earlier decision.
+    HoldUntil(VirtInstant),
     /// Hold until the next arrival (no timer pending).
     Hold,
 }
@@ -70,7 +70,7 @@ impl BatchPolicy {
 
     /// Decides what an idle server facing `queue` should do at `now`.
     #[must_use]
-    pub fn decide(&self, queue: &AdmissionQueue, now: f64) -> Decision {
+    pub fn decide(&self, queue: &AdmissionQueue, now: VirtInstant) -> Decision {
         let Some(head_arrival) = queue.head_arrival() else {
             return Decision::Hold;
         };
@@ -89,7 +89,7 @@ impl BatchPolicy {
                 if queue.prefix_len(max_size) >= max_size {
                     return Decision::Dispatch;
                 }
-                let expiry = head_arrival + deadline.value();
+                let expiry = head_arrival + deadline;
                 if now >= expiry {
                     Decision::Dispatch
                 } else {
@@ -106,16 +106,20 @@ mod tests {
     use crate::arrivals::Request;
     use crate::queue::ShedPolicy;
 
+    fn at(t: f64) -> VirtInstant {
+        VirtInstant::from_secs(t)
+    }
+
     fn queue_with(nets: &[usize]) -> AdmissionQueue {
         let mut q = AdmissionQueue::new(64, ShedPolicy::DropNewest);
         for (id, &net) in nets.iter().enumerate() {
             let _ = q.offer(
-                0.0,
+                VirtInstant::EPOCH,
                 Request {
                     id: id as u64,
                     tenant: 0,
                     network: net,
-                    arrival: 0.0,
+                    arrival: VirtInstant::EPOCH,
                 },
             );
         }
@@ -125,14 +129,14 @@ mod tests {
     #[test]
     fn fixed_waits_for_a_full_same_network_batch() {
         let policy = BatchPolicy::Fixed { size: 3 };
-        assert_eq!(policy.decide(&queue_with(&[1, 1]), 5.0), Decision::Hold);
+        assert_eq!(policy.decide(&queue_with(&[1, 1]), at(5.0)), Decision::Hold);
         assert_eq!(
-            policy.decide(&queue_with(&[1, 1, 1, 2]), 5.0),
+            policy.decide(&queue_with(&[1, 1, 1, 2]), at(5.0)),
             Decision::Dispatch
         );
         // A network boundary caps the prefix below the batch size.
         assert_eq!(
-            policy.decide(&queue_with(&[1, 2, 1, 1]), 5.0),
+            policy.decide(&queue_with(&[1, 2, 1, 1]), at(5.0)),
             Decision::Hold
         );
     }
@@ -143,12 +147,18 @@ mod tests {
             max_size: 2,
             deadline: Time::from_micros(100.0),
         };
-        assert_eq!(policy.decide(&queue_with(&[1, 1]), 0.0), Decision::Dispatch);
-        match policy.decide(&queue_with(&[1]), 0.0) {
-            Decision::HoldUntil(t) => assert!((t - 100e-6).abs() < 1e-12),
+        assert_eq!(
+            policy.decide(&queue_with(&[1, 1]), at(0.0)),
+            Decision::Dispatch
+        );
+        match policy.decide(&queue_with(&[1]), at(0.0)) {
+            Decision::HoldUntil(t) => assert!((t.as_secs() - 100e-6).abs() < 1e-12),
             other => panic!("expected HoldUntil, got {other:?}"),
         }
-        assert_eq!(policy.decide(&queue_with(&[1]), 1e-4), Decision::Dispatch);
+        assert_eq!(
+            policy.decide(&queue_with(&[1]), at(1e-4)),
+            Decision::Dispatch
+        );
     }
 
     #[test]
@@ -157,9 +167,12 @@ mod tests {
             max_size: 8,
             deadline: Time::ZERO,
         };
-        assert_eq!(policy.decide(&queue_with(&[4]), 0.0), Decision::Dispatch);
         assert_eq!(
-            policy.decide(&queue_with(&[]), 0.0),
+            policy.decide(&queue_with(&[4]), at(0.0)),
+            Decision::Dispatch
+        );
+        assert_eq!(
+            policy.decide(&queue_with(&[]), at(0.0)),
             Decision::Hold,
             "empty queue holds"
         );

@@ -1,0 +1,213 @@
+//! `pixel-served` — the live serving daemon, its load generator, and
+//! the simulator-oracle check, in one binary.
+//!
+//! ```text
+//! pixel-served serve  [--port P] [--rate R] [--requests N] [--seed S]
+//!                     [--scale X] [--mode analytic|functional]
+//!                     [--metrics FILE]
+//! pixel-served load   --port P [--rate R] [--requests N] [--seed S]
+//! pixel-served oracle [--quick] [--seed S]
+//! ```
+//!
+//! `serve` binds `127.0.0.1:P` (0 picks a free port), prints
+//! `pixel-served listening on 127.0.0.1:PORT` (the line `ci.sh`
+//! scrapes), runs the daemon until a client drains it, prints a
+//! summary, and optionally writes the live `pixel.serve.*` JSONL to
+//! `--metrics`. `load` replays the seeded Poisson sequence against a
+//! running daemon and reports client-side outcomes. `oracle` runs the
+//! full simulator-vs-daemon check and exits non-zero on tolerance
+//! failure.
+
+use pixel_core::config::{AcceleratorConfig, Design};
+use pixel_core::model::EvalContext;
+use pixel_serve::daemon::{self, DaemonConfig, ServiceMode};
+use pixel_serve::loadgen::{self, LoadgenConfig};
+use pixel_serve::sim::ServeConfig;
+use pixel_serve::Workload;
+use std::io::Write as _;
+use std::net::TcpListener;
+use std::process::ExitCode;
+
+/// Parsed common flags.
+struct Flags {
+    port: u16,
+    rate_hz: f64,
+    requests: usize,
+    seed: u64,
+    scale: f64,
+    mode: ServiceMode,
+    metrics: Option<String>,
+    quick: bool,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut flags = Flags {
+        port: 0,
+        rate_hz: 40.0,
+        requests: 200,
+        seed: 2026,
+        scale: 0.01,
+        mode: ServiceMode::Analytic,
+        metrics: None,
+        quick: false,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        let mut value = |name: &str| {
+            iter.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--port" => {
+                flags.port = value("--port")?
+                    .parse()
+                    .map_err(|e| format!("--port: {e}"))?;
+            }
+            "--rate" => {
+                flags.rate_hz = value("--rate")?
+                    .parse()
+                    .map_err(|e| format!("--rate: {e}"))?;
+            }
+            "--requests" => {
+                flags.requests = value("--requests")?
+                    .parse()
+                    .map_err(|e| format!("--requests: {e}"))?;
+            }
+            "--seed" => {
+                flags.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?;
+            }
+            "--scale" => {
+                flags.scale = value("--scale")?
+                    .parse()
+                    .map_err(|e| format!("--scale: {e}"))?;
+            }
+            "--mode" => {
+                flags.mode = match value("--mode")?.as_str() {
+                    "analytic" => ServiceMode::Analytic,
+                    "functional" => ServiceMode::Functional,
+                    other => return Err(format!("--mode: unknown mode {other:?}")),
+                };
+            }
+            "--metrics" => flags.metrics = Some(value("--metrics")?),
+            "--quick" => flags.quick = true,
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    Ok(flags)
+}
+
+fn cmd_serve(flags: &Flags) -> Result<(), String> {
+    let workload = Workload::paper_mix();
+    let ctx = EvalContext::new();
+    let serve = ServeConfig::new(
+        AcceleratorConfig::new(Design::Oo, 4, 16),
+        flags.rate_hz,
+        flags.requests,
+        flags.seed,
+    );
+    let config = DaemonConfig {
+        serve,
+        time_scale: flags.scale,
+        mode: flags.mode,
+        event_capacity: 1024,
+    };
+    let listener =
+        TcpListener::bind(("127.0.0.1", flags.port)).map_err(|e| format!("bind: {e}"))?;
+    let port = listener
+        .local_addr()
+        .map_err(|e| format!("local_addr: {e}"))?
+        .port();
+    println!("pixel-served listening on 127.0.0.1:{port}");
+    std::io::stdout()
+        .flush()
+        .map_err(|e| format!("flush: {e}"))?;
+    let (report, _data) =
+        daemon::run(listener, &workload, &ctx, &config).map_err(|e| format!("daemon: {e}"))?;
+    println!(
+        "pixel-served drained: arrivals {} completed {} dropped {} makespan {:.3} s utilization {:.3}",
+        report.arrivals,
+        report.completed,
+        report.dropped,
+        report.makespan.value(),
+        report.utilization
+    );
+    if let Some(path) = &flags.metrics {
+        std::fs::write(path, daemon::live_metrics_jsonl(&report))
+            .map_err(|e| format!("write {path}: {e}"))?;
+        println!("pixel-served metrics written to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_load(flags: &Flags) -> Result<(), String> {
+    if flags.port == 0 {
+        return Err("load needs --port of a running daemon".to_owned());
+    }
+    let workload = Workload::paper_mix();
+    let addr = std::net::SocketAddr::from(([127, 0, 0, 1], flags.port));
+    let report = loadgen::run(
+        addr,
+        &workload,
+        &LoadgenConfig {
+            rate_hz: flags.rate_hz,
+            requests: flags.requests,
+            seed: flags.seed,
+        },
+    )
+    .map_err(|e| format!("loadgen: {e}"))?;
+    println!(
+        "loadgen: sent {} served {} shed {}",
+        report.sent, report.served, report.shed
+    );
+    if report.breakdown.count() > 0 {
+        println!(
+            "loadgen: wait p50 {} ns, service p50 {} ns",
+            report.breakdown.wait.percentile(0.50),
+            report.breakdown.service.percentile(0.50)
+        );
+    }
+    match &report.stats {
+        Some(stats) => println!("loadgen: daemon stats {stats}"),
+        None => return Err("daemon closed without a stats frame".to_owned()),
+    }
+    if report.served + report.shed != report.sent {
+        return Err(format!(
+            "closed-loop accounting broken: {} + {} != {}",
+            report.served, report.shed, report.sent
+        ));
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("usage: pixel-served <serve|load|oracle> [flags]");
+        return ExitCode::from(2);
+    };
+    if command == "oracle" {
+        return ExitCode::from(pixel_serve::oracle::run_cli(rest));
+    }
+    let flags = match parse_flags(rest) {
+        Ok(flags) => flags,
+        Err(e) => {
+            eprintln!("pixel-served: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match command.as_str() {
+        "serve" => cmd_serve(&flags),
+        "load" => cmd_load(&flags),
+        other => Err(format!("unknown command {other:?}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("pixel-served: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

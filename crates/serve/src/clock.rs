@@ -1,0 +1,146 @@
+//! The clock abstraction separating serving *policy* from serving
+//! *time*.
+//!
+//! Policy code ([`crate::machine::ServeMachine`], the batching and
+//! admission logic under it) never reads time: it is fed
+//! [`VirtInstant`]s by a driver. Drivers get those instants from a
+//! [`Clock`]:
+//!
+//! * [`VirtualClock`] — a settable clock for tests and replay: time
+//!   moves only when the owner moves it, and `sleep` advances it
+//!   instantly.
+//! * [`MonotonicClock`] — the daemon's clock: instants are seconds of
+//!   [`std::time::Instant`] elapsed since the clock's construction
+//!   (its epoch), so a run's instants are small, monotone, and share
+//!   the machine's `t = 0` origin with the simulator.
+//!
+//! This is the **only** file in `crates/serve` permitted to touch
+//! `std::time` clocks — the workspace lint's D001 rule pins that
+//! boundary, and `ci.sh` carries a negative smoke test proving an
+//! unvetted wall-clock read anywhere else in serve policy code is
+//! rejected.
+
+use pixel_units::{Time, VirtInstant};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A source of instants and a way to wait: everything a serving driver
+/// needs from time.
+pub trait Clock {
+    /// The current instant on this clock's timeline.
+    fn now(&self) -> VirtInstant;
+
+    /// Blocks (or virtually advances) for `duration`.
+    fn sleep(&self, duration: Time);
+}
+
+/// A test/replay clock: time is a settable atomic, and sleeping jumps
+/// it forward deterministically.
+#[derive(Debug, Default)]
+pub struct VirtualClock {
+    /// Bit pattern of the current f64 seconds-since-epoch.
+    bits: AtomicU64,
+}
+
+impl VirtualClock {
+    /// A virtual clock at its epoch.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            bits: AtomicU64::new(0.0f64.to_bits()),
+        }
+    }
+
+    /// Moves the clock to `now` if that is later (never regresses).
+    pub fn set(&self, now: VirtInstant) {
+        let mut current = self.bits.load(Ordering::Acquire);
+        while f64::from_bits(current) < now.as_secs() {
+            match self.bits.compare_exchange_weak(
+                current,
+                now.as_secs().to_bits(),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => break,
+                Err(actual) => current = actual,
+            }
+        }
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> VirtInstant {
+        VirtInstant::from_secs(f64::from_bits(self.bits.load(Ordering::Acquire)))
+    }
+
+    fn sleep(&self, duration: Time) {
+        let target = self.now() + duration.max(Time::ZERO);
+        self.set(target);
+    }
+}
+
+/// The daemon's clock: monotonic wall time as seconds since this
+/// clock's construction.
+#[derive(Debug, Clone, Copy)]
+pub struct MonotonicClock {
+    epoch: std::time::Instant,
+}
+
+impl MonotonicClock {
+    /// A monotonic clock whose epoch (`t = 0`) is now.
+    #[must_use]
+    pub fn start() -> Self {
+        Self {
+            epoch: std::time::Instant::now(),
+        }
+    }
+}
+
+impl Default for MonotonicClock {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+impl Clock for MonotonicClock {
+    fn now(&self) -> VirtInstant {
+        VirtInstant::from_secs(self.epoch.elapsed().as_secs_f64())
+    }
+
+    fn sleep(&self, duration: Time) {
+        if duration > Time::ZERO {
+            std::thread::sleep(std::time::Duration::from_secs_f64(duration.value()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_clock_moves_only_forward() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now(), VirtInstant::EPOCH);
+        clock.set(VirtInstant::from_secs(2.0));
+        clock.set(VirtInstant::from_secs(1.0));
+        assert_eq!(clock.now(), VirtInstant::from_secs(2.0));
+        clock.sleep(Time::new(0.5));
+        assert_eq!(clock.now(), VirtInstant::from_secs(2.5));
+        clock.sleep(Time::new(-1.0));
+        assert_eq!(
+            clock.now(),
+            VirtInstant::from_secs(2.5),
+            "negative sleep is a no-op"
+        );
+    }
+
+    #[test]
+    fn monotonic_clock_starts_near_epoch_and_advances() {
+        let clock = MonotonicClock::start();
+        let a = clock.now();
+        assert!(a.as_secs() >= 0.0 && a.as_secs() < 1.0, "fresh epoch");
+        clock.sleep(Time::new(0.002));
+        let b = clock.now();
+        assert!(b > a, "monotonic: {b} after {a}");
+    }
+}

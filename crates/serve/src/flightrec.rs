@@ -19,6 +19,7 @@
 //! aggregate latency histogram — an invariant the test suite pins.
 
 use crate::percentile::LatencyHistogram;
+use pixel_units::VirtualNs;
 use std::collections::VecDeque;
 
 /// Number of distinct [`ServeEvent`] kinds.
@@ -26,14 +27,15 @@ pub const EVENT_KINDS: usize = 6;
 
 /// One virtual-time-stamped request-lifecycle event.
 ///
-/// All timestamps are integer nanoseconds on the simulation clock —
-/// never wall time — so event streams are bitwise reproducible.
+/// All timestamps are typed integer-nanosecond [`VirtualNs`] stamps on
+/// the serving clock (virtual in the simulator, monotonic-since-epoch
+/// in the daemon), so event streams are bitwise reproducible.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ServeEvent {
     /// A request arrived at the admission queue.
     Arrive {
-        /// Virtual timestamp \[ns\].
-        t_ns: u64,
+        /// Virtual timestamp.
+        t_ns: VirtualNs,
         /// Request id (arrival sequence number).
         id: u64,
         /// Tenant index.
@@ -43,8 +45,8 @@ pub enum ServeEvent {
     },
     /// The request was admitted; `depth` is the queue depth after.
     Enqueue {
-        /// Virtual timestamp \[ns\].
-        t_ns: u64,
+        /// Virtual timestamp.
+        t_ns: VirtualNs,
         /// Request id.
         id: u64,
         /// Queue depth after admission.
@@ -53,8 +55,8 @@ pub enum ServeEvent {
     /// A request was shed by the admission policy (the arriving request
     /// under drop-newest, the evicted head under drop-oldest).
     Shed {
-        /// Virtual timestamp \[ns\].
-        t_ns: u64,
+        /// Virtual timestamp.
+        t_ns: VirtualNs,
         /// Id of the shed request.
         id: u64,
         /// Tenant index of the shed request.
@@ -64,8 +66,8 @@ pub enum ServeEvent {
     },
     /// The batching policy formed a batch from the queue head.
     BatchFormed {
-        /// Virtual timestamp \[ns\].
-        t_ns: u64,
+        /// Virtual timestamp.
+        t_ns: VirtualNs,
         /// Batch sequence number.
         batch: u64,
         /// Network index the batch runs.
@@ -75,15 +77,15 @@ pub enum ServeEvent {
     },
     /// The fabric started serving a batch.
     ServiceStart {
-        /// Virtual timestamp \[ns\].
-        t_ns: u64,
+        /// Virtual timestamp.
+        t_ns: VirtualNs,
         /// Batch sequence number.
         batch: u64,
     },
     /// The fabric finished a batch; its requests completed.
     ServiceEnd {
-        /// Virtual timestamp \[ns\].
-        t_ns: u64,
+        /// Virtual timestamp.
+        t_ns: VirtualNs,
         /// Batch sequence number.
         batch: u64,
         /// Requests completed with the batch.
@@ -92,9 +94,9 @@ pub enum ServeEvent {
 }
 
 impl ServeEvent {
-    /// The event's virtual timestamp \[ns\].
+    /// The event's virtual timestamp.
     #[must_use]
-    pub fn t_ns(&self) -> u64 {
+    pub fn t_ns(&self) -> VirtualNs {
         match *self {
             Self::Arrive { t_ns, .. }
             | Self::Enqueue { t_ns, .. }
@@ -138,7 +140,7 @@ impl ServeEvent {
         let head = format!(
             "{{\"schema\":\"pixel.serve.event\",\"kind\":\"{}\",\"t_ns\":{}",
             self.kind(),
-            self.t_ns()
+            self.t_ns().as_nanos()
         );
         match *self {
             Self::Arrive {
@@ -176,12 +178,7 @@ impl ServeEvent {
     /// A one-line human rendering used by the flightrec artifact.
     #[must_use]
     pub fn describe(&self) -> String {
-        let t_ms = {
-            #[allow(clippy::cast_precision_loss)]
-            {
-                self.t_ns() as f64 / 1e6
-            }
-        };
+        let t_ms = self.t_ns().as_millis_f64();
         let detail = match *self {
             Self::Arrive {
                 id,
@@ -359,31 +356,34 @@ mod tests {
     fn sample_events() -> Vec<ServeEvent> {
         vec![
             ServeEvent::Arrive {
-                t_ns: 10,
+                t_ns: VirtualNs::from_nanos(10),
                 id: 0,
                 tenant: 1,
                 network: 4,
             },
             ServeEvent::Enqueue {
-                t_ns: 10,
+                t_ns: VirtualNs::from_nanos(10),
                 id: 0,
                 depth: 1,
             },
             ServeEvent::BatchFormed {
-                t_ns: 20,
+                t_ns: VirtualNs::from_nanos(20),
                 batch: 0,
                 network: 4,
                 size: 1,
             },
-            ServeEvent::ServiceStart { t_ns: 20, batch: 0 },
+            ServeEvent::ServiceStart {
+                t_ns: VirtualNs::from_nanos(20),
+                batch: 0,
+            },
             ServeEvent::Shed {
-                t_ns: 25,
+                t_ns: VirtualNs::from_nanos(25),
                 id: 1,
                 tenant: 0,
                 network: 2,
             },
             ServeEvent::ServiceEnd {
-                t_ns: 90,
+                t_ns: VirtualNs::from_nanos(90),
                 batch: 0,
                 size: 1,
             },
@@ -430,7 +430,7 @@ mod tests {
             assert_eq!(get("kind").as_deref(), Some(event.kind()));
             assert_eq!(
                 get("t_ns").as_deref(),
-                Some(event.t_ns().to_string().as_str())
+                Some(event.t_ns().as_nanos().to_string().as_str())
             );
         }
     }

@@ -19,10 +19,23 @@
 //! * [`batching`] — pluggable batch formation: fixed-size, or dynamic
 //!   (dispatch when full *or* when the head-of-line request ages past a
 //!   deadline; zero deadline is greedy natural batching).
-//! * [`sim`] — the event loop. Service times and energy come straight
-//!   from the memoized [`pixel_core::model::EvalContext`] via the
-//!   pipeline-fill batch model in [`pixel_core::throughput`]; no cost
+//! * [`machine`] — the pure serving state machine: all of the above
+//!   policies plus flight-recorder/window/latency accounting over *fed*
+//!   [`pixel_units::VirtInstant`]s, never reading a clock.
+//! * [`sim`] — the discrete-event driver. Feeds the machine virtual
+//!   instants; service times and energy come straight from the memoized
+//!   [`pixel_core::model::EvalContext`] via the pipeline-fill batch
+//!   model in [`pixel_core::throughput`] (see [`service`]); no cost
 //!   formula is duplicated here.
+//! * [`clock`] — the [`clock::Clock`] abstraction the live drivers
+//!   stand on: a virtual test clock and the daemon's monotonic clock.
+//! * [`daemon`] / [`wire`] / [`loadgen`] — the `pixel-served` daemon:
+//!   the same machine driven by a monotonic clock behind a
+//!   length-prefixed JSONL loopback socket, plus its deterministic
+//!   closed-loop load generator.
+//! * [`oracle`] — runs the live daemon and the simulator over the same
+//!   seeds and checks the daemon's saturation knee and wait/service
+//!   split against the simulator's prediction.
 //! * [`percentile`] — an integer-only log-linear latency histogram
 //!   (HDR-style) whose percentiles are bitwise deterministic across
 //!   platforms and worker counts, with exact bucket-wise
@@ -44,20 +57,30 @@
 
 pub mod arrivals;
 pub mod batching;
+pub mod clock;
+pub mod daemon;
 pub mod flightrec;
+pub mod loadgen;
+pub mod machine;
+pub mod oracle;
 pub mod percentile;
 pub mod queue;
 pub mod report;
 pub mod saturation;
+pub mod service;
 pub mod sim;
 pub mod window;
+pub mod wire;
 
 pub use arrivals::{Request, RequestSource, Tenant, Workload};
-pub use batching::BatchPolicy;
+pub use batching::{BatchPolicy, Decision};
+pub use clock::{Clock, MonotonicClock, VirtualClock};
 pub use flightrec::{FlightData, FlightRecorder, LatencyBreakdown, ServeEvent};
+pub use machine::{Admission, FinishMeta, MachineConfig, OpenDispatch, ServeMachine};
 pub use percentile::LatencyHistogram;
 pub use queue::{AdmissionQueue, ShedPolicy};
 pub use report::{LatencyPercentiles, NetworkStats, ServeReport, TenantStats};
 pub use saturation::{metrics_jsonl, saturation_sweep, DesignCurve, SweepSpec};
+pub use service::ServiceModel;
 pub use sim::{simulate, simulate_with_flightrec, ServeConfig};
 pub use window::{WindowBin, WindowSeries};

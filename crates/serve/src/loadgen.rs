@@ -1,0 +1,118 @@
+//! Deterministic closed-loop load generator for `pixel-served`.
+//!
+//! The generator replays the *same* seeded Poisson request sequence the
+//! simulator consumes ([`RequestSource`]: the tenant/network draws are
+//! rate-independent, so one seed couples a simulated run and a live run
+//! as common random numbers) — paced against a [`MonotonicClock`]: each
+//! request is sent when the live clock reaches its scheduled arrival
+//! instant. A reader thread tracks every response, folding the
+//! daemon-reported wait/service nanoseconds into a
+//! [`LatencyBreakdown`]; after the last request the generator sends
+//! `drain` and waits for the daemon's `pixel.serve.stats` frame, making
+//! the run fully closed-loop: when [`run`] returns, every request has
+//! been accounted served or shed.
+
+use crate::arrivals::{RequestSource, Workload};
+use crate::clock::{Clock, MonotonicClock};
+use crate::flightrec::LatencyBreakdown;
+use crate::wire::{self, WireRequest};
+use std::net::{SocketAddr, TcpStream};
+
+/// Parameters of one load-generation run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadgenConfig {
+    /// Offered arrival rate \[requests/s\] on the live clock.
+    pub rate_hz: f64,
+    /// Requests to send.
+    pub requests: usize,
+    /// Seed of the arrival process (shared with the simulator for
+    /// common-random-number comparisons).
+    pub seed: u64,
+}
+
+/// What one load-generation run measured, from the client's side of
+/// the socket.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadReport {
+    /// Requests sent.
+    pub sent: u64,
+    /// Requests the daemon answered `served`.
+    pub served: u64,
+    /// Requests the daemon answered `shed`.
+    pub shed: u64,
+    /// Daemon-reported wait/service decomposition of the served
+    /// requests.
+    pub breakdown: LatencyBreakdown,
+    /// The raw `pixel.serve.stats` frame body, when the daemon sent
+    /// one.
+    pub stats: Option<String>,
+}
+
+/// Runs one closed-loop load generation against a listening daemon.
+///
+/// # Errors
+///
+/// Propagates connection and send-side I/O errors.
+///
+/// # Panics
+///
+/// Panics if the response-reader thread panicked.
+pub fn run(
+    addr: SocketAddr,
+    workload: &Workload,
+    config: &LoadgenConfig,
+) -> std::io::Result<LoadReport> {
+    let stream = TcpStream::connect(addr)?;
+    let mut writer = stream.try_clone()?;
+    let reader = std::thread::spawn(move || collect_responses(stream));
+
+    let clock = MonotonicClock::start();
+    let mut sent: u64 = 0;
+    for request in RequestSource::new(workload, config.rate_hz, config.requests, config.seed) {
+        clock.sleep(request.arrival.saturating_since(clock.now()));
+        wire::write_frame(
+            &mut writer,
+            &WireRequest {
+                id: request.id,
+                tenant: request.tenant,
+                network: request.network,
+            }
+            .to_json(),
+        )?;
+        sent += 1;
+    }
+    wire::write_frame(&mut writer, &wire::drain_frame())?;
+
+    // lint:allow(P002) a panicked reader thread is unrecoverable here
+    let (served, shed, breakdown, stats) = reader.join().expect("response reader");
+    Ok(LoadReport {
+        sent,
+        served,
+        shed,
+        breakdown,
+        stats,
+    })
+}
+
+/// Drains the response stream until the stats frame (or EOF), tallying
+/// outcomes.
+fn collect_responses(mut stream: TcpStream) -> (u64, u64, LatencyBreakdown, Option<String>) {
+    let mut served: u64 = 0;
+    let mut shed: u64 = 0;
+    let mut breakdown = LatencyBreakdown::default();
+    let mut stats = None;
+    while let Ok(Some(body)) = wire::read_frame(&mut stream) {
+        if let Some(response) = wire::parse_response(&body) {
+            if response.served {
+                served += 1;
+                breakdown.record(response.wait_ns, response.service_ns);
+            } else {
+                shed += 1;
+            }
+        } else if body.contains("\"schema\":\"pixel.serve.stats\"") {
+            stats = Some(body);
+            break;
+        }
+    }
+    (served, shed, breakdown, stats)
+}

@@ -8,6 +8,7 @@
 //! quantity comparable to `L` in Little's law.
 
 use crate::arrivals::Request;
+use pixel_units::VirtInstant;
 use std::collections::VecDeque;
 
 /// What to do with an arrival when the queue is full.
@@ -40,7 +41,7 @@ pub struct AdmissionQueue {
     shed_count: u64,
     max_depth: usize,
     depth_integral: f64,
-    last_event: f64,
+    last_event: VirtInstant,
 }
 
 impl AdmissionQueue {
@@ -60,22 +61,22 @@ impl AdmissionQueue {
             shed_count: 0,
             max_depth: 0,
             depth_integral: 0.0,
-            last_event: 0.0,
+            last_event: VirtInstant::EPOCH,
         }
     }
 
     /// Advances the time-weighted depth integral to `now`.
-    fn advance(&mut self, now: f64) {
+    fn advance(&mut self, now: VirtInstant) {
         #[allow(clippy::cast_precision_loss)]
         let depth = self.items.len() as f64;
-        self.depth_integral += depth * (now - self.last_event);
+        self.depth_integral += depth * (now - self.last_event).value();
         self.last_event = now;
     }
 
     /// Offers an arrival at time `now`. Returns the request that was
     /// shed, if any — the offered one under [`ShedPolicy::DropNewest`],
     /// the oldest waiting one under [`ShedPolicy::DropOldest`].
-    pub fn offer(&mut self, now: f64, request: Request) -> Option<Request> {
+    pub fn offer(&mut self, now: VirtInstant, request: Request) -> Option<Request> {
         self.advance(now);
         let shed = if self.items.len() == self.capacity {
             self.shed_count += 1;
@@ -94,7 +95,7 @@ impl AdmissionQueue {
 
     /// Pops the longest prefix of same-network requests, up to `max`
     /// (head-of-line batching: strict FIFO across the whole queue).
-    pub fn take_batch(&mut self, now: f64, max: usize) -> Vec<Request> {
+    pub fn take_batch(&mut self, now: VirtInstant, max: usize) -> Vec<Request> {
         self.advance(now);
         let mut batch = Vec::new();
         let Some(head) = self.items.front() else {
@@ -129,9 +130,9 @@ impl AdmissionQueue {
             .count()
     }
 
-    /// Arrival time of the oldest waiting request.
+    /// Arrival instant of the oldest waiting request.
     #[must_use]
-    pub fn head_arrival(&self) -> Option<f64> {
+    pub fn head_arrival(&self) -> Option<VirtInstant> {
         self.items.front().map(|r| r.arrival)
     }
 
@@ -172,12 +173,12 @@ impl AdmissionQueue {
         self.max_depth
     }
 
-    /// Time-weighted mean depth over `[0, now]`.
+    /// Time-weighted mean depth over `[epoch, now]`.
     #[must_use]
-    pub fn mean_depth(&mut self, now: f64) -> f64 {
+    pub fn mean_depth(&mut self, now: VirtInstant) -> f64 {
         self.advance(now);
-        if now > 0.0 {
-            self.depth_integral / now
+        if now > VirtInstant::EPOCH {
+            self.depth_integral / now.as_secs()
         } else {
             0.0
         }
@@ -188,12 +189,16 @@ impl AdmissionQueue {
 mod tests {
     use super::*;
 
+    fn at(t: f64) -> VirtInstant {
+        VirtInstant::from_secs(t)
+    }
+
     fn req(id: u64, network: usize, arrival: f64) -> Request {
         Request {
             id,
             tenant: 0,
             network,
-            arrival,
+            arrival: at(arrival),
         }
     }
 
@@ -201,15 +206,15 @@ mod tests {
     fn fifo_order_and_same_network_prefix() {
         let mut q = AdmissionQueue::new(8, ShedPolicy::DropNewest);
         for (id, net) in [(0u64, 1usize), (1, 1), (2, 2), (3, 1)] {
-            assert!(q.offer(0.0, req(id, net, 0.0)).is_none());
+            assert!(q.offer(at(0.0), req(id, net, 0.0)).is_none());
         }
         assert_eq!(q.prefix_len(8), 2);
-        let batch = q.take_batch(1.0, 8);
+        let batch = q.take_batch(at(1.0), 8);
         assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), [0, 1]);
         // Network 2 now heads the queue; network-1 request 3 waits behind.
-        let batch = q.take_batch(2.0, 8);
+        let batch = q.take_batch(at(2.0), 8);
         assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), [2]);
-        let batch = q.take_batch(3.0, 8);
+        let batch = q.take_batch(at(3.0), 8);
         assert_eq!(batch.iter().map(|r| r.id).collect::<Vec<_>>(), [3]);
         assert!(q.is_empty());
     }
@@ -217,9 +222,9 @@ mod tests {
     #[test]
     fn drop_newest_rejects_the_arrival() {
         let mut q = AdmissionQueue::new(2, ShedPolicy::DropNewest);
-        assert!(q.offer(0.0, req(0, 0, 0.0)).is_none());
-        assert!(q.offer(0.0, req(1, 0, 0.0)).is_none());
-        let shed = q.offer(0.0, req(2, 0, 0.0)).unwrap();
+        assert!(q.offer(at(0.0), req(0, 0, 0.0)).is_none());
+        assert!(q.offer(at(0.0), req(1, 0, 0.0)).is_none());
+        let shed = q.offer(at(0.0), req(2, 0, 0.0)).unwrap();
         assert_eq!(shed.id, 2);
         assert_eq!(q.admitted(), 2);
         assert_eq!(q.shed_count(), 1);
@@ -230,23 +235,26 @@ mod tests {
     fn drop_oldest_evicts_the_head() {
         let mut q = AdmissionQueue::new(2, ShedPolicy::DropOldest);
         for id in 0..2 {
-            assert!(q.offer(0.0, req(id, 0, 0.0)).is_none());
+            assert!(q.offer(at(0.0), req(id, 0, 0.0)).is_none());
         }
-        let shed = q.offer(0.0, req(2, 0, 0.0)).unwrap();
+        let shed = q.offer(at(0.0), req(2, 0, 0.0)).unwrap();
         assert_eq!(shed.id, 0);
         assert_eq!(q.admitted(), 3);
         assert_eq!(q.shed_count(), 1);
-        assert_eq!(q.take_batch(1.0, 4).iter().map(|r| r.id).sum::<u64>(), 3);
+        assert_eq!(
+            q.take_batch(at(1.0), 4).iter().map(|r| r.id).sum::<u64>(),
+            3
+        );
     }
 
     #[test]
     fn time_weighted_depth() {
         let mut q = AdmissionQueue::new(4, ShedPolicy::DropNewest);
-        let _ = q.offer(0.0, req(0, 0, 0.0));
-        let _ = q.offer(1.0, req(1, 0, 1.0));
-        let _ = q.take_batch(2.0, 4);
+        let _ = q.offer(at(0.0), req(0, 0, 0.0));
+        let _ = q.offer(at(1.0), req(1, 0, 1.0));
+        let _ = q.take_batch(at(2.0), 4);
         // Depth 1 over [0,1), 2 over [1,2), 0 over [2,4): integral 3.
-        assert!((q.mean_depth(4.0) - 0.75).abs() < 1e-12);
+        assert!((q.mean_depth(at(4.0)) - 0.75).abs() < 1e-12);
         assert_eq!(q.max_depth(), 2);
     }
 

@@ -139,8 +139,12 @@ pub fn reference_capacity(
     1.0 / busy_per_request
 }
 
-/// Whether a measured point counts as saturated.
-fn saturated(report: &ServeReport) -> bool {
+/// Whether a measured point counts as saturated: it sheds load, or
+/// completes less than 97 % of what was offered. The same criterion
+/// classifies simulated sweep points and the live daemon's measured
+/// points (the oracle's knee-agreement check relies on that).
+#[must_use]
+pub fn saturated(report: &ServeReport) -> bool {
     report.drop_rate() > 0.001 || report.goodput_ratio() < 0.97
 }
 

@@ -1,0 +1,60 @@
+//! The per-network service-cost model shared by the simulator and the
+//! daemon's analytic mode.
+//!
+//! [`ServiceModel`] evaluates every network in a workload once against
+//! an accelerator configuration (through [`EvalContext`], so design
+//! overrides apply) and answers batch-cost queries from the cached
+//! reports: service time comes from the pipeline-fill batching model in
+//! `pixel_core::throughput`, dynamic energy scales linearly with batch
+//! size. The simulator charges these costs on its virtual clock; the
+//! daemon's analytic mode *sleeps* them (scaled) on the monotonic
+//! clock, which is what makes the simulator a quantitative oracle for
+//! the live process.
+
+use crate::arrivals::Workload;
+use pixel_core::config::AcceleratorConfig;
+use pixel_core::model::EvalContext;
+use pixel_core::throughput;
+use pixel_units::{Energy, Power, Time};
+
+/// Per-network service quantities, evaluated once per run.
+pub struct ServiceModel {
+    reports: Vec<pixel_core::accelerator::NetworkReport>,
+    static_power: Power,
+}
+
+impl ServiceModel {
+    /// Evaluates `workload`'s networks on `accel` and caches the
+    /// reports.
+    #[must_use]
+    pub fn new(ctx: &EvalContext, workload: &Workload, accel: &AcceleratorConfig) -> Self {
+        let reports = workload
+            .networks()
+            .iter()
+            .map(|net| ctx.evaluate(accel, net))
+            .collect();
+        let static_power = accel.design.model().static_power(accel);
+        Self {
+            reports,
+            static_power: static_power.laser_wall_plug + static_power.thermal_tuning,
+        }
+    }
+
+    /// Service time and dynamic energy of a `batch`-sized dispatch of
+    /// network `network`.
+    #[must_use]
+    pub fn batch(&self, network: usize, batch: usize) -> (Time, Energy) {
+        let report = &self.reports[network];
+        let latency = throughput::batch_latency(report, batch);
+        #[allow(clippy::cast_precision_loss)]
+        let energy = report.total_energy() * batch as f64;
+        (latency, energy)
+    }
+
+    /// Always-on wall-plug power (laser + thermal tuning) charged over
+    /// the whole makespan.
+    #[must_use]
+    pub fn static_power(&self) -> Power {
+        self.static_power
+    }
+}

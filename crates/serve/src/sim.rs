@@ -10,28 +10,37 @@
 //! backends behind every paper artifact, so EE/OE/OO serving curves are
 //! comparable by construction.
 //!
+//! Since the policy/clock split, this module is a thin *driver*: all
+//! admission, batching, shedding, and accounting state lives in the
+//! pure [`ServeMachine`], which this loop
+//! feeds with virtual instants (arrivals from the seeded source,
+//! planned completions, deadline expiries). The `pixel-served` daemon
+//! drives the identical machine with a monotonic clock.
+//!
 //! Instrumentation: the run executes under a `serve/sim` span and
 //! counts `serve.arrivals`, `serve.admitted`, `serve.shed`,
 //! `serve.dispatches` and `serve.completions`; dispatched batch sizes
 //! feed the `serve.batch_size` histogram. Beyond the flat counters,
 //! every request emits typed lifecycle events
 //! ([`crate::flightrec::ServeEvent`]) into a bounded
-//! [`FlightRecorder`] — and through the `pixel-obs` trace sink when one
-//! is installed — while a [`WindowSeries`] folds the run into
-//! fixed-virtual-time-grid bins and a [`LatencyBreakdown`] splits every
-//! sojourn into queue wait and service time per tenant and per network.
+//! [`FlightRecorder`](crate::flightrec::FlightRecorder) — and through
+//! the `pixel-obs` trace sink when one is installed — while a
+//! [`WindowSeries`](crate::window::WindowSeries) folds the run into
+//! fixed-virtual-time-grid bins and a
+//! [`LatencyBreakdown`](crate::flightrec::LatencyBreakdown) splits
+//! every sojourn into queue wait and service time per tenant and per
+//! network.
 
-use crate::arrivals::{Request, RequestSource, Workload};
+use crate::arrivals::{RequestSource, Workload};
 use crate::batching::{BatchPolicy, Decision};
-use crate::flightrec::{FlightData, FlightRecorder, LatencyBreakdown, ServeEvent};
-use crate::percentile::LatencyHistogram;
-use crate::queue::{AdmissionQueue, ShedPolicy};
-use crate::report::{LatencyPercentiles, NetworkStats, ServeReport, TenantStats};
-use crate::window::WindowSeries;
+use crate::flightrec::FlightData;
+use crate::machine::{FinishMeta, MachineConfig, ServeMachine};
+use crate::queue::ShedPolicy;
+use crate::report::ServeReport;
+use crate::service::ServiceModel;
 use pixel_core::config::AcceleratorConfig;
 use pixel_core::model::EvalContext;
-use pixel_core::throughput;
-use pixel_units::{Energy, Time};
+use pixel_units::Time;
 
 /// Parameters of one serving simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -75,221 +84,27 @@ impl ServeConfig {
             window_bins: 64,
         }
     }
-}
 
-/// Per-network service quantities, evaluated once per simulation.
-struct ServiceModel {
-    reports: Vec<pixel_core::accelerator::NetworkReport>,
-    static_power: pixel_units::Power,
-}
-
-impl ServiceModel {
-    fn new(ctx: &EvalContext, workload: &Workload, accel: &AcceleratorConfig) -> Self {
-        let reports = workload
-            .networks()
-            .iter()
-            .map(|net| ctx.evaluate(accel, net))
-            .collect();
-        let static_power = accel.design.model().static_power(accel);
-        Self {
-            reports,
-            static_power: static_power.laser_wall_plug + static_power.thermal_tuning,
-        }
-    }
-
-    /// Service time and dynamic energy of a `batch`-sized dispatch of
-    /// network `network`.
-    fn batch(&self, network: usize, batch: usize) -> (Time, Energy) {
-        let report = &self.reports[network];
-        let latency = throughput::batch_latency(report, batch);
+    /// The [`MachineConfig`] this simulation drives: the policy state
+    /// machine's structural parameters, with the window grid sized to
+    /// the expected makespan (`requests / rate`).
+    #[must_use]
+    pub fn machine_config(&self, workload: &Workload, event_capacity: usize) -> MachineConfig {
+        let window_bins = self.window_bins.max(2);
         #[allow(clippy::cast_precision_loss)]
-        let energy = report.total_energy() * batch as f64;
-        (latency, energy)
-    }
-}
-
-/// Virtual seconds → integer nanoseconds (round-to-nearest, monotone).
-#[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-fn ns(t: f64) -> u64 {
-    (t * 1e9).round() as u64
-}
-
-/// The in-flight batch.
-struct InFlight {
-    completes_at: f64,
-    started_at: f64,
-    id: u64,
-    batch: Vec<Request>,
-}
-
-/// Mutable simulation state shared by the event handlers.
-struct SimState<'a> {
-    clock: f64,
-    queue: AdmissionQueue,
-    server: Option<InFlight>,
-    service: &'a ServiceModel,
-    policy: BatchPolicy,
-    overall: LatencyBreakdown,
-    tenant_lat: Vec<LatencyBreakdown>,
-    network_lat: Vec<LatencyBreakdown>,
-    tenant_completed: Vec<u64>,
-    network_completed: Vec<u64>,
-    completed: u64,
-    shed: u64,
-    dispatches: u64,
-    batch_seq: u64,
-    batched_total: u64,
-    busy_time: f64,
-    dynamic_energy: Energy,
-    last_completion: f64,
-    recorder: FlightRecorder,
-    spill: bool,
-    windows: WindowSeries,
-}
-
-impl SimState<'_> {
-    /// Records one lifecycle event in the flight recorder and, when a
-    /// trace sink is active, spills it as JSONL.
-    fn emit(&mut self, event: ServeEvent) {
-        if self.spill {
-            pixel_obs::trace_event(&event.to_json());
-        }
-        self.recorder.record(event);
-    }
-
-    fn admit(&mut self, request: Request) {
-        self.clock = self.clock.max(request.arrival);
-        pixel_obs::add("serve.arrivals", 1);
-        self.windows.count_arrival(self.clock);
-        self.emit(ServeEvent::Arrive {
-            t_ns: ns(self.clock),
-            id: request.id,
-            tenant: request.tenant,
-            network: request.network,
-        });
-        match self.queue.offer(request.arrival, request) {
-            Some(victim) => {
-                pixel_obs::add("serve.shed", 1);
-                self.windows.count_shed(self.clock);
-                self.shed += 1;
-                self.emit(ServeEvent::Shed {
-                    t_ns: ns(self.clock),
-                    id: victim.id,
-                    tenant: victim.tenant,
-                    network: victim.network,
-                });
-                if victim.id != request.id {
-                    // Drop-oldest: the newcomer took the evicted head's
-                    // place.
-                    pixel_obs::add("serve.admitted", 1);
-                    self.emit(ServeEvent::Enqueue {
-                        t_ns: ns(self.clock),
-                        id: request.id,
-                        depth: self.queue.depth(),
-                    });
-                }
-            }
-            None => {
-                pixel_obs::add("serve.admitted", 1);
-                self.emit(ServeEvent::Enqueue {
-                    t_ns: ns(self.clock),
-                    id: request.id,
-                    depth: self.queue.depth(),
-                });
-            }
-        }
-        self.windows.set_depth(self.clock, self.queue.depth());
-    }
-
-    fn dispatch(&mut self) {
-        let batch = self.queue.take_batch(self.clock, self.policy.max_batch());
-        assert!(!batch.is_empty(), "dispatch on an empty queue");
-        let (latency, energy) = self.service.batch(batch[0].network, batch.len());
-        pixel_obs::add("serve.dispatches", 1);
+        let expected_makespan = self.requests as f64 / self.rate_hz;
         #[allow(clippy::cast_precision_loss)]
-        pixel_obs::observe("serve.batch_size", batch.len() as f64);
-        let id = self.batch_seq;
-        self.batch_seq += 1;
-        self.dispatches += 1;
-        self.batched_total += batch.len() as u64;
-        self.busy_time += latency.value();
-        self.dynamic_energy += energy;
-        let completes_at = self.clock + latency.value();
-        self.windows.count_dispatch(self.clock, batch.len() as u64);
-        self.windows.set_depth(self.clock, self.queue.depth());
-        self.windows.add_busy(self.clock, completes_at);
-        self.windows
-            .add_energy(self.clock, completes_at, energy.value());
-        self.emit(ServeEvent::BatchFormed {
-            t_ns: ns(self.clock),
-            batch: id,
-            network: batch[0].network,
-            size: batch.len(),
-        });
-        self.emit(ServeEvent::ServiceStart {
-            t_ns: ns(self.clock),
-            batch: id,
-        });
-        self.server = Some(InFlight {
-            completes_at,
-            started_at: self.clock,
-            id,
-            batch,
-        });
-    }
-
-    fn complete(&mut self) {
-        // lint:allow(P002) complete() only runs with an in-flight batch; silent recovery would corrupt the clock
-        let flight = self.server.take().expect("completion without a batch");
-        self.clock = flight.completes_at;
-        self.last_completion = flight.completes_at;
-        self.windows
-            .count_completions(flight.completes_at, flight.batch.len() as u64);
-        self.emit(ServeEvent::ServiceEnd {
-            t_ns: ns(flight.completes_at),
-            batch: flight.id,
-            size: flight.batch.len(),
-        });
-        for request in &flight.batch {
-            // Integer nanoseconds: deterministic bucketing, ns
-            // resolution. The sojourn rounds the float difference
-            // directly, and the split is exact by construction:
-            // rounding is monotone (started_at ≤ completes_at), so
-            // wait_ns ≤ sojourn_ns and wait + service == sojourn.
-            let sojourn_ns = ns(flight.completes_at - request.arrival);
-            let wait_ns = ns(flight.started_at - request.arrival);
-            let service_ns = sojourn_ns - wait_ns;
-            self.overall.record(wait_ns, service_ns);
-            self.tenant_lat[request.tenant].record(wait_ns, service_ns);
-            self.network_lat[request.network].record(wait_ns, service_ns);
-            self.tenant_completed[request.tenant] += 1;
-            self.network_completed[request.network] += 1;
-            self.completed += 1;
-            pixel_obs::add("serve.completions", 1);
+        let base_width = (expected_makespan / window_bins as f64).max(1e-9);
+        MachineConfig {
+            policy: self.policy,
+            queue_capacity: self.queue_capacity,
+            shed: self.shed,
+            window_width: Time::new(base_width),
+            window_max_bins: window_bins * 2,
+            event_capacity,
+            tenants: workload.tenants().len(),
+            networks: workload.networks().len(),
         }
-    }
-}
-
-fn percentiles(histogram: &LatencyHistogram) -> LatencyPercentiles {
-    let at = |q: f64| {
-        Time::from_nanos({
-            #[allow(clippy::cast_precision_loss)]
-            {
-                histogram.percentile(q) as f64
-            }
-        })
-    };
-    LatencyPercentiles {
-        p50: at(0.50),
-        p95: at(0.95),
-        p99: at(0.99),
-        p999: at(0.999),
-        max: Time::from_nanos({
-            #[allow(clippy::cast_precision_loss)]
-            {
-                histogram.max() as f64
-            }
-        }),
     }
 }
 
@@ -332,160 +147,67 @@ pub fn simulate_with_flightrec(
     let service = ServiceModel::new(ctx, workload, &config.accel);
     let mut source =
         RequestSource::new(workload, config.rate_hz, config.requests, config.seed).peekable();
-    let tenants = workload.tenants().len();
-    let networks = workload.networks().len();
-    let window_bins = config.window_bins.max(2);
-    #[allow(clippy::cast_precision_loss)]
-    let expected_makespan = config.requests as f64 / config.rate_hz;
-    #[allow(clippy::cast_precision_loss)]
-    let base_width = (expected_makespan / window_bins as f64).max(1e-9);
-    let mut state = SimState {
-        clock: 0.0,
-        queue: AdmissionQueue::new(config.queue_capacity, config.shed),
-        server: None,
-        service: &service,
-        policy: config.policy,
-        overall: LatencyBreakdown::default(),
-        tenant_lat: vec![LatencyBreakdown::default(); tenants],
-        network_lat: vec![LatencyBreakdown::default(); networks],
-        tenant_completed: vec![0; tenants],
-        network_completed: vec![0; networks],
-        completed: 0,
-        shed: 0,
-        dispatches: 0,
-        batch_seq: 0,
-        batched_total: 0,
-        busy_time: 0.0,
-        dynamic_energy: Energy::ZERO,
-        last_completion: 0.0,
-        recorder: FlightRecorder::new(event_capacity),
-        spill: pixel_obs::enabled() && pixel_obs::has_trace(),
-        windows: WindowSeries::new(base_width, window_bins * 2),
-    };
+    let mut machine = ServeMachine::new(&config.machine_config(workload, event_capacity));
+    let cost = |network: usize, batch: usize| service.batch(network, batch);
 
     loop {
-        if let Some(flight) = &state.server {
+        if let Some(completes_at) = machine.planned_completion() {
             // Busy: the next event is the completion or an earlier arrival.
-            let completes_at = flight.completes_at;
             match source.peek() {
                 Some(next) if next.arrival < completes_at => {
                     if let Some(request) = source.next() {
-                        state.admit(request);
+                        let _ = machine.admit(request);
                     }
                 }
-                _ => state.complete(),
+                _ => machine.complete(),
             }
             continue;
         }
         // Idle server: consult the batching policy.
-        match state.policy.decide(&state.queue, state.clock) {
-            Decision::Dispatch => state.dispatch(),
+        match machine.decide() {
+            Decision::Dispatch => machine.dispatch(cost),
             Decision::HoldUntil(expiry) => match source.peek() {
                 Some(next) if next.arrival < expiry => {
                     if let Some(request) = source.next() {
-                        state.admit(request);
+                        let _ = machine.admit(request);
                     }
                 }
                 _ => {
                     // Deadline fires (or the stream ended): dispatch what
                     // is waiting.
-                    state.clock = state.clock.max(expiry);
-                    state.dispatch();
+                    machine.advance_to(expiry);
+                    machine.dispatch(cost);
                 }
             },
             Decision::Hold => match source.next() {
-                Some(request) => state.admit(request),
-                None if !state.queue.is_empty() => {
+                Some(request) => {
+                    let _ = machine.admit(request);
+                }
+                None if !machine.queue_is_empty() => {
                     // Stream over: flush remaining (possibly partial)
                     // batches so every admitted request completes.
-                    state.dispatch();
+                    machine.dispatch(cost);
                 }
                 None => break,
             },
         }
     }
 
-    let makespan = state.last_completion.max(state.clock);
-    state.windows.finish(makespan);
-    let arrivals = config.requests as u64;
-    #[allow(clippy::cast_precision_loss)]
-    let achieved_hz = if makespan > 0.0 {
-        state.completed as f64 / makespan
-    } else {
-        0.0
-    };
-    #[allow(clippy::cast_precision_loss)]
-    let mean_batch = if state.dispatches > 0 {
-        state.batched_total as f64 / state.dispatches as f64
-    } else {
-        0.0
-    };
-    let static_energy = service.static_power * Time::new(makespan);
-    let total_energy = state.dynamic_energy + static_energy;
-    #[allow(clippy::cast_precision_loss)]
-    let energy_per_inference = if state.completed > 0 {
-        total_energy / state.completed as f64
-    } else {
-        Energy::ZERO
-    };
-    let tenant_stats = workload
-        .tenants()
-        .iter()
-        .enumerate()
-        .map(|(t, tenant)| TenantStats {
-            name: tenant.name.clone(),
-            completed: state.tenant_completed[t],
-            p95: percentiles(&state.tenant_lat[t].sojourn).p95,
-            wait: percentiles(&state.tenant_lat[t].wait),
-            service: percentiles(&state.tenant_lat[t].service),
-        })
-        .collect();
-    let network_stats = workload
-        .networks()
-        .iter()
-        .enumerate()
-        .map(|(n, net)| NetworkStats {
-            name: net.name().to_owned(),
-            completed: state.network_completed[n],
-            wait: percentiles(&state.network_lat[n].wait),
-            service: percentiles(&state.network_lat[n].service),
-        })
-        .collect();
-    pixel_obs::gauge("serve.utilization", state.busy_time / makespan.max(1e-30));
-    let report = ServeReport {
-        config: config.accel,
-        policy: config.policy.label(),
-        offered_hz: config.rate_hz,
-        achieved_hz,
-        arrivals,
-        completed: state.completed,
-        dropped: state.shed,
-        latency: percentiles(&state.overall.sojourn),
-        queue_wait: percentiles(&state.overall.wait),
-        service: percentiles(&state.overall.service),
-        mean_batch,
-        mean_queue_depth: state.queue.mean_depth(makespan),
-        max_queue_depth: state.queue.max_depth(),
-        utilization: state.busy_time / makespan.max(1e-30),
-        makespan: Time::new(makespan),
-        total_energy,
-        energy_per_inference,
-        tenants: tenant_stats,
-        networks: network_stats,
-        windows: state.windows.clone(),
-    };
-    let data = FlightData {
-        recorder: state.recorder,
-        overall: state.overall,
-        tenants: state.tenant_lat,
-        networks: state.network_lat,
-    };
-    (report, data)
+    machine.finish(
+        &FinishMeta {
+            accel: config.accel,
+            offered_hz: config.rate_hz,
+            static_power: service.static_power(),
+            arrivals: config.requests as u64,
+        },
+        workload,
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::flightrec::ServeEvent;
     use pixel_core::config::Design;
 
     fn base_config(rate: f64) -> ServeConfig {
@@ -652,6 +374,58 @@ mod tests {
             data.overall.wait.sum() + data.overall.service.sum(),
             data.overall.sojourn.sum()
         );
+    }
+
+    #[test]
+    fn drop_oldest_with_ring_eviction_conserves_event_counts() {
+        // Drop-oldest shedding evicts *admitted* requests, so every
+        // arrival both enqueues and later either sheds or completes —
+        // and a tiny flight-recorder ring must lose events without
+        // losing counts.
+        let workload = Workload::paper_mix();
+        let ctx = EvalContext::new();
+        let mut config = base_config(1_000.0);
+        config.queue_capacity = 16;
+        config.shed = ShedPolicy::DropOldest;
+        let (report, data) = simulate_with_flightrec(&workload, &ctx, &config, 32);
+        assert!(report.dropped > 0, "overload must shed");
+
+        // Request conservation: arrivals = sheds + services (the run
+        // drains, so nothing is still queued at finish).
+        assert_eq!(report.completed + report.dropped, report.arrivals);
+
+        // Event-count conservation survives ring eviction: counts are
+        // tallied before eviction, so arrive = shed + per-batch
+        // completion totals even though the ring kept only 32 events.
+        let [arrive, enqueue, shed, formed, started, ended] = *data.recorder.counts();
+        assert_eq!(arrive, report.arrivals);
+        // Under drop-oldest the arriving request is always admitted.
+        assert_eq!(enqueue, report.arrivals);
+        assert_eq!(shed, report.dropped);
+        assert_eq!(formed, started);
+        assert_eq!(started, ended);
+        assert_eq!(data.recorder.events().len(), 32);
+        assert_eq!(data.recorder.total(), data.recorder.dropped() + 32);
+        assert_eq!(
+            data.recorder.total(),
+            arrive + enqueue + shed + formed + started + ended
+        );
+
+        // Drop-oldest sheds the queue head: every shed id must be
+        // strictly older than the newest id admitted so far, and no id
+        // is shed twice.
+        let mut shed_ids = std::collections::BTreeSet::new();
+        let mut newest_admitted = 0u64;
+        for event in data.recorder.events() {
+            match *event {
+                ServeEvent::Enqueue { id, .. } => newest_admitted = newest_admitted.max(id),
+                ServeEvent::Shed { id, .. } => {
+                    assert!(id < newest_admitted, "shed {id} is not the oldest");
+                    assert!(shed_ids.insert(id), "request {id} shed twice");
+                }
+                _ => {}
+            }
+        }
     }
 
     #[test]

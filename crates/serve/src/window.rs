@@ -15,6 +15,8 @@
 //! grid coarsens by merging adjacent bin pairs (doubling the width), so
 //! memory stays bounded no matter how long the drain takes.
 
+use pixel_units::{Time, VirtInstant};
+
 /// One fixed-width virtual-time bin of a [`WindowSeries`].
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct WindowBin {
@@ -62,15 +64,16 @@ pub struct WindowSeries {
 }
 
 impl WindowSeries {
-    /// A series with bins of `base_width` seconds, coarsening (pairwise
-    /// bin merges, width doubling) whenever it would exceed `max_bins`.
+    /// A series with bins of `base_width`, coarsening (pairwise bin
+    /// merges, width doubling) whenever it would exceed `max_bins`.
     ///
     /// # Panics
     ///
     /// Panics if `base_width` is not finite and positive, or `max_bins`
     /// is less than 2.
     #[must_use]
-    pub fn new(base_width: f64, max_bins: usize) -> Self {
+    pub fn new(base_width: Time, max_bins: usize) -> Self {
+        let base_width = base_width.value();
         assert!(
             base_width.is_finite() && base_width > 0.0,
             "window width must be positive, got {base_width}"
@@ -86,10 +89,10 @@ impl WindowSeries {
         }
     }
 
-    /// Current bin width \[s\] (base width × 2^coarsenings).
+    /// Current bin width (base width × 2^coarsenings).
     #[must_use]
-    pub fn width(&self) -> f64 {
-        self.width
+    pub fn width(&self) -> Time {
+        Time::new(self.width)
     }
 
     /// How many times the grid coarsened to stay under its bin bound.
@@ -142,27 +145,27 @@ impl WindowSeries {
         idx
     }
 
-    /// Counts one arrival at time `t`.
-    pub fn count_arrival(&mut self, t: f64) {
-        let idx = self.index(t);
+    /// Counts one arrival at instant `t`.
+    pub fn count_arrival(&mut self, t: VirtInstant) {
+        let idx = self.index(t.as_secs());
         self.bins[idx].arrivals += 1;
     }
 
-    /// Counts one shed request at time `t`.
-    pub fn count_shed(&mut self, t: f64) {
-        let idx = self.index(t);
+    /// Counts one shed request at instant `t`.
+    pub fn count_shed(&mut self, t: VirtInstant) {
+        let idx = self.index(t.as_secs());
         self.bins[idx].shed += 1;
     }
 
-    /// Counts `n` completions at time `t`.
-    pub fn count_completions(&mut self, t: f64, n: u64) {
-        let idx = self.index(t);
+    /// Counts `n` completions at instant `t`.
+    pub fn count_completions(&mut self, t: VirtInstant, n: u64) {
+        let idx = self.index(t.as_secs());
         self.bins[idx].completions += n;
     }
 
-    /// Counts one `size`-request batch dispatch at time `t`.
-    pub fn count_dispatch(&mut self, t: f64, size: u64) {
-        let idx = self.index(t);
+    /// Counts one `size`-request batch dispatch at instant `t`.
+    pub fn count_dispatch(&mut self, t: VirtInstant, size: u64) {
+        let idx = self.index(t.as_secs());
         self.bins[idx].dispatches += 1;
         self.bins[idx].batched += size;
     }
@@ -187,12 +190,13 @@ impl WindowSeries {
     }
 
     /// Marks the accelerator busy over `[start, end)`.
-    pub fn add_busy(&mut self, start: f64, end: f64) {
-        self.prorate(start, end, |bin, dt| bin.busy += dt);
+    pub fn add_busy(&mut self, start: VirtInstant, end: VirtInstant) {
+        self.prorate(start.as_secs(), end.as_secs(), |bin, dt| bin.busy += dt);
     }
 
     /// Spreads `joules` of dynamic energy uniformly over `[start, end)`.
-    pub fn add_energy(&mut self, start: f64, end: f64, joules: f64) {
+    pub fn add_energy(&mut self, start: VirtInstant, end: VirtInstant, joules: f64) {
+        let (start, end) = (start.as_secs(), end.as_secs());
         let span = end - start;
         if span > 0.0 {
             self.prorate(start, end, |bin, dt| {
@@ -203,8 +207,8 @@ impl WindowSeries {
 
     /// Records a queue-depth transition: the previous depth is
     /// integrated up to `t`, then the depth becomes `depth`.
-    pub fn set_depth(&mut self, t: f64, depth: usize) {
-        self.integrate_depth(t);
+    pub fn set_depth(&mut self, t: VirtInstant, depth: usize) {
+        self.integrate_depth(t.as_secs());
         self.depth = depth;
     }
 
@@ -220,7 +224,8 @@ impl WindowSeries {
 
     /// Closes the series at `makespan`: integrates the final queue
     /// depth and allocates (empty) bins through the end of the run.
-    pub fn finish(&mut self, makespan: f64) {
+    pub fn finish(&mut self, makespan: VirtInstant) {
+        let makespan = makespan.as_secs();
         self.integrate_depth(makespan);
         if makespan > 0.0 {
             // Cover the full run even if the tail produced no events.
@@ -289,14 +294,22 @@ impl WindowSeries {
 mod tests {
     use super::*;
 
+    fn at(t: f64) -> VirtInstant {
+        VirtInstant::from_secs(t)
+    }
+
+    fn series(width: f64, max_bins: usize) -> WindowSeries {
+        WindowSeries::new(Time::new(width), max_bins)
+    }
+
     #[test]
     fn events_land_in_their_bins() {
-        let mut w = WindowSeries::new(1.0, 16);
-        w.count_arrival(0.5);
-        w.count_arrival(1.5);
-        w.count_shed(1.5);
-        w.count_completions(2.5, 3);
-        w.count_dispatch(0.1, 4);
+        let mut w = series(1.0, 16);
+        w.count_arrival(at(0.5));
+        w.count_arrival(at(1.5));
+        w.count_shed(at(1.5));
+        w.count_completions(at(2.5), 3);
+        w.count_dispatch(at(0.1), 4);
         assert_eq!(w.bins()[0].arrivals, 1);
         assert_eq!(w.bins()[1].arrivals, 1);
         assert_eq!(w.bins()[1].shed, 1);
@@ -307,9 +320,9 @@ mod tests {
 
     #[test]
     fn proration_conserves_totals() {
-        let mut w = WindowSeries::new(1.0, 64);
-        w.add_busy(0.25, 3.75);
-        w.add_energy(0.25, 3.75, 7.0);
+        let mut w = series(1.0, 64);
+        w.add_busy(at(0.25), at(3.75));
+        w.add_energy(at(0.25), at(3.75), 7.0);
         let busy: f64 = w.bins().iter().map(|b| b.busy).sum();
         let joules: f64 = w.bins().iter().map(|b| b.dynamic_joules).sum();
         assert!((busy - 3.5).abs() < 1e-12, "busy {busy}");
@@ -322,11 +335,11 @@ mod tests {
 
     #[test]
     fn depth_integration_matches_hand_computation() {
-        let mut w = WindowSeries::new(1.0, 16);
-        w.set_depth(0.0, 1); // depth 1 over [0, 1)
-        w.set_depth(1.0, 2); // depth 2 over [1, 2)
-        w.set_depth(2.0, 0); // empty afterwards
-        w.finish(4.0);
+        let mut w = series(1.0, 16);
+        w.set_depth(at(0.0), 1); // depth 1 over [0, 1)
+        w.set_depth(at(1.0), 2); // depth 2 over [1, 2)
+        w.set_depth(at(2.0), 0); // empty afterwards
+        w.finish(at(4.0));
         let integral: f64 = w.bins().iter().map(|b| b.depth_integral).sum();
         assert!((integral - 3.0).abs() < 1e-12, "integral {integral}");
         assert!((w.bins()[0].depth_integral - 1.0).abs() < 1e-12);
@@ -336,24 +349,24 @@ mod tests {
 
     #[test]
     fn coarsening_bounds_bins_and_conserves_counts() {
-        let mut w = WindowSeries::new(1.0, 8);
+        let mut w = series(1.0, 8);
         for i in 0..100 {
-            w.count_arrival(f64::from(i) + 0.5);
+            w.count_arrival(at(f64::from(i) + 0.5));
         }
         assert!(w.bins().len() <= 8, "{} bins", w.bins().len());
         assert!(w.coarsenings() >= 4);
         let total: u64 = w.bins().iter().map(|b| b.arrivals).sum();
         assert_eq!(total, 100);
         // Width doubled per coarsening.
-        assert!((w.width() - f64::from(1u32 << w.coarsenings())).abs() < 1e-9);
+        assert!((w.width().value() - f64::from(1u32 << w.coarsenings())).abs() < 1e-9);
     }
 
     #[test]
     fn render_and_jsonl_cover_every_bin() {
-        let mut w = WindowSeries::new(0.5, 8);
-        w.count_arrival(0.1);
-        w.count_completions(1.4, 1);
-        w.finish(1.5);
+        let mut w = series(0.5, 8);
+        w.count_arrival(at(0.1));
+        w.count_completions(at(1.4), 1);
+        w.finish(at(1.5));
         let table = w.render(2.0);
         assert_eq!(table.lines().count(), 1 + w.bins().len());
         let jsonl = w.to_jsonl("\"design\":\"OO\",");
@@ -367,6 +380,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "window width")]
     fn rejects_nonpositive_width() {
-        let _ = WindowSeries::new(0.0, 8);
+        let _ = series(0.0, 8);
     }
 }

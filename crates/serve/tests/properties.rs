@@ -15,6 +15,7 @@ use pixel_serve::saturation::{render_curves, saturation_sweep, SweepSpec};
 use pixel_serve::sim::{simulate, simulate_with_flightrec, ServeConfig};
 use pixel_serve::LatencyBreakdown;
 use pixel_units::rng::SplitMix64;
+use pixel_units::{Time, VirtInstant};
 
 /// Replays a random offer/take trace against the queue and checks the
 /// conservation and ordering invariants a bounded FIFO must keep.
@@ -22,12 +23,12 @@ fn check_queue_invariants(seed: u64, shed: ShedPolicy) {
     let mut rng = SplitMix64::seed_from_u64(seed);
     let capacity = 1 + (rng.next_u64() % 32) as usize;
     let mut queue = AdmissionQueue::new(capacity, shed);
-    let mut clock = 0.0;
+    let mut clock = VirtInstant::EPOCH;
     let mut offered: u64 = 0;
     let mut shed_seen: u64 = 0;
     let mut taken: Vec<Request> = Vec::new();
     for id in 0..4000u64 {
-        clock += rng.next_f64();
+        clock += Time::new(rng.next_f64());
         if rng.next_f64() < 0.7 {
             offered += 1;
             let request = Request {

@@ -9,6 +9,9 @@
 //! `rand` is unavailable).
 
 pub mod rng;
+pub mod virt;
+
+pub use virt::{VirtInstant, VirtualNs};
 
 use std::fmt;
 use std::iter::Sum;

@@ -1,0 +1,252 @@
+//! Typed virtual time: instants and integer-nanosecond timestamps.
+//!
+//! The serving layer advances a clock that is *virtual* in the
+//! simulator (event-to-event) and *monotonic wall time* in the daemon —
+//! but the policy code in between must not care which. Two newtypes
+//! keep the roles apart that a bare `f64` seconds value silently mixes:
+//!
+//! * [`VirtInstant`] — a point on some clock's timeline, as f64 seconds
+//!   since that clock's epoch. Instants subtract into a [`Time`]
+//!   duration and shift by durations; they never add to each other.
+//!   The representation stays `f64` on purpose: the discrete-event
+//!   simulator's trajectories are pinned bitwise, so instant arithmetic
+//!   must be *exactly* the f64 arithmetic it replaces.
+//! * [`VirtualNs`] — an integer-nanosecond timestamp (or duration), the
+//!   form lifecycle events and latency histograms store. The only
+//!   sanctioned f64→integer conversion is round-to-nearest via
+//!   [`VirtInstant::to_ns`] / [`Time::round_nanos`]; rounding is
+//!   monotone, which keeps wait ≤ sojourn splits exact.
+
+use crate::Time;
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual (or monotonic) time: f64 seconds since the
+/// owning clock's epoch.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct VirtInstant(f64);
+
+impl VirtInstant {
+    /// The clock's epoch (t = 0).
+    pub const EPOCH: Self = Self(0.0);
+
+    /// An instant `secs` seconds past the epoch.
+    #[must_use]
+    pub const fn from_secs(secs: f64) -> Self {
+        Self(secs)
+    }
+
+    /// Seconds since the epoch.
+    #[must_use]
+    pub const fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The later of two instants.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// The earlier of two instants.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// True when the instant is finite (not NaN/inf).
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+
+    /// Duration since an earlier instant, clamped at zero when `earlier`
+    /// is actually later (monotone clocks can disagree by scheduling
+    /// jitter; policy code must never see a negative duration).
+    #[must_use]
+    pub fn saturating_since(self, earlier: Self) -> Time {
+        Time::new((self.0 - earlier.0).max(0.0))
+    }
+
+    /// The instant as an integer-nanosecond timestamp
+    /// (round-to-nearest; the single sanctioned seconds→ns conversion).
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn to_ns(self) -> VirtualNs {
+        VirtualNs((self.0 * 1e9).round() as u64)
+    }
+}
+
+impl Add<Time> for VirtInstant {
+    type Output = Self;
+    fn add(self, rhs: Time) -> Self {
+        Self(self.0 + rhs.value())
+    }
+}
+
+impl AddAssign<Time> for VirtInstant {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.value();
+    }
+}
+
+impl Sub for VirtInstant {
+    /// Instants subtract into a duration (possibly negative: the
+    /// caller decides whether order matters).
+    type Output = Time;
+    fn sub(self, rhs: Self) -> Time {
+        Time::new(self.0 - rhs.0)
+    }
+}
+
+impl Sub<Time> for VirtInstant {
+    type Output = Self;
+    fn sub(self, rhs: Time) -> Self {
+        Self(self.0 - rhs.value())
+    }
+}
+
+impl fmt::Display for VirtInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{} s", self.0)
+    }
+}
+
+/// An integer-nanosecond virtual timestamp (event stamps, histogram
+/// samples): totally ordered, hashable, and exactly representable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtualNs(u64);
+
+impl VirtualNs {
+    /// The zero timestamp.
+    pub const ZERO: Self = Self(0);
+
+    /// A timestamp of `ns` integer nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(ns: u64) -> Self {
+        Self(ns)
+    }
+
+    /// The timestamp in integer nanoseconds.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Nanoseconds elapsed since `earlier`, saturating at zero.
+    #[must_use]
+    pub const fn saturating_since(self, earlier: Self) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// The timestamp in fractional milliseconds (display only).
+    #[must_use]
+    #[allow(clippy::cast_precision_loss)]
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+}
+
+impl fmt::Display for VirtualNs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ns", self.0)
+    }
+}
+
+impl Time {
+    /// The duration as integer nanoseconds, round-to-nearest
+    /// (saturating at zero for negative durations).
+    ///
+    /// Same rounding as [`VirtInstant::to_ns`], so for
+    /// `start ≤ mid ≤ end` the split
+    /// `(mid - start).round_nanos() + ((end - start).round_nanos() -
+    /// (mid - start).round_nanos())` is exact by monotonicity.
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn round_nanos(self) -> u64 {
+        (self.value() * 1e9).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instants_shift_by_durations_and_subtract_into_them() {
+        let t0 = VirtInstant::from_secs(1.5);
+        let t1 = t0 + Time::from_millis(250.0);
+        assert!((t1.as_secs() - 1.75).abs() < 1e-15);
+        assert!(((t1 - t0).as_millis() - 250.0).abs() < 1e-9);
+        assert_eq!(t0.max(t1), t1);
+        assert_eq!(t0.min(t1), t0);
+        assert!((t1 - Time::from_millis(250.0) - t0).value().abs() < 1e-15);
+    }
+
+    #[test]
+    fn instant_arithmetic_is_exactly_f64_arithmetic() {
+        // The simulator's pinned trajectories depend on this: wrapping
+        // the clock in a newtype must not perturb a single bit.
+        let mut raw = 0.0f64;
+        let mut typed = VirtInstant::EPOCH;
+        let mut rng_state = 0x9e37_79b9_7f4a_7c15u64;
+        for _ in 0..1000 {
+            rng_state = rng_state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            #[allow(clippy::cast_precision_loss)]
+            let gap = (rng_state >> 11) as f64 / (1u64 << 53) as f64;
+            raw += gap;
+            typed += Time::new(gap);
+            assert_eq!(raw.to_bits(), typed.as_secs().to_bits());
+            assert_eq!(
+                raw.max(0.5).to_bits(),
+                typed.max(VirtInstant::from_secs(0.5)).as_secs().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn to_ns_rounds_to_nearest_and_matches_round_nanos() {
+        assert_eq!(
+            VirtInstant::from_secs(1.0).to_ns().as_nanos(),
+            1_000_000_000
+        );
+        assert_eq!(VirtInstant::from_secs(0.25e-9).to_ns().as_nanos(), 0);
+        assert_eq!(VirtInstant::from_secs(0.5e-9).to_ns().as_nanos(), 1);
+        assert_eq!(Time::new(1.5e-9).round_nanos(), 2);
+        assert_eq!(Time::new(-3.0).round_nanos(), 0, "negative saturates");
+        for secs in [0.0, 1e-9, 0.123_456_789, 7.5, 4000.0] {
+            assert_eq!(
+                VirtInstant::from_secs(secs).to_ns().as_nanos(),
+                Time::new(secs).round_nanos(),
+                "{secs}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturating_since_never_goes_negative() {
+        let early = VirtInstant::from_secs(1.0);
+        let late = VirtInstant::from_secs(3.0);
+        assert!((late.saturating_since(early).value() - 2.0).abs() < 1e-15);
+        assert_eq!(early.saturating_since(late), Time::ZERO);
+        assert_eq!(
+            VirtualNs::from_nanos(5).saturating_since(VirtualNs::from_nanos(9)),
+            0
+        );
+        assert_eq!(
+            VirtualNs::from_nanos(9).saturating_since(VirtualNs::from_nanos(5)),
+            4
+        );
+    }
+
+    #[test]
+    fn virtual_ns_orders_and_displays() {
+        assert!(VirtualNs::from_nanos(2) > VirtualNs::from_nanos(1));
+        assert_eq!(VirtualNs::ZERO.as_nanos(), 0);
+        assert_eq!(format!("{}", VirtualNs::from_nanos(42)), "42 ns");
+        assert_eq!(format!("{}", VirtInstant::from_secs(0.5)), "t+0.5 s");
+        assert!((VirtualNs::from_nanos(1_500_000).as_millis_f64() - 1.5).abs() < 1e-12);
+    }
+}
