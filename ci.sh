@@ -140,6 +140,20 @@ oracle_out=$(./target/release/reproduce oracle --quick)
 echo "$oracle_out" | grep -q "^oracle: PASS" \
   || { echo "oracle did not pass:"; echo "$oracle_out"; exit 1; } >&2
 
+echo "== fleet"
+# The sharded-fleet artifact: quick mode at two worker counts must be
+# byte-identical (the router-determinism guarantee the snapshot pins),
+# carry the batch-merge comparison line, and emit a schema-tagged
+# metrics stream.
+fleet_a=$(./target/release/reproduce fleet --quick --jobs 1 --metrics /tmp/fleet_metrics.jsonl)
+fleet_b=$(./target/release/reproduce fleet --quick --jobs 2)
+[ "$fleet_a" = "$fleet_b" ] || { echo "fleet artifact differs across --jobs" >&2; exit 1; }
+echo "$fleet_a" | grep -q "merge@" || { echo "fleet merge line missing" >&2; exit 1; }
+echo "$fleet_a" | grep -q "savings@" || { echo "fleet savings line missing" >&2; exit 1; }
+./target/release/reproduce checkjsonl /tmp/fleet_metrics.jsonl
+grep -q '"schema":"pixel.fleet.point"' /tmp/fleet_metrics.jsonl \
+  || { echo "fleet metrics missing point lines" >&2; exit 1; }
+
 echo "== bench"
 # Smoke the perf harness: quick mode must produce a well-formed
 # BENCH_functional.json with every expected bench present (the compare

@@ -9,13 +9,13 @@
 //! --list      print the artifact keys and exit
 //! --jobs N    sweep worker threads (default: available parallelism)
 //! --seed S    override the pinned seeds of the stochastic artifacts
-//!             (noise, audit, serve, flightrec); default keeps the
-//!             pinned outputs
+//!             (noise, audit, serve, flightrec, fleet); default keeps
+//!             the pinned outputs
 //! --quick     smoke-test request counts (outputs not snapshot-pinned)
 //! --profile   record spans/counters and print a profile table at the end
 //! --trace F   stream span/counter events to F as JSON lines
 //! --metrics F write the run's machine-readable JSONL metrics (emitted
-//!             by the serve and flightrec artifacts) to F
+//!             by the serve, flightrec, and fleet artifacts) to F
 //! --flame F   write collapsed span stacks (flamegraph format) to F
 //! ```
 //!
@@ -42,7 +42,7 @@ use std::process::ExitCode;
 /// One reproducible artifact: key, title, renderer.
 type Artifact = (&'static str, &'static str, fn() -> String);
 
-const ARTIFACTS: [Artifact; 20] = [
+const ARTIFACTS: [Artifact; 21] = [
     (
         "table1",
         "Table I — VGG16 computations [millions]",
@@ -142,6 +142,11 @@ const ARTIFACTS: [Artifact; 20] = [
         "flightrec",
         "Extension — flight-recorder deep dive on one serving run (OO near the knee)",
         pixel_bench::flightrec,
+    ),
+    (
+        "fleet",
+        "Extension — sharded fleet serving: routing policy × shard count × tenant mix",
+        pixel_bench::fleet,
     ),
 ];
 

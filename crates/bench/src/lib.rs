@@ -333,6 +333,28 @@ pub fn serve() -> String {
     render_curves(&workload, &spec, &curves)
 }
 
+/// Extension artifact: sharded fleet serving sweep — routing policy ×
+/// shard count × tenant mix through the multi-shard fleet simulator,
+/// reporting the knee shift from batch-aware routing, per-tenant
+/// p99-vs-SLO attainment, and the energy the reactive autoscaler
+/// recovers at low load.
+#[must_use]
+pub fn fleet() -> String {
+    let _span = pixel_obs::span("fleet");
+    use pixel_core::sweep::SweepEngine;
+    use pixel_fleet::sweep::{fleet_sweep, metrics_jsonl, render_fleet, FleetSweepSpec};
+
+    let seed = pixel_core::seed::artifact_seed("fleet", 2026);
+    let spec = if opts::quick() {
+        FleetSweepSpec::quick(seed)
+    } else {
+        FleetSweepSpec::artifact(seed)
+    };
+    let sweep = fleet_sweep(&SweepEngine::with_default_jobs(), &spec);
+    opts::record_metrics(&metrics_jsonl(&spec, &sweep));
+    render_fleet(&spec, &sweep)
+}
+
 /// One row of the flightrec latency-decomposition table.
 fn breakdown_row(label: &str, b: &pixel_serve::LatencyBreakdown) -> String {
     #[allow(clippy::cast_precision_loss)]

@@ -13,7 +13,7 @@ use pixel_core::sweep::set_default_jobs;
 /// Artifact key, renderer, and its pinned pre-refactor output.
 type Snapshot = (&'static str, fn() -> String, &'static str);
 
-const SNAPSHOTS: [Snapshot; 11] = [
+const SNAPSHOTS: [Snapshot; 12] = [
     (
         "table1",
         pixel_bench::table1,
@@ -68,6 +68,11 @@ const SNAPSHOTS: [Snapshot; 11] = [
         "flightrec",
         pixel_bench::flightrec,
         include_str!("snapshots/flightrec.txt"),
+    ),
+    (
+        "fleet",
+        pixel_bench::fleet,
+        include_str!("snapshots/fleet.txt"),
     ),
 ];
 

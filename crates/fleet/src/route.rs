@@ -1,0 +1,321 @@
+//! Pluggable request routing across fleet shards.
+//!
+//! A [`RoutePolicy`] picks a shard for each admitted request from a
+//! snapshot of per-shard [`ShardView`]s. Policies are deterministic
+//! state machines: the only randomness (power-of-two-choices) comes
+//! from a seeded [`SplitMix64`] owned by the policy, so shard
+//! assignments are a pure function of `(seed, request sequence, shard
+//! states)` — bitwise identical across runs and `--jobs` levels.
+//!
+//! Four policies, in rising awareness of PIXEL's serving physics:
+//!
+//! * [`RouteKind::RoundRobin`] — cyclic spraying, the baseline.
+//! * [`RouteKind::ShortestQueue`] — join-shortest-queue on the backlog
+//!   (queued + in-flight), ties to the lowest shard id.
+//! * [`RouteKind::PowerOfTwo`] — sample two distinct routable shards,
+//!   keep the shorter backlog: near-JSQ balance at O(1) state.
+//! * [`RouteKind::NetworkAffinity`] — steer same-CNN requests to the
+//!   same *home* shard. Spraying destroys the head-of-line same-network
+//!   runs that PIXEL's batch merging feeds on; affinity preserves them,
+//!   trading a little balance for a higher merge rate (and with it
+//!   pipeline-fill amortization). Affinity is *bounded-load*: a network
+//!   keeps its home only while that shard's backlog stays within a
+//!   fixed slack of the fleet minimum, and migrates to the least-loaded
+//!   shard otherwise (or whenever the home becomes unroutable) — so a
+//!   fleet that drained down and re-woke spreads its homes back out
+//!   instead of pinning every network to the one survivor.
+
+use pixel_serve::arrivals::Request;
+use pixel_units::rng::SplitMix64;
+
+/// A router-visible snapshot of one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardView {
+    /// Shard index within the fleet.
+    pub id: usize,
+    /// True when the router may send this shard new work
+    /// (`Active` or `Waking`).
+    pub routable: bool,
+    /// True while the shard is in its wake transition.
+    pub waking: bool,
+    /// True when the shard is unpowered (`Off`).
+    pub off: bool,
+    /// Requests waiting in the shard's admission queue.
+    pub queue_depth: usize,
+    /// True while a batch is in flight.
+    pub busy: bool,
+}
+
+impl ShardView {
+    /// Queued plus in-flight work.
+    #[must_use]
+    pub fn backlog(&self) -> usize {
+        self.queue_depth + usize::from(self.busy)
+    }
+}
+
+/// A deterministic shard-selection policy.
+pub trait RoutePolicy {
+    /// Display label.
+    fn label(&self) -> &'static str;
+
+    /// Picks the shard id for `request` among the routable entries of
+    /// `shards`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if no shard is routable (the fleet keeps
+    /// at least one shard powered at all times).
+    fn route(&mut self, request: &Request, shards: &[ShardView]) -> usize;
+}
+
+/// The built-in routing policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RouteKind {
+    /// Cyclic spraying over routable shards.
+    RoundRobin,
+    /// Join-shortest-queue on the backlog.
+    ShortestQueue,
+    /// Power-of-two-choices sampling.
+    PowerOfTwo,
+    /// Same-network home-shard steering.
+    NetworkAffinity,
+}
+
+impl RouteKind {
+    /// Every built-in policy, in artifact order.
+    pub const ALL: [Self; 4] = [
+        Self::RoundRobin,
+        Self::ShortestQueue,
+        Self::PowerOfTwo,
+        Self::NetworkAffinity,
+    ];
+
+    /// Display label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::RoundRobin => "round-robin",
+            Self::ShortestQueue => "shortest-queue",
+            Self::PowerOfTwo => "power-of-two",
+            Self::NetworkAffinity => "net-affinity",
+        }
+    }
+
+    /// Builds the policy's state machine. `seed` feeds the sampling
+    /// stream (only power-of-two uses it); `networks` sizes the
+    /// affinity home table.
+    #[must_use]
+    pub fn build(self, seed: u64, networks: usize) -> Box<dyn RoutePolicy> {
+        match self {
+            Self::RoundRobin => Box::new(RoundRobin { cursor: 0 }),
+            Self::ShortestQueue => Box::new(ShortestQueue),
+            Self::PowerOfTwo => Box::new(PowerOfTwo {
+                rng: SplitMix64::seed_from_u64(seed),
+            }),
+            Self::NetworkAffinity => Box::new(NetworkAffinity {
+                home: vec![None; networks],
+                slack: 8,
+            }),
+        }
+    }
+}
+
+/// Lowest-id routable shard strictly after the cursor, wrapping.
+struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoutePolicy for RoundRobin {
+    fn label(&self) -> &'static str {
+        RouteKind::RoundRobin.label()
+    }
+
+    fn route(&mut self, _request: &Request, shards: &[ShardView]) -> usize {
+        for step in 0..shards.len() {
+            let candidate = (self.cursor + step) % shards.len();
+            if shards[candidate].routable {
+                self.cursor = (candidate + 1) % shards.len();
+                return shards[candidate].id;
+            }
+        }
+        unreachable!("no routable shard");
+    }
+}
+
+/// Minimum backlog, ties to the lowest id.
+struct ShortestQueue;
+
+impl RoutePolicy for ShortestQueue {
+    fn label(&self) -> &'static str {
+        RouteKind::ShortestQueue.label()
+    }
+
+    fn route(&mut self, _request: &Request, shards: &[ShardView]) -> usize {
+        shards
+            .iter()
+            .filter(|v| v.routable)
+            .min_by_key(|v| (v.backlog(), v.id))
+            .map(|v| v.id)
+            .unwrap_or_else(|| unreachable!("no routable shard"))
+    }
+}
+
+/// Two distinct seeded samples, keep the shorter backlog.
+struct PowerOfTwo {
+    rng: SplitMix64,
+}
+
+impl RoutePolicy for PowerOfTwo {
+    fn label(&self) -> &'static str {
+        RouteKind::PowerOfTwo.label()
+    }
+
+    fn route(&mut self, _request: &Request, shards: &[ShardView]) -> usize {
+        let routable: Vec<&ShardView> = shards.iter().filter(|v| v.routable).collect();
+        assert!(!routable.is_empty(), "no routable shard");
+        if routable.len() == 1 {
+            return routable[0].id;
+        }
+        let first = self.rng.range_usize(0, routable.len() - 1);
+        // Sample the second *without replacement* so the two probes are
+        // always distinct shards.
+        let offset = self.rng.range_usize(0, routable.len() - 2);
+        let second = if offset >= first { offset + 1 } else { offset };
+        let (a, b) = (routable[first], routable[second]);
+        if (b.backlog(), b.id) < (a.backlog(), a.id) {
+            b.id
+        } else {
+            a.id
+        }
+    }
+}
+
+/// Per-network home shards with bounded load: sticky while the home
+/// stays within `slack` backlog of the least-loaded routable shard,
+/// migrating otherwise. The slack is one maximum batch — stickiness is
+/// worth at most one batch of extra queueing, past which the merge-rate
+/// gain cannot repay the wait.
+struct NetworkAffinity {
+    home: Vec<Option<usize>>,
+    slack: usize,
+}
+
+impl RoutePolicy for NetworkAffinity {
+    fn label(&self) -> &'static str {
+        RouteKind::NetworkAffinity.label()
+    }
+
+    fn route(&mut self, request: &Request, shards: &[ShardView]) -> usize {
+        let min_backlog = shards
+            .iter()
+            .filter(|v| v.routable)
+            .map(ShardView::backlog)
+            .min()
+            .unwrap_or_else(|| unreachable!("no routable shard"));
+        if let Some(home) = self.home[request.network] {
+            if let Some(view) = shards.iter().find(|v| v.id == home && v.routable) {
+                if view.backlog() <= min_backlog + self.slack {
+                    return home;
+                }
+            }
+        }
+        // (Re)assign: the routable shard hosting the fewest homes, ties
+        // to the smaller backlog, then the lowest id — spreads networks
+        // across the fleet while keeping each network's run intact.
+        let chosen = shards
+            .iter()
+            .filter(|v| v.routable)
+            .min_by_key(|v| {
+                let homes = self.home.iter().filter(|h| **h == Some(v.id)).count();
+                (homes, v.backlog(), v.id)
+            })
+            .map(|v| v.id)
+            .unwrap_or_else(|| unreachable!("no routable shard"));
+        self.home[request.network] = Some(chosen);
+        chosen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixel_units::VirtInstant;
+
+    fn views(states: &[(bool, usize, bool)]) -> Vec<ShardView> {
+        states
+            .iter()
+            .enumerate()
+            .map(|(id, &(routable, queue_depth, busy))| ShardView {
+                id,
+                routable,
+                waking: false,
+                off: !routable,
+                queue_depth,
+                busy,
+            })
+            .collect()
+    }
+
+    fn req(network: usize) -> Request {
+        Request {
+            id: 0,
+            tenant: 0,
+            network,
+            arrival: VirtInstant::EPOCH,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_and_skips_unroutable() {
+        let mut rr = RouteKind::RoundRobin.build(1, 6);
+        let v = views(&[(true, 0, false), (false, 0, false), (true, 0, false)]);
+        let picks: Vec<usize> = (0..4).map(|_| rr.route(&req(0), &v)).collect();
+        assert_eq!(picks, vec![0, 2, 0, 2]);
+    }
+
+    #[test]
+    fn shortest_queue_takes_minimum_backlog_with_id_ties() {
+        let mut jsq = RouteKind::ShortestQueue.build(1, 6);
+        let v = views(&[(true, 3, true), (true, 1, true), (true, 1, true)]);
+        assert_eq!(jsq.route(&req(0), &v), 1, "tie breaks to the lowest id");
+        let v = views(&[(true, 0, true), (true, 0, false), (true, 2, false)]);
+        assert_eq!(jsq.route(&req(0), &v), 1, "busy counts as backlog");
+    }
+
+    #[test]
+    fn power_of_two_is_seed_deterministic_and_never_picks_unroutable() {
+        let v = views(&[
+            (true, 5, true),
+            (false, 0, false),
+            (true, 0, false),
+            (true, 2, true),
+        ]);
+        let run = |seed| {
+            let mut p2c = RouteKind::PowerOfTwo.build(seed, 6);
+            (0..32).map(|_| p2c.route(&req(0), &v)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7), "same seed, same picks");
+        assert_ne!(run(7), run(8), "seed changes the sample stream");
+        assert!(run(7).iter().all(|&id| id != 1), "unroutable shard picked");
+    }
+
+    #[test]
+    fn affinity_keeps_a_network_home_and_migrates_when_unroutable() {
+        let mut aff = RouteKind::NetworkAffinity.build(1, 6);
+        let v = views(&[(true, 0, false), (true, 0, false)]);
+        let home = aff.route(&req(3), &v);
+        for _ in 0..8 {
+            assert_eq!(aff.route(&req(3), &v), home, "home is sticky");
+        }
+        // A second network lands on the other shard (fewest homes).
+        let other = aff.route(&req(1), &v);
+        assert_ne!(other, home);
+        // Home shard turns unroutable: the network migrates and stays.
+        let mut degraded = v.clone();
+        degraded[home].routable = false;
+        let migrated = aff.route(&req(3), &degraded);
+        assert_ne!(migrated, home);
+        assert_eq!(aff.route(&req(3), &v), migrated, "migration is sticky");
+    }
+}

@@ -1,0 +1,169 @@
+//! Fleet determinism and artifact-claim property tests.
+//!
+//! The fleet's headline guarantees, checked end to end:
+//!
+//! * every routing policy produces bitwise-identical shard assignments
+//!   and reports across repeated runs (the router-determinism property
+//!   behind the snapshot-pinned `reproduce fleet` artifact);
+//! * the rendered sweep is byte-identical at any `--jobs` level;
+//! * network-affinity routing beats round-robin on batch-merge rate;
+//! * the reactive autoscaler lowers joules/request at low load.
+
+use pixel_core::config::{AcceleratorConfig, Design};
+use pixel_core::model::EvalContext;
+use pixel_core::sweep::SweepEngine;
+use pixel_fleet::sweep::{fleet_sweep, metrics_jsonl, render_fleet, FleetSweepSpec};
+use pixel_fleet::{simulate_fleet, AutoscaleConfig, FleetConfig, RouteKind};
+use pixel_serve::arrivals::Workload;
+use pixel_serve::saturation::reference_capacity;
+use pixel_units::Time;
+
+fn oo_fleet(count: usize) -> Vec<AcceleratorConfig> {
+    vec![AcceleratorConfig::new(Design::Oo, 4, 16); count]
+}
+
+fn fleet_capacity(ctx: &EvalContext, workload: &Workload, shards: &[AcceleratorConfig]) -> f64 {
+    shards
+        .iter()
+        .map(|accel| reference_capacity(ctx, workload, accel, 8))
+        .sum()
+}
+
+#[test]
+fn every_policy_is_bitwise_deterministic_across_runs_and_seeds() {
+    let workload = Workload::paper_mix();
+    let ctx = EvalContext::new();
+    let shards = oo_fleet(3);
+    let rate = fleet_capacity(&ctx, &workload, &shards) * 0.9;
+    for policy in RouteKind::ALL {
+        for seed in [11, 2026, 777] {
+            let config = FleetConfig::new(shards.clone(), policy, rate, 600, seed);
+            let a = simulate_fleet(&workload, &ctx, &config);
+            let b = simulate_fleet(&workload, &ctx, &config);
+            assert_eq!(
+                a.assignments,
+                b.assignments,
+                "{} seed {seed}: assignments drifted",
+                policy.label()
+            );
+            assert_eq!(
+                a.report,
+                b.report,
+                "{} seed {seed}: report drifted",
+                policy.label()
+            );
+            assert_eq!(a.assignments.len(), 600);
+            // Requests are conserved: completed + shed = generated.
+            assert_eq!(
+                a.report.completed + a.report.router_shed + a.report.shard_shed,
+                600,
+                "{} seed {seed}: request leak",
+                policy.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn seed_changes_the_trajectory() {
+    let workload = Workload::paper_mix();
+    let ctx = EvalContext::new();
+    let shards = oo_fleet(3);
+    let rate = fleet_capacity(&ctx, &workload, &shards) * 0.9;
+    let run = |seed| {
+        let config = FleetConfig::new(shards.clone(), RouteKind::ShortestQueue, rate, 600, seed);
+        simulate_fleet(&workload, &ctx, &config)
+    };
+    assert_ne!(run(11).assignments, run(12).assignments);
+}
+
+#[test]
+fn sweep_artifact_is_jobs_invariant() {
+    let spec = FleetSweepSpec::quick(2026);
+    let serial = fleet_sweep(&SweepEngine::new(1), &spec);
+    let parallel = fleet_sweep(&SweepEngine::new(4), &spec);
+    assert_eq!(
+        render_fleet(&spec, &serial),
+        render_fleet(&spec, &parallel),
+        "rendered artifact differs across --jobs"
+    );
+    assert_eq!(
+        metrics_jsonl(&spec, &serial),
+        metrics_jsonl(&spec, &parallel),
+        "metrics stream differs across --jobs"
+    );
+}
+
+#[test]
+fn network_affinity_beats_round_robin_on_merge_rate() {
+    let workload = Workload::paper_mix();
+    let ctx = EvalContext::new();
+    let shards = oo_fleet(4);
+    let rate = fleet_capacity(&ctx, &workload, &shards) * 0.85;
+    let run = |route| {
+        let config = FleetConfig::new(shards.clone(), route, rate, 1200, 2026);
+        simulate_fleet(&workload, &ctx, &config).report
+    };
+    let affinity = run(RouteKind::NetworkAffinity);
+    let spray = run(RouteKind::RoundRobin);
+    assert!(
+        affinity.merge_rate() > spray.merge_rate(),
+        "affinity merge {:.3} should beat round-robin {:.3}",
+        affinity.merge_rate(),
+        spray.merge_rate()
+    );
+}
+
+#[test]
+fn autoscaler_cuts_energy_per_request_at_low_load() {
+    let workload = Workload::paper_mix();
+    let ctx = EvalContext::new();
+    let shards = oo_fleet(4);
+    let rate = fleet_capacity(&ctx, &workload, &shards) * 0.25;
+    let run = |autoscale| {
+        let mut config =
+            FleetConfig::new(shards.clone(), RouteKind::NetworkAffinity, rate, 900, 2026);
+        config.autoscale = autoscale;
+        simulate_fleet(&workload, &ctx, &config).report
+    };
+    let fixed = run(AutoscaleConfig::disabled());
+    let scaled = run(AutoscaleConfig::reactive(Time::new(15.0)));
+    assert!(
+        scaled.mean_active < fixed.mean_active,
+        "shards were drained"
+    );
+    assert!(
+        scaled.energy_per_inference < fixed.energy_per_inference,
+        "scaled {:.3} mJ/inf should undercut fixed {:.3} mJ/inf",
+        scaled.energy_per_inference.as_millijoules(),
+        fixed.energy_per_inference.as_millijoules()
+    );
+    // Both serve everything at this load — the saving is not bought
+    // with shed traffic.
+    assert_eq!(
+        scaled.completed + scaled.router_shed + scaled.shard_shed,
+        900
+    );
+    assert!(scaled.drop_rate() < 0.01, "scaler shed traffic");
+}
+
+#[test]
+fn heterogeneous_fleet_serves_and_balances() {
+    let workload = Workload::paper_mix();
+    let ctx = EvalContext::new();
+    let shards: Vec<AcceleratorConfig> = [Design::Ee, Design::Oe, Design::Oo]
+        .iter()
+        .map(|&d| AcceleratorConfig::new(d, 4, 16))
+        .collect();
+    let rate = fleet_capacity(&ctx, &workload, &shards) * 0.8;
+    let config = FleetConfig::new(shards, RouteKind::ShortestQueue, rate, 900, 7);
+    let outcome = simulate_fleet(&workload, &ctx, &config);
+    assert_eq!(outcome.report.shard_count, 3);
+    assert!(
+        outcome.report.goodput_ratio() > 0.97,
+        "under-capacity fleet keeps up"
+    );
+    for shard in &outcome.report.shards {
+        assert!(shard.routed > 0, "shard {} starved", shard.id);
+    }
+}

@@ -24,7 +24,12 @@ const D001_EXEMPT_FILES: [&str; 2] = [
 
 /// Artifact / report / serve paths whose output must not depend on hash
 /// iteration order.
-const D002_PREFIXES: [&str; 3] = ["crates/serve/src/", "crates/bench/src/", "crates/obs/src/"];
+const D002_PREFIXES: [&str; 4] = [
+    "crates/serve/src/",
+    "crates/fleet/src/",
+    "crates/bench/src/",
+    "crates/obs/src/",
+];
 const D002_FILES: [&str; 2] = ["crates/core/src/report.rs", "crates/core/src/dse.rs"];
 
 /// Entry points sanctioned to read the process environment.

@@ -48,6 +48,7 @@ fn d001_exempts_only_the_vetted_serve_clock_adapter() {
 fn d002_fires_on_hash_collections_in_artifact_paths() {
     let src = "use std::collections::HashMap;\nuse std::collections::HashSet;\n";
     assert_eq!(rules("crates/serve/src/fixture.rs", src), ["D002", "D002"]);
+    assert_eq!(rules("crates/fleet/src/fixture.rs", src), ["D002", "D002"]);
     assert_eq!(rules("crates/core/src/report.rs", src), ["D002", "D002"]);
 }
 
@@ -199,6 +200,10 @@ fn o001_fires_on_non_dot_namespaced_metric_names() {
 fn o001_allows_dot_namespaced_names_dynamic_names_and_tests() {
     let good = "fn f() { pixel_obs::add(\"serve.arrivals\", 1); pixel_obs::observe(\"serve.batch_size\", 4.0); }\n";
     assert_eq!(rules(LIB, good), Vec::<&str>::new());
+    // The fleet's counters are dot-namespaced under `fleet.` / the
+    // artifact stream under `pixel.fleet.`.
+    let fleet = "fn f() { pixel_obs::add(\"fleet.arrivals\", 1); pixel_obs::add(\"fleet.router_shed\", 1); pixel_obs::observe(\"pixel.fleet.point\", 1.0); }\n";
+    assert_eq!(rules("crates/fleet/src/sim.rs", fleet), Vec::<&str>::new());
     // Computed names and Registry method calls are out of scope.
     let dynamic = "fn f(n: &str) { pixel_obs::add(n, 1); }\n";
     assert_eq!(rules(LIB, dynamic), Vec::<&str>::new());

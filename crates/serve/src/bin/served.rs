@@ -6,6 +6,7 @@
 //!                     [--scale X] [--mode analytic|functional]
 //!                     [--metrics FILE]
 //! pixel-served load   --port P [--rate R] [--requests N] [--seed S]
+//!                     [--connections C]
 //! pixel-served oracle [--quick] [--seed S]
 //! ```
 //!
@@ -38,6 +39,7 @@ struct Flags {
     mode: ServiceMode,
     metrics: Option<String>,
     quick: bool,
+    connections: usize,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -50,6 +52,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         mode: ServiceMode::Analytic,
         metrics: None,
         quick: false,
+        connections: 1,
     };
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
@@ -90,6 +93,11 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     "functional" => ServiceMode::Functional,
                     other => return Err(format!("--mode: unknown mode {other:?}")),
                 };
+            }
+            "--connections" => {
+                flags.connections = value("--connections")?
+                    .parse()
+                    .map_err(|e| format!("--connections: {e}"))?;
             }
             "--metrics" => flags.metrics = Some(value("--metrics")?),
             "--quick" => flags.quick = true,
@@ -155,12 +163,16 @@ fn cmd_load(flags: &Flags) -> Result<(), String> {
             rate_hz: flags.rate_hz,
             requests: flags.requests,
             seed: flags.seed,
+            connections: flags.connections,
         },
     )
     .map_err(|e| format!("loadgen: {e}"))?;
     println!(
-        "loadgen: sent {} served {} shed {}",
-        report.sent, report.served, report.shed
+        "loadgen: sent {} served {} shed {} over {} connection(s)",
+        report.sent,
+        report.served,
+        report.shed,
+        flags.connections.max(1)
     );
     if report.breakdown.count() > 0 {
         println!(

@@ -20,9 +20,10 @@
 //! queue-wait measurements include time spent waiting for the engine),
 //! then forwards them to the single engine thread that owns the
 //! machine. A `drain` control frame ends intake: the engine flushes the
-//! queue, answers the draining client with a `pixel.serve.stats` frame,
-//! and returns the same `(ServeReport, FlightData)` pair the simulator
-//! produces — which is what the oracle compares.
+//! queue, answers every live connection with a `pixel.serve.stats`
+//! frame (so multi-connection load generators can close each reader
+//! deterministically), and returns the same `(ServeReport, FlightData)`
+//! pair the simulator produces — which is what the oracle compares.
 
 use crate::arrivals::{Request, Workload};
 use crate::batching::Decision;
@@ -78,9 +79,7 @@ enum EngineMsg {
         arrival: VirtInstant,
         conn: usize,
     },
-    Drain {
-        conn: usize,
-    },
+    Drain,
 }
 
 /// Shared per-connection writer handles, keyed by connection id.
@@ -144,13 +143,11 @@ pub fn run(
     let mut pending: BTreeMap<u64, (usize, u64)> = BTreeMap::new();
     let mut arrival_seq: u64 = 0;
     let mut draining = false;
-    let mut drain_conn: Option<usize> = None;
 
     let mut handle = |msg: EngineMsg,
                       machine: &mut ServeMachine,
                       pending: &mut BTreeMap<u64, (usize, u64)>,
-                      draining: &mut bool,
-                      drain_conn: &mut Option<usize>| {
+                      draining: &mut bool| {
         match msg {
             EngineMsg::Arrive {
                 wire,
@@ -203,10 +200,7 @@ pub fn run(
                     }
                 }
             }
-            EngineMsg::Drain { conn } => {
-                *draining = true;
-                drain_conn.get_or_insert(conn);
-            }
+            EngineMsg::Drain => *draining = true,
         }
     };
 
@@ -250,13 +244,7 @@ pub fn run(
         // Pump everything already in the mailbox before deciding.
         loop {
             match rx.try_recv() {
-                Ok(msg) => handle(
-                    msg,
-                    &mut machine,
-                    &mut pending,
-                    &mut draining,
-                    &mut drain_conn,
-                ),
+                Ok(msg) => handle(msg, &mut machine, &mut pending, &mut draining),
                 Err(mpsc::TryRecvError::Empty) => break,
                 Err(mpsc::TryRecvError::Disconnected) => {
                     draining = true;
@@ -275,13 +263,7 @@ pub fn run(
                 } else {
                     match rx.recv_timeout(Duration::from_secs_f64(wait.value())) {
                         Ok(msg) => {
-                            handle(
-                                msg,
-                                &mut machine,
-                                &mut pending,
-                                &mut draining,
-                                &mut drain_conn,
-                            );
+                            handle(msg, &mut machine, &mut pending, &mut draining);
                         }
                         Err(mpsc::RecvTimeoutError::Timeout) => {
                             machine.advance_to(clock.now());
@@ -298,13 +280,7 @@ pub fn run(
                     }
                     match rx.recv_timeout(Duration::from_millis(20)) {
                         Ok(msg) => {
-                            handle(
-                                msg,
-                                &mut machine,
-                                &mut pending,
-                                &mut draining,
-                                &mut drain_conn,
-                            );
+                            handle(msg, &mut machine, &mut pending, &mut draining);
                         }
                         Err(mpsc::RecvTimeoutError::Timeout) => {}
                         Err(mpsc::RecvTimeoutError::Disconnected) => draining = true,
@@ -316,13 +292,7 @@ pub fn run(
                 } else {
                     match rx.recv_timeout(Duration::from_millis(20)) {
                         Ok(msg) => {
-                            handle(
-                                msg,
-                                &mut machine,
-                                &mut pending,
-                                &mut draining,
-                                &mut drain_conn,
-                            );
+                            handle(msg, &mut machine, &mut pending, &mut draining);
                         }
                         Err(mpsc::RecvTimeoutError::Timeout) => {}
                         Err(mpsc::RecvTimeoutError::Disconnected) => draining = true,
@@ -341,7 +311,16 @@ pub fn run(
         },
         workload,
     );
-    if let Some(conn) = drain_conn {
+    // Answer *every* live connection with the final stats frame: the
+    // per-connection byte stream puts it after that connection's last
+    // response, so a multi-connection load generator can close each
+    // reader deterministically without racing an EOF.
+    let conns: Vec<usize> = {
+        // lint:allow(P002) a poisoned registry means a reader already panicked
+        let registry = writers.lock().expect("writer registry");
+        registry.keys().copied().collect()
+    };
+    for conn in conns {
         respond_raw(&writers, conn, &stats_json(&report));
     }
     stop.store(true, Ordering::Release);
@@ -408,7 +387,7 @@ fn reader_loop(
                 }
             }
             Some(ClientFrame::Drain) => {
-                let _ = tx.send(EngineMsg::Drain { conn });
+                let _ = tx.send(EngineMsg::Drain);
             }
             None => pixel_obs::add("serve.daemon.malformed", 1),
         }

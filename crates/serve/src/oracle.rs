@@ -166,6 +166,7 @@ pub fn run_oracle(spec: &OracleSpec) -> std::io::Result<Vec<OraclePoint>> {
                     rate_hz: live_rate,
                     requests: spec.requests,
                     seed: spec.seed,
+                    connections: 1,
                 },
             );
             // lint:allow(P002) a panicked daemon thread is unrecoverable here

@@ -233,6 +233,51 @@ impl WindowSeries {
         }
     }
 
+    /// Folds `other` into `self` bin-by-bin on a common grid.
+    ///
+    /// The two series must share a base grid: widths may differ only by
+    /// the power-of-two factor coarsening introduces, and the finer
+    /// series is coarsened until the widths agree. Bins are then
+    /// absorbed index-wise, *keeping the longer horizon* — when the
+    /// series cover different virtual-time spans (fleet shards drain at
+    /// different instants), the tail bins of the longer series survive,
+    /// including its final partial bin. The result re-coarsens if the
+    /// union would exceed this series' bin bound.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the widths are incommensurate (not related by a power
+    /// of two), which means the series were built on different base
+    /// grids.
+    pub fn merge(&mut self, other: &Self) {
+        let mut other = other.clone();
+        while self.width < other.width && !approx_eq(self.width, other.width) {
+            self.coarsen();
+        }
+        while other.width < self.width && !approx_eq(self.width, other.width) {
+            other.coarsen();
+        }
+        assert!(
+            approx_eq(self.width, other.width),
+            "incommensurate window grids: {} vs {}",
+            self.width,
+            other.width
+        );
+        // Keep the longer horizon: a plain zip would silently drop the
+        // longer series' tail (and with it the final partial bin).
+        if other.bins.len() > self.bins.len() {
+            self.bins.resize(other.bins.len(), WindowBin::default());
+        }
+        for (bin, o) in self.bins.iter_mut().zip(other.bins.iter()) {
+            bin.absorb(o);
+        }
+        while self.bins.len() > self.max_bins {
+            self.coarsen();
+        }
+        self.depth_t = self.depth_t.max(other.depth_t);
+        self.depth += other.depth;
+    }
+
     /// Renders the series as a fixed-width trajectory table.
     /// `static_power_w` is the always-on (laser + heater) floor added to
     /// each bin's dynamic power.
@@ -288,6 +333,13 @@ impl WindowSeries {
         }
         s
     }
+}
+
+/// Width comparison tolerant of the float noise a long chain of `×2.0`
+/// doublings cannot introduce but a differently-ordered base-width
+/// computation could.
+fn approx_eq(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * a.max(b)
 }
 
 #[cfg(test)]
@@ -381,5 +433,90 @@ mod tests {
     #[should_panic(expected = "window width")]
     fn rejects_nonpositive_width() {
         let _ = series(0.0, 8);
+    }
+
+    /// The regression the fleet aggregation depends on: merging
+    /// per-shard series is bitwise identical to folding every event
+    /// into one series — including the *final partial bin* of the
+    /// shard with the longer virtual-time horizon, which a naive
+    /// zip-and-drop merge would lose.
+    #[test]
+    fn merge_equals_concatenated_event_stream() {
+        // Quantities are power-of-two fractions so float sums are
+        // order-independent-exact and bitwise comparison is fair.
+        let events: &[(f64, u64)] = &[(0.25, 1), (1.5, 2), (2.75, 1), (5.25, 3), (9.75, 2)];
+        let split = 2; // first two events belong to "shard A"
+        let mut all = series(1.0, 32);
+        let mut a = series(1.0, 32);
+        let mut b = series(1.0, 32);
+        for (i, &(t, n)) in events.iter().enumerate() {
+            let shard = if i < split { &mut a } else { &mut b };
+            for target in [&mut all, shard] {
+                target.count_arrival(at(t));
+                target.count_completions(at(t), n);
+                target.add_busy(at(t), at(t + 0.5));
+                target.add_energy(at(t), at(t + 0.5), 0.25);
+            }
+        }
+        // Different horizons: shard A drains early, shard B runs to a
+        // *partial* final bin at 10.4 s.
+        a.finish(at(2.9));
+        b.finish(at(10.4));
+        all.finish(at(10.4));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.width(), all.width());
+        assert_eq!(merged.bins(), all.bins());
+        // The final partial bin survived the merge.
+        assert_eq!(merged.bins().len(), b.bins().len());
+        assert_eq!(merged.bins().len(), 11);
+        assert_eq!(merged.bins()[9].arrivals, 1);
+    }
+
+    #[test]
+    fn merge_reconciles_coarsening_mismatch_and_conserves_totals() {
+        // Shard A coarsened (width 2), shard B did not (width 1): the
+        // merge must land both on the common coarser grid.
+        let mut a = series(1.0, 4);
+        for i in 0..8 {
+            a.count_arrival(at(f64::from(i) + 0.5));
+        }
+        assert!(a.coarsenings() >= 1);
+        let mut b = series(1.0, 4);
+        b.count_arrival(at(0.5));
+        b.count_completions(at(1.5), 4);
+        let width_a = a.width();
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.width(), width_a);
+        let arrivals: u64 = merged.bins().iter().map(|bin| bin.arrivals).sum();
+        let completions: u64 = merged.bins().iter().map(|bin| bin.completions).sum();
+        assert_eq!(arrivals, 9);
+        assert_eq!(completions, 4);
+        // Merging in the other order lands on the same grid and totals.
+        let mut swapped = b;
+        swapped.merge(&a);
+        assert_eq!(swapped.width(), merged.width());
+        assert_eq!(swapped.bins(), merged.bins());
+    }
+
+    #[test]
+    fn merge_respects_the_bin_bound() {
+        let mut a = series(1.0, 4);
+        a.count_arrival(at(0.5));
+        let mut b = series(1.0, 4);
+        b.count_arrival(at(30.5)); // far horizon: union would need 31 bins
+        a.merge(&b);
+        assert!(a.bins().len() <= 4, "{} bins", a.bins().len());
+        let arrivals: u64 = a.bins().iter().map(|bin| bin.arrivals).sum();
+        assert_eq!(arrivals, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "incommensurate")]
+    fn merge_rejects_incommensurate_grids() {
+        let mut a = series(1.0, 8);
+        let b = series(0.3, 8);
+        a.merge(&b);
     }
 }

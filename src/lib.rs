@@ -17,6 +17,9 @@
 //!   tracing, and profile tables threaded through the crates above.
 //! * [`serve`] — discrete-event inference-serving simulator (arrivals,
 //!   admission queue, batching, tail latency) over the design models.
+//! * [`fleet`] — sharded multi-fabric serving: pluggable request
+//!   routing, per-tenant SLOs, and an energy-aware autoscaler over N
+//!   serve machines.
 //!
 //! # Quickstart
 //!
@@ -34,6 +37,7 @@
 pub use pixel_core as core;
 pub use pixel_dnn as dnn;
 pub use pixel_electronics as electronics;
+pub use pixel_fleet as fleet;
 pub use pixel_obs as obs;
 pub use pixel_photonics as photonics;
 pub use pixel_serve as serve;
