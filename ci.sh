@@ -13,8 +13,18 @@ echo "== test"
 cargo test -q --workspace
 
 echo "== lint"
-# Deny mode: the checked-in baseline must stay empty and the tree clean.
-./target/release/reproduce lint --deny
+# Deny mode: the checked-in baseline must stay empty and the tree clean,
+# including under the stale-suppression check (X002) — and the analysis
+# must be jobs-invariant.
+./target/release/reproduce lint --deny --unused-suppressions
+a=$(./target/release/reproduce lint --format json --jobs 1)
+b=$(./target/release/reproduce lint --format json --jobs 4)
+[ "$a" = "$b" ] || { echo "lint report differs across --jobs" >&2; exit 1; }
+
+# Machine-readable lint report, archived as a build artifact.
+./target/release/reproduce lint --format json > target/lint-report.json
+grep -q '"version":1' target/lint-report.json \
+  || { echo "lint-report.json malformed" >&2; exit 1; }
 
 # Negative smoke: seed one violation of each rule family into a scratch
 # file and assert the analyzer refuses it. The file is not referenced by
@@ -44,6 +54,41 @@ for rule in D001 A001 P001 U001 O001; do
   grep -q "$rule" /tmp/lint_smoke_out || { echo "lint missed $rule" >&2; exit 1; }
 done
 rm -f "$smoke"
+trap - EXIT
+
+# Structural negative smoke: one violation per structural rule family —
+# a leaf-crate dependency (G003), a panic path from a bin entry (P101),
+# an unsanctioned thread spawn (C001), and a bogus DESIGN.md catalogue
+# entry (S001). Deny mode must flag every one. None of the scratch
+# files is referenced by a module tree, and DESIGN.md is restored from
+# the backup whichever way the step exits.
+g_smoke=crates/units/src/lint_smoke_tmp.rs
+p_smoke=crates/bench/src/bin/lint_smoke_tmp.rs
+c_smoke=crates/core/src/lint_smoke_tmp.rs
+cp DESIGN.md /tmp/design_md_backup
+trap 'rm -f "$g_smoke" "$p_smoke" "$c_smoke"; if [ -f /tmp/design_md_backup ]; then mv /tmp/design_md_backup DESIGN.md; fi' EXIT
+echo 'use pixel_obs::span;' > "$g_smoke"
+cat > "$p_smoke" <<'EOF'
+fn main() {
+    let v: Option<u32> = None;
+    let _ = v.unwrap();
+}
+EOF
+cat > "$c_smoke" <<'EOF'
+pub fn smoke() {
+    std::thread::spawn(|| {});
+}
+EOF
+echo 'And the catalogue also documents the imaginary rule S999.' >> DESIGN.md
+if ./target/release/reproduce lint --deny > /tmp/lint_struct_smoke 2>&1; then
+  echo "lint failed to flag the seeded structural violations" >&2
+  exit 1
+fi
+for rule in G003 P101 C001 S001; do
+  grep -q "$rule" /tmp/lint_struct_smoke || { echo "lint missed $rule" >&2; exit 1; }
+done
+rm -f "$g_smoke" "$p_smoke" "$c_smoke"
+mv /tmp/design_md_backup DESIGN.md
 trap - EXIT
 
 # Serving policy code must never read wall-clock time directly — the

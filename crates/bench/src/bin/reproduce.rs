@@ -42,7 +42,7 @@ use std::process::ExitCode;
 /// One reproducible artifact: key, title, renderer.
 type Artifact = (&'static str, &'static str, fn() -> String);
 
-const ARTIFACTS: [Artifact; 21] = [
+const ARTIFACTS: [Artifact; 22] = [
     (
         "table1",
         "Table I — VGG16 computations [millions]",
@@ -147,6 +147,11 @@ const ARTIFACTS: [Artifact; 21] = [
         "fleet",
         "Extension — sharded fleet serving: routing policy × shard count × tenant mix",
         pixel_bench::fleet,
+    ),
+    (
+        "archgraph",
+        "Extension — workspace architecture graph from the structural lint pass",
+        pixel_bench::archgraph,
     ),
 ];
 

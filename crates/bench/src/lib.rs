@@ -451,6 +451,22 @@ pub fn flightrec() -> String {
     s
 }
 
+/// Extension artifact: the workspace architecture graph — crate layers,
+/// dependency edges with witness files, the backend-isolation and
+/// hash-order verdicts, and a DOT rendering — produced by the
+/// structural `pixel-lint` pass over the repository sources. The
+/// rendering is path-sorted, so it is byte-identical at any `--jobs`.
+#[must_use]
+pub fn archgraph() -> String {
+    let _span = pixel_obs::span("archgraph");
+    let manifest = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = manifest.ancestors().nth(2).unwrap_or(manifest);
+    match pixel_lint::cli::archgraph(root, pixel_core::sweep::default_jobs()) {
+        Ok(rendered) => rendered,
+        Err(err) => format!("archgraph error: {err}\n"),
+    }
+}
+
 /// Extension artifact: photonic weight pre-load vs compute cost.
 #[must_use]
 pub fn weights() -> String {

@@ -1,0 +1,49 @@
+//! Pins the `archgraph` artifact byte-for-byte, serially and in
+//! parallel: the structural lint pass walks the workspace with a
+//! worker pool, but every rendered line — crate table, edge list,
+//! verdicts, DOT digraph — is path-sorted, so the artifact must be
+//! identical at any `--jobs`. Any nondeterminism in the parallel file
+//! walk (or an unreviewed architecture change: a new crate, a new
+//! cross-crate edge, a layering violation) fails here with a diff.
+//!
+//! The snapshot was captured from `reproduce archgraph` (header line
+//! stripped) when the structural analyzer landed.
+
+use pixel_core::sweep::set_default_jobs;
+
+const SNAPSHOT: &str = include_str!("snapshots/archgraph.txt");
+
+fn first_diff(actual: &str, expected: &str) -> String {
+    for (i, (a, e)) in actual.lines().zip(expected.lines()).enumerate() {
+        if a != e {
+            return format!(
+                "first diff at line {}:\n  got:      {a}\n  expected: {e}",
+                i + 1
+            );
+        }
+    }
+    format!(
+        "line counts differ: got {}, expected {}",
+        actual.lines().count(),
+        expected.lines().count()
+    )
+}
+
+/// One test body for both worker counts: `set_default_jobs` is process
+/// global, so the serial and 4-worker passes share a single `#[test]`.
+#[test]
+fn archgraph_is_pinned_and_jobs_invariant() {
+    for jobs in [1usize, 4] {
+        set_default_jobs(Some(jobs));
+        // The snapshot carries the trailing newline `reproduce` prints
+        // after each artifact.
+        let actual = format!("{}\n", pixel_bench::archgraph());
+        assert_eq!(
+            actual,
+            SNAPSHOT,
+            "archgraph diverged from its snapshot at --jobs {jobs}; {}",
+            first_diff(&actual, SNAPSHOT)
+        );
+    }
+    set_default_jobs(None);
+}

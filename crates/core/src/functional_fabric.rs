@@ -195,6 +195,7 @@ impl FunctionalFabric {
                         } else {
                             tile.fire_streamed(&scratch.received, kernels[m])
                         };
+                        // lint:allow(P104) row is preallocated to out_w * filters; ow < out_w and m < filters by the loop bounds
                         row[ow * filters + m] = value;
                     }
                 }

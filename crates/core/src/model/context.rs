@@ -24,6 +24,7 @@ use pixel_dnn::network::Network;
 // HashMap iteration order never reaches any artifact: both caches are
 // read per-key (and `len()` for stats), so nondeterministic ordering
 // cannot leak into reports. Audited for the D002 hash-order invariant.
+// lint:allow(C004) per-key cache reads only; iteration order never leaves this file
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 

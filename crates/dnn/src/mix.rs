@@ -74,6 +74,7 @@ impl NetworkMix {
     /// The normalized weight of entry `i`.
     #[must_use]
     pub fn fraction(&self, i: usize) -> f64 {
+        // lint:allow(P104) the i == 0 arm guards the subtraction
         let prev = if i == 0 { 0.0 } else { self.cumulative[i - 1] };
         self.cumulative[i] - prev
     }

@@ -1,0 +1,342 @@
+//! Name-resolved workspace call graph and the P1xx transitive
+//! panic-path rules.
+//!
+//! Where P001–P003 flag lexical panic sites, P101–P104 flag panic
+//! sites *reachable* from the artifact entry points: every fn in a
+//! `src/bin/` or `src/main.rs` target plus the documented library
+//! surfaces (`reproduce` artifact renderers, `ServeMachine`, the fleet
+//! event loops). Resolution is by function name within a crate and its
+//! dependency crates — deliberately over-approximate (no type
+//! information), so it errs toward reporting reachability; a justified
+//! `lint:allow(P001)`-family suppression at the panic site covers the
+//! matching transitive rule too (see `rules::suppression_covers`).
+
+use crate::diag::Finding;
+use crate::graph::{crate_of, CrateEdge};
+use crate::parser::{FileItems, PanicKind};
+use crate::rules::is_library_src;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Library files whose `pub fn`s are artifact entry points even though
+/// they are not bin targets: artifact renderers, the serving state
+/// machine, and the fleet event loops. Extend alongside DESIGN.md §14.
+pub const ENTRY_LIB_FILES: [&str; 5] = [
+    "crates/bench/src/lib.rs",
+    "crates/bench/src/perf.rs",
+    "crates/serve/src/machine.rs",
+    "crates/fleet/src/sim.rs",
+    "crates/fleet/src/sweep.rs",
+];
+
+/// True for files whose every fn is an entry root (bin targets).
+fn is_bin_target(rel: &str) -> bool {
+    rel.ends_with("/main.rs") || rel == "src/main.rs" || rel.contains("/src/bin/")
+}
+
+struct FnNode {
+    /// Index into the `files` slice.
+    file: usize,
+    /// Index into that file's `fns`.
+    item: usize,
+    /// Entry root?
+    entry: bool,
+}
+
+/// One analyzed file, as the call-graph layer sees it.
+pub struct CgFile<'a> {
+    /// Workspace-relative path.
+    pub rel: &'a str,
+    /// Parsed items.
+    pub items: &'a FileItems,
+    /// Token scan (for `#[cfg(test)]` span filtering).
+    pub scan: &'a crate::lexer::Scan,
+}
+
+/// Walks the call graph from the entry roots and returns P101–P104
+/// findings for every reachable panic site in non-test library code.
+/// `files` must be sorted by `rel`; `edges` is the crate graph from
+/// [`crate::graph::analyze`], used to bound name resolution to a
+/// crate's dependency cone.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn analyze(files: &[CgFile<'_>], edges: &[CrateEdge]) -> Vec<Finding> {
+    // Dependency cone per crate (direct edges; resolution recurses
+    // through callees, so transitive deps are covered by the walk).
+    let mut deps: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        deps.entry(e.from.as_str()).or_default().insert(&e.to);
+    }
+
+    // Fn nodes in deterministic (file, line) order.
+    let mut nodes: Vec<FnNode> = Vec::new();
+    let mut by_name: BTreeMap<(String, &str), Vec<usize>> = BTreeMap::new();
+    let mut crate_keys: Vec<Option<String>> = Vec::with_capacity(files.len());
+    for (fi, f) in files.iter().enumerate() {
+        crate_keys.push(crate_of(f.rel));
+        if !is_library_src(f.rel) || crate_keys[fi].is_none() {
+            continue;
+        }
+        let entry_file = is_bin_target(f.rel);
+        let entry_lib = ENTRY_LIB_FILES.contains(&f.rel);
+        for (ii, item) in f.items.fns.iter().enumerate() {
+            if f.scan.is_test_line(item.line) {
+                continue;
+            }
+            let id = nodes.len();
+            nodes.push(FnNode {
+                file: fi,
+                item: ii,
+                entry: entry_file || (entry_lib && item.is_pub),
+            });
+            let krate = crate_keys[fi].clone().unwrap_or_default();
+            by_name
+                .entry((krate, item.name.as_str()))
+                .or_default()
+                .push(id);
+        }
+    }
+    // Map (file, fn item) -> node id for call attribution.
+    let mut node_of: BTreeMap<(usize, usize), usize> = BTreeMap::new();
+    for (id, n) in nodes.iter().enumerate() {
+        node_of.insert((n.file, n.item), id);
+    }
+
+    // Resolve each call to candidate callee nodes.
+    let resolve = |fi: usize, segments: &[String]| -> Vec<usize> {
+        let Some(name) = segments.last() else {
+            return Vec::new();
+        };
+        let Some(own) = &crate_keys[fi] else {
+            return Vec::new();
+        };
+        let head = segments.first().map(String::as_str).unwrap_or_default();
+        let mut out: Vec<usize> = Vec::new();
+        if segments.len() >= 2 && (head == "pixel" || head.starts_with("pixel_")) {
+            if let Some(v) = by_name.get(&(head.to_owned(), name.as_str())) {
+                out.extend(v);
+            }
+            return out;
+        }
+        if let Some(v) = by_name.get(&(own.clone(), name.as_str())) {
+            out.extend(v);
+        }
+        for d in deps.get(own.as_str()).into_iter().flatten() {
+            if let Some(v) = by_name.get(&((*d).to_owned(), name.as_str())) {
+                out.extend(v);
+            }
+        }
+        out
+    };
+
+    let mut adjacency: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); nodes.len()];
+    for (fi, f) in files.iter().enumerate() {
+        for c in &f.items.calls {
+            let Some(&from) = node_of.get(&(fi, c.caller)) else {
+                continue;
+            };
+            if f.scan.is_test_line(c.line) {
+                continue;
+            }
+            for to in resolve(fi, &c.segments) {
+                if to != from {
+                    adjacency[from].insert(to);
+                }
+            }
+        }
+    }
+
+    // BFS from the entry roots, keeping the first-discovered parent so
+    // every finding can cite a concrete witness path.
+    let mut dist: Vec<Option<u32>> = vec![None; nodes.len()];
+    let mut parent: Vec<Option<usize>> = vec![None; nodes.len()];
+    let mut queue: std::collections::VecDeque<usize> = std::collections::VecDeque::new();
+    for (id, n) in nodes.iter().enumerate() {
+        if n.entry {
+            dist[id] = Some(0);
+            queue.push_back(id);
+        }
+    }
+    while let Some(at) = queue.pop_front() {
+        for &next in &adjacency[at] {
+            if dist[next].is_none() {
+                dist[next] = dist[at].map(|d| d + 1);
+                parent[next] = Some(at);
+                queue.push_back(next);
+            }
+        }
+    }
+
+    let describe = |id: usize| -> String {
+        let n = &nodes[id];
+        files[n.file].items.fns[n.item].name.clone()
+    };
+    let mut findings = Vec::new();
+    for (fi, f) in files.iter().enumerate() {
+        for p in &f.items.panics {
+            let Some(&node) = node_of.get(&(fi, p.caller)) else {
+                continue;
+            };
+            let Some(d) = dist[node] else {
+                continue;
+            };
+            if f.scan.is_test_line(p.line) {
+                continue;
+            }
+            // Witness path: entry -> ... -> enclosing fn (≤ 4 hops shown).
+            let mut path = vec![node];
+            let mut at = node;
+            while let Some(par) = parent[at] {
+                path.push(par);
+                at = par;
+            }
+            path.reverse();
+            let entry_node = path[0];
+            let entry_file = files[nodes[entry_node].file].rel;
+            let shown: Vec<String> = if path.len() > 4 {
+                let mut v: Vec<String> = path[..2].iter().map(|&id| describe(id)).collect();
+                v.push("...".to_owned());
+                v.push(describe(*path.last().unwrap_or(&node)));
+                v
+            } else {
+                path.iter().map(|&id| describe(id)).collect()
+            };
+            let (rule, what) = match p.kind {
+                PanicKind::Unwrap => ("P101", "unwrap()"),
+                PanicKind::Expect => ("P102", "expect()"),
+                PanicKind::Panic => ("P103", "panic!"),
+                PanicKind::Index => ("P104", "arithmetic slice index"),
+            };
+            findings.push(Finding {
+                file: f.rel.to_owned(),
+                line: p.line,
+                rule,
+                message: format!(
+                    "{what} reachable from artifact entry `{}` ({entry_file}) in {d} call(s): {}",
+                    describe(entry_node),
+                    shown.join(" -> ")
+                ),
+            });
+        }
+    }
+    findings.sort();
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphFile;
+    use crate::lexer::scan;
+    use crate::parser::parse;
+
+    fn analyze_src(sources: &[(&str, &str)]) -> Vec<Finding> {
+        let scans: Vec<_> = sources.iter().map(|(_, s)| scan(s)).collect();
+        let items: Vec<_> = scans.iter().map(parse).collect();
+        let gfiles: Vec<GraphFile<'_>> = sources
+            .iter()
+            .zip(items.iter())
+            .map(|((rel, _), items)| GraphFile { rel, items })
+            .collect();
+        let scan_refs: Vec<_> = scans.iter().collect();
+        let arch = crate::graph::analyze(&gfiles, &scan_refs);
+        let cfiles: Vec<CgFile<'_>> = sources
+            .iter()
+            .zip(items.iter())
+            .zip(scans.iter())
+            .map(|(((rel, _), items), scan)| CgFile { rel, items, scan })
+            .collect();
+        analyze(&cfiles, &arch.edges)
+    }
+
+    #[test]
+    fn unwrap_reachable_from_bin_is_p101() {
+        let f = analyze_src(&[
+            (
+                "crates/bench/src/bin/reproduce.rs",
+                "fn main() { pixel_core::helper::risky(); }\n",
+            ),
+            (
+                "crates/core/src/helper.rs",
+                "pub fn risky() { std::fs::read(\"x\").unwrap(); }\n",
+            ),
+            ("crates/core/src/lib.rs", "pub mod helper;\n"),
+        ]);
+        let p101: Vec<_> = f.iter().filter(|f| f.rule == "P101").collect();
+        assert_eq!(p101.len(), 1, "{f:?}");
+        assert_eq!(p101[0].file, "crates/core/src/helper.rs");
+        assert!(p101[0].message.contains("main"), "{}", p101[0].message);
+        assert!(p101[0].message.contains("1 call(s)"));
+    }
+
+    #[test]
+    fn unreachable_panic_is_not_flagged() {
+        let f = analyze_src(&[
+            ("crates/bench/src/bin/reproduce.rs", "fn main() {}\n"),
+            (
+                "crates/core/src/helper.rs",
+                "pub fn island() { panic!(\"never called\"); }\n",
+            ),
+            ("crates/core/src/lib.rs", "pub mod helper;\n"),
+        ]);
+        assert!(
+            !f.iter().any(|f| f.rule == "P103"),
+            "island fn must not be reachable: {f:?}"
+        );
+    }
+
+    #[test]
+    fn entry_lib_pub_fns_are_roots() {
+        let f = analyze_src(&[
+            (
+                "crates/bench/src/lib.rs",
+                "pub fn table1() -> String { inner() }\nfn inner() -> String { opt().expect(\"set\") }\nfn opt() -> Option<String> { None }\n",
+            ),
+        ]);
+        let p102: Vec<_> = f.iter().filter(|f| f.rule == "P102").collect();
+        assert_eq!(p102.len(), 1, "{f:?}");
+        assert!(p102[0].message.contains("table1"));
+    }
+
+    #[test]
+    fn private_fns_in_entry_lib_are_not_roots() {
+        let f = analyze_src(&[(
+            "crates/bench/src/lib.rs",
+            "fn dead() { never().unwrap(); }\nfn never() -> Option<u32> { None }\n",
+        )]);
+        assert!(f.is_empty(), "{f:?}");
+    }
+
+    #[test]
+    fn arithmetic_index_is_p104() {
+        let f = analyze_src(&[(
+            "crates/fleet/src/sim.rs",
+            "pub fn run(v: &[u32], i: usize) -> u32 { v[i + 1] }\n",
+        )]);
+        let p104: Vec<_> = f.iter().filter(|f| f.rule == "P104").collect();
+        assert_eq!(p104.len(), 1, "{f:?}");
+        assert!(p104[0].message.contains("0 call(s)"));
+    }
+
+    #[test]
+    fn reachability_respects_the_dependency_cone() {
+        // `helper` exists in two crates; serve depends only on core, so
+        // the unwrap in the unrelated crate must not become reachable.
+        let f = analyze_src(&[
+            (
+                "crates/serve/src/machine.rs",
+                "use pixel_core::util::helper;\npub fn step() { helper(); }\n",
+            ),
+            ("crates/core/src/util.rs", "pub fn helper() {}\n"),
+            ("crates/core/src/lib.rs", "pub mod util;\n"),
+            (
+                "crates/fleet/src/other.rs",
+                "pub fn helper() { fail().unwrap(); }\nfn fail() -> Option<u32> { None }\n",
+            ),
+            ("crates/fleet/src/lib.rs", "pub mod other;\n"),
+        ]);
+        assert!(
+            !f.iter().any(|f| f.file.contains("fleet")),
+            "fleet is not in serve's cone: {f:?}"
+        );
+    }
+}

@@ -4,6 +4,7 @@
 use crate::baseline::{self, BaselineEntry};
 use crate::diag::{render_human, render_json, Finding, RULES};
 use crate::walk;
+use crate::workspace;
 use std::fs;
 use std::path::{Path, PathBuf};
 
@@ -29,6 +30,11 @@ pub struct Options {
     pub deny: bool,
     /// Rewrite the baseline file with the current findings and exit 0.
     pub write_baseline: bool,
+    /// Worker count for the per-file phase (default: host parallelism,
+    /// capped at 8). Output is identical for every value.
+    pub jobs: Option<usize>,
+    /// Flag `lint:allow` markers that no longer suppress anything.
+    pub unused_suppressions: bool,
 }
 
 impl Default for Options {
@@ -39,6 +45,8 @@ impl Default for Options {
             format: Format::Human,
             deny: false,
             write_baseline: false,
+            jobs: None,
+            unused_suppressions: false,
         }
     }
 }
@@ -52,6 +60,9 @@ USAGE: pixel-lint [OPTIONS]
   --format <fmt>     human | json (default: human)
   -D, --deny         ignore the baseline: every finding fails
   --write-baseline   record current findings as the new baseline
+  --jobs <n>         analysis worker count (output is jobs-invariant)
+  --unused-suppressions
+                     flag lint:allow markers that suppress nothing (X002)
   --list-rules       print the rule table and exit
 
 EXIT: 0 clean, 1 findings, 2 usage or I/O error
@@ -86,6 +97,18 @@ pub fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "-D" | "--deny" => opts.deny = true,
             "--write-baseline" => opts.write_baseline = true,
+            "--jobs" => {
+                let n = it
+                    .next()
+                    .ok_or("--jobs requires a count")?
+                    .parse::<usize>()
+                    .map_err(|e| format!("--jobs: {e}"))?;
+                if n == 0 {
+                    return Err("--jobs must be at least 1".to_owned());
+                }
+                opts.jobs = Some(n);
+            }
+            "--unused-suppressions" => opts.unused_suppressions = true,
             "--list-rules" | "--help" | "-h" => {
                 return Err(String::new()); // caller prints usage/rules
             }
@@ -122,21 +145,70 @@ pub fn discover_root(start: &Path) -> Option<PathBuf> {
     None
 }
 
-/// Analyzes every `.rs` source under `root`.
+/// Default worker count: host parallelism, capped at 8 (the per-file
+/// phase saturates quickly on this workspace's file count).
+#[must_use]
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get().min(8))
+}
+
+/// Reads every `.rs` source under `root` into memory, sorted by
+/// relative path.
+///
+/// # Errors
+///
+/// Returns a description of any I/O failure.
+pub fn load_sources(root: &Path) -> Result<Vec<workspace::SourceFile>, String> {
+    let files = walk::rust_sources(root).map_err(|e| format!("walking {root:?}: {e}"))?;
+    let mut out = Vec::with_capacity(files.len());
+    for path in files {
+        let rel = walk::relative(root, &path);
+        let text = fs::read_to_string(&path).map_err(|e| format!("reading {rel}: {e}"))?;
+        out.push(workspace::SourceFile { rel, text });
+    }
+    Ok(out)
+}
+
+/// Runs the full workspace analysis (lexical + structural rules) under
+/// `root`.
+///
+/// # Errors
+///
+/// Returns a description of any I/O failure.
+pub fn analyze_root_report(
+    root: &Path,
+    jobs: usize,
+    unused_suppressions: bool,
+) -> Result<workspace::WorkspaceReport, String> {
+    let sources = load_sources(root)?;
+    let design_md = fs::read_to_string(root.join("DESIGN.md")).ok();
+    let opts = workspace::AnalysisOptions {
+        jobs,
+        design_md: design_md.as_deref(),
+        unused_suppressions,
+    };
+    Ok(workspace::analyze_files(&sources, &opts))
+}
+
+/// Analyzes every `.rs` source under `root` with default options
+/// (structural rules on, X002 off).
 ///
 /// # Errors
 ///
 /// Returns a description of any I/O failure.
 pub fn analyze_root(root: &Path) -> Result<Vec<Finding>, String> {
-    let files = walk::rust_sources(root).map_err(|e| format!("walking {root:?}: {e}"))?;
-    let mut findings = Vec::new();
-    for path in files {
-        let rel = walk::relative(root, &path);
-        let src = fs::read_to_string(&path).map_err(|e| format!("reading {rel}: {e}"))?;
-        findings.extend(crate::rules::analyze_source(&rel, &src));
-    }
-    findings.sort();
-    Ok(findings)
+    Ok(analyze_root_report(root, default_jobs(), false)?.findings)
+}
+
+/// Renders the `reproduce archgraph` artifact for the workspace at
+/// `root`. Byte-identical for every `jobs` value.
+///
+/// # Errors
+///
+/// Returns a description of any I/O failure.
+pub fn archgraph(root: &Path, jobs: usize) -> Result<String, String> {
+    let report = analyze_root_report(root, jobs, false)?;
+    Ok(crate::graph::render_archgraph(&report.graph))
 }
 
 /// Runs a full lint pass; returns the process exit code.
@@ -167,8 +239,9 @@ pub fn run(args: &[String]) -> u8 {
         .clone()
         .unwrap_or_else(|| root.join("lint-baseline.toml"));
 
-    let findings = match analyze_root(&root) {
-        Ok(f) => f,
+    let jobs = opts.jobs.unwrap_or_else(default_jobs);
+    let findings = match analyze_root_report(&root, jobs, opts.unused_suppressions) {
+        Ok(report) => report.findings,
         Err(msg) => {
             eprintln!("pixel-lint: {msg}");
             return 2;
@@ -239,6 +312,19 @@ mod tests {
     fn rejects_unknown_flags() {
         assert!(parse_args(&args(&["--frobnicate"])).is_err());
         assert!(parse_args(&args(&["--format", "xml"])).is_err());
+    }
+
+    #[test]
+    fn parses_jobs_and_unused_suppressions() {
+        let o = parse_args(&args(&["--jobs", "4", "--unused-suppressions"])).unwrap();
+        assert_eq!(o.jobs, Some(4));
+        assert!(o.unused_suppressions);
+        let o = parse_args(&args(&["--deny"])).unwrap();
+        assert_eq!(o.jobs, None);
+        assert!(!o.unused_suppressions);
+        assert!(parse_args(&args(&["--jobs", "0"])).is_err());
+        assert!(parse_args(&args(&["--jobs", "many"])).is_err());
+        assert!(parse_args(&args(&["--jobs"])).is_err());
     }
 
     #[test]

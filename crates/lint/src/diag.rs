@@ -35,7 +35,7 @@ pub struct RuleInfo {
 }
 
 /// Every rule the analyzer knows, in report order.
-pub const RULES: [RuleInfo; 12] = [
+pub const RULES: [RuleInfo; 26] = [
     RuleInfo {
         id: "D001",
         summary: "no SystemTime / Instant::now outside crates/obs and crates/bench/src/timing.rs",
@@ -61,6 +61,22 @@ pub const RULES: [RuleInfo; 12] = [
         summary: "no cross-backend reference (ee.rs must not name oe:: or oo::, etc.)",
     },
     RuleInfo {
+        id: "G001",
+        summary: "no cycles in the workspace crate dependency graph",
+    },
+    RuleInfo {
+        id: "G002",
+        summary: "crate edges must point to a strictly lower layer of the documented layering (units/obs/lint -> photonics/electronics/dnn -> core -> serve -> fleet -> bench)",
+    },
+    RuleInfo {
+        id: "G003",
+        summary: "layer-0 leaf crates (pixel-units, pixel-obs, pixel-lint) must not reference any workspace crate",
+    },
+    RuleInfo {
+        id: "G004",
+        summary: "no transitive reference between ee/oe/oo backend files through intermediate modules (A002 lifted to the module graph)",
+    },
+    RuleInfo {
         id: "U001",
         summary: "public fns in core/electronics/photonics with quantity-named params or returns must use pixel-units types, not bare f64",
     },
@@ -81,8 +97,48 @@ pub const RULES: [RuleInfo; 12] = [
         summary: "no panic! in non-test library code without a lint:allow suppression",
     },
     RuleInfo {
+        id: "P101",
+        summary: "no .unwrap() reachable from an artifact entry point via the workspace call graph (covered by a P001 suppression at the site)",
+    },
+    RuleInfo {
+        id: "P102",
+        summary: "no .expect() reachable from an artifact entry point via the workspace call graph (covered by a P002 suppression at the site)",
+    },
+    RuleInfo {
+        id: "P103",
+        summary: "no panic! reachable from an artifact entry point via the workspace call graph (covered by a P003 suppression at the site)",
+    },
+    RuleInfo {
+        id: "P104",
+        summary: "no arithmetic slice indexing (v[i + 1]) reachable from an artifact entry point; use get(), split_at, or suppress with the bound argument",
+    },
+    RuleInfo {
+        id: "C001",
+        summary: "no thread spawns outside the sanctioned parallel modules (pixel_core::sweep, the functional fabric, the serve I/O layer, the lint walk)",
+    },
+    RuleInfo {
+        id: "C002",
+        summary: "no static mut anywhere and no interior-mutable statics outside crates/obs and the documented process-wide knobs",
+    },
+    RuleInfo {
+        id: "C003",
+        summary: "no compound-assign accumulation of join() results inside thread::scope (completion-order merges are nondeterministic; fold handles in spawn order)",
+    },
+    RuleInfo {
+        id: "C004",
+        summary: "no HashMap/HashSet in files reachable from the artifact/report paths via the use graph (D002 lifted to reachability)",
+    },
+    RuleInfo {
+        id: "S001",
+        summary: "the implemented rule set and the DESIGN.md catalogue must match exactly, both directions",
+    },
+    RuleInfo {
         id: "X001",
         summary: "every lint:allow marker must list known rule IDs and carry a reason",
+    },
+    RuleInfo {
+        id: "X002",
+        summary: "no stale lint:allow markers: a suppression that suppresses nothing must be removed (checked under --unused-suppressions)",
     },
 ];
 

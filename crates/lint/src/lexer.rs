@@ -15,7 +15,8 @@
 //!   literals;
 //! * numbers keep enough shape to know whether they are float literals;
 //! * the multi-char operators rules care about (`::`, `==`, `!=`, `->`,
-//!   `=>`, `..`) are single tokens.
+//!   `=>`, `..`, the compound assignments `+=` `-=` `*=` `/=`, ...) are
+//!   single tokens.
 //!
 //! [`Scan::test_spans`] additionally resolves `#[cfg(test)]` items by
 //! brace matching, so rules can exempt test code inside library files.
@@ -285,8 +286,9 @@ pub fn scan(src: &str) -> Scan {
             });
         } else {
             // Punctuation; join the two-char operators the rules rely on.
-            const TWO: [&str; 12] = [
-                "::", "==", "!=", "->", "=>", "..", "&&", "||", "<=", ">=", "<<", ">>",
+            const TWO: [&str; 16] = [
+                "::", "==", "!=", "->", "=>", "..", "&&", "||", "<=", ">=", "<<", ">>", "+=", "-=",
+                "*=", "/=",
             ];
             let pair: String = [c, at(i + 1)].iter().collect();
             if TWO.contains(&pair.as_str()) {

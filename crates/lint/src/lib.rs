@@ -27,16 +27,45 @@
 //!   `unwrap()` / `expect()` / `panic!` (`P001`–`P003`) unless the line
 //!   carries a justified `// lint:allow(P001) reason` suppression.
 //!
+//! On top of the per-file lexer sits a lightweight item parser
+//! (module tree, `use` graph, fn items, name-resolved call sites) that
+//! powers the structural rule families:
+//!
+//! * **G-rules (dependency graph)** — the workspace crate graph must be
+//!   acyclic (`G001`), respect the documented layering (`G002`), keep
+//!   the layer-0 leaves dependency-free (`G003`), and keep the
+//!   `ee`/`oe`/`oo` backends isolated even transitively (`G004`); the
+//!   graph is rendered as the snapshot-pinned `reproduce archgraph`
+//!   artifact.
+//! * **P1xx (transitive panic paths)** — panic-capable expressions
+//!   *reachable* from artifact entry points via the call graph
+//!   (`P101`–`P103` mirror `P001`–`P003` and share their suppressions;
+//!   `P104` adds arithmetic slice indexing).
+//! * **C-rules (concurrency determinism)** — thread spawns outside the
+//!   sanctioned engines (`C001`), mutable global state outside obs and
+//!   the documented knobs (`C002`), completion-order accumulation in
+//!   `thread::scope` merges (`C003`), and hash collections reachable
+//!   from artifact paths (`C004`, D002 lifted to the use graph).
+//! * **Meta rules** — malformed suppressions (`X001`), stale
+//!   suppressions (`X002`, under `--unused-suppressions`), and spec
+//!   drift between the rule set and `DESIGN.md` (`S001`).
+//!
 //! Findings can be grandfathered in `lint-baseline.toml` (kept empty in
 //! this repository) and are reported in human or `--format json` form.
-//! See `DESIGN.md` §11 for the full rule catalogue and how to extend it.
+//! See `DESIGN.md` §11 for the rule catalogue and §14 for the
+//! structural model and its documented limits.
 
 pub mod baseline;
+pub mod callgraph;
 pub mod cli;
 pub mod diag;
+pub mod graph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 pub mod walk;
+pub mod workspace;
 
 pub use diag::{Finding, RuleInfo, RULES};
 pub use rules::{analyze_scan, analyze_source};
+pub use workspace::{analyze_files, analyze_sources, AnalysisOptions, WorkspaceReport};

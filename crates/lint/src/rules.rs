@@ -23,14 +23,15 @@ const D001_EXEMPT_FILES: [&str; 2] = [
 ];
 
 /// Artifact / report / serve paths whose output must not depend on hash
-/// iteration order.
-const D002_PREFIXES: [&str; 4] = [
+/// iteration order. Also the root set for C004's reachability lift
+/// (see [`crate::graph`]).
+pub(crate) const D002_PREFIXES: [&str; 4] = [
     "crates/serve/src/",
     "crates/fleet/src/",
     "crates/bench/src/",
     "crates/obs/src/",
 ];
-const D002_FILES: [&str; 2] = ["crates/core/src/report.rs", "crates/core/src/dse.rs"];
+pub(crate) const D002_FILES: [&str; 2] = ["crates/core/src/report.rs", "crates/core/src/dse.rs"];
 
 /// Entry points sanctioned to read the process environment.
 const D004_EXEMPT_FILES: [&str; 5] = [
@@ -62,12 +63,47 @@ const U001_BARE: [&str; 4] = ["energy", "area", "latency", "power"];
 /// name (span paths are slash-separated by design and stay exempt).
 const O001_FNS: [&str; 3] = ["add", "gauge", "observe"];
 
+/// The only files allowed to spawn threads: the two chunked-scope
+/// engines, the daemon/loadgen/oracle I/O layers, and the lint walk
+/// itself. Everything else must go through `pixel_core::sweep`.
+const C001_SANCTIONED_FILES: [&str; 6] = [
+    "crates/core/src/sweep.rs",
+    "crates/core/src/functional_fabric.rs",
+    "crates/serve/src/daemon.rs",
+    "crates/serve/src/loadgen.rs",
+    "crates/serve/src/oracle.rs",
+    "crates/lint/src/workspace.rs",
+];
+
+/// Paths sanctioned to hold mutable global state: the observability
+/// registry, and the documented process-wide knobs (jobs, seed, quick
+/// mode, metrics sink).
+const C002_SANCTIONED_PREFIXES: [&str; 1] = ["crates/obs/src/"];
+const C002_SANCTIONED_FILES: [&str; 3] = [
+    "crates/core/src/sweep.rs",
+    "crates/core/src/seed.rs",
+    "crates/bench/src/opts.rs",
+];
+
+/// Type idents that make a `static` interiorly mutable.
+const C002_INTERIOR_MUTABLE: [&str; 9] = [
+    "Mutex",
+    "RwLock",
+    "OnceLock",
+    "OnceCell",
+    "LazyLock",
+    "Once",
+    "Cell",
+    "RefCell",
+    "UnsafeCell",
+];
+
 fn has_prefix(rel: &str, prefixes: &[&str]) -> bool {
     prefixes.iter().any(|p| rel.starts_with(p))
 }
 
 /// True for files that are wholly test/bench/example context.
-fn is_test_context(rel: &str) -> bool {
+pub(crate) fn is_test_context(rel: &str) -> bool {
     rel.starts_with("tests/")
         || rel.starts_with("examples/")
         || rel.contains("/tests/")
@@ -76,7 +112,7 @@ fn is_test_context(rel: &str) -> bool {
 }
 
 /// True for library-ish sources the panic-hygiene rules cover.
-fn is_library_src(rel: &str) -> bool {
+pub(crate) fn is_library_src(rel: &str) -> bool {
     (rel.starts_with("src/") || rel.contains("/src/")) && !is_test_context(rel)
 }
 
@@ -504,6 +540,152 @@ fn check_panics(ctx: &mut Ctx<'_>) {
     }
 }
 
+/// C001 — thread spawns outside the sanctioned parallel engines.
+/// `thread::sleep` is fine anywhere; creating concurrency is not.
+fn check_c001(ctx: &mut Ctx<'_>) {
+    if is_test_context(ctx.rel) || C001_SANCTIONED_FILES.contains(&ctx.rel) {
+        return;
+    }
+    for i in 0..ctx.toks().len() {
+        let t = &ctx.toks()[i];
+        if t.kind == TokenKind::Ident
+            && t.text == "thread"
+            && ctx.text(i + 1) == "::"
+            && matches!(ctx.text(i + 2), "spawn" | "scope" | "Builder")
+            && !ctx.in_test(t.line)
+        {
+            let (line, what) = (t.line, ctx.text(i + 2).to_owned());
+            ctx.emit(
+                "C001",
+                line,
+                format!("thread::{what} outside the sanctioned parallel modules; route concurrency through pixel_core::sweep or the serve I/O layer"),
+            );
+        }
+    }
+}
+
+/// C002 — mutable global state outside obs and the documented knobs.
+/// `static mut` is flagged everywhere; interior-mutable statics
+/// (`Atomic*`, `Mutex`, `OnceLock`, ...) only outside the sanctioned
+/// files.
+fn check_c002(ctx: &mut Ctx<'_>) {
+    let sanctioned =
+        has_prefix(ctx.rel, &C002_SANCTIONED_PREFIXES) || C002_SANCTIONED_FILES.contains(&ctx.rel);
+    for i in 0..ctx.toks().len() {
+        let t = &ctx.toks()[i];
+        if t.kind != TokenKind::Ident || t.text != "static" || ctx.in_test(t.line) {
+            continue;
+        }
+        if ctx.text(i + 1) == "mut" {
+            let line = t.line;
+            ctx.emit(
+                "C002",
+                line,
+                "static mut is never acceptable; use an atomic or a lock in a sanctioned module"
+                    .to_owned(),
+            );
+            continue;
+        }
+        if sanctioned || is_test_context(ctx.rel) {
+            continue;
+        }
+        // Scan the declared type (tokens up to `=` or `;`) for
+        // interior-mutable type names.
+        let mut j = i + 1;
+        while j < ctx.toks().len() && !matches!(ctx.text(j), "=" | ";") {
+            let tj = &ctx.toks()[j];
+            if tj.kind == TokenKind::Ident
+                && (tj.text.starts_with("Atomic")
+                    || C002_INTERIOR_MUTABLE.contains(&tj.text.as_str()))
+            {
+                let (line, ty) = (t.line, tj.text.clone());
+                ctx.emit(
+                    "C002",
+                    line,
+                    format!("interior-mutable static (`{ty}`) outside obs and the documented process-wide knobs"),
+                );
+                break;
+            }
+            j += 1;
+        }
+    }
+}
+
+/// C003 — f64 accumulation across `thread::scope` worker joins without
+/// an order-preserving merge: a statement inside a scope block that
+/// both calls `join` and compound-assigns is merging results in
+/// completion order, which is nondeterministic. The sanctioned engines
+/// collect handles first and fold them in spawn order instead.
+fn check_c003(ctx: &mut Ctx<'_>) {
+    if is_test_context(ctx.rel) {
+        return;
+    }
+    let len = ctx.toks().len();
+    let mut i = 0usize;
+    while i + 2 < len {
+        let is_scope = ctx.toks()[i].kind == TokenKind::Ident
+            && ctx.text(i) == "thread"
+            && ctx.text(i + 1) == "::"
+            && ctx.text(i + 2) == "scope";
+        if !is_scope {
+            i += 1;
+            continue;
+        }
+        // Extent: the first brace block after `scope` (the closure body).
+        let mut open = i + 3;
+        while open < len && ctx.text(open) != "{" {
+            open += 1;
+        }
+        let mut depth = 0i32;
+        let mut close = open;
+        while close < len {
+            match ctx.text(close) {
+                "{" => depth += 1,
+                "}" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            close += 1;
+        }
+        // Split the extent into `;`-delimited statements and flag any
+        // that both join a handle and compound-assign.
+        let mut stmt_start = open + 1;
+        for idx in open + 1..=close.min(len.saturating_sub(1)) {
+            if ctx.text(idx) == ";" || idx == close {
+                let mut join_line: Option<u32> = None;
+                let mut compound = false;
+                for k in stmt_start..idx {
+                    let tk = &ctx.toks()[k];
+                    if tk.kind == TokenKind::Ident && tk.text == "join" {
+                        join_line.get_or_insert(tk.line);
+                    }
+                    if tk.kind == TokenKind::Punct
+                        && matches!(tk.text.as_str(), "+=" | "-=" | "*=" | "/=")
+                    {
+                        compound = true;
+                    }
+                }
+                if let Some(line) = join_line {
+                    if compound && !ctx.in_test(line) {
+                        ctx.emit(
+                            "C003",
+                            line,
+                            "accumulating join() results with a compound assignment inside thread::scope merges in completion order; collect handles and fold them in spawn order"
+                                .to_owned(),
+                        );
+                    }
+                }
+                stmt_start = idx + 1;
+            }
+        }
+        i = open + 1; // nested scopes: keep scanning inside
+    }
+}
+
 /// X001 — malformed suppression markers.
 fn check_x001(ctx: &mut Ctx<'_>) {
     for s in &ctx.scan.suppressions {
@@ -521,12 +703,38 @@ fn check_x001(ctx: &mut Ctx<'_>) {
     }
 }
 
-/// Runs every rule over one scanned file and applies suppressions.
-///
-/// `rel` is the workspace-relative path with forward slashes; findings
-/// come back sorted by line then rule.
+/// True if a suppression listing `supp` also covers finding rule
+/// `rule`. Besides the identity case, a lexical panic-hygiene
+/// suppression carries over to its transitive twin: the justification
+/// for an `unwrap()` (P001) is also the justification for it being
+/// reachable (P101), so one marker covers both.
 #[must_use]
-pub fn analyze_scan(rel: &str, scan: &Scan) -> Vec<Finding> {
+pub fn suppression_covers(supp: &str, rule: &str) -> bool {
+    supp == rule
+        || matches!(
+            (supp, rule),
+            ("P001", "P101") | ("P002", "P102") | ("P003", "P103")
+        )
+}
+
+/// Rules that cannot be suppressed: the meta rules about suppressions
+/// themselves (X001/X002) and spec drift (S001).
+#[must_use]
+pub fn is_unsuppressible(rule: &str) -> bool {
+    matches!(rule, "X001" | "X002" | "S001")
+}
+
+/// True if `s` is a well-formed suppression (known rules, real reason).
+#[must_use]
+pub fn is_valid_suppression(s: &crate::lexer::Suppression) -> bool {
+    !s.rules.is_empty() && s.rules.iter().all(|r| is_known_rule(r)) && s.reason.len() >= 3
+}
+
+/// Runs every per-file lexical rule over one scanned file, without
+/// applying suppressions. The workspace layer adds the structural
+/// G/P1xx/C004/S001 findings and applies suppressions centrally.
+#[must_use]
+pub fn raw_findings(rel: &str, scan: &Scan) -> Vec<Finding> {
     let mut ctx = Ctx {
         rel,
         scan,
@@ -541,27 +749,43 @@ pub fn analyze_scan(rel: &str, scan: &Scan) -> Vec<Finding> {
     check_u001(&mut ctx);
     check_o001(&mut ctx);
     check_panics(&mut ctx);
+    check_c001(&mut ctx);
+    check_c002(&mut ctx);
+    check_c003(&mut ctx);
     check_x001(&mut ctx);
+    let mut findings = ctx.findings;
+    findings.sort();
+    findings
+}
 
-    // A valid suppression covers its own line and the line below it
-    // (so a marker can sit on its own line above a long statement).
-    let mut suppressed: Vec<(u32, String)> = Vec::new();
-    for s in &scan.suppressions {
-        if s.rules.is_empty() || s.rules.iter().any(|r| !is_known_rule(r)) || s.reason.len() < 3 {
-            continue;
-        }
-        for r in &s.rules {
-            suppressed.push((s.line, r.clone()));
-            suppressed.push((s.line + 1, r.clone()));
-        }
-    }
-    let mut findings: Vec<Finding> = ctx
-        .findings
+/// Applies one file's suppressions to its findings. A valid
+/// suppression covers its own line and the line below it (so a marker
+/// can sit on its own line above a long statement); meta rules are
+/// never suppressed. Returns the surviving findings.
+#[must_use]
+pub fn apply_suppressions(findings: Vec<Finding>, scan: &Scan) -> Vec<Finding> {
+    findings
         .into_iter()
         .filter(|f| {
-            f.rule == "X001" || !suppressed.iter().any(|(l, r)| *l == f.line && r == f.rule)
+            is_unsuppressible(f.rule)
+                || !scan.suppressions.iter().any(|s| {
+                    is_valid_suppression(s)
+                        && (s.line == f.line || s.line + 1 == f.line)
+                        && s.rules.iter().any(|r| suppression_covers(r, f.rule))
+                })
         })
-        .collect();
+        .collect()
+}
+
+/// Runs every lexical rule over one scanned file and applies
+/// suppressions — the single-file entry point used by fixture tests.
+/// Structural (cross-file) rules need [`crate::workspace`].
+///
+/// `rel` is the workspace-relative path with forward slashes; findings
+/// come back sorted by line then rule.
+#[must_use]
+pub fn analyze_scan(rel: &str, scan: &Scan) -> Vec<Finding> {
+    let mut findings = apply_suppressions(raw_findings(rel, scan), scan);
     findings.sort();
     findings
 }

@@ -1,0 +1,380 @@
+//! Whole-workspace analysis: the parallel per-file phase, the
+//! structural rule families, central suppression application, and the
+//! suppression/spec meta rules (X002, S001).
+//!
+//! The pipeline is:
+//!
+//! 1. **per-file, parallel** — lex, parse items, run the lexical rules
+//!    ([`crate::rules::raw_findings`]) over contiguous file chunks on
+//!    `std::thread::scope` workers; results are concatenated in input
+//!    order, so the output is byte-identical for any worker count;
+//! 2. **structural, serial** — the dependency graphs and G/C004 rules
+//!    ([`crate::graph`]), the call graph and P1xx rules
+//!    ([`crate::callgraph`]), and spec drift (S001);
+//! 3. **suppressions, central** — every finding is filtered against
+//!    its file's `lint:allow` markers (with the P00x→P10x carryover),
+//!    and markers that suppressed nothing become X002 findings when
+//!    `--unused-suppressions` is on.
+
+use crate::diag::{Finding, RULES};
+use crate::graph::{self, ArchGraph, GraphFile};
+use crate::lexer::{self, Scan};
+use crate::parser::{self, FileItems};
+use crate::rules;
+
+/// One workspace source file, read into memory.
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes.
+    pub rel: String,
+    /// File contents.
+    pub text: String,
+}
+
+/// The result of a whole-workspace analysis.
+pub struct WorkspaceReport {
+    /// All surviving findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// The architecture graph (render with
+    /// [`crate::graph::render_archgraph`]).
+    pub graph: ArchGraph,
+}
+
+/// Tuning knobs for [`analyze_files`].
+pub struct AnalysisOptions<'a> {
+    /// Worker count for the per-file phase (clamped to ≥ 1). The
+    /// output is identical for every value.
+    pub jobs: usize,
+    /// `DESIGN.md` text for the S001 spec-drift check, if available.
+    pub design_md: Option<&'a str>,
+    /// Emit X002 findings for suppressions that suppress nothing.
+    pub unused_suppressions: bool,
+}
+
+impl Default for AnalysisOptions<'_> {
+    fn default() -> Self {
+        Self {
+            jobs: 1,
+            design_md: None,
+            unused_suppressions: false,
+        }
+    }
+}
+
+struct FileAnalysis {
+    scan: Scan,
+    items: FileItems,
+    raw: Vec<Finding>,
+}
+
+fn analyze_one(file: &SourceFile) -> FileAnalysis {
+    let scan = lexer::scan(&file.text);
+    let items = parser::parse(&scan);
+    let raw = rules::raw_findings(&file.rel, &scan);
+    FileAnalysis { scan, items, raw }
+}
+
+/// Phase 1: contiguous chunks over scoped workers, concatenated in
+/// spawn order (the `pixel_core::sweep` idiom, reimplemented locally
+/// because `pixel-lint` is a layer-0 leaf and depends on nothing).
+fn per_file_phase(files: &[SourceFile], jobs: usize) -> Vec<FileAnalysis> {
+    let jobs = jobs.clamp(1, files.len().max(1));
+    if jobs <= 1 {
+        return files.iter().map(analyze_one).collect();
+    }
+    let chunk = files.len().div_ceil(jobs);
+    let mut out: Vec<FileAnalysis> = Vec::with_capacity(files.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = files
+            .chunks(chunk)
+            .map(|chunk| scope.spawn(move || chunk.iter().map(analyze_one).collect::<Vec<_>>()))
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok(part) => out.extend(part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    out
+}
+
+/// S001 — spec drift: every implemented rule ID must appear in
+/// DESIGN.md, and every rule-shaped ID DESIGN.md mentions must be
+/// implemented. IDs are `[DAUOPXCGS]` + three digits, word-bounded.
+fn check_s001(design_md: &str, findings: &mut Vec<Finding>) {
+    let mut documented: Vec<(String, u32)> = Vec::new();
+    for (lineno, line) in design_md.lines().enumerate() {
+        let bytes = line.as_bytes();
+        for at in 0..bytes.len() {
+            if !b"DAUOPXCGS".contains(&bytes[at]) {
+                continue;
+            }
+            if at + 4 > bytes.len() || !bytes[at + 1..at + 4].iter().all(u8::is_ascii_digit) {
+                continue;
+            }
+            let word = |b: Option<&u8>| b.is_some_and(|b| b.is_ascii_alphanumeric() || *b == b'_');
+            let bounded_left = at == 0 || !word(at.checked_sub(1).and_then(|j| bytes.get(j)));
+            let bounded_right = !word(bytes.get(at + 4));
+            if bounded_left && bounded_right {
+                let id = String::from_utf8_lossy(&bytes[at..at + 4]).into_owned();
+                #[allow(clippy::cast_possible_truncation)]
+                let ln = (lineno + 1) as u32;
+                if !documented.iter().any(|(d, _)| *d == id) {
+                    documented.push((id, ln));
+                }
+            }
+        }
+    }
+    for r in RULES {
+        if !documented.iter().any(|(d, _)| d == r.id) {
+            findings.push(Finding {
+                file: "DESIGN.md".to_owned(),
+                line: 1,
+                rule: "S001",
+                message: format!(
+                    "rule {} is implemented but missing from the DESIGN.md catalogue",
+                    r.id
+                ),
+            });
+        }
+    }
+    for (id, line) in documented {
+        if !RULES.iter().any(|r| r.id == id) {
+            findings.push(Finding {
+                file: "DESIGN.md".to_owned(),
+                line,
+                rule: "S001",
+                message: format!("DESIGN.md documents rule {id}, which is not implemented"),
+            });
+        }
+    }
+}
+
+/// Runs the full pipeline over in-memory sources. `files` must be
+/// sorted by `rel` (the walk order guarantees this for disk runs).
+#[must_use]
+pub fn analyze_files(files: &[SourceFile], opts: &AnalysisOptions<'_>) -> WorkspaceReport {
+    let analyses = per_file_phase(files, opts.jobs);
+
+    // Phase 2: structural rules over the assembled workspace.
+    let gfiles: Vec<GraphFile<'_>> = files
+        .iter()
+        .zip(analyses.iter())
+        .map(|(f, a)| GraphFile {
+            rel: &f.rel,
+            items: &a.items,
+        })
+        .collect();
+    let scans: Vec<&Scan> = analyses.iter().map(|a| &a.scan).collect();
+    let mut graph = graph::analyze(&gfiles, &scans);
+    let cgfiles: Vec<crate::callgraph::CgFile<'_>> = files
+        .iter()
+        .zip(analyses.iter())
+        .map(|(f, a)| crate::callgraph::CgFile {
+            rel: &f.rel,
+            items: &a.items,
+            scan: &a.scan,
+        })
+        .collect();
+    let transitive = crate::callgraph::analyze(&cgfiles, &graph.edges);
+
+    // Gather raw findings per file so suppression usage can be tracked.
+    let mut raw: Vec<Finding> = Vec::new();
+    for a in &analyses {
+        raw.extend(a.raw.iter().cloned());
+    }
+    raw.extend(graph.findings.iter().cloned());
+    raw.extend(transitive);
+    if let Some(md) = opts.design_md {
+        check_s001(md, &mut raw);
+    }
+    raw.sort();
+
+    // Phase 3: central suppression application + X002.
+    let scan_of = |rel: &str| -> Option<&Scan> {
+        files
+            .iter()
+            .position(|f| f.rel == rel)
+            .map(|i| &analyses[i].scan)
+    };
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in &raw {
+        let keep = rules::is_unsuppressible(f.rule)
+            || scan_of(&f.file).is_none_or(|scan| {
+                !scan.suppressions.iter().any(|s| {
+                    rules::is_valid_suppression(s)
+                        && (s.line == f.line || s.line + 1 == f.line)
+                        && s.rules.iter().any(|r| rules::suppression_covers(r, f.rule))
+                })
+            });
+        if keep {
+            findings.push(f.clone());
+        }
+    }
+    if opts.unused_suppressions {
+        for (file, a) in files.iter().zip(analyses.iter()) {
+            for s in &a.scan.suppressions {
+                if !rules::is_valid_suppression(s) {
+                    continue; // already an X001
+                }
+                let used = raw.iter().any(|f| {
+                    f.file == file.rel
+                        && (s.line == f.line || s.line + 1 == f.line)
+                        && s.rules.iter().any(|r| rules::suppression_covers(r, f.rule))
+                });
+                if !used {
+                    findings.push(Finding {
+                        file: file.rel.clone(),
+                        line: s.line,
+                        rule: "X002",
+                        message: format!(
+                            "lint:allow({}) suppresses nothing; remove the stale marker",
+                            s.rules.join(",")
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    findings.sort();
+    findings.dedup();
+    // The graph keeps only the findings that survived suppression, so
+    // the archgraph verdict lines agree with the deny-mode report: a
+    // justified `lint:allow` clears the verdict too.
+    graph.findings.retain(|g| findings.iter().any(|f| f == g));
+    WorkspaceReport { findings, graph }
+}
+
+/// Convenience wrapper for fixture tests: analyze in-memory sources
+/// given as `(rel, text)` pairs (sorted internally).
+#[must_use]
+pub fn analyze_sources(sources: &[(&str, &str)], opts: &AnalysisOptions<'_>) -> WorkspaceReport {
+    let mut files: Vec<SourceFile> = sources
+        .iter()
+        .map(|(rel, text)| SourceFile {
+            rel: (*rel).to_owned(),
+            text: (*text).to_owned(),
+        })
+        .collect();
+    files.sort_by(|a, b| a.rel.cmp(&b.rel));
+    analyze_files(&files, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jobs_do_not_change_output() {
+        let sources = [
+            (
+                "crates/core/src/helper.rs",
+                "pub fn risky() { std::fs::read(\"x\").unwrap(); }\n",
+            ),
+            ("crates/core/src/lib.rs", "pub mod helper;\n"),
+            (
+                "crates/bench/src/bin/reproduce.rs",
+                "fn main() { pixel_core::helper::risky(); }\n",
+            ),
+        ];
+        let one = analyze_sources(
+            &sources,
+            &AnalysisOptions {
+                jobs: 1,
+                ..Default::default()
+            },
+        );
+        let four = analyze_sources(
+            &sources,
+            &AnalysisOptions {
+                jobs: 4,
+                ..Default::default()
+            },
+        );
+        assert_eq!(one.findings, four.findings);
+        assert_eq!(
+            graph::render_archgraph(&one.graph),
+            graph::render_archgraph(&four.graph)
+        );
+    }
+
+    #[test]
+    fn suppression_carryover_covers_transitive_twin() {
+        let sources = [
+            (
+                "crates/core/src/helper.rs",
+                "pub fn risky() {\n    // lint:allow(P001) demo carryover\n    std::fs::read(\"x\").unwrap();\n}\n",
+            ),
+            ("crates/core/src/lib.rs", "pub mod helper;\n"),
+            (
+                "crates/bench/src/bin/reproduce.rs",
+                "fn main() { pixel_core::helper::risky(); }\n",
+            ),
+        ];
+        let report = analyze_sources(&sources, &AnalysisOptions::default());
+        assert!(
+            !report
+                .findings
+                .iter()
+                .any(|f| f.rule == "P001" || f.rule == "P101"),
+            "{:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn unused_suppression_is_x002() {
+        let sources = [(
+            "crates/core/src/clean.rs",
+            "// lint:allow(P001) nothing here panics anymore\npub fn fine() {}\n",
+        )];
+        let on = analyze_sources(
+            &sources,
+            &AnalysisOptions {
+                unused_suppressions: true,
+                ..Default::default()
+            },
+        );
+        assert!(on.findings.iter().any(|f| f.rule == "X002" && f.line == 1));
+        let off = analyze_sources(&sources, &AnalysisOptions::default());
+        assert!(!off.findings.iter().any(|f| f.rule == "X002"));
+    }
+
+    #[test]
+    fn used_suppression_is_not_x002() {
+        let sources = [(
+            "crates/core/src/busy.rs",
+            "pub fn f() {\n    // lint:allow(P003) sentinel panic is load-bearing here\n    panic!(\"x\");\n}\n",
+        )];
+        let report = analyze_sources(
+            &sources,
+            &AnalysisOptions {
+                unused_suppressions: true,
+                ..Default::default()
+            },
+        );
+        assert!(
+            !report.findings.iter().any(|f| f.rule == "X002"),
+            "{:?}",
+            report.findings
+        );
+    }
+
+    #[test]
+    fn spec_drift_fires_both_directions() {
+        let mut raw = Vec::new();
+        check_s001(
+            "| D001 | stuff |\n| Z123 not-an-id |\n| S999 | ghost |\n",
+            &mut raw,
+        );
+        // Implemented-but-undocumented: every real rule except D001.
+        assert!(raw
+            .iter()
+            .any(|f| f.rule == "S001" && f.message.contains("P101")));
+        // Documented-but-unimplemented: S999 (Z123 is not rule-shaped).
+        assert!(raw
+            .iter()
+            .any(|f| f.rule == "S001" && f.message.contains("S999") && f.line == 3));
+        assert!(!raw.iter().any(|f| f.message.contains("Z123")));
+    }
+}

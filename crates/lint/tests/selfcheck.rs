@@ -26,6 +26,31 @@ fn workspace_has_zero_non_suppressed_findings() {
 }
 
 #[test]
+fn workspace_is_clean_under_the_structural_and_meta_rules() {
+    // The strictest configuration the CI deny step runs: every rule
+    // family (lexical, graph, transitive-panic, concurrency), the S001
+    // spec-drift check against the committed DESIGN.md, and X002 for
+    // stale suppressions — at two worker counts, which must agree.
+    let root = workspace_root();
+    let serial = pixel_lint::cli::analyze_root_report(&root, 1, true).expect("workspace walk");
+    assert!(
+        serial.findings.is_empty(),
+        "pixel-lint (with --unused-suppressions) found violations:\n{}",
+        pixel_lint::diag::render_human(&serial.findings)
+    );
+    let parallel = pixel_lint::cli::analyze_root_report(&root, 4, true).expect("workspace walk");
+    assert_eq!(
+        serial.findings, parallel.findings,
+        "findings must be jobs-invariant"
+    );
+    assert_eq!(
+        pixel_lint::graph::render_archgraph(&serial.graph),
+        pixel_lint::graph::render_archgraph(&parallel.graph),
+        "archgraph must be jobs-invariant"
+    );
+}
+
+#[test]
 fn checked_in_baseline_is_empty() {
     let path = workspace_root().join("lint-baseline.toml");
     let text = std::fs::read_to_string(&path).expect("lint-baseline.toml is checked in");
@@ -45,8 +70,9 @@ fn every_rule_id_is_documented_and_unique() {
         assert!(!rule.summary.is_empty(), "{} lacks a summary", rule.id);
     }
     for family in [
-        "D001", "D002", "D003", "D004", "A001", "A002", "U001", "O001", "P001", "P002", "P003",
-        "X001",
+        "D001", "D002", "D003", "D004", "A001", "A002", "G001", "G002", "G003", "G004", "U001",
+        "O001", "P001", "P002", "P003", "P101", "P102", "P103", "P104", "C001", "C002", "C003",
+        "C004", "S001", "X001", "X002",
     ] {
         assert!(seen.contains(family), "missing rule {family}");
     }

@@ -1,0 +1,400 @@
+//! Fixture tests for the structural rule families: each G/P1xx/C/S/X002
+//! rule gets a positive fixture (the violation fires), a suppressed
+//! fixture (a justified `lint:allow` clears it), and a negative fixture
+//! (conforming code stays clean) — all through the public
+//! [`pixel_lint::analyze_sources`] pipeline, exactly as the CLI runs it.
+
+use pixel_lint::{analyze_sources, AnalysisOptions, WorkspaceReport};
+
+fn analyze(sources: &[(&str, &str)]) -> WorkspaceReport {
+    analyze_sources(sources, &AnalysisOptions::default())
+}
+
+fn rules_in(report: &WorkspaceReport, file: &str) -> Vec<&'static str> {
+    report
+        .findings
+        .iter()
+        .filter(|f| f.file == file)
+        .map(|f| f.rule)
+        .collect()
+}
+
+fn fired(report: &WorkspaceReport, rule: &str) -> bool {
+    report.findings.iter().any(|f| f.rule == rule)
+}
+
+// ---------------------------------------------------------------- G-rules
+
+#[test]
+fn g001_flags_a_crate_cycle() {
+    let r = analyze(&[
+        (
+            "crates/core/src/lib.rs",
+            "use pixel_serve::wire::frame;\npub fn a() {}\n",
+        ),
+        (
+            "crates/serve/src/lib.rs",
+            "use pixel_core::config::Cfg;\npub mod wire;\n",
+        ),
+        ("crates/serve/src/wire.rs", "pub fn frame() {}\n"),
+    ]);
+    assert!(fired(&r, "G001"), "core <-> serve cycle: {:?}", r.findings);
+}
+
+#[test]
+fn g002_flags_an_upward_layer_edge() {
+    let r = analyze(&[
+        (
+            "crates/dnn/src/lib.rs",
+            "use pixel_core::config::Cfg;\npub fn a() {}\n",
+        ),
+        ("crates/core/src/lib.rs", "pub mod config;\n"),
+        ("crates/core/src/config.rs", "pub struct Cfg;\n"),
+    ]);
+    assert!(
+        fired(&r, "G002"),
+        "dnn (layer 1) -> core (layer 2): {:?}",
+        r.findings
+    );
+}
+
+#[test]
+fn g003_takes_precedence_over_g002_for_leaves() {
+    let r = analyze(&[
+        (
+            "crates/units/src/lib.rs",
+            "use pixel_obs::span;\npub fn a() {}\n",
+        ),
+        ("crates/obs/src/lib.rs", "pub fn span() {}\n"),
+    ]);
+    assert!(fired(&r, "G003"), "units is a leaf: {:?}", r.findings);
+    assert!(!fired(&r, "G002"), "G003 subsumes G002: {:?}", r.findings);
+}
+
+#[test]
+fn g004_flags_transitive_backend_coupling() {
+    // ee -> shared -> oo: no direct reference (A002 stays quiet), but
+    // the transitive path must trip G004.
+    let r = analyze(&[
+        (
+            "crates/core/src/model/ee.rs",
+            "use crate::model::shared::helper;\npub fn cost() { helper(); }\n",
+        ),
+        (
+            "crates/core/src/model/shared.rs",
+            "use crate::model::oo::weight;\npub fn helper() { weight(); }\n",
+        ),
+        ("crates/core/src/model/oo.rs", "pub fn weight() {}\n"),
+        (
+            "crates/core/src/model/mod.rs",
+            "pub mod ee;\npub mod oo;\npub mod shared;\n",
+        ),
+    ]);
+    let g004: Vec<_> = r.findings.iter().filter(|f| f.rule == "G004").collect();
+    assert!(!g004.is_empty(), "{:?}", r.findings);
+    assert_eq!(g004[0].file, "crates/core/src/model/ee.rs");
+    assert!(g004[0].message.contains("shared.rs"), "{}", g004[0].message);
+    assert!(!fired(&r, "A002"), "no direct edge: {:?}", r.findings);
+}
+
+#[test]
+fn g004_registry_mod_does_not_couple_backends() {
+    // The registry mod.rs legitimately declares every backend; paths
+    // through it must not count as coupling.
+    let r = analyze(&[
+        (
+            "crates/core/src/model/ee.rs",
+            "use crate::model::Registry;\npub fn cost() {}\n",
+        ),
+        ("crates/core/src/model/oo.rs", "pub fn weight() {}\n"),
+        (
+            "crates/core/src/model/mod.rs",
+            "pub mod ee;\npub mod oo;\npub struct Registry;\n",
+        ),
+    ]);
+    assert!(!fired(&r, "G004"), "{:?}", r.findings);
+}
+
+#[test]
+fn conforming_downward_edges_stay_clean() {
+    let r = analyze(&[
+        (
+            "crates/serve/src/lib.rs",
+            "use pixel_core::config::Cfg;\npub fn a() {}\n",
+        ),
+        ("crates/core/src/lib.rs", "pub mod config;\n"),
+        ("crates/core/src/config.rs", "pub struct Cfg;\n"),
+    ]);
+    for rule in ["G001", "G002", "G003", "G004"] {
+        assert!(!fired(&r, rule), "{rule} misfired: {:?}", r.findings);
+    }
+}
+
+// ---------------------------------------------------------------- P1xx
+
+#[test]
+fn p101_flags_unwrap_reachable_from_a_bin() {
+    let r = analyze(&[
+        (
+            "crates/bench/src/bin/tool.rs",
+            "fn main() { pixel_core::helper::risky(); }\n",
+        ),
+        (
+            "crates/core/src/helper.rs",
+            "pub fn risky() { std::fs::read(\"x\").unwrap(); }\n",
+        ),
+        ("crates/core/src/lib.rs", "pub mod helper;\n"),
+    ]);
+    let p101: Vec<_> = r.findings.iter().filter(|f| f.rule == "P101").collect();
+    assert_eq!(p101.len(), 1, "{:?}", r.findings);
+    assert_eq!(p101[0].file, "crates/core/src/helper.rs");
+    assert!(p101[0].message.contains("main"), "{}", p101[0].message);
+}
+
+#[test]
+fn p001_suppression_carries_over_to_p101() {
+    let r = analyze(&[
+        (
+            "crates/bench/src/bin/tool.rs",
+            "fn main() { pixel_core::helper::risky(); }\n",
+        ),
+        (
+            "crates/core/src/helper.rs",
+            "pub fn risky() {\n    // lint:allow(P001) fixture: the read is infallible here\n    std::fs::read(\"x\").unwrap();\n}\n",
+        ),
+        ("crates/core/src/lib.rs", "pub mod helper;\n"),
+    ]);
+    assert!(!fired(&r, "P001"), "{:?}", r.findings);
+    assert!(!fired(&r, "P101"), "carryover: {:?}", r.findings);
+}
+
+#[test]
+fn p102_flags_expect_reachable_from_an_entry_lib_surface() {
+    let r = analyze(&[(
+        "crates/serve/src/machine.rs",
+        "pub fn step() { inner(); }\nfn inner() { opt().expect(\"set\"); }\nfn opt() -> Option<u32> { None }\n",
+    )]);
+    assert!(fired(&r, "P102"), "{:?}", r.findings);
+}
+
+#[test]
+fn p103_flags_panic_reachable_from_a_bin() {
+    let r = analyze(&[(
+        "crates/serve/src/bin/served.rs",
+        "fn main() { fail(); }\nfn fail() { panic!(\"boom\"); }\n",
+    )]);
+    assert!(fired(&r, "P103"), "{:?}", r.findings);
+}
+
+#[test]
+fn p104_flags_reachable_arithmetic_indexing_and_suppression_clears_it() {
+    let hot = "pub fn run(v: &[u32], i: usize) -> u32 { v[i + 1] }\n";
+    let r = analyze(&[("crates/fleet/src/sim.rs", hot)]);
+    assert!(fired(&r, "P104"), "{:?}", r.findings);
+
+    let suppressed = "// lint:allow(P104) fixture: i + 1 < v.len() is the documented contract\npub fn run(v: &[u32], i: usize) -> u32 { v[i + 1] }\n";
+    let r = analyze(&[("crates/fleet/src/sim.rs", suppressed)]);
+    assert!(!fired(&r, "P104"), "{:?}", r.findings);
+}
+
+#[test]
+fn unreachable_panics_do_not_become_p1xx() {
+    // A lexical P001 still fires, but no entry point reaches the fn, so
+    // the transitive rule must stay quiet.
+    let r = analyze(&[
+        (
+            "crates/core/src/island.rs",
+            "pub fn island() { opt().unwrap(); }\nfn opt() -> Option<u32> { None }\n",
+        ),
+        ("crates/core/src/lib.rs", "pub mod island;\n"),
+    ]);
+    assert!(fired(&r, "P001"), "{:?}", r.findings);
+    assert!(!fired(&r, "P101"), "{:?}", r.findings);
+}
+
+// ---------------------------------------------------------------- C-rules
+
+#[test]
+fn c001_flags_thread_spawn_outside_sanctioned_modules() {
+    let src = "pub fn go() { std::thread::spawn(|| {}); }\n";
+    let r = analyze(&[("crates/core/src/engine.rs", src)]);
+    assert_eq!(rules_in(&r, "crates/core/src/engine.rs"), vec!["C001"]);
+
+    // The sanctioned sweep engine may spawn.
+    let r = analyze(&[("crates/core/src/sweep.rs", src)]);
+    assert!(!fired(&r, "C001"), "{:?}", r.findings);
+
+    // A justified suppression clears it elsewhere.
+    let suppressed =
+        "pub fn go() {\n    // lint:allow(C001) fixture: scoped helper joins before returning\n    std::thread::spawn(|| {});\n}\n";
+    let r = analyze(&[("crates/core/src/engine.rs", suppressed)]);
+    assert!(!fired(&r, "C001"), "{:?}", r.findings);
+}
+
+#[test]
+fn c002_flags_mutable_global_state() {
+    // `static mut` is never acceptable, even in a sanctioned file.
+    let r = analyze(&[("crates/obs/src/registry.rs", "static mut COUNT: u32 = 0;\n")]);
+    assert!(fired(&r, "C002"), "{:?}", r.findings);
+
+    // Interior-mutable statics are flagged outside the sanctioned set...
+    let locked = "static CACHE: std::sync::Mutex<u32> = std::sync::Mutex::new(0);\n";
+    let r = analyze(&[("crates/core/src/state.rs", locked)]);
+    assert!(fired(&r, "C002"), "{:?}", r.findings);
+
+    // ... and sanctioned inside obs (the metrics registry lives there).
+    let r = analyze(&[("crates/obs/src/registry.rs", locked)]);
+    assert!(!fired(&r, "C002"), "{:?}", r.findings);
+}
+
+#[test]
+fn c003_flags_completion_order_accumulation() {
+    let src = "pub fn total(xs: &[u64]) -> u64 {\n    let mut sum = 0u64;\n    std::thread::scope(|s| {\n        let hs: Vec<_> = xs.iter().map(|x| s.spawn(move || *x)).collect();\n        for h in hs {\n            sum += h.join().unwrap_or(0);\n        }\n    });\n    sum\n}\n";
+    let r = analyze(&[("crates/core/src/sweep.rs", src)]);
+    assert!(fired(&r, "C003"), "{:?}", r.findings);
+
+    // Collecting into a Vec and folding afterwards is the sanctioned
+    // spawn-order merge.
+    let folded = "pub fn total(xs: &[u64]) -> u64 {\n    let parts = std::thread::scope(|s| {\n        let hs: Vec<_> = xs.iter().map(|x| s.spawn(move || *x)).collect();\n        hs.into_iter().map(|h| h.join().unwrap_or(0)).collect::<Vec<_>>()\n    });\n    parts.iter().sum()\n}\n";
+    let r = analyze(&[("crates/core/src/sweep.rs", folded)]);
+    assert!(!fired(&r, "C003"), "{:?}", r.findings);
+}
+
+#[test]
+fn c004_flags_hash_collections_reachable_from_artifact_paths() {
+    let util = "use std::collections::HashMap;\npub struct Cache { pub map: HashMap<u32, u32> }\n";
+    let reached = [
+        (
+            "crates/serve/src/lib.rs",
+            "use pixel_core::util::Cache;\npub fn a() {}\n",
+        ),
+        ("crates/core/src/util.rs", util),
+        ("crates/core/src/lib.rs", "pub mod util;\n"),
+    ];
+    let r = analyze(&reached);
+    let c004: Vec<_> = r.findings.iter().filter(|f| f.rule == "C004").collect();
+    assert_eq!(c004.len(), 1, "{:?}", r.findings);
+    assert_eq!(c004[0].file, "crates/core/src/util.rs");
+
+    // The same file with no edge from the artifact/report paths is out
+    // of C004's jurisdiction (D002 never applied to it either).
+    let r = analyze(&[
+        ("crates/core/src/util.rs", util),
+        ("crates/core/src/lib.rs", "pub mod util;\n"),
+    ]);
+    assert!(!fired(&r, "C004"), "{:?}", r.findings);
+
+    // A justified suppression on the import line clears it.
+    let suppressed = "// lint:allow(C004) fixture: per-key reads only, order never leaves\nuse std::collections::HashMap;\npub struct Cache { pub map: HashMap<u32, u32> }\n";
+    let mut sources = reached;
+    sources[1] = ("crates/core/src/util.rs", suppressed);
+    let r = analyze(&sources);
+    assert!(!fired(&r, "C004"), "{:?}", r.findings);
+}
+
+// ---------------------------------------------------------------- meta
+
+#[test]
+fn s001_flags_spec_drift_in_both_directions() {
+    // A catalogue that documents a bogus rule and misses real ones.
+    let opts = AnalysisOptions {
+        design_md: Some("The catalogue: D001 and the imaginary S999.\n"),
+        ..AnalysisOptions::default()
+    };
+    let r = analyze_sources(&[("crates/core/src/lib.rs", "pub fn a() {}\n")], &opts);
+    let s001: Vec<_> = r.findings.iter().filter(|f| f.rule == "S001").collect();
+    assert!(
+        s001.iter().any(|f| f.message.contains("S999")),
+        "undocumented bogus id: {:?}",
+        r.findings
+    );
+    assert!(
+        s001.iter()
+            .any(|f| f.message.contains("missing from the DESIGN.md catalogue")),
+        "missing implemented ids: {:?}",
+        r.findings
+    );
+    assert!(s001.iter().all(|f| f.file == "DESIGN.md"));
+}
+
+#[test]
+fn x002_flags_stale_suppressions_only_when_asked() {
+    let sources = [(
+        "crates/core/src/quiet.rs",
+        "// lint:allow(D001) fixture: nothing here reads a clock\npub fn a() {}\n",
+    )];
+    let r = analyze_sources(&sources, &AnalysisOptions::default());
+    assert!(!fired(&r, "X002"), "off by default: {:?}", r.findings);
+
+    let opts = AnalysisOptions {
+        unused_suppressions: true,
+        ..AnalysisOptions::default()
+    };
+    let r = analyze_sources(&sources, &opts);
+    let x002: Vec<_> = r.findings.iter().filter(|f| f.rule == "X002").collect();
+    assert_eq!(x002.len(), 1, "{:?}", r.findings);
+    assert!(x002[0].message.contains("D001"), "{}", x002[0].message);
+}
+
+#[test]
+fn x002_spares_suppressions_that_suppress_something() {
+    let opts = AnalysisOptions {
+        unused_suppressions: true,
+        ..AnalysisOptions::default()
+    };
+    let r = analyze_sources(
+        &[(
+            "crates/core/src/busy.rs",
+            "pub fn risky() {\n    // lint:allow(P001) fixture: infallible by construction\n    opt().unwrap();\n}\nfn opt() -> Option<u32> { None }\n",
+        )],
+        &opts,
+    );
+    assert!(!fired(&r, "X002"), "{:?}", r.findings);
+    assert!(!fired(&r, "P001"), "{:?}", r.findings);
+}
+
+// ------------------------------------------------------------ determinism
+
+#[test]
+fn findings_and_archgraph_are_jobs_invariant() {
+    // A workspace large enough to split into chunks, with violations in
+    // several files; every worker count must agree byte for byte.
+    let sources: &[(&str, &str)] = &[
+        (
+            "crates/core/src/engine.rs",
+            "pub fn go() { std::thread::spawn(|| {}); }\n",
+        ),
+        (
+            "crates/core/src/island.rs",
+            "pub fn island() { opt().unwrap(); }\nfn opt() -> Option<u32> { None }\n",
+        ),
+        (
+            "crates/core/src/lib.rs",
+            "pub mod engine;\npub mod island;\n",
+        ),
+        (
+            "crates/dnn/src/lib.rs",
+            "use pixel_core::engine::go;\npub fn a() {}\n",
+        ),
+        (
+            "crates/fleet/src/sim.rs",
+            "pub fn run(v: &[u32], i: usize) -> u32 { v[i + 1] }\n",
+        ),
+        ("crates/units/src/lib.rs", "use pixel_obs::span;\n"),
+    ];
+    let base = analyze_sources(sources, &AnalysisOptions::default());
+    assert!(!base.findings.is_empty());
+    for jobs in [2usize, 4, 9] {
+        let opts = AnalysisOptions {
+            jobs,
+            ..AnalysisOptions::default()
+        };
+        let r = analyze_sources(sources, &opts);
+        assert_eq!(r.findings, base.findings, "findings differ at jobs {jobs}");
+        assert_eq!(
+            pixel_lint::graph::render_archgraph(&r.graph),
+            pixel_lint::graph::render_archgraph(&base.graph),
+            "archgraph differs at jobs {jobs}"
+        );
+    }
+}

@@ -73,11 +73,13 @@ impl Unitary {
     /// Entry `(row, col)`.
     #[must_use]
     pub fn get(&self, row: usize, col: usize) -> Complex {
+        // lint:allow(P104) dense n x n storage; row/col < n is the documented contract
         self.data[row * self.n + col]
     }
 
     /// Sets entry `(row, col)`.
     pub fn set(&mut self, row: usize, col: usize, v: Complex) {
+        // lint:allow(P104) dense n x n storage; row/col < n is the documented contract
         self.data[row * self.n + col] = v;
     }
 

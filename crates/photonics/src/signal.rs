@@ -111,6 +111,7 @@ impl PulseTrain {
             self.slots.resize(needed, 0.0);
         }
         for (t, &a) in other.slots.iter().enumerate() {
+            // lint:allow(P104) slots was resized to shift + other.len() just above
             self.slots[t + shift] += a;
         }
     }

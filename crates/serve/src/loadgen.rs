@@ -113,7 +113,7 @@ pub fn run(
             .collect();
         let mut sent: u64 = 0;
         for sender in senders {
-            // lint:allow(P002) a panicked sender thread is unrecoverable here
+            // lint:allow(P002,C003) senders are joined in spawn order and the u64 sum is order-free; a panicked sender is unrecoverable
             sent += sender.join().expect("sender thread")?;
         }
         Ok(sent)

@@ -667,7 +667,7 @@ mod tests {
         let _ = m.admit(req(0, 0, 0.5));
         assert_eq!(m.now(), VirtInstant::from_secs(2.0));
         // ... but the event stream still stamps at the machine's now.
-        let last = *m.recorder.events().back().unwrap(); // lint:allow(P001) test
+        let last = *m.recorder.events().back().unwrap();
         assert_eq!(last.t_ns(), VirtualNs::from_nanos(2_000_000_000));
     }
 }
