@@ -200,14 +200,20 @@ grep -q '"schema":"pixel.fleet.point"' /tmp/fleet_metrics.jsonl \
   || { echo "fleet metrics missing point lines" >&2; exit 1; }
 
 echo "== bench"
-# Smoke the perf harness: quick mode must produce a well-formed
-# BENCH_functional.json with every expected bench present (the compare
-# path validates both files' schema and keys). The delta report against
-# the committed baseline is advisory — machine-to-machine wall-time
-# noise must not fail CI — but a malformed or incomplete artifact does.
-./target/release/reproduce bench --quick --jobs 1 --out target/BENCH_functional.json
+# The perf harness runs in full mode so the fresh report is
+# mode-matched with the committed baseline — `--compare` now hard-fails
+# on a schema or mode disagreement (a mean-statistics or quick-mode
+# baseline must never be silently compared against a median full run).
+# Wall-time deltas stay advisory (machine-to-machine noise must not
+# fail CI), but `--check` is a hard gate on the *in-run* invariants:
+# the batched fabric_conv_{ee,oe,oo} benches must beat their _scalar
+# references by the documented speedup floor, and every bench —
+# including the forward_* CNN replays — must report finite nonzero
+# throughput.
+./target/release/reproduce bench --jobs 1 --out target/BENCH_functional.json
 if [ -f BENCH_functional.json ]; then
   ./target/release/reproduce bench --compare BENCH_functional.json target/BENCH_functional.json
 fi
+./target/release/reproduce bench --check target/BENCH_functional.json
 
 echo "== ok"

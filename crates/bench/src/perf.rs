@@ -1,19 +1,28 @@
 //! The `reproduce bench` performance-regression harness.
 //!
 //! Times the repository's hot paths — the bit-true functional MACs, the
-//! fabric convolution, a full quantized forward pass, and the serving
-//! simulator's event loop — and writes the medians to a
-//! `BENCH_functional.json` artifact (schema [`SCHEMA`]). A committed
-//! baseline plus `reproduce bench --compare OLD NEW` turns the artifact
-//! into an advisory perf-regression check in CI: comparison output never
-//! fails the build on a slowdown (wall time on shared runners is noisy),
-//! but malformed files and missing benches do.
+//! fabric convolution in both its bit-plane batched and scalar
+//! dataflows, full quantized forwards of every paper CNN, and the
+//! serving simulator's event loop — and writes true medians (plus
+//! means) to a `BENCH_functional.json` artifact (schema [`SCHEMA`]).
+//!
+//! Three CI-facing entry points sit on top of the artifact:
+//!
+//! * `--compare OLD NEW` renders per-bench ops/s deltas. Slowdowns are
+//!   advisory (wall time on shared runners is noisy), but malformed
+//!   files, missing benches, and a `schema`/`mode` disagreement between
+//!   the two reports hard-fail — a mean-statistics baseline or a quick
+//!   run is never silently compared against a median full run.
+//! * `--check FILE` asserts the *in-run* batched-vs-scalar fabric
+//!   speedup floor ([`MIN_BATCH_SPEEDUP`]) and that every bench's
+//!   throughput is finite and nonzero — a machine-independent gate,
+//!   since both sides of each ratio come from the same run.
 
 use crate::timing;
 use pixel_core::config::{AcceleratorConfig, Design};
-use pixel_core::functional_fabric::FunctionalFabric;
+use pixel_core::functional_fabric::{ConvDataflow, FunctionalFabric};
 use pixel_core::omac::engine_for;
-use pixel_dnn::inference::{forward, DirectMac, LayerWeights, MacEngine};
+use pixel_dnn::inference::{forward, replay_layers, DirectMac, LayerWeights, MacEngine};
 use pixel_dnn::layer::{Layer, Shape};
 use pixel_dnn::quant::Precision;
 use pixel_dnn::tensor::Tensor;
@@ -24,11 +33,29 @@ use pixel_units::rng::SplitMix64;
 use std::time::Duration;
 
 /// Schema tag written into (and required from) every bench file.
-pub const SCHEMA: &str = "pixel-bench/1";
+/// `pixel-bench/2` reports a true median-of-reps as `median_ns` plus the
+/// iteration-weighted `mean_ns`; `pixel-bench/1` mislabeled a mean as
+/// `median_ns` and is rejected.
+pub const SCHEMA: &str = "pixel-bench/2";
+
+/// Images per iteration of the batched fabric-conv benches: enough that
+/// every bit-plane group is full (1600 windows = 25 exact groups of 64).
+pub const BATCH_IMAGES: usize = 16;
+
+/// Minimum in-run ops/s ratio of `fabric_conv_X` (batched) over
+/// `fabric_conv_X_scalar` that `--check` enforces per design. The
+/// measured ratios are ~10× (EE; its scalar baseline is the least
+/// slow) and 35–50× (OE/OO), so 6× leaves noise headroom while still
+/// catching any regression to per-window serial execution.
+pub const MIN_BATCH_SPEEDUP: f64 = 6.0;
 
 /// Every bench the harness runs, in run order. Comparison hard-fails if
-/// a file is missing any of these.
-pub const EXPECTED: [&str; 9] = [
+/// a file is missing any of these. The `fabric_conv_{ee,oe,oo}` keys
+/// time the production dataflow — `conv2d_batch` over [`BATCH_IMAGES`]
+/// images through the bit-plane engine paths — while the `_scalar`
+/// variants pin the one-window-at-a-time reference on the same
+/// workload shape.
+pub const EXPECTED: [&str; 17] = [
     "functional_mac_direct",
     "functional_mac_ee",
     "functional_mac_oe",
@@ -36,7 +63,15 @@ pub const EXPECTED: [&str; 9] = [
     "fabric_conv_ee",
     "fabric_conv_oe",
     "fabric_conv_oo",
+    "fabric_conv_ee_scalar",
+    "fabric_conv_oe_scalar",
+    "fabric_conv_oo_scalar",
     "forward_lenet_direct",
+    "forward_vgg16_direct",
+    "forward_alexnet_direct",
+    "forward_zfnet_direct",
+    "forward_resnet34_direct",
+    "forward_googlenet_direct",
     "serve_simulate",
 ];
 
@@ -45,10 +80,12 @@ pub const EXPECTED: [&str; 9] = [
 pub struct BenchResult {
     /// Stable bench key (one of [`EXPECTED`]).
     pub name: &'static str,
-    /// Iterations of the median repetition.
+    /// Total iterations across every timed repetition.
     pub iterations: u64,
-    /// Median-of-repetitions wall time per iteration, nanoseconds.
+    /// True median of the per-repetition mean iteration times, ns.
     pub median_ns: f64,
+    /// Iteration-weighted mean time per iteration across all reps, ns.
+    pub mean_ns: f64,
     /// Domain operations per iteration (MACs, requests, or inferences).
     pub ops_per_iter: u64,
     /// `ops_per_iter` scaled by the median time.
@@ -56,17 +93,13 @@ pub struct BenchResult {
 }
 
 fn result(name: &'static str, m: timing::Measurement, ops_per_iter: u64) -> BenchResult {
-    let median_ns = m.mean_nanos();
     #[allow(clippy::cast_precision_loss)]
-    let ops_per_sec = if median_ns > 0.0 {
-        ops_per_iter as f64 / (median_ns / 1e9)
-    } else {
-        0.0
-    };
+    let ops_per_sec = ops_per_iter as f64 / (m.median_ns / 1e9);
     BenchResult {
         name,
         iterations: m.iterations,
-        median_ns,
+        median_ns: m.median_ns,
+        mean_ns: m.mean_ns,
         ops_per_iter,
         ops_per_sec,
     }
@@ -80,20 +113,25 @@ fn window_operands(len: usize, bits: u32, seed: u64) -> (Vec<u64>, Vec<u64>) {
     (n, s)
 }
 
-/// The fabric-conv workload every regression run times: a 12×12×8 input
+/// The fabric-conv workload every regression run times: 12×12×8 inputs
 /// through 8 filters of 3×3 at stride 1 (100 windows of 72 words × 8
-/// filters = 57 600 MACs per iteration).
-fn conv_case() -> (Layer, Tensor, LayerWeights) {
+/// filters = 57 600 MACs per image). The batched benches run
+/// [`BATCH_IMAGES`] such images per iteration.
+fn conv_case() -> (Layer, Vec<Tensor>, LayerWeights) {
     let mut rng = SplitMix64::seed_from_u64(0xC0);
     let layer = Layer::conv("Conv", Shape::square(12, 8), 8, 3, 1);
-    let input = Tensor::from_fn(Shape::square(12, 8), |_, _, _| rng.range_u64(0, 15));
+    let inputs = (0..BATCH_IMAGES)
+        .map(|_| Tensor::from_fn(Shape::square(12, 8), |_, _, _| rng.range_u64(0, 15)))
+        .collect();
     let weights = LayerWeights::generate(&layer, || rng.range_u64(0, 15));
-    (layer, input, weights)
+    (layer, inputs, weights)
 }
 
 /// Runs every bench. `quick` shrinks the measurement budget (fewer
 /// repetitions of a shorter window), not the workloads, so quick and
-/// full runs of the same build measure the same code paths.
+/// full runs of the same build measure the same code paths. The
+/// full-CNN forward replays are single-shot in either mode — one VGG16
+/// replay already costs seconds, which *is* the measurement.
 #[must_use]
 pub fn run(quick: bool, jobs: usize) -> Vec<BenchResult> {
     let (budget, reps) = if quick {
@@ -109,29 +147,43 @@ pub fn run(quick: bool, jobs: usize) -> Vec<BenchResult> {
     let m = timing::measure_median(budget, reps, || DirectMac.inner_product(&n, &s));
     out.push(result("functional_mac_direct", m, n.len() as u64));
     // Per-design names come straight from EXPECTED, which lists the
-    // three MAC benches (then the three conv benches) in ALL order.
+    // three MAC benches (then the conv benches) in ALL order.
     for (design, name) in Design::ALL.into_iter().zip(EXPECTED[1..4].iter()) {
         let engine = engine_for(&AcceleratorConfig::new(design, 4, 4));
         let m = timing::measure_median(budget, reps, || engine.inner_product(&n, &s));
         out.push(result(name, m, n.len() as u64));
     }
 
-    // Fabric convolution end to end: transport + tiles + OMACs.
-    let (layer, input, weights) = conv_case();
+    // Fabric convolution end to end: transport + tiles + OMACs. The
+    // headline benches run the bit-plane batched dataflow over a full
+    // image batch; the `_scalar` benches pin the serial reference on a
+    // single image of the same case.
+    let (layer, inputs, weights) = conv_case();
     let e = layer.output_feature_size();
-    let macs = (e * e * 8 * 72) as u64;
+    let macs_per_image = (e * e * 8 * 72) as u64;
     for (design, name) in Design::ALL.into_iter().zip(EXPECTED[4..7].iter()) {
         let fabric = FunctionalFabric::new(AcceleratorConfig::new(design, 4, 4));
         let m = timing::measure_median(budget, reps, || {
             fabric
-                .conv2d_with_jobs(&layer, &input, &weights, jobs)
+                .conv2d_batch(&layer, &inputs, &weights, jobs)
                 // lint:allow(P002) the bench workload is shape-consistent by construction
                 .expect("bench conv workload is shape-consistent")
         });
-        out.push(result(name, m, macs));
+        out.push(result(name, m, macs_per_image * BATCH_IMAGES as u64));
+    }
+    for (design, name) in Design::ALL.into_iter().zip(EXPECTED[7..10].iter()) {
+        let fabric = FunctionalFabric::new(AcceleratorConfig::new(design, 4, 4));
+        let m = timing::measure_median(budget, reps, || {
+            fabric
+                .conv2d_with_dataflow(&layer, &inputs[0], &weights, jobs, ConvDataflow::Scalar)
+                // lint:allow(P002) the bench workload is shape-consistent by construction
+                .expect("bench conv workload is shape-consistent")
+        });
+        out.push(result(name, m, macs_per_image));
     }
 
-    // Full quantized LeNet forward pass on the integer reference engine.
+    // Full quantized LeNet forward pass on the integer reference engine
+    // (LeNet's table is the one zoo network that chains end to end).
     let net = zoo::lenet();
     let precision = Precision::new(4);
     let mut rng = SplitMix64::seed_from_u64(0x1E7);
@@ -149,6 +201,24 @@ pub fn run(quick: bool, jobs: usize) -> Vec<BenchResult> {
             .expect("lenet forward is shape-consistent")
     });
     out.push(result("forward_lenet_direct", m, 1));
+
+    // The five remaining paper CNNs, via the layer replay (their Table-I
+    // derived layer lists are not chainable end to end): every layer
+    // executes once on operands of its declared shape — the network's
+    // full tabulated MAC work — timed as one shot.
+    let others: Vec<_> = zoo::all_networks()
+        .into_iter()
+        .filter(|net| net.name() != "LeNet")
+        .collect();
+    debug_assert_eq!(others.len(), EXPECTED[11..16].len());
+    for (net, name) in others.iter().zip(EXPECTED[11..16].iter()) {
+        let m = timing::measure_single(|| {
+            replay_layers(net, &DirectMac, precision, 2026)
+                // lint:allow(P002) zoo layer tables are self-consistent by construction
+                .expect("zoo layer replay is shape-consistent")
+        });
+        out.push(result(name, m, 1));
+    }
 
     // The serving simulator's event loop under the paper mix.
     let workload = Workload::paper_mix();
@@ -173,10 +243,11 @@ pub fn to_json(results: &[BenchResult], quick: bool, jobs: usize) -> String {
     s.push_str("  \"benches\": [\n");
     for (i, r) in results.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"iterations\": {}, \"median_ns\": {:.1}, \"ops_per_iter\": {}, \"ops_per_sec\": {:.1}}}{}\n",
+            "    {{\"name\": \"{}\", \"iterations\": {}, \"median_ns\": {:.1}, \"mean_ns\": {:.1}, \"ops_per_iter\": {}, \"ops_per_sec\": {:.1}}}{}\n",
             r.name,
             r.iterations,
             r.median_ns,
+            r.mean_ns,
             r.ops_per_iter,
             r.ops_per_sec,
             if i + 1 == results.len() { "" } else { "," }
@@ -204,6 +275,8 @@ pub struct ParsedBench {
     pub name: String,
     /// Median wall time per iteration, nanoseconds.
     pub median_ns: f64,
+    /// Mean wall time per iteration, nanoseconds.
+    pub mean_ns: f64,
     /// Throughput at the median.
     pub ops_per_sec: f64,
 }
@@ -272,6 +345,7 @@ pub fn parse(text: &str) -> Result<BenchFile, String> {
         benches.push(ParsedBench {
             name: extract_str(obj, "name")?,
             median_ns: extract_num(obj, "median_ns")?,
+            mean_ns: extract_num(obj, "mean_ns")?,
             ops_per_sec: extract_num(obj, "ops_per_sec")?,
         });
         rest = &rest[end + 1..];
@@ -288,11 +362,24 @@ pub fn parse(text: &str) -> Result<BenchFile, String> {
     })
 }
 
-/// Renders an advisory comparison of two parsed bench files: per-bench
-/// ops/sec deltas of `new` relative to `old`, flagging slowdowns beyond
-/// `threshold` (e.g. `0.25` = 25 % slower) without failing anything.
-#[must_use]
-pub fn compare(old: &BenchFile, new: &BenchFile, threshold: f64) -> String {
+/// Renders a comparison of two parsed bench files: per-bench ops/sec
+/// deltas of `new` relative to `old`, flagging slowdowns beyond
+/// `threshold` (e.g. `0.25` = 25 % slower) without failing on them.
+///
+/// # Errors
+///
+/// Returns a message — a hard failure, not an advisory — if the two
+/// reports disagree on `mode`: a quick run's medians are not comparable
+/// to a full run's, so such a comparison would only launder noise.
+/// (Schema disagreement is impossible past [`parse`], which admits only
+/// [`SCHEMA`].)
+pub fn compare(old: &BenchFile, new: &BenchFile, threshold: f64) -> Result<String, String> {
+    if old.mode != new.mode {
+        return Err(format!(
+            "mode mismatch: old is {:?}, new is {:?}; rerun with matching modes",
+            old.mode, new.mode
+        ));
+    }
     let mut s = format!(
         "bench comparison (old: {} mode, jobs {}; new: {} mode, jobs {})\n",
         old.mode, old.jobs, new.mode, new.jobs
@@ -325,7 +412,57 @@ pub fn compare(old: &BenchFile, new: &BenchFile, threshold: f64) -> String {
             flag
         ));
     }
-    s
+    Ok(s)
+}
+
+/// Verifies the machine-independent invariants of one bench report: the
+/// in-run batched-over-scalar fabric speedup is at least
+/// [`MIN_BATCH_SPEEDUP`] per design, and every bench's throughput is
+/// finite and nonzero. Both sides of each ratio come from the same run
+/// on the same machine, so this gate — unlike cross-run wall-time
+/// deltas — can hard-fail CI without flaking on runner load.
+///
+/// # Errors
+///
+/// Returns the list of violated invariants.
+pub fn check(file: &BenchFile) -> Result<String, String> {
+    let lookup = |name: &str| -> Result<&ParsedBench, String> {
+        file.benches
+            .iter()
+            .find(|b| b.name == name)
+            .ok_or_else(|| format!("bench {name:?} missing"))
+    };
+    let mut s = String::from("bench invariants\n");
+    let mut failures = Vec::new();
+    for bench in &file.benches {
+        if !(bench.ops_per_sec.is_finite() && bench.ops_per_sec > 0.0) {
+            failures.push(format!(
+                "{}: ops_per_sec {} is not finite and positive",
+                bench.name, bench.ops_per_sec
+            ));
+        }
+    }
+    for design in ["ee", "oe", "oo"] {
+        let batched = lookup(&format!("fabric_conv_{design}"))?;
+        let scalar = lookup(&format!("fabric_conv_{design}_scalar"))?;
+        let ratio = batched.ops_per_sec / scalar.ops_per_sec;
+        let ok = ratio >= MIN_BATCH_SPEEDUP;
+        s.push_str(&format!(
+            "fabric_conv_{design:<3} batched/scalar {ratio:>6.1}x (floor {MIN_BATCH_SPEEDUP}x) {}\n",
+            if ok { "ok" } else { "FAIL" }
+        ));
+        if !ok {
+            failures.push(format!(
+                "fabric_conv_{design}: batched/scalar speedup {ratio:.1}x below the {MIN_BATCH_SPEEDUP}x floor"
+            ));
+        }
+    }
+    if failures.is_empty() {
+        s.push_str("all bench invariants hold\n");
+        Ok(s)
+    } else {
+        Err(failures.join("\n"))
+    }
 }
 
 fn print_results(results: &[BenchResult]) {
@@ -339,21 +476,27 @@ fn print_results(results: &[BenchResult]) {
 }
 
 /// CLI for `reproduce bench`: runs the harness and writes the JSON
-/// artifact, or compares two existing artifacts.
+/// artifact, compares two existing artifacts, or checks one artifact's
+/// in-run invariants.
 ///
 /// ```text
 /// reproduce bench [--quick] [--jobs N] [--out FILE]
 /// reproduce bench --compare OLD NEW [--threshold PCT]
+/// reproduce bench --check FILE
 /// ```
 ///
 /// Returns a process exit code: comparison is advisory on slowdowns but
-/// exits nonzero on unreadable/malformed files or missing benches.
+/// exits nonzero on unreadable/malformed files, missing benches, or a
+/// `schema`/`mode` disagreement; `--check` exits nonzero when the
+/// batched-fabric speedup floor or a throughput sanity bound is
+/// violated.
 #[must_use]
 pub fn run_cli(args: &[String]) -> u8 {
     let mut quick = false;
     let mut jobs = 1usize;
     let mut out_path = String::from("BENCH_functional.json");
     let mut compare_paths: Option<(String, String)> = None;
+    let mut check_path: Option<String> = None;
     let mut threshold = 0.25f64;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -386,6 +529,13 @@ pub fn run_cli(args: &[String]) -> u8 {
                 };
                 compare_paths = Some((old.clone(), new.clone()));
             }
+            "--check" => {
+                let Some(path) = it.next() else {
+                    eprintln!("--check requires a bench file path");
+                    return 2;
+                };
+                check_path = Some(path.clone());
+            }
             "--threshold" => {
                 let Some(value) = it.next() else {
                     eprintln!("--threshold requires a percentage");
@@ -401,24 +551,44 @@ pub fn run_cli(args: &[String]) -> u8 {
             }
             other => {
                 eprintln!(
-                    "unknown bench argument {other:?}; usage: reproduce bench [--quick] [--jobs N] [--out FILE] | --compare OLD NEW [--threshold PCT]"
+                    "unknown bench argument {other:?}; usage: reproduce bench [--quick] [--jobs N] [--out FILE] | --compare OLD NEW [--threshold PCT] | --check FILE"
                 );
                 return 2;
             }
         }
     }
 
-    if let Some((old_path, new_path)) = compare_paths {
-        let read = |path: &str| -> Result<BenchFile, String> {
-            let text = std::fs::read_to_string(path)
-                .map_err(|err| format!("cannot read {path}: {err}"))?;
-            parse(&text).map_err(|err| format!("{path}: {err}"))
-        };
-        match (read(&old_path), read(&new_path)) {
-            (Ok(old), Ok(new)) => {
-                print!("{}", compare(&old, &new, threshold));
+    let read = |path: &str| -> Result<BenchFile, String> {
+        let text =
+            std::fs::read_to_string(path).map_err(|err| format!("cannot read {path}: {err}"))?;
+        parse(&text).map_err(|err| format!("{path}: {err}"))
+    };
+
+    if let Some(path) = check_path {
+        return match read(&path).and_then(|file| check(&file)) {
+            Ok(report) => {
+                print!("{report}");
                 0
             }
+            Err(err) => {
+                eprintln!("bench check: {err}");
+                1
+            }
+        };
+    }
+
+    if let Some((old_path, new_path)) = compare_paths {
+        match (read(&old_path), read(&new_path)) {
+            (Ok(old), Ok(new)) => match compare(&old, &new, threshold) {
+                Ok(report) => {
+                    print!("{report}");
+                    0
+                }
+                Err(err) => {
+                    eprintln!("bench compare: {err}");
+                    1
+                }
+            },
             (old, new) => {
                 for side in [old, new] {
                     if let Err(err) = side {
@@ -449,12 +619,22 @@ mod tests {
         EXPECTED
             .iter()
             .enumerate()
-            .map(|(i, name)| BenchResult {
-                name,
-                iterations: 10 + i as u64,
-                median_ns: 1_000.0 * (i + 1) as f64,
-                ops_per_iter: 72,
-                ops_per_sec: 72.0e9 / (1_000.0 * (i + 1) as f64),
+            .map(|(i, name)| {
+                // Batched conv entries are fast, scalar ones slow, so the
+                // in-run speedup invariant holds by construction.
+                let median_ns = if name.ends_with("_scalar") {
+                    1_000_000.0
+                } else {
+                    1_000.0 * (i + 1) as f64
+                };
+                BenchResult {
+                    name,
+                    iterations: 10 + i as u64,
+                    median_ns,
+                    mean_ns: median_ns * 1.5,
+                    ops_per_iter: 72,
+                    ops_per_sec: 72.0e9 / median_ns,
+                }
             })
             .collect()
     }
@@ -468,22 +648,24 @@ mod tests {
         assert_eq!(parsed.benches.len(), EXPECTED.len());
         assert_eq!(parsed.benches[0].name, EXPECTED[0]);
         assert!((parsed.benches[0].median_ns - 1_000.0).abs() < 1e-6);
+        assert!((parsed.benches[0].mean_ns - 1_500.0).abs() < 1e-6);
     }
 
     #[test]
     fn parser_rejects_malformed_files() {
         assert!(parse("{}").is_err());
-        assert!(parse("{\"schema\": \"pixel-bench/0\"}").is_err());
+        // The previous schema (mean mislabeled as median) is rejected.
+        assert!(parse("{\"schema\": \"pixel-bench/1\"}").is_err());
         // Right schema but no benches.
         let empty = format!(
             "{{\"schema\": \"{SCHEMA}\", \"mode\": \"full\", \"jobs\": 1, \"benches\": []}}"
         );
         assert!(parse(&empty).unwrap_err().contains("missing"));
-        // A bench entry without a median is a hard error.
+        // A bench entry without a mean is a hard error.
         let partial = format!(
-            "{{\"schema\": \"{SCHEMA}\", \"mode\": \"full\", \"jobs\": 1, \"benches\": [{{\"name\": \"functional_mac_direct\"}}]}}"
+            "{{\"schema\": \"{SCHEMA}\", \"mode\": \"full\", \"jobs\": 1, \"benches\": [{{\"name\": \"functional_mac_direct\", \"median_ns\": 5.0}}]}}"
         );
-        assert!(parse(&partial).is_err());
+        assert!(parse(&partial).unwrap_err().contains("mean_ns"));
     }
 
     #[test]
@@ -493,20 +675,64 @@ mod tests {
         let mut slower = old.clone();
         slower.benches[0].ops_per_sec *= 0.5;
         slower.benches[1].ops_per_sec *= 0.9;
-        let report = compare(&old, &slower, 0.25);
+        let report = compare(&old, &slower, 0.25).unwrap();
         let lines: Vec<&str> = report.lines().collect();
         assert!(lines[2].contains("slower than baseline"), "{report}");
         assert!(!lines[3].contains("slower than baseline"), "{report}");
     }
 
     #[test]
+    fn comparison_hard_fails_on_mode_mismatch() {
+        let old = parse(&to_json(&fake_results(), false, 1)).unwrap();
+        let quick = parse(&to_json(&fake_results(), true, 1)).unwrap();
+        let err = compare(&old, &quick, 0.25).unwrap_err();
+        assert!(err.contains("mode mismatch"), "{err}");
+        // Matching modes still compare fine.
+        assert!(compare(&old, &old, 0.25).is_ok());
+    }
+
+    #[test]
+    fn check_enforces_the_batched_speedup_floor() {
+        let file = parse(&to_json(&fake_results(), false, 1)).unwrap();
+        let report = check(&file).unwrap();
+        assert!(report.contains("all bench invariants hold"), "{report}");
+
+        // Degrade one batched bench below the floor: hard failure.
+        let mut slow = file.clone();
+        let i = slow
+            .benches
+            .iter()
+            .position(|b| b.name == "fabric_conv_oe")
+            .unwrap();
+        let scalar_ops = slow
+            .benches
+            .iter()
+            .find(|b| b.name == "fabric_conv_oe_scalar")
+            .unwrap()
+            .ops_per_sec;
+        slow.benches[i].ops_per_sec = scalar_ops * (MIN_BATCH_SPEEDUP - 1.0);
+        let err = check(&slow).unwrap_err();
+        assert!(err.contains("fabric_conv_oe"), "{err}");
+        assert!(err.contains("below"), "{err}");
+
+        // A zero-throughput bench (the calibration bug this PR fixes
+        // would have produced one) is also a hard failure.
+        let mut zero = file.clone();
+        zero.benches[0].ops_per_sec = 0.0;
+        assert!(check(&zero).unwrap_err().contains("finite"));
+    }
+
+    #[test]
     fn throughput_scales_with_the_median() {
         let m = timing::Measurement {
             iterations: 5,
-            mean: Duration::from_millis(1),
+            mean_ns: 2e6,
+            median_ns: 1e6,
         };
         let r = result("functional_mac_direct", m, 72);
+        // ops/s derives from the median, while the mean rides along.
         assert!((r.median_ns - 1e6).abs() < 1.0);
+        assert!((r.mean_ns - 2e6).abs() < 1.0);
         assert!((r.ops_per_sec - 72_000.0).abs() < 1.0);
     }
 }

@@ -3,25 +3,41 @@
 //! The bench binaries (`cargo bench`) print a reproduced artifact once
 //! and then measure how long regenerating it takes. This module provides
 //! the measurement loop: a short warm-up, then timed batches until a
-//! wall-clock budget is spent, reporting the mean per-iteration time.
+//! wall-clock budget is spent, reporting both the mean per-iteration
+//! time across every repetition and the true median of the per-rep
+//! means.
 
 use std::hint::black_box;
 use std::time::{Duration, Instant};
 
-/// Result of one measurement.
+/// Result of one measurement (one rep, or an aggregate over reps).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Measurement {
-    /// Iterations executed during the timed phase.
+    /// Iterations executed across every timed repetition.
     pub iterations: u64,
-    /// Mean wall-clock time per iteration.
-    pub mean: Duration,
+    /// Mean wall-clock time per iteration across all reps, in
+    /// nanoseconds. Always finite and strictly positive: the timed loop
+    /// runs at least one iteration and the elapsed time is clamped to
+    /// ≥ 1 ns, so `ops_per_sec = 1e9 / mean_ns` can never be NaN,
+    /// infinite, or zero.
+    pub mean_ns: f64,
+    /// Median of the per-repetition mean iteration times, in
+    /// nanoseconds (for an even rep count, the average of the two
+    /// middle reps). For a single [`measure`] this equals [`Self::mean_ns`].
+    pub median_ns: f64,
 }
 
 impl Measurement {
-    /// Mean time in nanoseconds.
+    /// Mean per-iteration time as a [`Duration`].
     #[must_use]
-    pub fn mean_nanos(&self) -> f64 {
-        self.mean.as_secs_f64() * 1e9
+    pub fn mean(&self) -> Duration {
+        Duration::from_secs_f64(self.mean_ns / 1e9)
+    }
+
+    /// Median per-iteration time as a [`Duration`].
+    #[must_use]
+    pub fn median(&self) -> Duration {
+        Duration::from_secs_f64(self.median_ns / 1e9)
     }
 }
 
@@ -38,8 +54,17 @@ fn format_duration(d: Duration) -> String {
     }
 }
 
+/// Elapsed nanoseconds since `start`, clamped so a sub-tick timer (or a
+/// closure faster than the clock resolution) can never report zero.
+fn elapsed_ns_since(start: Instant) -> f64 {
+    (start.elapsed().as_secs_f64() * 1e9).max(1.0)
+}
+
 /// Times `f` for roughly `budget`, after a tenth of it as warm-up.
-/// Returns the mean per-iteration time over the timed phase.
+/// Returns the mean per-iteration time over the timed phase. The timed
+/// loop always executes at least one iteration — a zero (or tiny)
+/// budget degrades to timing a single call, never to a zero-sample
+/// measurement.
 pub fn measure<T>(budget: Duration, mut f: impl FnMut() -> T) -> Measurement {
     let warmup_deadline = Instant::now() + budget / 10;
     while Instant::now() < warmup_deadline {
@@ -48,29 +73,71 @@ pub fn measure<T>(budget: Duration, mut f: impl FnMut() -> T) -> Measurement {
     let start = Instant::now();
     let deadline = start + budget;
     let mut iterations = 0u64;
-    while Instant::now() < deadline {
+    loop {
         black_box(f());
         iterations += 1;
+        if Instant::now() >= deadline {
+            break;
+        }
     }
-    let elapsed = start.elapsed();
+    #[allow(clippy::cast_precision_loss)]
+    let mean_ns = elapsed_ns_since(start) / iterations as f64;
     Measurement {
         iterations,
-        mean: elapsed / u32::try_from(iterations.max(1)).unwrap_or(u32::MAX),
+        mean_ns,
+        median_ns: mean_ns,
     }
 }
 
-/// Runs [`measure`] `reps` times and returns the repetition with the
-/// median mean — robust against scheduler noise on loaded machines,
-/// which is what the `reproduce bench` regression harness records.
+/// Times a single call of `f` — for workloads whose one execution
+/// already costs seconds (full-CNN forwards), where an iteration loop
+/// would waste minutes re-measuring the measurable.
+pub fn measure_single<T>(mut f: impl FnMut() -> T) -> Measurement {
+    let start = Instant::now();
+    black_box(f());
+    let ns = elapsed_ns_since(start);
+    Measurement {
+        iterations: 1,
+        mean_ns: ns,
+        median_ns: ns,
+    }
+}
+
+/// Median of per-rep means: the middle value, or for an even count the
+/// average of the two middle values.
+fn median_of(mut means: Vec<f64>) -> f64 {
+    means.sort_by(f64::total_cmp);
+    let n = means.len();
+    if n.is_multiple_of(2) {
+        // lint:allow(P104) the even-count branch implies n >= 2, so n/2 - 1 is in range
+        f64::midpoint(means[n / 2 - 1], means[n / 2])
+    } else {
+        means[n / 2]
+    }
+}
+
+/// Runs [`measure`] `reps` times and aggregates: `median_ns` is the
+/// true median of the per-rep means (robust against scheduler noise on
+/// loaded machines — what the `reproduce bench` regression harness
+/// records), `mean_ns` the iteration-weighted mean across all reps, and
+/// `iterations` the total.
 ///
 /// # Panics
 ///
 /// Panics if `reps` is zero.
 pub fn measure_median<T>(budget: Duration, reps: usize, mut f: impl FnMut() -> T) -> Measurement {
     assert!(reps > 0, "at least one repetition");
-    let mut runs: Vec<Measurement> = (0..reps).map(|_| measure(budget, &mut f)).collect();
-    runs.sort_by_key(|m| m.mean);
-    runs[runs.len() / 2]
+    let runs: Vec<Measurement> = (0..reps).map(|_| measure(budget, &mut f)).collect();
+    let iterations: u64 = runs.iter().map(|m| m.iterations).sum();
+    #[allow(clippy::cast_precision_loss)]
+    let total_ns: f64 = runs.iter().map(|m| m.mean_ns * m.iterations as f64).sum();
+    #[allow(clippy::cast_precision_loss)]
+    let mean_ns = total_ns / iterations as f64;
+    Measurement {
+        iterations,
+        mean_ns,
+        median_ns: median_of(runs.iter().map(|m| m.mean_ns).collect()),
+    }
 }
 
 /// Times `f` with the default 200 ms budget and prints one
@@ -79,7 +146,7 @@ pub fn bench<T>(name: &str, f: impl FnMut() -> T) -> Measurement {
     let m = measure(Duration::from_millis(200), f);
     println!(
         "bench {name:<40} {:>12}/iter  ({} iters)",
-        format_duration(m.mean),
+        format_duration(m.mean()),
         m.iterations
     );
     m
@@ -93,7 +160,27 @@ mod tests {
     fn measures_at_least_one_iteration() {
         let m = measure(Duration::from_millis(5), || 2 + 2);
         assert!(m.iterations >= 1);
-        assert!(m.mean.as_nanos() > 0 || m.iterations > 1_000);
+        assert!(m.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn zero_budget_still_yields_a_usable_sample() {
+        // Calibration can hand the loop a degenerate budget; a no-op
+        // closure can finish under the clock tick. Neither may produce a
+        // zero-iteration or zero-duration sample: the derived ops/s must
+        // stay finite and nonzero.
+        for budget in [Duration::ZERO, Duration::from_nanos(1)] {
+            let m = measure(budget, || ());
+            assert!(m.iterations >= 1, "budget {budget:?}");
+            let ops_per_sec = 1e9 / m.median_ns;
+            assert!(
+                ops_per_sec.is_finite() && ops_per_sec > 0.0,
+                "budget {budget:?}: ops/s {ops_per_sec}"
+            );
+        }
+        let single = measure_single(|| ());
+        assert_eq!(single.iterations, 1);
+        assert!(single.median_ns >= 1.0);
     }
 
     #[test]
@@ -101,7 +188,7 @@ mod tests {
         let m = measure(Duration::from_millis(30), || {
             std::thread::sleep(Duration::from_millis(2));
         });
-        assert!(m.mean >= Duration::from_millis(1), "mean {:?}", m.mean);
+        assert!(m.mean() >= Duration::from_millis(1), "mean {:?}", m.mean());
     }
 
     #[test]
@@ -110,8 +197,17 @@ mod tests {
         let m = measure_median(Duration::from_millis(10), 3, || {
             std::thread::sleep(Duration::from_millis(delay.next().unwrap()));
         });
-        assert!(m.iterations >= 1);
-        assert!(m.mean >= Duration::from_millis(1));
+        assert!(m.iterations >= 3);
+        assert!(m.median() >= Duration::from_millis(1));
+        assert!(m.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn median_interpolates_even_rep_counts() {
+        assert_eq!(median_of(vec![3.0, 1.0, 2.0]), 2.0);
+        // Even count: average of the two middle reps, not either one.
+        assert_eq!(median_of(vec![4.0, 1.0, 2.0, 100.0]), 3.0);
+        assert_eq!(median_of(vec![5.0]), 5.0);
     }
 
     #[test]

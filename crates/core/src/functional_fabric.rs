@@ -10,6 +10,7 @@
 //! computes the CNN" statement in the repository.
 
 use crate::config::AcceleratorConfig;
+use crate::omac::{WindowGroup, PLANE_WINDOWS};
 use crate::tile::Tile;
 use pixel_dnn::inference::{LayerWeights, ShapeError};
 use pixel_dnn::layer::{Layer, LayerKind, Shape};
@@ -19,6 +20,22 @@ use pixel_photonics::signal::{PulseTrain, WavelengthId, WdmSignal};
 use pixel_photonics::wdm::BandPlan;
 use pixel_units::Power;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How a convolution's windows move through the fabric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConvDataflow {
+    /// Bit-plane batched: windows are packed [`PLANE_WINDOWS`] at a time
+    /// and every word-level engine operation advances all of them; the
+    /// ragged tail (fewer than [`PLANE_WINDOWS`] windows) falls back to
+    /// the scalar path. Bitwise identical to [`Self::Scalar`] — the
+    /// plane arithmetic is exact — just faster.
+    #[default]
+    Bitplane,
+    /// One window at a time through the serial transport and the scalar
+    /// engine paths (the reference dataflow, kept for pinning and
+    /// benchmarks).
+    Scalar,
+}
 
 /// A fabric of functional tiles executing convolutions filter-per-tile.
 pub struct FunctionalFabric {
@@ -89,11 +106,8 @@ impl FunctionalFabric {
         self.conv2d_with_jobs(layer, input, weights, crate::sweep::default_jobs())
     }
 
-    /// [`Self::conv2d`] with an explicit worker count: output rows are
-    /// split into contiguous chunks over `std::thread::scope` workers
-    /// (the [`crate::sweep::SweepEngine`] discipline), each with its own
-    /// tiles and transport scratch, so the result is bitwise identical
-    /// for every `jobs`.
+    /// [`Self::conv2d`] with an explicit worker count, on the default
+    /// [`ConvDataflow::Bitplane`] dataflow.
     ///
     /// # Errors
     ///
@@ -110,6 +124,96 @@ impl FunctionalFabric {
         weights: &LayerWeights,
         jobs: usize,
     ) -> Result<Tensor, ShapeError> {
+        self.conv2d_with_dataflow(layer, input, weights, jobs, ConvDataflow::default())
+    }
+
+    /// [`Self::conv2d`] with an explicit worker count and dataflow. The
+    /// window list is split into contiguous chunks over
+    /// `std::thread::scope` workers (the [`crate::sweep::SweepEngine`]
+    /// discipline), each with its own tiles and transport scratch;
+    /// because both dataflows compute exact integer sums, the result is
+    /// bitwise identical for every `jobs` and either dataflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if the input tensor mismatches the layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-convolution layer or if operands exceed
+    /// the configured precision.
+    pub fn conv2d_with_dataflow(
+        &self,
+        layer: &Layer,
+        input: &Tensor,
+        weights: &LayerWeights,
+        jobs: usize,
+        dataflow: ConvDataflow,
+    ) -> Result<Tensor, ShapeError> {
+        let flat = self.conv_flat(layer, std::slice::from_ref(input), weights, jobs, dataflow)?;
+        let e = layer.output_feature_size();
+        let LayerKind::Conv { filters, .. } = layer.kind else {
+            // lint:allow(P003) caller contract: the fabric executes convolution layers only
+            panic!("functional fabric executes convolution layers");
+        };
+        let mut out = Tensor::zeros(Shape::square(e, filters));
+        out.data_mut().copy_from_slice(&flat);
+        Ok(out)
+    }
+
+    /// Executes one convolution layer over a whole batch of independent
+    /// images at once — the serving-scale entry point. Windows are
+    /// enumerated image-major and packed into bit-plane groups *across*
+    /// image boundaries, so even an image whose own window count is not
+    /// a multiple of [`PLANE_WINDOWS`] batches at full width; each
+    /// output equals [`Self::conv2d`] of the matching input exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError`] if any input tensor mismatches the layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-convolution layer or if operands exceed
+    /// the configured precision.
+    pub fn conv2d_batch(
+        &self,
+        layer: &Layer,
+        inputs: &[Tensor],
+        weights: &LayerWeights,
+        jobs: usize,
+    ) -> Result<Vec<Tensor>, ShapeError> {
+        if inputs.is_empty() {
+            return Ok(Vec::new());
+        }
+        let flat = self.conv_flat(layer, inputs, weights, jobs, ConvDataflow::Bitplane)?;
+        let e = layer.output_feature_size();
+        let LayerKind::Conv { filters, .. } = layer.kind else {
+            // lint:allow(P003) caller contract: the fabric executes convolution layers only
+            panic!("functional fabric executes convolution layers");
+        };
+        let per_image = e * e * filters;
+        Ok(flat
+            .chunks(per_image)
+            .map(|chunk| {
+                let mut t = Tensor::zeros(Shape::square(e, filters));
+                t.data_mut().copy_from_slice(chunk);
+                t
+            })
+            .collect())
+    }
+
+    /// The shared convolution core: every output element of every image,
+    /// flat in `[image][oh][ow][filter]` order (each image's slice is
+    /// exactly its output tensor's HWC data).
+    fn conv_flat(
+        &self,
+        layer: &Layer,
+        inputs: &[Tensor],
+        weights: &LayerWeights,
+        jobs: usize,
+        dataflow: ConvDataflow,
+    ) -> Result<Vec<u64>, ShapeError> {
         let LayerKind::Conv {
             filters,
             kernel,
@@ -120,12 +224,14 @@ impl FunctionalFabric {
             // lint:allow(P003) caller contract: the fabric executes convolution layers only
             panic!("functional fabric executes convolution layers");
         };
-        if input.shape() != layer.input {
-            return Err(ShapeError {
-                layer: layer.name.clone(),
-                got: input.shape(),
-                want: layer.input,
-            });
+        for input in inputs {
+            if input.shape() != layer.input {
+                return Err(ShapeError {
+                    layer: layer.name.clone(),
+                    got: input.shape(),
+                    want: layer.input,
+                });
+            }
         }
 
         let _span = pixel_obs::span("fabric_conv2d");
@@ -134,6 +240,8 @@ impl FunctionalFabric {
         let e = layer.output_feature_size();
         let channels = layer.input.c;
         let window = kernel * kernel * channels;
+        let per_image = e * e;
+        let total_windows = inputs.len() * per_image;
 
         // The firing side groups window elements into per-wavelength
         // lanes: `lanes` words per firing round per firing tile.
@@ -151,14 +259,14 @@ impl FunctionalFabric {
             .collect();
         drop(setup_span);
 
-        let mut out = Tensor::zeros(Shape::square(e, filters));
-        let row_len = e * filters;
+        let mut out = vec![0u64; total_windows * filters];
 
-        // Computes output rows [row_start, row_start + rows) into `rows`
-        // (a contiguous slice of the output tensor). Tiles and transport
-        // scratch are per-worker: the OMAC engines carry interior
-        // activity tallies and must not be shared across threads.
-        let run_rows = |row_start: usize, rows: &mut [u64]| {
+        // Fills `chunk` with the outputs of the contiguous window range
+        // starting at `start` (window index = image·e² + oh·e + ow).
+        // Tiles and transport scratch are per-worker: the OMAC engines
+        // carry interior activity tallies and must not be shared across
+        // threads.
+        let run_windows = |start: usize, chunk: &mut [u64]| {
             // One tile per filter (round-robin beyond the physical count —
             // time multiplexing, identical hardware), built once per call
             // rather than per window.
@@ -169,36 +277,70 @@ impl FunctionalFabric {
                     tile
                 })
                 .collect();
-            let mut neurons = vec![0u64; window];
+            let count = chunk.len() / filters;
+            let gather_into = |index: usize, neurons: &mut [u64]| {
+                let (image, position) = (index / per_image, index % per_image);
+                gather_window(
+                    &inputs[image],
+                    kernel,
+                    stride,
+                    padding,
+                    channels,
+                    position / e,
+                    position % e,
+                    neurons,
+                );
+            };
             let mut scratch = TransportScratch::default();
-            for (r, row) in rows.chunks_mut(row_len).enumerate() {
-                let oh = row_start + r;
-                for ow in 0..e {
-                    gather_window(
-                        input,
-                        kernel,
-                        stride,
-                        padding,
-                        channels,
-                        oh,
-                        ow,
-                        &mut neurons,
-                    );
-                    self.transport_into(&plan, &neurons, bits, &mut scratch);
+            let mut done = 0;
+            if dataflow == ConvDataflow::Bitplane {
+                // Full plane groups: PLANE_WINDOWS windows advance per
+                // word-level engine op. Worker chunks are group-aligned,
+                // so only the global tail ever lands in the scalar loop.
+                let mut rows = vec![0u64; PLANE_WINDOWS * window];
+                let mut group = WindowGroup::default();
+                let mut values = Vec::with_capacity(PLANE_WINDOWS);
+                while count - done >= PLANE_WINDOWS {
+                    for g in 0..PLANE_WINDOWS {
+                        gather_into(start + done + g, &mut rows[g * window..(g + 1) * window]);
+                    }
+                    #[allow(clippy::cast_possible_truncation)]
+                    group.repack(&rows, window, PLANE_WINDOWS, bits as u32);
+                    self.transport_planes(&plan, &mut group, &mut scratch);
                     for m in 0..filters {
                         let tile = &tiles[m % tiles.len()];
-                        // The tile holding filter m%T time-multiplexes:
-                        // resident weights for its own filter, the same
-                        // datapath with streamed weights for the rest.
-                        let value = if m < tiles.len() {
-                            tile.fire(&scratch.received)
+                        if m < tiles.len() {
+                            tile.fire_planes(&group, &mut values);
                         } else {
-                            tile.fire_streamed(&scratch.received, kernels[m])
-                        };
-                        // lint:allow(P104) row is preallocated to out_w * filters; ow < out_w and m < filters by the loop bounds
-                        row[ow * filters + m] = value;
+                            tile.fire_planes_streamed(&group, kernels[m], &mut values);
+                        }
+                        for (g, &value) in values.iter().enumerate() {
+                            // lint:allow(P104) chunk holds count·filters outputs; done+g < count and m < filters by the loop bounds
+                            chunk[(done + g) * filters + m] = value;
+                        }
                     }
+                    done += PLANE_WINDOWS;
                 }
+            }
+            // Scalar dataflow, or the ragged tail of the bitplane path.
+            let mut neurons = vec![0u64; window];
+            while done < count {
+                gather_into(start + done, &mut neurons);
+                self.transport_into(&plan, &neurons, bits, &mut scratch);
+                for m in 0..filters {
+                    let tile = &tiles[m % tiles.len()];
+                    // The tile holding filter m%T time-multiplexes:
+                    // resident weights for its own filter, the same
+                    // datapath with streamed weights for the rest.
+                    let value = if m < tiles.len() {
+                        tile.fire(&scratch.received)
+                    } else {
+                        tile.fire_streamed(&scratch.received, kernels[m])
+                    };
+                    // lint:allow(P104) chunk holds count·filters outputs; done < count and m < filters by the loop bounds
+                    chunk[done * filters + m] = value;
+                }
+                done += 1;
             }
         };
 
@@ -208,25 +350,30 @@ impl FunctionalFabric {
         // stacks, so their spans name the full path explicitly (the
         // `sweep/worker` idiom).
         let rows_span = pixel_obs::span("rows");
-        let jobs = jobs.clamp(1, e.max(1));
+        // Worker chunks stay aligned to whole plane groups so every
+        // worker but the last sees full groups — which windows share a
+        // group never changes with `jobs`, and neither does any output
+        // bit (the arithmetic is exact either way).
+        let granularity = match dataflow {
+            ConvDataflow::Bitplane => PLANE_WINDOWS,
+            ConvDataflow::Scalar => 1,
+        };
+        let units = total_windows.div_ceil(granularity);
+        let jobs = jobs.clamp(1, units.max(1));
+        let windows_per_worker = units.div_ceil(jobs) * granularity;
         if jobs == 1 {
-            run_rows(0, out.data_mut());
+            run_windows(0, &mut out);
         } else {
-            // Contiguous row chunks, one worker each: concatenation of the
-            // chunk outputs restores row order deterministically, exactly
-            // as SweepEngine::map does for sweep points.
-            let rows_per_worker = e.div_ceil(jobs);
+            // Contiguous window chunks, one worker each: concatenation of
+            // the chunk outputs restores window order deterministically,
+            // exactly as SweepEngine::map does for sweep points.
             std::thread::scope(|scope| {
                 let mut handles = Vec::new();
-                for (w, chunk) in out
-                    .data_mut()
-                    .chunks_mut(rows_per_worker * row_len)
-                    .enumerate()
-                {
-                    let run = &run_rows;
+                for (w, chunk) in out.chunks_mut(windows_per_worker * filters).enumerate() {
+                    let run = &run_windows;
                     handles.push(scope.spawn(move || {
                         let _worker = pixel_obs::span("fabric_conv2d/rows/worker");
-                        run(w * rows_per_worker, chunk);
+                        run(w * windows_per_worker, chunk);
                     }));
                 }
                 for handle in handles {
@@ -239,8 +386,8 @@ impl FunctionalFabric {
         drop(rows_span);
 
         if pixel_obs::enabled() {
-            pixel_obs::add("fabric.windows", (e * e) as u64);
-            pixel_obs::add("fabric.mac_ops", (e * e * filters) as u64);
+            pixel_obs::add("fabric.windows", total_windows as u64);
+            pixel_obs::add("fabric.mac_ops", (total_windows * filters) as u64);
         }
         Ok(out)
     }
@@ -293,6 +440,60 @@ impl FunctionalFabric {
         self.detected_words.fetch_add(detected, Ordering::Relaxed);
         if pixel_obs::enabled() {
             pixel_obs::add("fabric.detected_words", detected);
+        }
+    }
+
+    /// Ships a whole bit-plane window group across the MWSR medium. Each
+    /// word position transmits its `bits` planes as pulse trains of one
+    /// slot per packed window, muxed on the position's wavelength (extra
+    /// positions ride later firing rounds, exactly as in
+    /// [`Self::transport_into`]); the detected planes are written back
+    /// into the group. `bits` planes of `len` slots carry exactly the
+    /// same payload as `len` scalar transports of the position's word,
+    /// so `detected_words` advances by `window × len` — the fidelity
+    /// invariant stays batch-size honest.
+    fn transport_planes(
+        &self,
+        plan: &BandPlan,
+        group: &mut WindowGroup,
+        scratch: &mut TransportScratch,
+    ) {
+        let len = group.len();
+        let bits = group.bits() as usize;
+        let window = group.window();
+        let words = (window * len) as u64;
+        pixel_obs::add("fabric.transport_words", words);
+        let capacity = plan.total_wavelengths();
+        let TransportScratch { train, signal, .. } = scratch;
+        let mut start = 0;
+        while start < window {
+            let round = (window - start).min(capacity);
+            for a in 0..bits {
+                for i in 0..round {
+                    // lint:allow(P104) start + i < start + round <= window == blocks().len()
+                    train.write_bits(group.blocks()[start + i].plane(a), len);
+                    #[allow(clippy::cast_possible_truncation)]
+                    signal.set_channel(WavelengthId(i as u16), train);
+                }
+                for i in 0..round {
+                    #[allow(clippy::cast_possible_truncation)]
+                    let id = WavelengthId(i as u16);
+                    // lint:allow(P002) every id in the round was just written
+                    let arrived = signal.channel(id).expect("channel written this round");
+                    let plane = self
+                        .detector
+                        .detect_binary(arrived, Power::from_microwatts(100.0))
+                        // lint:allow(P002) noiseless binary channel decodes losslessly
+                        .expect("clean binary channel");
+                    // lint:allow(P104) start + i < start + round <= window == blocks_mut().len()
+                    group.blocks_mut()[start + i].set_plane(a, plane);
+                }
+            }
+            start += round;
+        }
+        self.detected_words.fetch_add(words, Ordering::Relaxed);
+        if pixel_obs::enabled() {
+            pixel_obs::add("fabric.detected_words", words);
         }
     }
 }
@@ -422,6 +623,87 @@ mod tests {
             assert_eq!(serial, threaded, "{design}");
             assert_eq!(serial, oversubscribed, "{design}");
         }
+    }
+
+    /// The tentpole theorem: the bit-plane batched dataflow is bitwise
+    /// identical to the scalar reference on every design, including a
+    /// window count that is *not* a multiple of [`PLANE_WINDOWS`] (10×10
+    /// output = 100 windows → one full group + a 36-window scalar tail),
+    /// and invariant under the worker count.
+    #[test]
+    fn bitplane_dataflow_is_bitwise_identical_to_scalar() {
+        let mut rng = SplitMix64::seed_from_u64(0xB17);
+        // 12×12 input, 3×3 kernel, stride 1 → e = 10, 100 windows.
+        let layer = Layer::conv("Conv", Shape::square(12, 2), 5, 3, 1);
+        let input = Tensor::from_fn(Shape::square(12, 2), |_, _, _| rng.range_u64(0, 15));
+        let weights = LayerWeights::generate(&layer, || rng.range_u64(0, 15));
+        let e = layer.output_feature_size();
+        assert!(
+            !(e * e).is_multiple_of(PLANE_WINDOWS) && e * e > PLANE_WINDOWS,
+            "test must exercise the ragged scalar tail"
+        );
+        for design in Design::ALL {
+            let fabric = FunctionalFabric::new(AcceleratorConfig::new(design, 4, 4));
+            let scalar = fabric
+                .conv2d_with_dataflow(&layer, &input, &weights, 1, ConvDataflow::Scalar)
+                .unwrap();
+            for jobs in [1, 4] {
+                let batched = fabric
+                    .conv2d_with_dataflow(&layer, &input, &weights, jobs, ConvDataflow::Bitplane)
+                    .unwrap();
+                assert_eq!(scalar, batched, "{design} jobs={jobs}");
+            }
+            let direct = conv2d(&layer, &input, &weights, &DirectMac).unwrap();
+            assert_eq!(scalar, direct, "{design}");
+        }
+    }
+
+    #[test]
+    fn batched_transport_keeps_the_detected_words_invariant() {
+        let mut rng = SplitMix64::seed_from_u64(0xDE7);
+        let layer = Layer::conv("Conv", Shape::square(12, 2), 3, 3, 1);
+        let input = Tensor::from_fn(Shape::square(12, 2), |_, _, _| rng.range_u64(0, 15));
+        let weights = LayerWeights::generate(&layer, || rng.range_u64(0, 15));
+        let e = layer.output_feature_size();
+        let window = 3 * 3 * 2;
+        for design in Design::ALL {
+            let fabric = FunctionalFabric::new(AcceleratorConfig::new(design, 4, 4));
+            fabric.conv2d(&layer, &input, &weights).unwrap();
+            // Plane transport must account exactly what scalar transport
+            // would: every word of every window crossed the medium.
+            assert_eq!(
+                fabric.detected_words(),
+                (e * e * window) as u64,
+                "{design}: batched transport must stay word-honest"
+            );
+        }
+    }
+
+    /// Multi-image batching packs windows across image boundaries; each
+    /// output must still equal the single-image convolution exactly.
+    #[test]
+    fn conv2d_batch_matches_per_image_results() {
+        let mut rng = SplitMix64::seed_from_u64(0xBA7C);
+        let layer = Layer::conv("Conv", Shape::square(7, 2), 4, 3, 1);
+        let weights = LayerWeights::generate(&layer, || rng.range_u64(0, 15));
+        let inputs: Vec<Tensor> = (0..3)
+            .map(|_| Tensor::from_fn(Shape::square(7, 2), |_, _, _| rng.range_u64(0, 15)))
+            .collect();
+        // 25 windows/image: every bit-plane group spans image boundaries.
+        for design in Design::ALL {
+            let fabric = FunctionalFabric::new(AcceleratorConfig::new(design, 4, 4));
+            let batch = fabric.conv2d_batch(&layer, &inputs, &weights, 2).unwrap();
+            assert_eq!(batch.len(), inputs.len(), "{design}");
+            for (input, got) in inputs.iter().zip(&batch) {
+                let solo = fabric.conv2d(&layer, input, &weights).unwrap();
+                assert_eq!(got, &solo, "{design}");
+            }
+        }
+        let fabric = FunctionalFabric::new(AcceleratorConfig::new(Design::Ee, 4, 4));
+        assert!(fabric
+            .conv2d_batch(&layer, &[], &weights, 1)
+            .unwrap()
+            .is_empty());
     }
 
     #[test]

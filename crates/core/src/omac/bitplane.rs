@@ -1,0 +1,512 @@
+//! Bit-plane packing: 64 MACs per word-level operation.
+//!
+//! PIXEL's dataflow is Stripes bit-serial: every design walks operand
+//! *bits*, one slot at a time. That makes it embarrassingly bit-plane
+//! parallel — transpose 64 independent windows so that bit `a` of word
+//! position `i` across all windows lands in one `u64` plane, and a
+//! single word-level AND/XOR advances the same slot of 64 MACs at once
+//! (the SIMD-within-a-register counterpart of the Kogge–Stone
+//! carry-lookahead rewrite). [`BitplaneBlock`] is the transposed word
+//! position, [`WindowGroup`] a whole window's worth of blocks, and
+//! [`PlaneAccumulator`] the bit-sliced ripple/full-adder accumulator the
+//! plane-parallel engines share. Arithmetic is exact, so the batched
+//! path is bitwise identical to the scalar one by construction; only
+//! the *activity accounting* differs per design, and that lives with
+//! each engine.
+
+/// Windows a fully packed plane carries (the `u64` lane width).
+pub const PLANE_WINDOWS: usize = 64;
+
+fn value_mask(bits: u32) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// One word position transposed across up to 64 windows: plane `a` holds
+/// bit `a` of the position's word in every window (window `w` ↦ plane
+/// bit `w`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BitplaneBlock {
+    planes: Vec<u64>,
+    len: usize,
+}
+
+impl BitplaneBlock {
+    /// Packs `values` (one word per window, at most 64) into `bits`
+    /// planes. Word bits above `bits` are dropped, exactly as the scalar
+    /// transport's `write_bits` truncates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty or longer than [`PLANE_WINDOWS`], or
+    /// if `bits` is outside `1..=16` (the functional engines' range).
+    #[must_use]
+    pub fn pack(values: &[u64], bits: u32) -> Self {
+        let mut block = Self::default();
+        block.repack(values, bits);
+        block
+    }
+
+    /// [`Self::pack`] into this block, reusing its plane allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Self::pack`].
+    pub fn repack(&mut self, values: &[u64], bits: u32) {
+        assert!(
+            (1..=PLANE_WINDOWS).contains(&values.len()),
+            "1..=64 windows per plane block"
+        );
+        assert!((1..=16).contains(&bits), "plane blocks carry 1..=16 bits");
+        self.planes.clear();
+        self.planes.resize(bits as usize, 0);
+        self.len = values.len();
+        let mask = value_mask(bits);
+        for (w, &value) in values.iter().enumerate() {
+            let mut rest = value & mask;
+            while rest != 0 {
+                let a = rest.trailing_zeros() as usize;
+                self.planes[a] |= 1 << w;
+                rest &= rest - 1;
+            }
+        }
+    }
+
+    /// Unpacks the block back into one word per window.
+    pub fn unpack_into(&self, out: &mut Vec<u64>) {
+        out.clear();
+        for w in 0..self.len {
+            let mut value = 0u64;
+            for (a, &plane) in self.planes.iter().enumerate() {
+                value |= ((plane >> w) & 1) << a;
+            }
+            out.push(value);
+        }
+    }
+
+    /// The planes, LSB first.
+    #[must_use]
+    pub fn planes(&self) -> &[u64] {
+        &self.planes
+    }
+
+    /// Plane `a` (bit `a` of every window's word).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not below the packed bit width.
+    #[must_use]
+    pub fn plane(&self, a: usize) -> u64 {
+        self.planes[a]
+    }
+
+    /// Replaces plane `a` — the transport layer writes back what the
+    /// photodetector recovered, so the computed value is the value that
+    /// crossed the optical medium.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` is not below the packed bit width.
+    pub fn set_plane(&mut self, a: usize, plane: u64) {
+        self.planes[a] = plane;
+    }
+
+    /// Windows packed into this block.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no windows are packed (never after [`Self::pack`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Lit slots summed over every window's serialization of this word:
+    /// `Σ_a popcount(plane_a)` — the plane-parallel form of summing
+    /// per-window popcounts.
+    #[must_use]
+    pub fn lit_slots(&self) -> u64 {
+        self.planes.iter().map(|p| u64::from(p.count_ones())).sum()
+    }
+
+    /// Adjacent-slot toggles summed over every window's serialization:
+    /// `Σ_a popcount(plane_a ⊕ plane_{a+1})`.
+    #[must_use]
+    pub fn toggle_slots(&self) -> u64 {
+        self.planes
+            .windows(2)
+            .map(|pair| u64::from((pair[0] ^ pair[1]).count_ones()))
+            .sum()
+    }
+}
+
+/// A group of up to 64 windows transposed into plane blocks: block `i`
+/// carries word position `i` of every window.
+#[derive(Debug, Default)]
+pub struct WindowGroup {
+    blocks: Vec<BitplaneBlock>,
+    len: usize,
+    bits: u32,
+}
+
+impl WindowGroup {
+    /// Packs `len` windows of `window` words each from `rows` (window-
+    /// major: window `w` occupies `rows[w*window..(w+1)*window]`),
+    /// reusing this group's allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != window * len`, if `window` is zero, or
+    /// under [`BitplaneBlock::repack`]'s `len`/`bits` conditions.
+    pub fn repack(&mut self, rows: &[u64], window: usize, len: usize, bits: u32) {
+        assert!(window > 0, "windows carry at least one word");
+        assert_eq!(rows.len(), window * len, "rows must hold len windows");
+        assert!(
+            (1..=PLANE_WINDOWS).contains(&len),
+            "1..=64 windows per group"
+        );
+        assert!((1..=16).contains(&bits), "plane groups carry 1..=16 bits");
+        self.blocks.resize_with(window, BitplaneBlock::default);
+        self.len = len;
+        self.bits = bits;
+        let mask = value_mask(bits);
+        for (i, block) in self.blocks.iter_mut().enumerate() {
+            block.planes.clear();
+            block.planes.resize(bits as usize, 0);
+            block.len = len;
+            for w in 0..len {
+                // lint:allow(P104) rows.len() == window·len is asserted above; w < len, i < window
+                let mut rest = rows[w * window + i] & mask;
+                while rest != 0 {
+                    let a = rest.trailing_zeros() as usize;
+                    block.planes[a] |= 1 << w;
+                    rest &= rest - 1;
+                }
+            }
+        }
+    }
+
+    /// Packs a fresh group (see [`Self::repack`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics under [`Self::repack`]'s conditions.
+    #[must_use]
+    pub fn pack(rows: &[u64], window: usize, len: usize, bits: u32) -> Self {
+        let mut group = Self::default();
+        group.repack(rows, window, len, bits);
+        group
+    }
+
+    /// The plane blocks, one per word position.
+    #[must_use]
+    pub fn blocks(&self) -> &[BitplaneBlock] {
+        &self.blocks
+    }
+
+    /// Mutable plane blocks (the transport layer ships and rewrites
+    /// planes in place).
+    #[must_use]
+    pub fn blocks_mut(&mut self) -> &mut [BitplaneBlock] {
+        &mut self.blocks
+    }
+
+    /// Windows packed into the group.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no windows are packed (never after [`Self::pack`]).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Words per window.
+    #[must_use]
+    pub fn window(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Packed operand precision.
+    #[must_use]
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Unpacks the group back to window-major rows (inverse of
+    /// [`Self::pack`]).
+    pub fn unpack_into(&self, rows: &mut Vec<u64>) {
+        let window = self.window();
+        rows.clear();
+        rows.resize(window * self.len, 0);
+        for (i, block) in self.blocks.iter().enumerate() {
+            for (a, &plane) in block.planes.iter().enumerate() {
+                let mut rest = plane;
+                while rest != 0 {
+                    let w = rest.trailing_zeros() as usize;
+                    // lint:allow(P104) rows was resized to window·len above; plane bits only exist for w < len (repack masks lanes >= len)
+                    rows[w * window + i] |= 1 << a;
+                    rest &= rest - 1;
+                }
+            }
+        }
+    }
+}
+
+/// A bit-sliced accumulator: plane `k` holds bit `k` of 64 independent
+/// running sums. [`Self::add_shifted`] is a full adder over planes —
+/// three word ops per addend plane advance one addition in all 64 lanes.
+#[derive(Debug)]
+pub struct PlaneAccumulator {
+    planes: [u64; 64],
+    /// Planes that may be nonzero (high-water mark, bounds the unpack).
+    high: usize,
+}
+
+impl Default for PlaneAccumulator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PlaneAccumulator {
+    /// A zeroed accumulator.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            planes: [0; 64],
+            high: 0,
+        }
+    }
+
+    /// Zeroes the accumulator (cheaply: only planes touched since the
+    /// last clear).
+    pub fn clear(&mut self) {
+        for plane in &mut self.planes[..self.high] {
+            *plane = 0;
+        }
+        self.high = 0;
+    }
+
+    /// Adds `addend` (a plane-transposed word per lane) shifted left by
+    /// `shift` bit positions into every lane's running sum.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any lane's sum overflows 64 bits.
+    pub fn add_shifted(&mut self, addend: &[u64], shift: usize) {
+        let mut carry = 0u64;
+        let mut k = shift;
+        for &x in addend {
+            // Bit-sliced full adder: one plane of 64 lane-sums per step.
+            let a = self.planes[k];
+            let partial = a ^ x;
+            self.planes[k] = partial ^ carry;
+            carry = (a & x) | (partial & carry);
+            k += 1;
+        }
+        while carry != 0 {
+            assert!(k < 64, "plane accumulator overflow");
+            let a = self.planes[k];
+            self.planes[k] = a ^ carry;
+            carry &= a;
+            k += 1;
+        }
+        self.high = self.high.max(k);
+    }
+
+    /// Unpacks the first `len` lane sums.
+    pub fn unpack_into(&self, len: usize, out: &mut Vec<u64>) {
+        out.clear();
+        for w in 0..len {
+            let mut value = 0u64;
+            for (k, &plane) in self.planes[..self.high].iter().enumerate() {
+                value |= ((plane >> w) & 1) << k;
+            }
+            out.push(value);
+        }
+    }
+}
+
+/// The shared plane-parallel inner-product kernel: for every set synapse
+/// bit `b` of word position `i`, add block `i`'s planes shifted by `b`
+/// into the lane accumulators — each `add_shifted` is the batched form
+/// of 64 scalar shift-accumulate cycles. Synapse bits above the group's
+/// precision are ignored, exactly as the scalar engines' `0..bits`
+/// cycle loops never visit them. The `len` lane sums land in `out`.
+///
+/// # Panics
+///
+/// Panics if `synapses.len()` differs from the group's window size or a
+/// lane sum overflows 64 bits.
+pub fn plane_inner_product(
+    group: &WindowGroup,
+    synapses: &[u64],
+    acc: &mut PlaneAccumulator,
+    out: &mut Vec<u64>,
+) {
+    assert_eq!(
+        synapses.len(),
+        group.window(),
+        "one synapse word per window position"
+    );
+    let mask = value_mask(group.bits());
+    acc.clear();
+    for (block, &synapse) in group.blocks().iter().zip(synapses) {
+        let mut rest = synapse & mask;
+        while rest != 0 {
+            let b = rest.trailing_zeros() as usize;
+            acc.add_shifted(&block.planes, b);
+            rest &= rest - 1;
+        }
+    }
+    acc.unpack_into(group.len(), out);
+}
+
+/// Lit-slot and toggle totals of every synapse-bit-gated neuron stream
+/// in the group: for word position `i`, each set synapse bit replays the
+/// position's neuron serialization once per window, so the position
+/// contributes `popcount(sᵢ) · Σ_w lit(n_{w,i})` lit slots (and likewise
+/// toggles) — the closed form the OE/OO plane paths charge instead of
+/// walking `len × bits` gated trains.
+pub(crate) fn gated_stream_totals(group: &WindowGroup, synapses: &[u64]) -> (u64, u64) {
+    let mask = value_mask(group.bits());
+    let (mut lit, mut toggles) = (0u64, 0u64);
+    for (block, &synapse) in group.blocks().iter().zip(synapses) {
+        let gates = u64::from((synapse & mask).count_ones());
+        lit += gates * block.lit_slots();
+        toggles += gates * block.toggle_slots();
+    }
+    (lit, toggles)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pixel_units::rng::SplitMix64;
+
+    #[test]
+    fn block_pack_unpack_round_trips() {
+        let mut rng = SplitMix64::seed_from_u64(0xB17);
+        let mut out = Vec::new();
+        for _ in 0..200 {
+            let bits = rng.range_u32(1, 16);
+            let len = rng.range_usize(1, PLANE_WINDOWS);
+            let limit = (1u64 << bits) - 1;
+            let values: Vec<u64> = (0..len).map(|_| rng.range_u64(0, limit)).collect();
+            let block = BitplaneBlock::pack(&values, bits);
+            block.unpack_into(&mut out);
+            assert_eq!(out, values, "bits={bits} len={len}");
+        }
+    }
+
+    #[test]
+    fn group_pack_unpack_round_trips() {
+        let mut rng = SplitMix64::seed_from_u64(0x6B0);
+        let mut group = WindowGroup::default();
+        let mut out = Vec::new();
+        for _ in 0..50 {
+            let bits = rng.range_u32(1, 16);
+            let window = rng.range_usize(1, 20);
+            let len = rng.range_usize(1, PLANE_WINDOWS);
+            let limit = (1u64 << bits) - 1;
+            let rows: Vec<u64> = (0..window * len).map(|_| rng.range_u64(0, limit)).collect();
+            group.repack(&rows, window, len, bits);
+            assert_eq!(group.len(), len);
+            assert_eq!(group.window(), window);
+            group.unpack_into(&mut out);
+            assert_eq!(out, rows, "bits={bits} window={window} len={len}");
+        }
+    }
+
+    #[test]
+    fn pack_truncates_to_the_packed_precision() {
+        // 0b1_0110 at 4 bits packs as 0b0110, as write_bits truncates.
+        let block = BitplaneBlock::pack(&[0b1_0110], 4);
+        let mut out = Vec::new();
+        block.unpack_into(&mut out);
+        assert_eq!(out, vec![0b0110]);
+    }
+
+    #[test]
+    fn block_popcount_tallies_match_per_window_sums() {
+        let values = [0b1010u64, 0b0001, 0b1111, 0];
+        let block = BitplaneBlock::pack(&values, 4);
+        let lit: u64 = values.iter().map(|v| u64::from(v.count_ones())).sum();
+        let toggles: u64 = values
+            .iter()
+            .map(|v| u64::from(((v ^ (v >> 1)) & 0b111).count_ones()))
+            .sum();
+        assert_eq!(block.lit_slots(), lit);
+        assert_eq!(block.toggle_slots(), toggles);
+        assert_eq!(block.len(), 4);
+        assert!(!block.is_empty());
+    }
+
+    #[test]
+    fn accumulator_matches_scalar_shift_accumulate() {
+        let mut rng = SplitMix64::seed_from_u64(0xACC);
+        let mut acc = PlaneAccumulator::new();
+        let mut out = Vec::new();
+        for _ in 0..50 {
+            let bits = rng.range_u32(1, 12);
+            let len = rng.range_usize(1, PLANE_WINDOWS);
+            let limit = (1u64 << bits) - 1;
+            let mut expected = vec![0u64; len];
+            acc.clear();
+            for _ in 0..rng.range_usize(1, 8) {
+                let values: Vec<u64> = (0..len).map(|_| rng.range_u64(0, limit)).collect();
+                let shift = rng.range_usize(0, 8);
+                let block = BitplaneBlock::pack(&values, bits);
+                acc.add_shifted(block.planes(), shift);
+                for (sum, &v) in expected.iter_mut().zip(&values) {
+                    *sum += v << shift;
+                }
+            }
+            acc.unpack_into(len, &mut out);
+            assert_eq!(out, expected, "bits={bits} len={len}");
+        }
+    }
+
+    #[test]
+    fn plane_inner_product_matches_per_window_dot_products() {
+        let mut rng = SplitMix64::seed_from_u64(0xD07);
+        let mut acc = PlaneAccumulator::new();
+        let mut out = Vec::new();
+        for _ in 0..50 {
+            let bits = rng.range_u32(1, 12);
+            let window = rng.range_usize(1, 24);
+            let len = rng.range_usize(1, PLANE_WINDOWS);
+            let limit = (1u64 << bits) - 1;
+            let rows: Vec<u64> = (0..window * len).map(|_| rng.range_u64(0, limit)).collect();
+            let synapses: Vec<u64> = (0..window).map(|_| rng.range_u64(0, limit)).collect();
+            let group = WindowGroup::pack(&rows, window, len, bits);
+            plane_inner_product(&group, &synapses, &mut acc, &mut out);
+            for w in 0..len {
+                let expected: u64 = rows[w * window..(w + 1) * window]
+                    .iter()
+                    .zip(&synapses)
+                    .map(|(&n, &s)| n * s)
+                    .sum();
+                assert_eq!(out[w], expected, "bits={bits} window={window} w={w}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn accumulator_overflow_is_detected() {
+        let mut acc = PlaneAccumulator::new();
+        let ones = [u64::MAX; 16];
+        for _ in 0..10_000 {
+            acc.add_shifted(&ones, 48);
+        }
+    }
+}

@@ -1,7 +1,8 @@
 //! The all-electrical (EE) functional MAC: Stripes bit-serial hardware.
 
-use crate::omac::activity::{word_stream_activity, ActivityCounter};
-use crate::omac::fill_lane_chunk;
+use crate::omac::activity::{word_stream_activity, ActivityCounter, StreamActivity};
+use crate::omac::bitplane::{plane_inner_product, PlaneAccumulator, WindowGroup};
+use crate::omac::{fill_lane_chunk, PlaneMac};
 use pixel_dnn::inference::MacEngine;
 use pixel_electronics::cla::Cla;
 use pixel_electronics::stripes::StripesMac;
@@ -110,6 +111,38 @@ impl MacEngine for EeMac {
 
     fn name(&self) -> &str {
         "EE (Stripes bit-serial)"
+    }
+}
+
+impl PlaneMac for EeMac {
+    fn inner_product_planes(&self, group: &WindowGroup, synapses: &[u64], out: &mut Vec<u64>) {
+        let bits = self.stripes.bits();
+        assert_eq!(group.bits(), bits, "group precision must match the engine");
+        let mut acc = PlaneAccumulator::new();
+        plane_inner_product(group, synapses, &mut acc, out);
+
+        // Accounting parity with the scalar path: every packed window
+        // walks the same synapse words bit-serially (the kernel is shared
+        // across windows), plus the zero-padded tail of the last lane
+        // chunk, so the per-window stream aggregate simply scales by the
+        // group size; one CLA op per chunk per window.
+        let len = group.len() as u64;
+        let chunks = synapses.len().div_ceil(self.lanes) as u64;
+        let pads = chunks * self.lanes as u64 - synapses.len() as u64;
+        let mut per_window = StreamActivity::default();
+        for &synapse in synapses {
+            per_window.merge(&word_stream_activity(synapse, bits));
+        }
+        per_window.merge(&word_stream_activity(0, bits).scaled(pads));
+        let streams = per_window.scaled(len);
+        self.activity.add_stream(&streams);
+        self.activity.add_cla_ops(chunks * len);
+        if pixel_obs::enabled() {
+            pixel_obs::add("omac.ee.mac_ops", synapses.len() as u64 * len);
+            pixel_obs::add("omac.ee.serial_slots", streams.slots);
+            pixel_obs::add("omac.ee.bit_toggles", streams.toggles);
+            pixel_obs::add("omac.ee.cla_ops", chunks * len);
+        }
     }
 }
 

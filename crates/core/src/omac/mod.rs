@@ -17,16 +17,18 @@
 //! analytic evaluation takes on trust.
 
 pub mod activity;
+pub mod bitplane;
 pub mod ee;
 pub mod oe;
 pub mod oo;
 
 pub use activity::ActivityCounter;
+pub use bitplane::{BitplaneBlock, PlaneAccumulator, WindowGroup, PLANE_WINDOWS};
 pub use ee::EeMac;
 pub use oe::OeMac;
 pub use oo::OoMac;
 
-use crate::config::AcceleratorConfig;
+use crate::config::{AcceleratorConfig, Design};
 use pixel_dnn::inference::MacEngine;
 
 /// A functional MAC engine that tallies its device activity.
@@ -55,6 +57,48 @@ impl ActivityMac for OeMac {
 impl ActivityMac for OoMac {
     fn activity(&self) -> &ActivityCounter {
         OoMac::activity(self)
+    }
+}
+
+/// An [`ActivityMac`] that can also advance 64 windows per word-level
+/// operation through the bit-plane batched dataflow.
+///
+/// The arithmetic is one shared kernel ([`bitplane::plane_inner_product`])
+/// because all three designs compute the same exact integer inner
+/// product; what each engine owns is the *accounting* — the batched call
+/// must advance every [`ActivityCounter`] tally by exactly the amount
+/// running [`MacEngine::inner_product`] once per packed window would
+/// have, zero-padded lane tails included.
+pub trait PlaneMac: ActivityMac {
+    /// Computes all of `group`'s windows against one synapse word per
+    /// window position, writing `group.len()` sums into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `synapses.len()` differs from the group's window size
+    /// or the group's precision differs from the engine's.
+    fn inner_product_planes(&self, group: &WindowGroup, synapses: &[u64], out: &mut Vec<u64>);
+}
+
+/// Builds the plane-capable functional engine for a configuration.
+///
+/// Dispatches on [`Design`] directly (sanctioned inside `omac/`): the
+/// [`crate::model::DesignModel`] backends hand out `dyn MacEngine`, and
+/// object-safety prevents widening that return type without breaking
+/// every backend, so the batched fabric resolves its concrete engines
+/// here.
+///
+/// # Panics
+///
+/// Panics if the configuration's precision exceeds what the functional
+/// units support (operands up to 16 bits).
+#[must_use]
+pub fn plane_engine_for(config: &AcceleratorConfig) -> Box<dyn PlaneMac> {
+    let (lanes, bits) = (config.lanes, config.bits_per_lane);
+    match config.design {
+        Design::Ee => Box::new(EeMac::new(lanes, bits)),
+        Design::Oe => Box::new(OeMac::new(lanes, bits)),
+        Design::Oo => Box::new(OoMac::new(lanes, bits)),
     }
 }
 
@@ -120,6 +164,56 @@ mod tests {
             let cfg = AcceleratorConfig::new(d, 4, 8);
             let engine = engine_for(&cfg);
             assert_eq!(engine.inner_product(&[3, 5], &[7, 11]), 21 + 55);
+        }
+    }
+
+    /// The plane-path theorem: for every design, the bit-plane batched
+    /// inner product is bitwise identical to running the scalar engine
+    /// once per window — and so is every device-activity tally,
+    /// zero-padded lane tails included.
+    #[test]
+    fn plane_path_matches_scalar_outputs_and_activity() {
+        let mut rng = SplitMix64::seed_from_u64(0x9A9E);
+        let mut got = Vec::new();
+        for round in 0..24 {
+            let lanes = rng.range_usize(1, 6);
+            let bits = rng.range_u32(1, 8);
+            let window = rng.range_usize(1, 16);
+            // Cover both a full 64-window group and ragged remainders.
+            let len = if round % 4 == 0 {
+                64
+            } else {
+                rng.range_usize(1, 63)
+            };
+            let limit = (1u64 << bits) - 1;
+            let rows: Vec<u64> = (0..window * len).map(|_| rng.range_u64(0, limit)).collect();
+            let synapses: Vec<u64> = (0..window).map(|_| rng.range_u64(0, limit)).collect();
+            let group = WindowGroup::pack(&rows, window, len, bits);
+            for d in Design::ALL {
+                let cfg = AcceleratorConfig::new(d, lanes, bits);
+                let scalar = plane_engine_for(&cfg);
+                let batched = plane_engine_for(&cfg);
+                let expected: Vec<u64> = (0..len)
+                    .map(|w| scalar.inner_product(&rows[w * window..(w + 1) * window], &synapses))
+                    .collect();
+                batched.inner_product_planes(&group, &synapses, &mut got);
+                let label = format!("{d} lanes={lanes} bits={bits} window={window} len={len}");
+                assert_eq!(got, expected, "{label}");
+                let (a, b) = (scalar.activity(), batched.activity());
+                assert_eq!(a.mrr_slots(), b.mrr_slots(), "mrr {label}");
+                assert_eq!(a.mzi_slots(), b.mzi_slots(), "mzi {label}");
+                assert_eq!(a.cla_ops(), b.cla_ops(), "cla {label}");
+                assert_eq!(
+                    a.comparator_decisions(),
+                    b.comparator_decisions(),
+                    "comparator {label}"
+                );
+                assert_eq!(a.oe_conversions(), b.oe_conversions(), "o/e {label}");
+                assert_eq!(a.gated_slots(), b.gated_slots(), "slots {label}");
+                assert_eq!(a.lit_slots(), b.lit_slots(), "lit {label}");
+                assert_eq!(a.bit_toggles(), b.bit_toggles(), "toggles {label}");
+                assert_eq!(a.toggle_pairs(), b.toggle_pairs(), "pairs {label}");
+            }
         }
     }
 

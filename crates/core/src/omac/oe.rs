@@ -8,8 +8,11 @@
 //! partial products, exactly as Stripes does — `p` cycles per `p`-bit
 //! synapse.
 
-use crate::omac::activity::{bit_stream_activity, ActivityCounter};
-use crate::omac::fill_lane_chunk;
+use crate::omac::activity::{bit_stream_activity, ActivityCounter, StreamActivity};
+use crate::omac::bitplane::{
+    gated_stream_totals, plane_inner_product, PlaneAccumulator, WindowGroup,
+};
+use crate::omac::{fill_lane_chunk, PlaneMac};
 use pixel_dnn::inference::MacEngine;
 use pixel_electronics::cla::Cla;
 use pixel_electronics::converter::SerialConverter;
@@ -173,6 +176,47 @@ impl MacEngine for OeMac {
 
     fn name(&self) -> &str {
         "OE (MRR multiply, electrical accumulate)"
+    }
+}
+
+impl PlaneMac for OeMac {
+    fn inner_product_planes(&self, group: &WindowGroup, synapses: &[u64], out: &mut Vec<u64>) {
+        assert_eq!(
+            group.bits(),
+            self.bits,
+            "group precision must match the engine"
+        );
+        let mut acc = PlaneAccumulator::new();
+        plane_inner_product(group, synapses, &mut acc, out);
+
+        // Accounting parity with the scalar path. Per window it runs
+        // `bits` serial cycles over every lane position of every chunk
+        // (zero-padded tail included): each cycle gates one `bits`-slot
+        // neuron train through the MRRs, converts, and CLA-accumulates.
+        // A set synapse bit streams the neuron word; a clear one streams
+        // darkness — so lit/toggle totals are the popcount-gated plane
+        // sums of `gated_stream_totals`.
+        let len = group.len() as u64;
+        let bits = u64::from(self.bits);
+        let chunks = synapses.len().div_ceil(self.lanes) as u64;
+        let positions = chunks * self.lanes as u64;
+        let partials = len * positions * bits;
+        let (lit, toggles) = gated_stream_totals(group, synapses);
+        self.activity.add_mrr_slots(partials * bits);
+        self.activity.add_stream(&StreamActivity {
+            slots: partials * bits,
+            lit,
+            toggles,
+            pairs: partials * (bits - 1),
+        });
+        self.activity.add_oe_conversions(partials);
+        self.activity.add_cla_ops(partials);
+        if pixel_obs::enabled() {
+            pixel_obs::add("omac.oe.mac_ops", synapses.len() as u64 * len);
+            pixel_obs::add("omac.oe.mrr_slots", partials * bits);
+            pixel_obs::add("omac.oe.bit_toggles", toggles);
+            pixel_obs::add("omac.oe.oe_conversions", partials);
+        }
     }
 }
 

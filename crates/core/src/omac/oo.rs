@@ -10,8 +10,11 @@
 //! comparator-ladder o/e converter (design 2) resolves the levels, and a
 //! final electrical accumulate combines wavelengths and window chunks.
 
-use crate::omac::activity::{bit_stream_activity, ActivityCounter};
-use crate::omac::fill_lane_chunk;
+use crate::omac::activity::{bit_stream_activity, ActivityCounter, StreamActivity};
+use crate::omac::bitplane::{
+    gated_stream_totals, plane_inner_product, PlaneAccumulator, WindowGroup,
+};
+use crate::omac::{fill_lane_chunk, PlaneMac};
 use pixel_dnn::inference::MacEngine;
 use pixel_electronics::cla::Cla;
 use pixel_electronics::converter::AmplitudeConverter;
@@ -183,6 +186,48 @@ impl MacEngine for OoMac {
 
     fn name(&self) -> &str {
         "OO (MRR multiply, MZI accumulate)"
+    }
+}
+
+impl PlaneMac for OoMac {
+    fn inner_product_planes(&self, group: &WindowGroup, synapses: &[u64], out: &mut Vec<u64>) {
+        assert_eq!(
+            group.bits(),
+            self.bits,
+            "group precision must match the engine"
+        );
+        let mut acc = PlaneAccumulator::new();
+        plane_inner_product(group, synapses, &mut acc, out);
+
+        // Accounting parity with the scalar path. Per window, every lane
+        // position of every chunk (zero-padded tail included) performs
+        // one optical multiply — `bits` gated partial trains of `bits`
+        // slots through the MRRs, a delay-matched MZI chain combine of
+        // `2·bits − 1` slots resolved by as many comparator decisions,
+        // one o/e conversion — then one CLA accumulate.
+        let len = group.len() as u64;
+        let bits = u64::from(self.bits);
+        let chunks = synapses.len().div_ceil(self.lanes) as u64;
+        let positions = len * chunks * self.lanes as u64;
+        let combined = 2 * bits - 1;
+        let (lit, toggles) = gated_stream_totals(group, synapses);
+        self.activity.add_mrr_slots(positions * bits * bits);
+        self.activity.add_stream(&StreamActivity {
+            slots: positions * bits * bits,
+            lit,
+            toggles,
+            pairs: positions * bits * (bits - 1),
+        });
+        self.activity.add_mzi_slots(positions * combined);
+        self.activity.add_comparator_decisions(positions * combined);
+        self.activity.add_oe_conversions(positions);
+        self.activity.add_cla_ops(positions);
+        if pixel_obs::enabled() {
+            pixel_obs::add("omac.oo.mac_ops", synapses.len() as u64 * len);
+            pixel_obs::add("omac.oo.mrr_slots", positions * bits * bits);
+            pixel_obs::add("omac.oo.mzi_slots", positions * combined);
+            pixel_obs::add("omac.oo.bit_toggles", toggles);
+        }
     }
 }
 

@@ -7,8 +7,7 @@
 //! the design's bit-true MAC engine.
 
 use crate::config::AcceleratorConfig;
-use crate::omac::engine_for;
-use pixel_dnn::inference::MacEngine;
+use crate::omac::{plane_engine_for, PlaneMac, WindowGroup};
 use pixel_electronics::register::RegisterFile;
 
 /// A functional PIXEL tile.
@@ -19,7 +18,7 @@ pub struct Tile {
     /// fire path hands the engine a slice instead of re-reading (and
     /// re-allocating) the RF word-by-word per window.
     mirror: Vec<u64>,
-    engine: Box<dyn MacEngine>,
+    engine: Box<dyn PlaneMac>,
 }
 
 impl std::fmt::Debug for Tile {
@@ -41,7 +40,7 @@ impl Tile {
             config,
             weights: RegisterFile::new(filter_size, width),
             mirror: vec![0; filter_size],
-            engine: engine_for(&config),
+            engine: plane_engine_for(&config),
         }
     }
 
@@ -105,6 +104,43 @@ impl Tile {
             "streamed weights must match the fired window"
         );
         self.engine.inner_product(neurons, weights)
+    }
+
+    /// Computes a whole bit-plane window group against the pre-loaded
+    /// weights: `group.len()` windows advance together, 64 MACs per
+    /// word-level engine operation. Results land in `out`, one sum per
+    /// packed window, bitwise identical to firing each window through
+    /// [`Self::fire`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the group's window size exceeds the stored filter size
+    /// or its precision differs from the tile's.
+    pub fn fire_planes(&self, group: &WindowGroup, out: &mut Vec<u64>) {
+        assert!(
+            group.window() <= self.weights.len(),
+            "firing {} neuron positions into a {}-weight filter",
+            group.window(),
+            self.weights.len()
+        );
+        self.engine
+            .inner_product_planes(group, &self.mirror[..group.window()], out);
+    }
+
+    /// [`Self::fire_planes`] against streamed weights — the
+    /// time-multiplexing path, batched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the weight count differs from the group's window size
+    /// or the group's precision differs from the tile's.
+    pub fn fire_planes_streamed(&self, group: &WindowGroup, weights: &[u64], out: &mut Vec<u64>) {
+        assert_eq!(
+            group.window(),
+            weights.len(),
+            "streamed weights must match the fired window"
+        );
+        self.engine.inner_product_planes(group, weights, out);
     }
 
     /// The MAC engine's name (design identification).
